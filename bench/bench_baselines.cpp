@@ -1,0 +1,220 @@
+// E11 — baseline comparison (§4 related work made executable).
+//
+// Pits SACHa against the two prior FPGA-attestation schemes (Chaves
+// on-the-fly bitstream hashing; Drimer-Kuhn authenticated NVM updates) on
+// the attack classes of the paper's adversary model, and runs the
+// Perito-Tsudik MCU scheme plus SWATT for context. The point the matrix
+// makes: only SACHa detects tampering of the *running configuration
+// memory*, because only SACHa reads it back.
+#include <benchmark/benchmark.h>
+
+#include "attest/chaves.hpp"
+#include "attest/drimer_kuhn.hpp"
+#include "attest/perito_tsudik.hpp"
+#include "attest/smart.hpp"
+#include "attest/swatt.hpp"
+#include "attacks/library.hpp"
+#include "bench_util.hpp"
+#include "bitstream/bitgen.hpp"
+#include "crypto/prg.hpp"
+
+using namespace sacha;
+
+namespace {
+
+crypto::AesKey key_of(std::uint8_t fill) {
+  crypto::AesKey key{};
+  key.fill(fill);
+  return key;
+}
+
+// --- Attack class 1: tamper with the running configuration memory --------
+
+bool sacha_detects_config_tamper() {
+  attacks::AttackEnv env = attacks::AttackEnv::small(5);
+  const attacks::DynPartTamperAttack attack;
+  return attack.run(env).result != attacks::AttackResult::kUndetected;
+}
+
+bool chaves_detects_config_tamper() {
+  const auto device = fabric::DeviceModel::small_test_device();
+  config::ConfigMemory memory(device);
+  attest::ChavesAttestor attestor(memory, fabric::FrameRange{4, 12});
+  const bitstream::BitGen gen(device);
+  const auto image = gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  (void)attestor.load(image.frames, 4);
+  // Adversary writes the configuration memory directly (SACHa's model).
+  bitstream::Frame tampered = memory.config_frame(6);
+  tampered.flip_bit(9);
+  memory.write_frame(6, tampered);
+  return attestor.report() != attest::ChavesAttestor::expected(image.frames);
+}
+
+bool drimer_detects_config_tamper() {
+  attest::ExternalNvm nvm;
+  attest::DrimerKuhnDevice device(nvm, key_of(9));
+  attest::DrimerKuhnVerifier verifier(key_of(9));
+  const Bytes bitstream = crypto::Prg(1, "bs").bytes(512);
+  (void)device.apply_update(verifier.make_update(1, bitstream));
+  device.running_configuration()[7] ^= 0x80;  // live tamper, NVM untouched
+  return !verifier.verify(3, 1, bitstream, device.attest(3));
+}
+
+// --- Attack class 2: malicious update in transit -------------------------
+
+bool sacha_detects_update_injection() {
+  const attacks::MaliciousUpdateInjection attack;
+  return attack.run(attacks::AttackEnv::small(6)).result !=
+         attacks::AttackResult::kUndetected;
+}
+
+bool chaves_detects_update_injection() {
+  const auto device = fabric::DeviceModel::small_test_device();
+  config::ConfigMemory memory(device);
+  attest::ChavesAttestor attestor(memory, fabric::FrameRange{4, 12});
+  const bitstream::BitGen gen(device);
+  auto image = gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  const auto want = attest::ChavesAttestor::expected(image.frames);
+  image.frames[2].flip_bit(3);  // injected in transit
+  (void)attestor.load(image.frames, 4);
+  return attestor.report() != want;
+}
+
+bool drimer_detects_update_injection() {
+  attest::ExternalNvm nvm;
+  attest::DrimerKuhnDevice device(nvm, key_of(9));
+  attest::DrimerKuhnVerifier verifier(key_of(9));
+  attest::NvmSlot update = verifier.make_update(1, crypto::Prg(2, "bs").bytes(512));
+  update.bitstream[5] ^= 1;  // injected in transit, tag now stale
+  return !device.apply_update(update).ok();
+}
+
+// --- Attack class 3: replay / rollback ------------------------------------
+
+bool sacha_detects_replay() {
+  const attacks::ReplayAttack attack;
+  return attack.run(attacks::AttackEnv::small(7)).result !=
+         attacks::AttackResult::kUndetected;
+}
+
+bool chaves_detects_replay() {
+  // The on-the-fly hash has no session freshness: replaying an old load of
+  // the *same* bitstream after tampering is the config-tamper case again,
+  // and re-reporting a stale hash is trivially possible because the report
+  // is unkeyed and nonce-free in the original scheme.
+  return false;
+}
+
+bool drimer_detects_rollback() {
+  attest::ExternalNvm nvm;
+  attest::DrimerKuhnDevice device(nvm, key_of(9));
+  attest::DrimerKuhnVerifier verifier(key_of(9));
+  (void)device.apply_update(verifier.make_update(2, Bytes(64, 2)));
+  return !device.apply_update(verifier.make_update(1, Bytes(64, 1))).ok();
+}
+
+void print_matrix() {
+  benchutil::print_title("Baseline comparison: who detects what");
+  std::printf("%-28s %-8s %-8s %-12s\n", "attack class", "SACHa", "Chaves",
+              "Drimer-Kuhn");
+  const auto cell = [](bool detected) { return detected ? "yes" : "NO"; };
+  std::printf("%-28s %-8s %-8s %-12s\n", "running-config tamper",
+              cell(sacha_detects_config_tamper()),
+              cell(chaves_detects_config_tamper()),
+              cell(drimer_detects_config_tamper()));
+  std::printf("%-28s %-8s %-8s %-12s\n", "update injected in transit",
+              cell(sacha_detects_update_injection()),
+              cell(chaves_detects_update_injection()),
+              cell(drimer_detects_update_injection()));
+  std::printf("%-28s %-8s %-8s %-12s\n", "replay / rollback",
+              cell(sacha_detects_replay()), cell(chaves_detects_replay()),
+              cell(drimer_detects_rollback()));
+  std::printf("\nassumptions each scheme needs:\n");
+  std::printf("  SACHa        none beyond bounded fabric memory (self-attesting)\n");
+  std::printf("  Chaves       tamper-proof attestation core + config memory\n");
+  std::printf("  Drimer-Kuhn  tamper-proof config memory; attests NVM only\n");
+
+  // Context rows: the processor-side schemes.
+  std::printf("\nprocessor-side baselines (context):\n");
+  {
+    attest::BoundedMemoryMcu mcu(4'096, key_of(3));
+    mcu.infect(100, bytes_of("malware"));
+    attest::PoseVerifier pose(key_of(3), 4'096);
+    const auto report = pose.attest(mcu, bytes_of("fw"), 1);
+    std::printf("  Perito-Tsudik secure erasure: %s (%llu B shipped)\n",
+                report.attested ? "clean after update" : "FAILED",
+                static_cast<unsigned long long>(report.bytes_sent));
+  }
+  {
+    attest::SmartMcu smart(1'024, key_of(5));
+    const Bytes fw = crypto::Prg(6, "fw").bytes(1'024);
+    smart.write_app(0, fw);
+    attest::SmartVerifier sv(key_of(5), fw);
+    const bool honest_ok = sv.verify(1, smart.rom_attest(1));
+    smart.write_app(64, bytes_of("malware"));
+    const bool caught = !sv.verify(2, smart.rom_attest(2));
+    const bool key_safe = !smart.forge_from_application(3).ok();
+    std::printf("  SMART hybrid: honest %s, malware %s, key exfiltration %s\n",
+                honest_ok ? "attests" : "FAILS",
+                caught ? "caught" : "MISSED",
+                key_safe ? "blocked by MPU" : "POSSIBLE");
+  }
+  {
+    Rng rng(4);
+    const Bytes golden = rng.bytes(4'096);
+    attest::SwattDevice compromised(golden);
+    compromised.compromise(1'000, Bytes(256, 0xEE), /*redirect=*/true);
+    attest::SwattVerifier verifier(golden);
+    const auto local = verifier.attest(compromised, 9, 0.001, 0);
+    const auto honest_remote = verifier.attest(attest::SwattDevice(golden), 9,
+                                               0.001, sim::kMillisecond);
+    std::printf("  SWATT local: redirect %s by timing; over network (+1 ms "
+                "jitter): honest devices %s\n",
+                local.time_ok ? "MISSED" : "caught",
+                honest_remote.time_ok
+                    ? "still pass (jitter below slack)"
+                    : "rejected too (strict bound unusable remotely)");
+  }
+}
+
+void BM_ChavesLoad(benchmark::State& state) {
+  const auto device = fabric::DeviceModel::small_test_device();
+  config::ConfigMemory memory(device);
+  const bitstream::BitGen gen(device);
+  const auto image = gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  for (auto _ : state) {
+    attest::ChavesAttestor attestor(memory, fabric::FrameRange{4, 12});
+    benchmark::DoNotOptimize(attestor.load(image.frames, 4).ok());
+  }
+}
+BENCHMARK(BM_ChavesLoad);
+
+void BM_PoseAttest4k(benchmark::State& state) {
+  attest::BoundedMemoryMcu mcu(4'096, key_of(3));
+  attest::PoseVerifier verifier(key_of(3), 4'096);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.attest(mcu, bytes_of("fw"), seed++).attested);
+  }
+}
+BENCHMARK(BM_PoseAttest4k);
+
+void BM_SwattWalk(benchmark::State& state) {
+  Rng rng(4);
+  const Bytes golden = rng.bytes(4'096);
+  const attest::SwattDevice device(golden);
+  std::uint64_t challenge = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.respond(challenge++).cycles);
+  }
+}
+BENCHMARK(BM_SwattWalk);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

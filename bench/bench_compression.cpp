@@ -1,0 +1,104 @@
+// E16 (extension) — compression vs the bounded-memory premise.
+//
+// SACHa's security rests on the partial bitstream not fitting in on-fabric
+// BRAM; reference [24] observes that compression does not change this for
+// real designs, whose bitstreams are high-entropy. This bench measures our
+// LZ and RLE codecs on three content classes (synthetic routed design,
+// sparse design, empty fabric) and recomputes the BRAM margin under each
+// ratio — showing precisely when the premise would erode (only for
+// near-empty regions, which no verifier would ship as "the application").
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "bitstream/bitgen.hpp"
+#include "bitstream/compress.hpp"
+
+using namespace sacha;
+
+namespace {
+
+Bytes sample_content(const char* kind, std::size_t bytes) {
+  if (std::string(kind) == "routed") {
+    const auto device = fabric::DeviceModel::xc6vlx240t();
+    const bitstream::BitGen gen(device);
+    const auto image = gen.generate(
+        fabric::FrameRange{2'088,
+                           static_cast<std::uint32_t>(bytes / device.frame_bytes())},
+        {"app", 1});
+    Bytes out;
+    for (const auto& f : image.frames) append(out, f.to_bytes());
+    return out;
+  }
+  if (std::string(kind) == "sparse") {
+    // 1/8 of the words carry logic, the rest are zero (lightly used region).
+    Rng rng(5);
+    Bytes out(bytes, 0);
+    for (std::size_t i = 0; i + 4 <= bytes; i += 32) {
+      out[i] = static_cast<std::uint8_t>(rng.next_u64());
+      out[i + 1] = static_cast<std::uint8_t>(rng.next_u64());
+    }
+    return out;
+  }
+  return Bytes(bytes, 0);  // empty fabric
+}
+
+void print_sweep() {
+  benchutil::print_title("Compression vs the bounded-memory premise");
+  const auto device = fabric::DeviceModel::xc6vlx240t();
+  const double partial =
+      static_cast<double>(device.bitstream_bytes(fabric::kVirtex6DynamicFrames));
+  const double bram =
+      static_cast<double>(fabric::bram_capacity_bytes({.bram18 = 760}));
+
+  std::printf("partial bitstream: %.2f MB; DynPart BRAM: %.2f MB\n\n",
+              partial / 1e6, bram / 1e6);
+  std::printf("%-10s %10s %10s %16s %10s\n", "content", "lz ratio", "rle ratio",
+              "compressed (MB)", "premise");
+  for (const char* kind : {"routed", "sparse", "empty"}) {
+    const Bytes sample = sample_content(kind, 648'000);  // 2,000 frames
+    const double lz =
+        bitstream::compression_ratio(sample.size(),
+                                     bitstream::lz_compress(sample).size());
+    const double rle =
+        bitstream::compression_ratio(sample.size(),
+                                     bitstream::rle_compress(sample).size());
+    const double best = std::min(lz, rle);
+    const double compressed_mb = partial * best / 1e6;
+    std::printf("%-10s %10.3f %10.3f %15.2f %11s\n", kind, lz, rle,
+                compressed_mb, compressed_mb * 1e6 > bram ? "holds" : "ERODES");
+  }
+  std::printf("\nRouted-design content is effectively incompressible, so the\n"
+              "bounded-memory argument survives an adversary with a perfect\n"
+              "decompressor; only near-empty regions would fit — and an empty\n"
+              "region is not an application worth attesting.\n");
+}
+
+void BM_LzCompressFrameStream(benchmark::State& state) {
+  const Bytes sample = sample_content("routed", 64'800);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitstream::lz_compress(sample).size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample.size()));
+}
+BENCHMARK(BM_LzCompressFrameStream)->Unit(benchmark::kMillisecond);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const Bytes sample = sample_content("sparse", 64'800);
+  const Bytes compressed = bitstream::lz_compress(sample);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bitstream::lz_decompress(compressed).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sample.size()));
+}
+BENCHMARK(BM_LzDecompress)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E14 (extension) — signature mode cost (future work #2).
+//
+// Measures the hash-based signature machinery the no-pre-shared-key mode
+// adds on top of a session: Lamport keygen/sign/verify, Merkle tree
+// construction per tree height, signature size on the wire, and a full
+// signed attestation. Run context: the static partition already contains a
+// hash core, so device-side cost is hashing only.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/signed_attest.hpp"
+
+using namespace sacha;
+
+namespace {
+
+void print_report() {
+  benchutil::print_title("Signature mode (no pre-shared key)");
+
+  // Wire sizes.
+  const std::size_t ots_bytes = 256 * 32;
+  const std::size_t pk_bytes = 512 * 32;
+  std::printf("Lamport OTS signature: %zu B revealed preimages + %zu B leaf "
+              "public key\n", ots_bytes, pk_bytes);
+  for (std::uint32_t h : {2u, 4u, 8u}) {
+    std::printf("  tree h=%u: %u sessions per identity, +%u B auth path\n", h,
+                1u << h, h * 32);
+  }
+
+  // End-to-end signed attestation with a public session key.
+  attacks::AttackEnv env = attacks::AttackEnv::small(3);
+  env.key = crypto::AesKey{};  // deliberately public
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  crypto::HashSigner signer(42, 4);
+  core::LeafPolicy policy;
+  const auto report = core::run_signed_attestation(
+      verifier, prover, signer, signer.root(), 4, policy);
+  std::printf("\nsigned attestation with PUBLIC session key: %s (%s)\n",
+              report.ok() ? "PASS" : "FAIL", report.detail.c_str());
+  std::printf("=> authenticity moves from the shared MAC key to the "
+              "hash-based signature chain.\n");
+}
+
+void BM_LamportKeygen(benchmark::State& state) {
+  std::uint32_t leaf = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::lamport_public(crypto::lamport_keygen(1, leaf++)));
+  }
+}
+BENCHMARK(BM_LamportKeygen)->Unit(benchmark::kMillisecond);
+
+void BM_LamportSign(benchmark::State& state) {
+  const auto sk = crypto::lamport_keygen(2, 0);
+  const auto digest = crypto::Sha256::compute(bytes_of("evidence"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::lamport_sign(sk, digest));
+  }
+}
+BENCHMARK(BM_LamportSign);
+
+void BM_LamportVerify(benchmark::State& state) {
+  const auto sk = crypto::lamport_keygen(3, 0);
+  const auto pk = crypto::lamport_public(sk);
+  const auto digest = crypto::Sha256::compute(bytes_of("evidence"));
+  const auto sig = crypto::lamport_sign(sk, digest);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::lamport_verify(pk, digest, sig));
+  }
+}
+BENCHMARK(BM_LamportVerify);
+
+void BM_HashSignerBuild(benchmark::State& state) {
+  const auto height = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    crypto::HashSigner signer(7, height);
+    benchmark::DoNotOptimize(signer.root());
+  }
+}
+BENCHMARK(BM_HashSignerBuild)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_SignedAttestation(benchmark::State& state) {
+  crypto::HashSigner signer(9, 10);
+  core::LeafPolicy policy;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    attacks::AttackEnv env = attacks::AttackEnv::small(seed++);
+    auto verifier = env.make_verifier();
+    auto prover = env.make_prover();
+    benchmark::DoNotOptimize(
+        core::run_signed_attestation(verifier, prover, signer, signer.root(),
+                                     10, policy)
+            .ok());
+  }
+}
+BENCHMARK(BM_SignedAttestation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

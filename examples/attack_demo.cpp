@@ -1,0 +1,34 @@
+// Attack demo: runs the §7.2 adversary suite against SACHa and prints the
+// detection matrix. Every threat must come out DETECTED or PREVENTED.
+#include <cstdio>
+
+#include "attacks/library.hpp"
+
+using namespace sacha;
+
+int main() {
+  std::printf("SACHa security evaluation — the Section 7.2 threat cases\n");
+  std::printf("========================================================\n\n");
+
+  const attacks::AttackEnv env = attacks::AttackEnv::small(/*seed=*/7);
+  std::printf("(environment: %s device, %u frames; each attack runs a full "
+              "attestation session)\n\n",
+              env.plan.device().name().c_str(), env.plan.device().total_frames());
+
+  int undetected = 0;
+  std::printf("%-18s %-11s threat / evidence\n", "attack", "outcome");
+  std::printf("%-18s %-11s -----------------\n", "------", "-------");
+  for (const auto& attack : attacks::standard_suite()) {
+    const attacks::AttackOutcome outcome = attack->run(env);
+    std::printf("%-18s %-11s %s\n", outcome.name.c_str(),
+                attacks::to_string(outcome.result), attack->description().c_str());
+    std::printf("%-18s %-11s -> %s\n", "", "", outcome.evidence.c_str());
+    if (outcome.result == attacks::AttackResult::kUndetected) ++undetected;
+  }
+
+  std::printf("\n%s\n",
+              undetected == 0
+                  ? "All attacks detected or structurally prevented."
+                  : "SECURITY REGRESSION: at least one attack went unnoticed!");
+  return undetected == 0 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Attack test-bench environment.
+//
+// Builds fresh, mutually consistent verifier/prover pairs so each adversary
+// experiment starts from a clean provisioned device. Two device scales are
+// provided: the 16-frame test device (fast, used by tests) and the full
+// Virtex-6 proof-of-concept floorplan (used by the security bench).
+#pragma once
+
+#include "core/prover.hpp"
+#include "core/session.hpp"
+#include "core/verifier.hpp"
+
+namespace sacha::attacks {
+
+struct AttackEnv {
+  fabric::Floorplan plan;
+  bitstream::DesignSpec static_spec{"sacha-static-v1", 1};
+  bitstream::DesignSpec app_spec{"intended-app-v1", 1};
+  crypto::AesKey key{};
+  std::uint64_t seed = 1;
+  core::VerifierOptions verifier_options{};
+  core::SessionOptions session_options{};
+  core::ProverOptions prover_options{};
+
+  core::SachaVerifier make_verifier() const;
+
+  /// A provisioned device. `genuine_key` false models an impersonator or a
+  /// cloned board that never went through enrollment.
+  core::SachaProver make_prover(bool genuine_key = true) const;
+
+  /// 16-frame device, sub-millisecond sessions.
+  static AttackEnv small(std::uint64_t seed = 1);
+  /// Full XC6VLX240T floorplan (28,488 frames).
+  static AttackEnv virtex6(std::uint64_t seed = 1);
+};
+
+}  // namespace sacha::attacks

@@ -1,0 +1,137 @@
+// Adversary library — §7.2's security evaluation as executable experiments.
+//
+// Each attack instantiates one threat from the paper's case analysis (plus
+// two the prose implies), runs a full attestation session with the
+// adversary in place, and reports whether SACHa detected or structurally
+// prevented it. `standard_suite()` is the set behind the security-matrix
+// bench and the attack_demo example.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/env.hpp"
+
+namespace sacha::attacks {
+
+enum class AttackResult : std::uint8_t {
+  kDetected,    // session ran; the verifier rejected
+  kPrevented,   // the attack could not take effect at all
+  kUndetected,  // the verifier accepted a compromised device (a finding!)
+};
+
+const char* to_string(AttackResult result);
+
+struct AttackOutcome {
+  std::string name;
+  AttackResult result = AttackResult::kUndetected;
+  std::string evidence;  // what the verifier (or the attacker) observed
+  core::SachaVerifier::Verdict verdict;
+};
+
+class Attack {
+ public:
+  virtual ~Attack() = default;
+  virtual std::string name() const = 0;
+  /// One-line threat description (the §7.2 bullet).
+  virtual std::string description() const = 0;
+  virtual AttackOutcome run(const AttackEnv& env) const = 0;
+};
+
+/// §7.2 bullet 1: a local adversary adds a malicious hardware module to the
+/// dynamic partition (after the verifier's configuration phase).
+class DynPartTamperAttack : public Attack {
+ public:
+  std::string name() const override { return "dynpart-tamper"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 2: malicious logic squeezed into the static partition.
+class StatPartTamperAttack : public Attack {
+ public:
+  std::string name() const override { return "statpart-tamper"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 3: impersonating the prover without the device key.
+class ImpersonationAttack : public Attack {
+ public:
+  std::string name() const override { return "impersonation"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 4: an external helper computes the MAC while the FPGA runs
+/// malicious code — modelled as a man-in-the-middle that forges the MAC
+/// response (it observes all frames but not the key).
+class ProxyMacAttack : public Attack {
+ public:
+  std::string name() const override { return "proxy-mac"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 5: replaying the responses of an earlier (honest) session
+/// to hide a tampered configuration.
+class ReplayAttack : public Attack {
+ public:
+  std::string name() const override { return "replay"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 5 (second clause): suppressing the nonce update so the old
+/// nonce stays configured.
+class NonceFreezeAttack : public Attack {
+ public:
+  std::string name() const override { return "nonce-freeze"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §5.2 bounded-memory premise: the resident malicious application tries to
+/// stash itself in on-fabric BRAM across the overwrite and restore after.
+class BramStagingAttack : public Attack {
+ public:
+  std::string name() const override { return "bram-staging"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// A malicious module pre-installed in "unused" dynamic fabric before the
+/// session: the full-partition overwrite must erase it and the full
+/// readback must confirm that.
+class HiddenModuleAttack : public Attack {
+ public:
+  std::string name() const override { return "hidden-module"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// Man-in-the-middle swaps the verifier's intended application for its own
+/// during the configuration phase.
+class MaliciousUpdateInjection : public Attack {
+ public:
+  std::string name() const override { return "update-injection"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// §7.2 bullet 4: a local adversary wires an external computing device to
+/// unused FPGA pins (to outsource the MAC or exfiltrate data). The
+/// bitstream reflects pin connectivity, so enabling the IOB shows up in
+/// readback; the evidence names the tapped pin.
+class ExternalTapAttack : public Attack {
+ public:
+  std::string name() const override { return "external-tap"; }
+  std::string description() const override;
+  AttackOutcome run(const AttackEnv& env) const override;
+};
+
+/// All of the above, in §7.2 order.
+std::vector<std::unique_ptr<Attack>> standard_suite();
+
+}  // namespace sacha::attacks

@@ -1,0 +1,36 @@
+#include "attest/chaves.hpp"
+
+namespace sacha::attest {
+
+ChavesAttestor::ChavesAttestor(config::ConfigMemory& memory,
+                               fabric::FrameRange restricted)
+    : memory_(memory), restricted_(restricted) {}
+
+Status ChavesAttestor::load(const std::vector<bitstream::Frame>& frames,
+                            std::uint32_t first_frame) {
+  if (first_frame < restricted_.first ||
+      first_frame + frames.size() > restricted_.end()) {
+    return Status::error("update outside the restricted area");
+  }
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    memory_.write_frame(first_frame + static_cast<std::uint32_t>(i), frames[i]);
+    hash_.update(frames[i].to_bytes());
+  }
+  return Status();
+}
+
+crypto::Sha256Digest ChavesAttestor::report() const {
+  crypto::Sha256 copy = hash_;  // report without consuming the running state
+  return copy.finalize();
+}
+
+void ChavesAttestor::reset() { hash_.reset(); }
+
+crypto::Sha256Digest ChavesAttestor::expected(
+    const std::vector<bitstream::Frame>& frames) {
+  crypto::Sha256 hash;
+  for (const bitstream::Frame& f : frames) hash.update(f.to_bytes());
+  return hash.finalize();
+}
+
+}  // namespace sacha::attest

@@ -1,0 +1,48 @@
+// Chaves et al., "On-the-fly attestation of reconfigurable hardware"
+// (FPL'08) — the closest prior FPGA-attestation baseline (§4.3).
+//
+// A trusted attestation core inside the FPGA hashes the partial bitstream
+// *while it is being loaded* and reports the hash; the verifier compares
+// against the hash of the intended bitstream. The core is assumed
+// tamper-proof and assumed to be the only path into the restricted
+// reconfigurable area. Our model makes both assumptions explicit and
+// violable: configuration writes through the core are hashed; direct
+// configuration-memory writes (which SACHa's stronger adversary can do)
+// bypass the hash entirely — that gap is the paper's argument for
+// self-attestation, and bench_baselines measures it.
+#pragma once
+
+#include "config/config_memory.hpp"
+#include "crypto/sha256.hpp"
+#include "fabric/partition.hpp"
+
+namespace sacha::attest {
+
+class ChavesAttestor {
+ public:
+  /// `restricted` is the frame range updates are allowed to touch.
+  ChavesAttestor(config::ConfigMemory& memory, fabric::FrameRange restricted);
+
+  /// Loads a partial bitstream through the trusted core: frames are written
+  /// and simultaneously folded into the running hash. Writes outside the
+  /// restricted area are refused (the core's only enforcement).
+  Status load(const std::vector<bitstream::Frame>& frames,
+              std::uint32_t first_frame);
+
+  /// On-the-fly attestation report: hash of everything loaded through the
+  /// core since reset().
+  crypto::Sha256Digest report() const;
+
+  void reset();
+
+  /// What the verifier expects for a given intended bitstream.
+  static crypto::Sha256Digest expected(
+      const std::vector<bitstream::Frame>& frames);
+
+ private:
+  config::ConfigMemory& memory_;
+  fabric::FrameRange restricted_;
+  crypto::Sha256 hash_;
+};
+
+}  // namespace sacha::attest

@@ -1,0 +1,87 @@
+// Drimer & Kuhn, "A protocol for secure remote updates of FPGA
+// configurations" (ARC'09) — the secure-update baseline (§4.3).
+//
+// The bitstream lives in an external non-volatile memory; updates are
+// authenticated with a MAC chain and a monotonic version counter (rollback
+// protection), and "attestation" answers which version is stored and that
+// the upload completed. The configuration memory itself is assumed
+// tamper-proof. Our model implements the update protocol faithfully — and
+// exposes the assumption gap: a SACHa-class adversary who rewrites the
+// *running* configuration (not the NVM) is invisible to this scheme.
+#pragma once
+
+#include <optional>
+
+#include "bitstream/frame.hpp"
+#include "common/result.hpp"
+#include "crypto/cmac.hpp"
+
+namespace sacha::attest {
+
+struct NvmSlot {
+  std::uint32_t version = 0;
+  Bytes bitstream;
+  crypto::Mac tag{};
+};
+
+/// External flash holding the authenticated bitstream.
+class ExternalNvm {
+ public:
+  const std::optional<NvmSlot>& slot() const { return slot_; }
+  void program(NvmSlot slot) { slot_ = std::move(slot); }
+
+ private:
+  std::optional<NvmSlot> slot_;
+};
+
+/// The device-resident update/attestation logic.
+class DrimerKuhnDevice {
+ public:
+  DrimerKuhnDevice(ExternalNvm& nvm, const crypto::AesKey& key);
+
+  /// Applies an authenticated update: verifies the tag and the version
+  /// monotonicity, then programs the NVM and (re)configures from it.
+  Status apply_update(const NvmSlot& update);
+
+  /// Attestation response: MAC_K(nonce || version || stored bitstream).
+  /// Reports on the NVM contents — NOT on the running configuration.
+  crypto::Mac attest(std::uint64_t nonce) const;
+
+  std::uint32_t running_version() const { return running_version_; }
+
+  /// The running configuration (loaded from NVM at apply_update). A
+  /// SACHa-class adversary can overwrite this directly; attest() will not
+  /// notice, by construction.
+  Bytes& running_configuration() { return running_; }
+  const Bytes& running_configuration() const { return running_; }
+
+ private:
+  ExternalNvm& nvm_;
+  crypto::AesKey key_;
+  Bytes running_;
+  std::uint32_t running_version_ = 0;
+};
+
+/// Verifier-side helpers.
+class DrimerKuhnVerifier {
+ public:
+  explicit DrimerKuhnVerifier(crypto::AesKey key) : key_(key) {}
+
+  /// Builds an authenticated update for a bitstream.
+  NvmSlot make_update(std::uint32_t version, Bytes bitstream) const;
+
+  /// Checks an attestation response against the expected stored image.
+  bool verify(std::uint64_t nonce, std::uint32_t version,
+              ByteSpan expected_bitstream, const crypto::Mac& response) const;
+
+ private:
+  static crypto::Mac tag_of(const crypto::AesKey& key, std::uint32_t version,
+                            ByteSpan bitstream);
+  static crypto::Mac attest_mac(const crypto::AesKey& key, std::uint64_t nonce,
+                                std::uint32_t version, ByteSpan bitstream);
+  friend class DrimerKuhnDevice;
+
+  crypto::AesKey key_;
+};
+
+}  // namespace sacha::attest

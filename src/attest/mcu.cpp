@@ -1,0 +1,28 @@
+#include "attest/mcu.hpp"
+
+namespace sacha::attest {
+
+BoundedMemoryMcu::BoundedMemoryMcu(std::size_t memory_size,
+                                   const crypto::AesKey& key)
+    : memory_(memory_size, 0), key_(key) {}
+
+bool BoundedMemoryMcu::write(std::size_t offset, ByteSpan data) {
+  if (offset + data.size() > memory_.size()) return false;
+  std::copy(data.begin(), data.end(), memory_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+crypto::Mac BoundedMemoryMcu::checksum(std::uint64_t nonce) const {
+  crypto::Cmac cmac(key_);
+  Bytes nonce_bytes;
+  put_u64be(nonce_bytes, nonce);
+  cmac.update(nonce_bytes);
+  cmac.update(memory_);
+  return cmac.finalize();
+}
+
+void BoundedMemoryMcu::infect(std::size_t offset, ByteSpan malware) {
+  write(offset, malware);
+}
+
+}  // namespace sacha::attest

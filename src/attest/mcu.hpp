@@ -1,0 +1,43 @@
+// Bounded-memory microcontroller model.
+//
+// The substrate for the Perito-Tsudik baseline (the scheme SACHa transplants
+// to FPGAs) and for the motivating scenario of Fig. 1: a processor whose
+// firmware the FPGA-based trusted module attests. The device has exactly
+// `memory_size` bytes of RAM plus a tiny immutable ROM routine that can
+// (1) write received data into RAM and (2) compute a keyed checksum of the
+// *entire* RAM — nothing else survives across a fill.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/cmac.hpp"
+
+namespace sacha::attest {
+
+class BoundedMemoryMcu {
+ public:
+  BoundedMemoryMcu(std::size_t memory_size, const crypto::AesKey& key);
+
+  std::size_t memory_size() const { return memory_.size(); }
+
+  /// ROM routine 1: writes `data` at `offset`; false when out of range.
+  bool write(std::size_t offset, ByteSpan data);
+
+  /// ROM routine 2: MAC_K(nonce || full memory).
+  crypto::Mac checksum(std::uint64_t nonce) const;
+
+  /// Raw memory view (the verifier-side golden model uses this only in
+  /// tests; the protocol never reads it directly).
+  const Bytes& memory() const { return memory_; }
+
+  /// Plants malware at an offset (test/experiment helper: the adversary has
+  /// compromised the firmware before attestation).
+  void infect(std::size_t offset, ByteSpan malware);
+
+ private:
+  Bytes memory_;
+  crypto::AesKey key_;
+};
+
+}  // namespace sacha::attest

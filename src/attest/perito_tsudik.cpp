@@ -1,0 +1,67 @@
+#include "attest/perito_tsudik.hpp"
+
+#include "crypto/ct.hpp"
+
+namespace sacha::attest {
+
+PoseVerifier::PoseVerifier(crypto::AesKey key, std::size_t believed_memory_size)
+    : key_(key), believed_size_(believed_memory_size) {}
+
+PoseReport PoseVerifier::attest(BoundedMemoryMcu& device, ByteSpan firmware,
+                                std::uint64_t session_seed) {
+  PoseReport report;
+  if (firmware.size() > believed_size_) {
+    report.detail = "firmware larger than device memory";
+    return report;
+  }
+
+  // Fill = firmware || verifier randomness covering every remaining byte.
+  crypto::Prg prg(session_seed, "pose-fill");
+  const Bytes filler = prg.bytes(believed_size_ - firmware.size());
+  const std::uint64_t nonce = crypto::Prg(session_seed, "pose-nonce").next_u64();
+
+  if (!device.write(0, firmware) || !device.write(firmware.size(), filler)) {
+    report.detail = "device rejected fill (memory smaller than believed)";
+    return report;
+  }
+  report.bytes_sent = believed_size_;
+  report.wire_time = static_cast<sim::SimDuration>(believed_size_) * 8;  // GbE
+
+  const crypto::Mac received = device.checksum(nonce);
+
+  // Expected checksum over the verifier's own copy of the full fill.
+  crypto::Cmac expected(key_);
+  Bytes nonce_bytes;
+  put_u64be(nonce_bytes, nonce);
+  expected.update(nonce_bytes);
+  expected.update(firmware);
+  expected.update(filler);
+  const crypto::Mac want = expected.finalize();
+
+  report.attested = crypto::ct_equal(received, want);
+  report.detail = report.attested ? "erasure proven, firmware installed"
+                                  : "checksum mismatch";
+  return report;
+}
+
+HidingMcu::HidingMcu(BoundedMemoryMcu& device, std::size_t hidden_memory_bytes)
+    : device_(device), hidden_capacity_(hidden_memory_bytes) {}
+
+bool HidingMcu::stash(std::size_t offset, std::size_t size) {
+  if (size > hidden_capacity_ || offset + size > device_.memory_size()) {
+    return false;  // the bounded-memory premise holds: nowhere to hide
+  }
+  stash_offset_ = offset;
+  stash_.assign(device_.memory().begin() + static_cast<std::ptrdiff_t>(offset),
+                device_.memory().begin() + static_cast<std::ptrdiff_t>(offset + size));
+  return true;
+}
+
+bool HidingMcu::restore() {
+  if (stash_.empty()) return false;
+  device_.write(stash_offset_, stash_);
+  stash_.clear();
+  return true;
+}
+
+}  // namespace sacha::attest

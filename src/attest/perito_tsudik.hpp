@@ -1,0 +1,67 @@
+// Perito-Tsudik proofs of secure erasure / secure code update [1]
+// (ESORICS'10) on the bounded-memory MCU — the scheme that inspired SACHa.
+//
+// The verifier sends firmware plus enough verifier-chosen randomness to
+// fill the device's *entire* memory; because nothing else fits, returning
+// the correct MAC over the whole memory proves any prior code is gone. The
+// same run doubles as a secure code update: afterwards the device runs
+// exactly the shipped firmware.
+//
+// The adversary knob `hidden_memory_bytes` models a device that secretly
+// has more RAM than the verifier believes — the assumption whose violation
+// breaks the scheme; the tests and bench_baselines quantify that cliff.
+#pragma once
+
+#include "attest/mcu.hpp"
+#include "crypto/prg.hpp"
+#include "sim/time.hpp"
+
+namespace sacha::attest {
+
+struct PoseReport {
+  bool attested = false;
+  std::uint64_t bytes_sent = 0;
+  sim::SimDuration wire_time = 0;  // at GbE byte rate, for scale comparison
+  std::string detail;
+};
+
+class PoseVerifier {
+ public:
+  PoseVerifier(crypto::AesKey key, std::size_t believed_memory_size);
+
+  /// Runs one secure code update + proof of erasure: fills the device with
+  /// `firmware` followed by session randomness, requests the checksum and
+  /// compares against the locally computed expectation.
+  PoseReport attest(BoundedMemoryMcu& device, ByteSpan firmware,
+                    std::uint64_t session_seed);
+
+ private:
+  crypto::AesKey key_;
+  std::size_t believed_size_;
+};
+
+/// A dishonest MCU wrapper that stashes `stash_size` bytes of prior content
+/// into hidden memory before the fill and restores it afterwards. With
+/// hidden memory < stash size the restore is impossible (bounded-memory
+/// argument); with enough hidden memory the attack succeeds — which is why
+/// the scheme's security rests entirely on knowing the true memory size.
+class HidingMcu {
+ public:
+  HidingMcu(BoundedMemoryMcu& device, std::size_t hidden_memory_bytes);
+
+  /// Attempts to preserve [offset, offset+size) across an attestation run.
+  /// Returns true if the stash fits in hidden memory.
+  bool stash(std::size_t offset, std::size_t size);
+
+  /// Restores the stash after attestation. Returns true when a stash was
+  /// active and has been written back.
+  bool restore();
+
+ private:
+  BoundedMemoryMcu& device_;
+  std::size_t hidden_capacity_;
+  std::size_t stash_offset_ = 0;
+  Bytes stash_;
+};
+
+}  // namespace sacha::attest

@@ -1,0 +1,61 @@
+#include "attest/smart.hpp"
+
+#include "crypto/ct.hpp"
+
+namespace sacha::attest {
+
+SmartMcu::SmartMcu(std::size_t app_memory_size, const crypto::AesKey& key)
+    : app_memory_(app_memory_size, 0), key_(key) {}
+
+bool SmartMcu::write_app(std::size_t offset, ByteSpan data) {
+  if (offset + data.size() > app_memory_.size()) return false;
+  std::copy(data.begin(), data.end(),
+            app_memory_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return true;
+}
+
+Result<crypto::AesKey> SmartMcu::read_key(ExecutionContext context) const {
+  if (context != ExecutionContext::kRomAttest) {
+    return Result<crypto::AesKey>::error(
+        "MPU violation: attestation key is readable only from the ROM routine");
+  }
+  return key_;
+}
+
+crypto::Mac SmartMcu::mac_over_memory(const crypto::AesKey& key,
+                                      std::uint64_t nonce) const {
+  crypto::Cmac cmac(key);
+  Bytes nonce_bytes;
+  put_u64be(nonce_bytes, nonce);
+  cmac.update(nonce_bytes);
+  cmac.update(app_memory_);
+  return cmac.finalize();
+}
+
+crypto::Mac SmartMcu::rom_attest(std::uint64_t nonce) const {
+  // Executing inside ROM: the key read is authorised by the MPU.
+  const auto key = read_key(ExecutionContext::kRomAttest);
+  return mac_over_memory(key.value(), nonce);
+}
+
+Result<crypto::Mac> SmartMcu::forge_from_application(
+    std::uint64_t nonce) const {
+  auto key = read_key(ExecutionContext::kApplication);
+  if (!key.ok()) return Result<crypto::Mac>::error(key.message());
+  return mac_over_memory(key.value(), nonce);  // unreachable by design
+}
+
+SmartVerifier::SmartVerifier(crypto::AesKey key, Bytes expected_app_memory)
+    : key_(key), expected_(std::move(expected_app_memory)) {}
+
+bool SmartVerifier::verify(std::uint64_t nonce,
+                           const crypto::Mac& response) const {
+  crypto::Cmac cmac(key_);
+  Bytes nonce_bytes;
+  put_u64be(nonce_bytes, nonce);
+  cmac.update(nonce_bytes);
+  cmac.update(expected_);
+  return crypto::ct_equal(cmac.finalize(), response);
+}
+
+}  // namespace sacha::attest

@@ -1,0 +1,67 @@
+// SMART-style hybrid attestation (El Defrawy et al., NDSS'12) — the §4.2
+// scheme family: software/hardware co-design where minimal hardware
+// (a ROM region + an access-controlled key) fixes software-only
+// attestation's key-extraction flaw.
+//
+// The model: a bounded-memory MCU whose attestation routine lives in
+// immutable ROM, with the attestation key readable *only while execution
+// is inside that ROM* (the SMART MPU rule). Application code — including
+// malware — can corrupt application memory at will but can neither modify
+// the routine nor read the key. Attestation = MAC_K(nonce || app memory),
+// computed by the ROM routine. Contrast experiments: a software-only
+// scheme stores the key in ordinary memory, where a compromised
+// application reads it and forges responses.
+#pragma once
+
+#include "attest/mcu.hpp"
+#include "common/result.hpp"
+
+namespace sacha::attest {
+
+enum class ExecutionContext : std::uint8_t {
+  kApplication,  // normal (possibly compromised) code
+  kRomAttest,    // the immutable attestation routine
+};
+
+class SmartMcu {
+ public:
+  SmartMcu(std::size_t app_memory_size, const crypto::AesKey& key);
+
+  std::size_t app_memory_size() const { return app_memory_.size(); }
+
+  /// Application-context memory access (what malware can do freely).
+  bool write_app(std::size_t offset, ByteSpan data);
+  const Bytes& app_memory() const { return app_memory_; }
+
+  /// The SMART MPU rule: the key is readable only from ROM context.
+  Result<crypto::AesKey> read_key(ExecutionContext context) const;
+
+  /// The ROM attestation routine: executes in kRomAttest context, so its
+  /// key access succeeds; returns MAC_K(nonce || app memory).
+  crypto::Mac rom_attest(std::uint64_t nonce) const;
+
+  /// What compromised application code can attempt: compute the response
+  /// itself. Fails at the key read — the scheme's central guarantee.
+  Result<crypto::Mac> forge_from_application(std::uint64_t nonce) const;
+
+ private:
+  crypto::Mac mac_over_memory(const crypto::AesKey& key,
+                              std::uint64_t nonce) const;
+
+  Bytes app_memory_;
+  crypto::AesKey key_;  // hardware-guarded: see read_key()
+};
+
+/// Verifier for the SMART scheme (knows key and expected app memory).
+class SmartVerifier {
+ public:
+  SmartVerifier(crypto::AesKey key, Bytes expected_app_memory);
+
+  bool verify(std::uint64_t nonce, const crypto::Mac& response) const;
+
+ private:
+  crypto::AesKey key_;
+  Bytes expected_;
+};
+
+}  // namespace sacha::attest

@@ -1,0 +1,96 @@
+#include "attest/swatt.hpp"
+
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace sacha::attest {
+
+namespace {
+
+/// The shared walk: visits `iterations` pseudo-random addresses, folding
+/// (address, byte) pairs into a running SHA-256. `read` maps address ->
+/// (byte, extra_cycles).
+template <typename ReadFn>
+SwattDevice::Answer walk(std::size_t memory_size, const SwattConfig& config,
+                         std::uint64_t challenge, ReadFn read) {
+  SwattDevice::Answer answer;
+  Rng rng(challenge ^ 0x535741545400ULL);  // "SWATT"
+  crypto::Sha256 hash;
+  Bytes step(9);
+  for (std::uint32_t i = 0; i < config.iterations; ++i) {
+    const auto address = static_cast<std::size_t>(rng.below(memory_size));
+    const auto [byte, extra] = read(address);
+    step[0] = byte;
+    step[1] = static_cast<std::uint8_t>(address >> 24);
+    step[2] = static_cast<std::uint8_t>(address >> 16);
+    step[3] = static_cast<std::uint8_t>(address >> 8);
+    step[4] = static_cast<std::uint8_t>(address);
+    step[5] = static_cast<std::uint8_t>(i >> 24);
+    step[6] = static_cast<std::uint8_t>(i >> 16);
+    step[7] = static_cast<std::uint8_t>(i >> 8);
+    step[8] = static_cast<std::uint8_t>(i);
+    hash.update(step);
+    answer.cycles += config.cycles_per_access + extra;
+  }
+  answer.checksum = hash.finalize();
+  answer.time = answer.cycles * (1'000 / config.clock_mhz);
+  return answer;
+}
+
+}  // namespace
+
+SwattDevice::SwattDevice(Bytes memory, SwattConfig config)
+    : memory_(std::move(memory)), config_(config) {
+  assert(!memory_.empty());
+  assert(1'000 % config_.clock_mhz == 0);
+}
+
+void SwattDevice::compromise(std::size_t offset, ByteSpan malware,
+                             bool redirect) {
+  assert(offset + malware.size() <= memory_.size());
+  if (redirect) {
+    pristine_ = memory_;
+    redirected_ = true;
+    reloc_from_ = offset;
+    reloc_size_ = malware.size();
+  }
+  std::copy(malware.begin(), malware.end(),
+            memory_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+SwattDevice::Answer SwattDevice::respond(std::uint64_t challenge) const {
+  return walk(memory_.size(), config_, challenge,
+              [this](std::size_t address) -> std::pair<std::uint8_t, std::uint32_t> {
+                if (redirected_ && address >= reloc_from_ &&
+                    address < reloc_from_ + reloc_size_) {
+                  return {pristine_[address], config_.redirect_overhead};
+                }
+                return {memory_[address], 0};
+              });
+}
+
+SwattVerifier::SwattVerifier(Bytes golden_memory, SwattConfig config)
+    : golden_(std::move(golden_memory)), config_(config) {}
+
+SwattVerdict SwattVerifier::attest(const SwattDevice& device,
+                                   std::uint64_t challenge, double time_slack,
+                                   sim::SimDuration network_jitter) const {
+  // Expected checksum and honest-time bound from the golden memory image.
+  const SwattDevice::Answer expected =
+      walk(golden_.size(), config_, challenge,
+           [this](std::size_t address) -> std::pair<std::uint8_t, std::uint32_t> {
+             return {golden_[address], 0};
+           });
+
+  const SwattDevice::Answer answer = device.respond(challenge);
+  SwattVerdict verdict;
+  verdict.measured = answer.time + network_jitter;
+  verdict.bound = static_cast<sim::SimDuration>(
+      static_cast<double>(expected.time) * (1.0 + time_slack));
+  verdict.checksum_ok = answer.checksum == expected.checksum;
+  verdict.time_ok = verdict.measured <= verdict.bound;
+  return verdict;
+}
+
+}  // namespace sacha::attest

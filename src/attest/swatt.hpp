@@ -1,0 +1,85 @@
+// SWATT-style software-based attestation (Seshadri et al., S&P'04) — the
+// timing-based baseline from the paper's related work (§4.1).
+//
+// The verifier seeds a pseudo-random walk over the device's memory; the
+// device folds the visited bytes into a checksum. A compromised device that
+// relocated the genuine code must redirect every memory access, which costs
+// extra cycles per access; the verifier accepts only responses that are both
+// correct and fast. The model exposes the scheme's two failure axes:
+// insufficient iterations (walk misses the malware) and loose time bounds
+// (redirection fits under the threshold) — §4.1's "strict timing
+// constraints ... unfeasible over a network" critique becomes measurable
+// when channel jitter exceeds the redirection overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "sim/time.hpp"
+
+namespace sacha::attest {
+
+struct SwattConfig {
+  std::uint32_t iterations = 4'096;      // memory accesses per challenge
+  std::uint32_t cycles_per_access = 6;   // honest inner-loop cost
+  std::uint32_t redirect_overhead = 3;   // extra cycles when redirecting
+  std::uint32_t clock_mhz = 100;
+};
+
+/// The device side: memory plus an optional relocation of a compromised
+/// region. When `redirected` is set, accesses to [reloc_from, reloc_from +
+/// reloc_size) are served from a pristine copy at the cost of
+/// `redirect_overhead` extra cycles each.
+class SwattDevice {
+ public:
+  SwattDevice(Bytes memory, SwattConfig config = {});
+
+  /// Compromises the region and keeps a pristine copy to serve redirected
+  /// reads from (the classic SWATT adversary).
+  void compromise(std::size_t offset, ByteSpan malware, bool redirect);
+
+  struct Answer {
+    crypto::Sha256Digest checksum{};
+    std::uint64_t cycles = 0;
+    sim::SimDuration time = 0;
+  };
+  /// Executes the pseudo-random walk for a challenge seed.
+  Answer respond(std::uint64_t challenge) const;
+
+  const Bytes& memory() const { return memory_; }
+
+ private:
+  Bytes memory_;
+  Bytes pristine_;  // pre-compromise copy for redirection
+  SwattConfig config_;
+  bool redirected_ = false;
+  std::size_t reloc_from_ = 0;
+  std::size_t reloc_size_ = 0;
+};
+
+struct SwattVerdict {
+  bool checksum_ok = false;
+  bool time_ok = false;
+  bool ok() const { return checksum_ok && time_ok; }
+  sim::SimDuration measured = 0;
+  sim::SimDuration bound = 0;
+};
+
+class SwattVerifier {
+ public:
+  SwattVerifier(Bytes golden_memory, SwattConfig config = {});
+
+  /// `time_slack` loosens the acceptance bound above the honest time;
+  /// `network_jitter` is added to the measured time (the over-a-network
+  /// deployment problem).
+  SwattVerdict attest(const SwattDevice& device, std::uint64_t challenge,
+                      double time_slack = 0.05,
+                      sim::SimDuration network_jitter = 0) const;
+
+ private:
+  Bytes golden_;
+  SwattConfig config_;
+};
+
+}  // namespace sacha::attest

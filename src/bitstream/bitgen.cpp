@@ -1,0 +1,105 @@
+#include "bitstream/bitgen.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace sacha::bitstream {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+FrameMask architectural_mask(const fabric::DeviceModel& device,
+                             std::uint32_t frame_index, double density) {
+  const std::uint32_t words = device.geometry().words_per_frame();
+  const std::uint32_t frame_bits = words * 32;
+  const auto register_bits =
+      static_cast<std::uint32_t>(std::lround(density * frame_bits));
+  FrameMask mask(words, 0xffffffff);
+  Rng rng(fnv1a(device.name()) ^ 0x5ca1ab1edeadbeefULL ^
+          (static_cast<std::uint64_t>(frame_index) << 17));
+  for (std::uint32_t b = 0; b < register_bits; ++b) {
+    mask.set_bit(static_cast<std::uint32_t>(rng.below(frame_bits)), false);
+  }
+  return mask;
+}
+
+BitGen::BitGen(const fabric::DeviceModel& device) : device_(device) {}
+
+ConfigImage BitGen::generate(const fabric::FrameRange& range,
+                             const DesignSpec& spec) const {
+  const std::uint32_t words = device_.geometry().words_per_frame();
+  ConfigImage image;
+  image.frames.reserve(range.count);
+  image.masks.reserve(range.count);
+  const std::uint64_t design_hash =
+      fnv1a(spec.name) ^ (spec.seed * 0x9e3779b97f4a7c15ULL);
+  for (std::uint32_t i = 0; i < range.count; ++i) {
+    const std::uint32_t frame_index = range.first + i;
+    Rng rng(design_hash ^ (static_cast<std::uint64_t>(frame_index) << 1 | 1));
+    Frame frame(words);
+    for (std::uint32_t w = 0; w < words; ++w) {
+      frame.set_word(w, static_cast<std::uint32_t>(rng.next_u64()));
+    }
+    image.frames.push_back(std::move(frame));
+    // The mask is architectural: flip-flop positions do not move with the
+    // design, so the verifier's Msk and the device's readback merge agree.
+    image.masks.push_back(architectural_mask(device_, frame_index));
+  }
+  return image;
+}
+
+ConfigImage BitGen::nonce_frame(std::uint64_t nonce) const {
+  const std::uint32_t words = device_.geometry().words_per_frame();
+  assert(words >= 2);
+  Frame frame(words);
+  frame.set_word(0, static_cast<std::uint32_t>(nonce >> 32));
+  frame.set_word(1, static_cast<std::uint32_t>(nonce));
+  ConfigImage image;
+  image.frames.push_back(std::move(frame));
+  image.masks.emplace_back(words, 0xffffffff);
+  return image;
+}
+
+std::vector<std::uint32_t> BitGen::assemble(const ConfigImage& image,
+                                            std::uint32_t first_frame,
+                                            std::uint32_t idcode) const {
+  PacketWriter writer;
+  writer.sync();
+  writer.noop();
+  writer.write_idcode(idcode);
+  writer.cmd(CmdOp::kWcfg);
+  writer.write_far(device_.geometry().address_of(first_frame));
+  std::vector<std::uint32_t> payload;
+  payload.reserve(image.frames.size() * device_.geometry().words_per_frame());
+  for (const Frame& frame : image.frames) {
+    payload.insert(payload.end(), frame.words().begin(), frame.words().end());
+  }
+  writer.write_frames(payload);
+  writer.crc(stream_crc(payload));
+  writer.cmd(CmdOp::kDesync);
+  writer.noop();
+  return writer.words();
+}
+
+std::vector<std::uint32_t> BitGen::assemble_single_frame(
+    const Frame& frame, std::uint32_t frame_index, std::uint32_t idcode) const {
+  assert(frame.size() == device_.geometry().words_per_frame());
+  PacketWriter writer;
+  writer.sync();
+  writer.write_idcode(idcode);
+  writer.cmd(CmdOp::kWcfg);
+  writer.write_far(device_.geometry().address_of(frame_index));
+  writer.write_frames(frame.words());
+  writer.cmd(CmdOp::kDesync);
+  return writer.words();
+}
+
+}  // namespace sacha::bitstream

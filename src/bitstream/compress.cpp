@@ -1,0 +1,165 @@
+#include "bitstream/compress.hpp"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace sacha::bitstream {
+
+namespace {
+constexpr std::size_t kWindow = 64 * 1024;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kMaxLiteralRun = 255;
+constexpr std::uint8_t kLiteralTag = 0x00;
+constexpr std::uint8_t kMatchTag = 0x01;
+
+/// 3-byte hash chaining for match search.
+std::uint32_t hash3(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 16 ^
+          static_cast<std::uint32_t>(p[1]) << 8 ^ p[2]) *
+             2654435761u >>
+         18;
+}
+}  // namespace
+
+Bytes lz_compress(ByteSpan data) {
+  Bytes out;
+  out.reserve(data.size() / 2 + 16);
+  put_u32be(out, static_cast<std::uint32_t>(data.size()));
+
+  std::vector<std::int64_t> head(1u << 14, -1);
+  std::vector<std::int64_t> prev(data.size(), -1);
+
+  Bytes literals;
+  const auto flush_literals = [&] {
+    std::size_t pos = 0;
+    while (pos < literals.size()) {
+      const std::size_t run = std::min(kMaxLiteralRun, literals.size() - pos);
+      out.push_back(kLiteralTag);
+      out.push_back(static_cast<std::uint8_t>(run));
+      out.insert(out.end(), literals.begin() + static_cast<std::ptrdiff_t>(pos),
+                 literals.begin() + static_cast<std::ptrdiff_t>(pos + run));
+      pos += run;
+    }
+    literals.clear();
+  };
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= data.size()) {
+      const std::uint32_t h = hash3(&data[i]);
+      std::int64_t candidate = head[h];
+      int probes = 16;
+      while (candidate >= 0 && probes-- > 0 &&
+             i - static_cast<std::size_t>(candidate) <= kWindow) {
+        const auto c = static_cast<std::size_t>(candidate);
+        std::size_t len = 0;
+        const std::size_t limit = std::min(kMaxMatch, data.size() - i);
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+        }
+        candidate = prev[c];
+      }
+      // Insert into the chain.
+      prev[i] = head[h];
+      head[h] = static_cast<std::int64_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals();
+      out.push_back(kMatchTag);
+      out.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      put_u16be(out, static_cast<std::uint16_t>(best_dist));
+      // Insert skipped positions into the chain so later matches see them.
+      for (std::size_t k = 1; k < best_len && i + k + 2 < data.size(); ++k) {
+        const std::uint32_t h = hash3(&data[i + k]);
+        prev[i + k] = head[h];
+        head[h] = static_cast<std::int64_t>(i + k);
+      }
+      i += best_len;
+    } else {
+      literals.push_back(data[i]);
+      ++i;
+    }
+  }
+  flush_literals();
+  return out;
+}
+
+Result<Bytes> lz_decompress(ByteSpan compressed) {
+  using R = Result<Bytes>;
+  if (compressed.size() < 4) return R::error("truncated header");
+  const std::uint32_t original = get_u32be(compressed, 0);
+  Bytes out;
+  out.reserve(original);
+  std::size_t i = 4;
+  while (i < compressed.size()) {
+    const std::uint8_t tag = compressed[i++];
+    if (tag == kLiteralTag) {
+      if (i >= compressed.size()) return R::error("truncated literal run");
+      const std::size_t run = compressed[i++];
+      if (i + run > compressed.size()) return R::error("literal overruns input");
+      out.insert(out.end(), compressed.begin() + static_cast<std::ptrdiff_t>(i),
+                 compressed.begin() + static_cast<std::ptrdiff_t>(i + run));
+      i += run;
+    } else if (tag == kMatchTag) {
+      if (i + 3 > compressed.size()) return R::error("truncated match token");
+      const std::size_t len = kMinMatch + compressed[i];
+      const std::size_t dist = get_u16be(compressed, i + 1);
+      i += 3;
+      if (dist == 0 || dist > out.size()) return R::error("bad match distance");
+      for (std::size_t k = 0; k < len; ++k) {
+        out.push_back(out[out.size() - dist]);
+      }
+    } else {
+      return R::error("unknown token tag");
+    }
+    if (out.size() > original) return R::error("output exceeds declared size");
+  }
+  if (out.size() != original) return R::error("size mismatch after decompress");
+  return out;
+}
+
+Bytes rle_compress(ByteSpan data) {
+  Bytes out;
+  put_u32be(out, static_cast<std::uint32_t>(data.size()));
+  std::size_t i = 0;
+  while (i < data.size()) {
+    std::size_t run = 1;
+    while (i + run < data.size() && run < 255 && data[i + run] == data[i]) {
+      ++run;
+    }
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(data[i]);
+    i += run;
+  }
+  return out;
+}
+
+Result<Bytes> rle_decompress(ByteSpan compressed) {
+  using R = Result<Bytes>;
+  if (compressed.size() < 4) return R::error("truncated header");
+  const std::uint32_t original = get_u32be(compressed, 0);
+  if ((compressed.size() - 4) % 2 != 0) return R::error("odd token stream");
+  Bytes out;
+  out.reserve(original);
+  for (std::size_t i = 4; i + 1 < compressed.size(); i += 2) {
+    const std::size_t run = compressed[i];
+    if (run == 0) return R::error("zero-length run");
+    out.insert(out.end(), run, compressed[i + 1]);
+    if (out.size() > original) return R::error("output exceeds declared size");
+  }
+  if (out.size() != original) return R::error("size mismatch after decompress");
+  return out;
+}
+
+double compression_ratio(std::size_t original, std::size_t compressed) {
+  if (original == 0) return 1.0;
+  return static_cast<double>(compressed) / static_cast<double>(original);
+}
+
+}  // namespace sacha::bitstream

@@ -1,0 +1,32 @@
+// Bitstream compression.
+//
+// The bounded-memory argument leans on [24] ("A single-chip solution for
+// the secure remote configuration of FPGAs using bitstream compression"):
+// even *compressed*, a bitstream covering a large partition does not fit
+// in the fabric's BRAM. This module makes that claim testable: an LZ77-
+// style compressor (from scratch — window search, length-distance tokens,
+// literal runs) plus a trivial RLE baseline, both exact-roundtrip. The
+// compression bench measures ratios on synthetic application bitstreams
+// (high entropy, like routed designs) versus pathological all-zero input,
+// and re-checks the BRAM bound under the best ratio an adversary could
+// hope for.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace sacha::bitstream {
+
+/// LZ77 with a 64 KiB window and 3..258-byte matches.
+/// Token stream: [0x00 len8 lit...] literal run | [0x01 len8 dist16] match.
+Bytes lz_compress(ByteSpan data);
+Result<Bytes> lz_decompress(ByteSpan compressed);
+
+/// Byte-level run-length encoding: [count8 byte] pairs.
+Bytes rle_compress(ByteSpan data);
+Result<Bytes> rle_decompress(ByteSpan compressed);
+
+/// compressed size / original size (1.0 = incompressible, smaller = better).
+double compression_ratio(std::size_t original, std::size_t compressed);
+
+}  // namespace sacha::bitstream

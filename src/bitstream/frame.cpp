@@ -1,0 +1,60 @@
+#include "bitstream/frame.hpp"
+
+#include <cassert>
+
+namespace sacha::bitstream {
+
+Bytes Frame::to_bytes() const {
+  Bytes out;
+  out.reserve(words_.size() * 4);
+  for (std::uint32_t w : words_) put_u32be(out, w);
+  return out;
+}
+
+Frame Frame::from_bytes(ByteSpan data) {
+  assert(data.size() % 4 == 0);
+  std::vector<std::uint32_t> words(data.size() / 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = get_u32be(data, i * 4);
+  }
+  return Frame(std::move(words));
+}
+
+void Frame::flip_bit(std::uint32_t bit) {
+  assert(bit < bit_count());
+  words_[bit / 32] ^= (1u << (bit % 32));
+}
+
+bool Frame::get_bit(std::uint32_t bit) const {
+  assert(bit < bit_count());
+  return (words_[bit / 32] >> (bit % 32)) & 1u;
+}
+
+void Frame::set_bit(std::uint32_t bit, bool value) {
+  assert(bit < bit_count());
+  const std::uint32_t mask = 1u << (bit % 32);
+  if (value) {
+    words_[bit / 32] |= mask;
+  } else {
+    words_[bit / 32] &= ~mask;
+  }
+}
+
+Frame apply_mask(const Frame& frame, const FrameMask& mask) {
+  assert(frame.size() == mask.size());
+  Frame out = frame;
+  for (std::uint32_t i = 0; i < out.size(); ++i) {
+    out.set_word(i, out.word(i) & mask.word(i));
+  }
+  return out;
+}
+
+bool masked_equal(const Frame& a, const Frame& b, const FrameMask& mask) {
+  assert(a.size() == b.size() && a.size() == mask.size());
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    if ((a.word(i) & mask.word(i)) != (b.word(i) & mask.word(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace sacha::bitstream

@@ -1,0 +1,67 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace sacha {
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : bytes_((nbits + 7) / 8, value ? 0xff : 0x00), nbits_(nbits) {
+  if (value && nbits_ % 8 != 0) {
+    // Keep the invariant that bits beyond size() are zero.
+    bytes_.back() = static_cast<std::uint8_t>(0xff >> (8 - nbits_ % 8));
+  }
+}
+
+BitVec BitVec::from_bytes(ByteSpan packed, std::size_t nbits) {
+  assert(packed.size() >= (nbits + 7) / 8);
+  BitVec v(nbits);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if ((packed[i / 8] >> (i % 8)) & 1) v.set(i, true);
+  }
+  return v;
+}
+
+bool BitVec::get(std::size_t i) const {
+  assert(i < nbits_);
+  return (bytes_[i / 8] >> (i % 8)) & 1;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  assert(i < nbits_);
+  const std::uint8_t mask = static_cast<std::uint8_t>(1u << (i % 8));
+  if (value) {
+    bytes_[i / 8] |= mask;
+  } else {
+    bytes_[i / 8] &= static_cast<std::uint8_t>(~mask);
+  }
+}
+
+void BitVec::flip(std::size_t i) { set(i, !get(i)); }
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : bytes_) n += static_cast<std::size_t>(std::popcount(b));
+  return n;
+}
+
+std::size_t BitVec::hamming(const BitVec& other) const {
+  assert(nbits_ == other.nbits_);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    n += static_cast<std::size_t>(
+        std::popcount(static_cast<std::uint8_t>(bytes_[i] ^ other.bytes_[i])));
+  }
+  return n;
+}
+
+BitVec BitVec::operator^(const BitVec& other) const {
+  assert(nbits_ == other.nbits_);
+  BitVec out(nbits_);
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    out.bytes_[i] = bytes_[i] ^ other.bytes_[i];
+  }
+  return out;
+}
+
+}  // namespace sacha

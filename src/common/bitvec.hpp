@@ -1,0 +1,48 @@
+// Compact bit vector used by the PUF model (cell arrays), the bitstream mask
+// (Msk covers individual register bits inside frames) and the fuzzy
+// extractor. std::vector<bool> is avoided on purpose: we need stable byte
+// access for hashing and wire transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sacha {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  /// Wraps bits packed LSB-first into bytes; `nbits` may trim the last byte.
+  static BitVec from_bytes(ByteSpan packed, std::size_t nbits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool value);
+  void flip(std::size_t i);
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// Hamming distance; both vectors must have equal size.
+  std::size_t hamming(const BitVec& other) const;
+
+  /// XOR with an equal-sized vector.
+  BitVec operator^(const BitVec& other) const;
+
+  bool operator==(const BitVec& other) const = default;
+
+  /// Bits packed LSB-first; unused bits of the final byte are zero.
+  const Bytes& bytes() const { return bytes_; }
+
+ private:
+  Bytes bytes_;
+  std::size_t nbits_ = 0;
+};
+
+}  // namespace sacha

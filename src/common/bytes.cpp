@@ -1,0 +1,96 @@
+#include "common/bytes.hpp"
+
+#include <cassert>
+
+namespace sacha {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+void put_u16be(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64be(Bytes& out, std::uint64_t v) {
+  put_u32be(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32be(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16be(ByteSpan in, std::size_t offset) {
+  assert(offset + 2 <= in.size());
+  return static_cast<std::uint16_t>((in[offset] << 8) | in[offset + 1]);
+}
+
+std::uint32_t get_u32be(ByteSpan in, std::size_t offset) {
+  assert(offset + 4 <= in.size());
+  return (static_cast<std::uint32_t>(in[offset]) << 24) |
+         (static_cast<std::uint32_t>(in[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(in[offset + 3]);
+}
+
+std::uint64_t get_u64be(ByteSpan in, std::size_t offset) {
+  return (static_cast<std::uint64_t>(get_u32be(in, offset)) << 32) |
+         get_u32be(in, offset + 4);
+}
+
+void xor_into(std::span<std::uint8_t> a, ByteSpan b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+
+Bytes xor_bytes(ByteSpan a, ByteSpan b) {
+  assert(a.size() == b.size());
+  Bytes out(a.begin(), a.end());
+  xor_into(out, b);
+  return out;
+}
+
+void append(Bytes& head, ByteSpan tail) {
+  head.insert(head.end(), tail.begin(), tail.end());
+}
+
+}  // namespace sacha

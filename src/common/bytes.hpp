@@ -1,0 +1,52 @@
+// Byte-buffer utilities shared by every SACHa module.
+//
+// The wire protocol, the bitstream codec and the crypto layer all operate on
+// flat byte buffers; this header centralises the (de)serialisation helpers so
+// endianness decisions live in exactly one place. All multi-byte integers on
+// the SACHa wire and in the synthetic bitstream format are big-endian, which
+// matches both network order and the Xilinx configuration packet convention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sacha {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of a byte buffer ("" for empty input).
+std::string to_hex(ByteSpan data);
+
+/// Parses lowercase/uppercase hex; returns nullopt on odd length or a
+/// non-hex character. Whitespace is not accepted: callers strip it.
+std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Copies the raw characters of a string into a byte buffer (no encoding).
+Bytes bytes_of(std::string_view text);
+
+// -- Big-endian integer packing -------------------------------------------
+
+void put_u16be(Bytes& out, std::uint16_t v);
+void put_u32be(Bytes& out, std::uint32_t v);
+void put_u64be(Bytes& out, std::uint64_t v);
+
+std::uint16_t get_u16be(ByteSpan in, std::size_t offset);
+std::uint32_t get_u32be(ByteSpan in, std::size_t offset);
+std::uint64_t get_u64be(ByteSpan in, std::size_t offset);
+
+/// XORs `b` into `a` element-wise; the buffers must have equal size.
+void xor_into(std::span<std::uint8_t> a, ByteSpan b);
+
+/// Returns a ^ b for equal-sized buffers.
+Bytes xor_bytes(ByteSpan a, ByteSpan b);
+
+/// Appends `tail` to `head`.
+void append(Bytes& head, ByteSpan tail);
+
+}  // namespace sacha

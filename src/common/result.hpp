@@ -1,0 +1,70 @@
+// Minimal expected/outcome type used for fallible operations that should not
+// throw (packet parsing, protocol steps, fuzzy-extractor reproduction).
+//
+// We deliberately keep this simpler than std::expected (not available on the
+// toolchain floor we target): the error channel is always a human-readable
+// string, which is what the verifier logs and the tests assert on.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sacha {
+
+/// Error-or-nothing outcome for operations without a payload.
+class Status {
+ public:
+  Status() = default;  // success
+  static Status error(std::string message) { return Status(std::move(message)); }
+
+  bool ok() const { return !message_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Error text; empty string when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return message_ ? *message_ : kEmpty;
+  }
+
+ private:
+  explicit Status(std::string message) : message_(std::move(message)) {}
+  std::optional<std::string> message_;
+};
+
+/// Error-or-value outcome. `Result<T>` is either a T or an error string.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  static Result error(std::string message) { return Result(std::move(message), 0); }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : error_;
+  }
+
+ private:
+  Result(std::string message, int) : error_(std::move(message)) {}
+  std::optional<T> value_;
+  std::string error_;
+};
+
+}  // namespace sacha

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random source for simulations and tests.
+//
+// Everything stochastic in the repository (PUF cell noise, network jitter,
+// adversary choices, verifier readback permutations in tests) draws from this
+// xoshiro256** generator so that every experiment is reproducible from a
+// seed. Cryptographic randomness (nonces, keys) instead goes through
+// crypto::Prg, which is deterministic-from-seed as well but domain-separated
+// and AES-based.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sacha {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound must be > 0. Uses rejection sampling so the
+  /// distribution is exactly uniform.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  Bytes bytes(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// A random permutation of [0, n).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace sacha

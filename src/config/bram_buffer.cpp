@@ -1,0 +1,35 @@
+#include "config/bram_buffer.hpp"
+
+namespace sacha::config {
+
+bool BramBuffer::store(const std::string& key, Bytes data) {
+  std::uint64_t replaced = 0;
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    replaced = it->second.size();
+  }
+  if (used_ - replaced + data.size() > capacity_) return false;
+  used_ = used_ - replaced + data.size();
+  entries_[key] = std::move(data);
+  return true;
+}
+
+std::optional<Bytes> BramBuffer::load(const std::string& key) const {
+  if (auto it = entries_.find(key); it != entries_.end()) return it->second;
+  return std::nullopt;
+}
+
+bool BramBuffer::erase(const std::string& key) {
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    used_ -= it->second.size();
+    entries_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+void BramBuffer::clear() {
+  entries_.clear();
+  used_ = 0;
+}
+
+}  // namespace sacha::config

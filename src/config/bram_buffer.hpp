@@ -1,0 +1,44 @@
+// Bounded on-fabric staging memory.
+//
+// The bounded-memory argument at the heart of SACHa: the fabric's BRAM is
+// far too small to stash the partial bitstream while pretending to accept
+// it (§5.2, [24]). This class models any BRAM-backed staging buffer — the
+// static partition's one-frame command buffer as well as an adversary's
+// hypothetical save/restore buffer — with a hard capacity check. The
+// BramStagingAttack fails precisely because store() refuses data larger
+// than the remaining capacity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace sacha::config {
+
+class BramBuffer {
+ public:
+  explicit BramBuffer(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free() const { return capacity_ - used_; }
+
+  /// Stores (or replaces) an entry; false if it would exceed capacity, in
+  /// which case nothing changes.
+  bool store(const std::string& key, Bytes data);
+
+  std::optional<Bytes> load(const std::string& key) const;
+  bool erase(const std::string& key);
+  void clear();
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::map<std::string, Bytes> entries_;
+};
+
+}  // namespace sacha::config

@@ -1,0 +1,81 @@
+#include "config/config_memory.hpp"
+
+#include <cassert>
+
+#include "bitstream/bitgen.hpp"
+
+namespace sacha::config {
+
+using bitstream::architectural_mask;
+
+ConfigMemory::ConfigMemory(const fabric::DeviceModel& device)
+    : device_(device) {
+  const std::uint32_t n = device_.total_frames();
+  const std::uint32_t words = device_.geometry().words_per_frame();
+  config_.assign(n, bitstream::Frame(words));
+  registers_.assign(n, bitstream::Frame(words));
+  masks_.reserve(n);
+  register_positions_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    masks_.push_back(architectural_mask(device_, i));
+    const bitstream::FrameMask& msk = masks_.back();
+    for (std::uint32_t b = 0; b < msk.bit_count(); ++b) {
+      if (!msk.get_bit(b)) register_positions_[i].push_back(b);
+    }
+  }
+}
+
+void ConfigMemory::write_frame(std::uint32_t index,
+                               const bitstream::Frame& frame) {
+  assert(index < config_.size());
+  assert(frame.size() == words_per_frame());
+  config_[index] = frame;
+  registers_[index] = frame;  // FFs come up in their INIT state
+}
+
+void ConfigMemory::write_frame_preserving_registers(
+    std::uint32_t index, const bitstream::Frame& frame) {
+  assert(index < config_.size());
+  assert(frame.size() == words_per_frame());
+  config_[index] = frame;
+}
+
+const bitstream::Frame& ConfigMemory::config_frame(std::uint32_t index) const {
+  assert(index < config_.size());
+  return config_[index];
+}
+
+bitstream::Frame ConfigMemory::readback_frame(std::uint32_t index) const {
+  assert(index < config_.size());
+  const bitstream::Frame& cfg = config_[index];
+  const bitstream::Frame& reg = registers_[index];
+  const bitstream::FrameMask& msk = masks_[index];
+  bitstream::Frame out(words_per_frame());
+  for (std::uint32_t w = 0; w < out.size(); ++w) {
+    out.set_word(w, (cfg.word(w) & msk.word(w)) | (reg.word(w) & ~msk.word(w)));
+  }
+  return out;
+}
+
+const bitstream::FrameMask& ConfigMemory::mask(std::uint32_t index) const {
+  assert(index < masks_.size());
+  return masks_[index];
+}
+
+void ConfigMemory::tick_registers(Rng& rng, double flip_probability) {
+  if (flip_probability <= 0.0) return;
+  for (std::uint32_t f = 0; f < registers_.size(); ++f) {
+    bitstream::Frame& reg = registers_[f];
+    for (std::uint32_t b : register_positions_[f]) {
+      if (rng.chance(flip_probability)) reg.flip_bit(b);
+    }
+  }
+}
+
+void ConfigMemory::set_register_bit(std::uint32_t frame_index, std::uint32_t bit,
+                                    bool value) {
+  assert(frame_index < registers_.size());
+  registers_[frame_index].set_bit(bit, value);
+}
+
+}  // namespace sacha::config

@@ -1,0 +1,120 @@
+#include "config/icap.hpp"
+
+#include "bitstream/bitgen.hpp"
+#include "bitstream/packet.hpp"
+
+namespace sacha::config {
+
+namespace bs = sacha::bitstream;
+
+std::uint32_t device_idcode(const fabric::DeviceModel& device) {
+  if (device.name() == "XC6VLX240T") return bs::BitGen::kIdcodeXc6vlx240t;
+  return static_cast<std::uint32_t>(bs::fnv1a(device.name()));
+}
+
+Icap::Icap(ConfigMemory& memory, std::uint32_t idcode, IcapTiming timing)
+    : memory_(&memory), idcode_(idcode), timing_(timing) {}
+
+Result<std::vector<std::uint32_t>> Icap::execute(
+    std::span<const std::uint32_t> words) {
+  using R = Result<std::vector<std::uint32_t>>;
+  auto parsed = bs::parse_packets(words);
+  if (!parsed.ok()) return R::error("ICAP: " + parsed.message());
+
+  ++stats_.command_streams;
+  stats_.cycles +=
+      static_cast<std::uint64_t>(timing_.port_cycles_per_word) * words.size();
+
+  const std::uint32_t wpf = memory_->words_per_frame();
+  const std::uint32_t total = memory_->total_frames();
+  std::vector<std::uint32_t> output;
+  std::uint32_t crc_accum = 0;
+  std::vector<std::uint32_t> crc_window;  // payload words since last CRC check
+
+  for (const bs::ConfigOp& op : std::move(parsed).take()) {
+    if (std::holds_alternative<bs::OpSync>(op) ||
+        std::holds_alternative<bs::OpNoop>(op)) {
+      continue;
+    }
+    if (const auto* id = std::get_if<bs::OpWriteIdcode>(&op)) {
+      if (id->idcode != idcode_) {
+        return R::error("ICAP: IDCODE mismatch (bitstream for another device)");
+      }
+      continue;
+    }
+    if (const auto* far = std::get_if<bs::OpWriteFar>(&op)) {
+      if (!memory_->device().geometry().valid(far->address)) {
+        return R::error("ICAP: invalid FAR " + far->address.to_string());
+      }
+      far_index_ = memory_->device().geometry().linear_index(far->address);
+      continue;
+    }
+    if (const auto* cmd = std::get_if<bs::OpCmd>(&op)) {
+      switch (cmd->op) {
+        case bs::CmdOp::kWcfg: wcfg_ = true; rcfg_ = false; break;
+        case bs::CmdOp::kRcfg: rcfg_ = true; wcfg_ = false; break;
+        case bs::CmdOp::kDesync: wcfg_ = rcfg_ = false; break;
+        case bs::CmdOp::kNull: break;
+      }
+      continue;
+    }
+    if (const auto* wr = std::get_if<bs::OpWriteFrames>(&op)) {
+      if (!wcfg_) return R::error("ICAP: FDRI write without WCFG");
+      if (wr->words.size() % wpf != 0) {
+        return R::error("ICAP: FDRI payload not frame aligned (" +
+                        std::to_string(wr->words.size()) + " words)");
+      }
+      const auto frames = static_cast<std::uint32_t>(wr->words.size() / wpf);
+      if (far_index_ + frames > total) {
+        return R::error("ICAP: write past end of configuration memory");
+      }
+      for (std::uint32_t f = 0; f < frames; ++f) {
+        bs::Frame frame(std::vector<std::uint32_t>(
+            wr->words.begin() + static_cast<std::ptrdiff_t>(f) * wpf,
+            wr->words.begin() + static_cast<std::ptrdiff_t>(f + 1) * wpf));
+        memory_->write_frame(far_index_ + f, frame);
+      }
+      crc_window.insert(crc_window.end(), wr->words.begin(), wr->words.end());
+      far_index_ += frames;
+      stats_.frames_written += frames;
+      stats_.cycles +=
+          static_cast<std::uint64_t>(timing_.write_extra_per_word) * wr->words.size() +
+          static_cast<std::uint64_t>(timing_.frame_commit_cycles) * frames;
+      continue;
+    }
+    if (const auto* rd = std::get_if<bs::OpReadRequest>(&op)) {
+      if (!rcfg_) return R::error("ICAP: FDRO read without RCFG");
+      if (rd->word_count % wpf != 0) {
+        return R::error("ICAP: FDRO request not frame aligned");
+      }
+      const std::uint32_t frames = rd->word_count / wpf;
+      if (far_index_ + frames > total) {
+        return R::error("ICAP: read past end of configuration memory");
+      }
+      for (std::uint32_t f = 0; f < frames; ++f) {
+        const bs::Frame frame = memory_->readback_frame(far_index_ + f);
+        output.insert(output.end(), frame.words().begin(), frame.words().end());
+      }
+      far_index_ += frames;
+      stats_.frames_read += frames;
+      // Each read request pays the pipeline-flush penalty; the port then
+      // shifts out one pad frame plus the requested words, one cycle each.
+      stats_.cycles +=
+          timing_.readback_flush_cycles +
+          static_cast<std::uint64_t>(timing_.port_cycles_per_word) *
+              (rd->word_count + wpf);
+      continue;
+    }
+    if (const auto* crc = std::get_if<bs::OpCrc>(&op)) {
+      crc_accum = bs::stream_crc(crc_window);
+      if (crc->value != crc_accum) {
+        return R::error("ICAP: CRC mismatch");
+      }
+      crc_window.clear();
+      continue;
+    }
+  }
+  return output;
+}
+
+}  // namespace sacha::config

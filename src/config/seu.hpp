@@ -1,0 +1,73 @@
+// Single-Event Upsets and configuration scrubbing.
+//
+// §2.1.3 motivates configuration readback with the space-application use
+// case: radiation flips bits in the configuration memory, and readback
+// enables detection and correction. This module provides both halves:
+// SeuInjector models the fault process (uniform random bit flips across
+// the configuration layer), and Scrubber is the classic golden-image
+// readback scrubber — scan frames through the ICAP, masked-compare against
+// golden, rewrite corrupted frames. The attestation tests reuse the
+// injector to show that SACHa flags an upset device exactly like a
+// tampered one (the protocol cannot and should not distinguish fault from
+// malice).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "config/icap.hpp"
+#include "fabric/partition.hpp"
+
+namespace sacha::config {
+
+/// Location of an injected or detected upset.
+struct BitLocation {
+  std::uint32_t frame = 0;
+  std::uint32_t bit = 0;
+  bool operator==(const BitLocation&) const = default;
+};
+
+class SeuInjector {
+ public:
+  explicit SeuInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// Flips `count` uniformly random configuration bits (duplicates
+  /// possible, like real strikes). Returns the hit locations.
+  std::vector<BitLocation> inject(ConfigMemory& memory, std::uint32_t count);
+
+  /// Flips `count` bits restricted to configuration (mask-1) positions —
+  /// upsets guaranteed to be architecturally visible to readback compare.
+  std::vector<BitLocation> inject_config_bits(ConfigMemory& memory,
+                                              std::uint32_t count);
+
+ private:
+  Rng rng_;
+};
+
+/// Provides the golden frame for an index (the scrubber's reference).
+using GoldenProvider = std::function<const bitstream::Frame&(std::uint32_t)>;
+
+struct ScrubReport {
+  std::uint32_t frames_scanned = 0;
+  std::uint32_t frames_corrupted = 0;  // masked mismatch found
+  std::uint32_t frames_repaired = 0;   // rewritten with golden content
+  std::vector<std::uint32_t> corrupted_frames;
+  std::uint64_t icap_cycles = 0;  // cost of the pass
+};
+
+class Scrubber {
+ public:
+  /// `repair`: rewrite corrupted frames (detection-only when false).
+  Scrubber(Icap& icap, GoldenProvider golden, bool repair = true);
+
+  /// One scrub pass over a frame range.
+  ScrubReport scrub(fabric::FrameRange range);
+
+ private:
+  Icap& icap_;
+  GoldenProvider golden_;
+  bool repair_;
+};
+
+}  // namespace sacha::config

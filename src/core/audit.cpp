@@ -1,0 +1,60 @@
+#include "core/audit.hpp"
+
+namespace sacha::core {
+
+Bytes AuditEntry::canonical_bytes() const {
+  Bytes out;
+  put_u64be(out, sequence);
+  put_u16be(out, static_cast<std::uint16_t>(device_id.size()));
+  append(out, bytes_of(device_id));
+  put_u64be(out, nonce);
+  out.push_back(attested ? 1 : 0);
+  put_u16be(out, static_cast<std::uint16_t>(detail.size()));
+  append(out, bytes_of(detail));
+  put_u64be(out, session_time);
+  return out;
+}
+
+crypto::Sha256Digest AuditLog::chain(const AuditEntry& entry,
+                                     const crypto::Sha256Digest& previous) {
+  crypto::Sha256 hash;
+  hash.update(bytes_of("sacha-audit-v1"));
+  hash.update(previous);
+  hash.update(entry.canonical_bytes());
+  return hash.finalize();
+}
+
+const crypto::Sha256Digest& AuditLog::append(const std::string& device_id,
+                                             std::uint64_t nonce,
+                                             const AttestationReport& report) {
+  AuditEntry entry;
+  entry.sequence = entries_.size();
+  entry.device_id = device_id;
+  entry.nonce = nonce;
+  entry.attested = report.verdict.ok();
+  entry.detail = report.verdict.detail;
+  entry.session_time = report.total_time;
+  entry.chained_digest = chain(entry, head_);
+  head_ = entry.chained_digest;
+  entries_.push_back(std::move(entry));
+  return head_;
+}
+
+bool AuditLog::verify_chain() const {
+  crypto::Sha256Digest previous{};
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const AuditEntry& entry = entries_[i];
+    if (entry.sequence != i) return false;
+    if (chain(entry, previous) != entry.chained_digest) return false;
+    previous = entry.chained_digest;
+  }
+  return previous == head_;
+}
+
+std::size_t AuditLog::failures() const {
+  std::size_t n = 0;
+  for (const AuditEntry& entry : entries_) n += entry.attested ? 0 : 1;
+  return n;
+}
+
+}  // namespace sacha::core

@@ -1,0 +1,60 @@
+// Tamper-evident attestation audit log.
+//
+// Operational deployments attest fleets repeatedly; the verifier-side
+// record of who attested when (and who failed) becomes evidence worth
+// protecting in its own right. AuditLog hash-chains every entry — entry N's
+// digest covers entry N's content and entry N-1's digest — so truncation
+// or in-place modification of history is detectable from the head digest
+// alone, which can be countersigned or published.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sacha::core {
+
+struct AuditEntry {
+  std::uint64_t sequence = 0;
+  std::string device_id;
+  std::uint64_t nonce = 0;
+  bool attested = false;
+  std::string detail;
+  sim::SimDuration session_time = 0;
+  crypto::Sha256Digest chained_digest{};  // covers this entry + predecessor
+
+  /// Canonical byte encoding fed into the chain digest.
+  Bytes canonical_bytes() const;
+};
+
+class AuditLog {
+ public:
+  /// Appends a session outcome; returns the new head digest.
+  const crypto::Sha256Digest& append(const std::string& device_id,
+                                     std::uint64_t nonce,
+                                     const AttestationReport& report);
+
+  const std::vector<AuditEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Digest of the newest entry (all-zero when empty).
+  const crypto::Sha256Digest& head() const { return head_; }
+
+  /// Recomputes the whole chain; false if any entry was modified, removed
+  /// from the middle, or reordered.
+  bool verify_chain() const;
+
+  /// Number of failed sessions recorded.
+  std::size_t failures() const;
+
+ private:
+  static crypto::Sha256Digest chain(const AuditEntry& entry,
+                                    const crypto::Sha256Digest& previous);
+
+  std::vector<AuditEntry> entries_;
+  crypto::Sha256Digest head_{};
+};
+
+}  // namespace sacha::core

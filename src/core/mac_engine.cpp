@@ -1,0 +1,39 @@
+#include "core/mac_engine.hpp"
+
+#include <cassert>
+
+namespace sacha::core {
+
+MacEngine::MacEngine(const crypto::AesKey& key, MacTiming timing)
+    : cmac_(key), timing_(timing), tx_clock_(sim::tx_domain()) {}
+
+void MacEngine::rekey(const crypto::AesKey& key) {
+  assert(!started_);
+  cmac_ = crypto::Cmac(key);
+}
+
+sim::SimDuration MacEngine::init() {
+  cmac_.reset();
+  started_ = true;
+  return tx_clock_.cycles_to_time(timing_.init_cycles);
+}
+
+sim::SimDuration MacEngine::update(ByteSpan frame_bytes) {
+  assert(started_);
+  cmac_.update(frame_bytes);
+  return tx_clock_.cycles_to_time(timing_.update_cycles);
+}
+
+void MacEngine::abort() {
+  cmac_.reset();
+  started_ = false;
+}
+
+crypto::Mac MacEngine::finalize(sim::SimDuration& duration) {
+  assert(started_);
+  started_ = false;
+  duration = tx_clock_.cycles_to_time(timing_.finalize_cycles);
+  return cmac_.finalize();
+}
+
+}  // namespace sacha::core

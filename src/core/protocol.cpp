@@ -1,0 +1,100 @@
+#include "core/protocol.hpp"
+
+namespace sacha::core {
+
+Bytes Command::encode() const {
+  Bytes out;
+  const bool has_frame_nb = type == CommandType::kIcapReadback;
+  const std::size_t body =
+      (has_frame_nb ? 4 : 0) + stream.size() * 4;
+  out.reserve(4 + body);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(0);  // flags, reserved
+  put_u16be(out, static_cast<std::uint16_t>(body));
+  if (has_frame_nb) put_u32be(out, frame_nb);
+  for (std::uint32_t w : stream) put_u32be(out, w);
+  return out;
+}
+
+Result<Command> Command::decode(ByteSpan wire) {
+  using R = Result<Command>;
+  if (wire.size() < 4) return R::error("command shorter than header");
+  Command cmd;
+  const std::uint8_t type = wire[0];
+  if (type < 1 || type > 3) {
+    return R::error("unknown command type " + std::to_string(type));
+  }
+  cmd.type = static_cast<CommandType>(type);
+  const std::uint16_t length = get_u16be(wire, 2);
+  if (4 + static_cast<std::size_t>(length) > wire.size()) {
+    return R::error("command length exceeds packet");
+  }
+  ByteSpan body = wire.subspan(4, length);
+  if (cmd.type == CommandType::kIcapReadback) {
+    if (body.size() < 4) return R::error("readback command missing frame_nb");
+    cmd.frame_nb = get_u32be(body, 0);
+    body = body.subspan(4);
+  }
+  if (body.size() % 4 != 0) return R::error("command stream not word aligned");
+  cmd.stream.resize(body.size() / 4);
+  for (std::size_t i = 0; i < cmd.stream.size(); ++i) {
+    cmd.stream[i] = get_u32be(body, i * 4);
+  }
+  return cmd;
+}
+
+std::size_t Command::wire_payload_bytes() const {
+  return 4 + (type == CommandType::kIcapReadback ? 4 : 0) + stream.size() * 4;
+}
+
+Bytes Response::encode() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(status));
+  put_u16be(out, static_cast<std::uint16_t>(wire_payload_bytes() - 4));
+  if (type == ResponseType::kFrameData) {
+    for (std::uint32_t w : frame_words) put_u32be(out, w);
+  } else if (type == ResponseType::kMacValue) {
+    out.insert(out.end(), mac.begin(), mac.end());
+  }
+  return out;
+}
+
+Result<Response> Response::decode(ByteSpan wire) {
+  using R = Result<Response>;
+  if (wire.size() < 4) return R::error("response shorter than header");
+  Response resp;
+  const std::uint8_t type = wire[0];
+  if (type < 1 || type > 4) {
+    return R::error("unknown response type " + std::to_string(type));
+  }
+  resp.type = static_cast<ResponseType>(type);
+  resp.status = static_cast<ProverStatus>(wire[1]);
+  const std::uint16_t length = get_u16be(wire, 2);
+  if (4 + static_cast<std::size_t>(length) > wire.size()) {
+    return R::error("response length exceeds packet");
+  }
+  const ByteSpan body = wire.subspan(4, length);
+  if (resp.type == ResponseType::kFrameData) {
+    if (body.size() % 4 != 0) return R::error("frame data not word aligned");
+    resp.frame_words.resize(body.size() / 4);
+    for (std::size_t i = 0; i < resp.frame_words.size(); ++i) {
+      resp.frame_words[i] = get_u32be(body, i * 4);
+    }
+  } else if (resp.type == ResponseType::kMacValue) {
+    if (body.size() != crypto::kAesBlockSize) {
+      return R::error("MAC response wrong size");
+    }
+    std::copy(body.begin(), body.end(), resp.mac.begin());
+  }
+  return resp;
+}
+
+std::size_t Response::wire_payload_bytes() const {
+  std::size_t body = 0;
+  if (type == ResponseType::kFrameData) body = frame_words.size() * 4;
+  if (type == ResponseType::kMacValue) body = crypto::kAesBlockSize;
+  return 4 + body;
+}
+
+}  // namespace sacha::core

@@ -1,0 +1,79 @@
+// SACHa wire protocol.
+//
+// The attestation runs as a repetition of three commands (paper §6.1):
+//   1. ICAP_config(frame)      — update configuration memory,
+//   2. ICAP_readback(frame_nb) — read a frame back, step the MAC,
+//   3. MAC_checksum            — finalize the MAC and return it.
+// Commands carry the actual ICAP program words; responses carry frame data
+// or the final MAC. Serialisation is defensive on parse — the prover faces
+// the open network.
+//
+// Wire layout (all big-endian):
+//   command:  [type u8][flags u8][length u16][frame_nb u32 ?][stream words]
+//   response: [type u8][status u8][payload bytes]
+// `length` counts the bytes after the 4-byte header. frame_nb is present
+// only for ICAP_readback. Streams may include trailing NOOP padding: the
+// proof-of-concept's per-frame packets carry ISE-style padding, which the
+// RX FSM strips before the words reach the ICAP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "crypto/cmac.hpp"
+
+namespace sacha::core {
+
+enum class CommandType : std::uint8_t {
+  kIcapConfig = 1,
+  kIcapReadback = 2,
+  kMacChecksum = 3,
+};
+
+struct Command {
+  CommandType type = CommandType::kIcapConfig;
+  std::uint32_t frame_nb = 0;         // readback only: first frame to read
+  std::vector<std::uint32_t> stream;  // ICAP program (possibly NOOP-padded)
+
+  Bytes encode() const;
+  static Result<Command> decode(ByteSpan wire);
+
+  /// Bytes of the encoded command (what the network carries).
+  std::size_t wire_payload_bytes() const;
+
+  bool operator==(const Command&) const = default;
+};
+
+enum class ResponseType : std::uint8_t {
+  kAck = 1,        // config accepted (only sent in reliable mode)
+  kFrameData = 2,  // readback result
+  kMacValue = 3,   // final checksum
+  kError = 4,
+};
+
+/// Error codes carried in the response status byte.
+enum class ProverStatus : std::uint8_t {
+  kOk = 0,
+  kBadCommand = 1,
+  kIcapError = 2,
+  kNoMacPending = 3,
+};
+
+struct Response {
+  ResponseType type = ResponseType::kAck;
+  ProverStatus status = ProverStatus::kOk;
+  std::vector<std::uint32_t> frame_words;  // kFrameData
+  crypto::Mac mac{};                       // kMacValue
+
+  Bytes encode() const;
+  static Result<Response> decode(ByteSpan wire);
+
+  std::size_t wire_payload_bytes() const;
+
+  bool operator==(const Response&) const = default;
+};
+
+}  // namespace sacha::core

@@ -1,0 +1,153 @@
+#include "core/prover.hpp"
+
+#include <algorithm>
+
+#include "bitstream/packet.hpp"
+
+namespace sacha::core {
+
+namespace bs = sacha::bitstream;
+
+SachaProver::SachaProver(const fabric::DeviceModel& device,
+                         std::string device_id, const crypto::AesKey& key,
+                         ProverOptions options)
+    : device_id_(std::move(device_id)),
+      options_(options),
+      memory_(device),
+      icap_(memory_, config::device_idcode(device)),
+      command_buffer_(options.command_buffer_bytes),
+      mac_(key),
+      icap_clock_(sim::icap_domain()) {}
+
+SachaProver::SachaProver(SachaProver&& other) noexcept
+    : device_id_(std::move(other.device_id_)),
+      options_(other.options_),
+      memory_(std::move(other.memory_)),
+      icap_(std::move(other.icap_)),
+      command_buffer_(std::move(other.command_buffer_)),
+      mac_(std::move(other.mac_)),
+      icap_clock_(std::move(other.icap_clock_)),
+      last_mac_(other.last_mac_) {
+  icap_.rebind(memory_);
+}
+
+void SachaProver::boot(const bitstream::ConfigImage& static_image) {
+  for (std::uint32_t i = 0; i < static_image.frames.size(); ++i) {
+    memory_.write_frame(i, static_image.frames[i]);
+  }
+}
+
+void SachaProver::set_key(const crypto::AesKey& key) { mac_.rekey(key); }
+
+SachaProver::HandleResult SachaProver::error_result(ProverStatus status) {
+  HandleResult result;
+  result.response = Response{.type = ResponseType::kError, .status = status};
+  return result;
+}
+
+SachaProver::HandleResult SachaProver::handle_packet(ByteSpan packet) {
+  auto decoded = Command::decode(packet);
+  if (!decoded.ok()) return error_result(ProverStatus::kBadCommand);
+  const Command& command = decoded.value();
+  // The RX FSM stages the effective command in the BRAM buffer before the
+  // ICAP domain picks it up. The buffer is sized for one frame's program;
+  // oversized commands cannot be staged and are rejected — this is the
+  // bounded-memory property at the implementation level.
+  Bytes staged;
+  staged.reserve(command.stream.size() * 4);
+  for (std::uint32_t w : command.stream) {
+    if (w == bs::kNoopWord) continue;  // padding never reaches the buffer
+    put_u32be(staged, w);
+  }
+  if (!command_buffer_.store("command", std::move(staged))) {
+    return error_result(ProverStatus::kBadCommand);
+  }
+  return handle(command);
+}
+
+SachaProver::HandleResult SachaProver::handle(const Command& command) {
+  HandleResult result;
+
+  // Strip NOOP padding (the RX FSM stores only effective words).
+  std::vector<std::uint32_t> program;
+  program.reserve(command.stream.size());
+  std::copy_if(command.stream.begin(), command.stream.end(),
+               std::back_inserter(program),
+               [](std::uint32_t w) { return w != bs::kNoopWord; });
+
+  switch (command.type) {
+    case CommandType::kIcapConfig: {
+      // A configuration command opens a new attestation round: any MAC
+      // computation left over from an aborted readback phase is discarded,
+      // so stale state can never leak into the next session's checksum.
+      if (mac_.busy()) mac_.abort();
+      const std::uint64_t cycles_before = icap_.stats().cycles;
+      auto outcome = icap_.execute(program);
+      result.icap_time =
+          icap_clock_.cycles_to_time(icap_.stats().cycles - cycles_before);
+      if (!outcome.ok()) {
+        result.response =
+            Response{.type = ResponseType::kError, .status = ProverStatus::kIcapError};
+        return result;
+      }
+      // Fire and forget: the PoC does not acknowledge configuration writes.
+      result.response = std::nullopt;
+      return result;
+    }
+
+    case CommandType::kIcapReadback: {
+      const std::uint64_t cycles_before = icap_.stats().cycles;
+      auto outcome = icap_.execute(program);
+      result.icap_time =
+          icap_clock_.cycles_to_time(icap_.stats().cycles - cycles_before);
+      if (!outcome.ok()) {
+        result.response =
+            Response{.type = ResponseType::kError, .status = ProverStatus::kIcapError};
+        return result;
+      }
+      const std::vector<std::uint32_t>& words = outcome.value();
+      if (words.empty()) {
+        // A readback command whose program reads nothing is malformed.
+        result.response = Response{.type = ResponseType::kError,
+                                   .status = ProverStatus::kBadCommand};
+        return result;
+      }
+      if (!mac_.busy()) result.mac_init_time = mac_.init();
+      Bytes frame_bytes;
+      frame_bytes.reserve(words.size() * 4);
+      for (std::uint32_t w : words) put_u32be(frame_bytes, w);
+      result.mac_update_time = mac_.update(frame_bytes);
+      result.response = Response{.type = ResponseType::kFrameData,
+                                 .status = ProverStatus::kOk,
+                                 .frame_words = words};
+      return result;
+    }
+
+    case CommandType::kMacChecksum: {
+      if (!mac_.busy()) {
+        result.response = Response{.type = ResponseType::kError,
+                                   .status = ProverStatus::kNoMacPending};
+        return result;
+      }
+      Response response{.type = ResponseType::kMacValue, .status = ProverStatus::kOk};
+      response.mac = mac_.finalize(result.mac_finalize_time);
+      last_mac_ = response.mac;
+      result.response = std::move(response);
+      return result;
+    }
+  }
+  return error_result(ProverStatus::kBadCommand);
+}
+
+Result<crypto::AesKey> key_from_puf(const puf::SramPuf& puf,
+                                    const puf::HelperData& helper,
+                                    Rng& noise_rng) {
+  const BitVec response = puf.read(noise_rng);
+  auto key = puf::reproduce(response, helper);
+  if (!key.has_value()) {
+    return Result<crypto::AesKey>::error("fuzzy extractor failed to decode");
+  }
+  return *key;
+}
+
+}  // namespace sacha::core

@@ -1,0 +1,111 @@
+// SACHa prover — the device side of the protocol.
+//
+// Models the static partition of Fig. 10 end to end: network packets are
+// decoded (RX domain), the command is staged in the bounded BRAM buffer,
+// NOOP padding is stripped, the ICAP executes the embedded program (ICAP
+// domain), readback data flows through the AES-CMAC engine and back out
+// (TX domain). Every handled command reports the simulated device time it
+// consumed, split by component, so the session ledger can reproduce the
+// A2/A4/A5/A6/A7 rows of Table 3.
+//
+// The prover is deliberately *thin*: it has no golden reference, no notion
+// of "expected" configuration, and never refuses a well-formed write — a
+// compromised configuration is detected by the verifier, not the device.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "config/bram_buffer.hpp"
+#include "config/config_memory.hpp"
+#include "config/icap.hpp"
+#include "core/mac_engine.hpp"
+#include "core/protocol.hpp"
+#include "fabric/partition.hpp"
+#include "puf/fuzzy_extractor.hpp"
+#include "sim/clock.hpp"
+
+namespace sacha::core {
+
+/// Where the prover's MAC key comes from (§5.2.1).
+enum class KeySource : std::uint8_t {
+  kKeyRegister,  // provisioned register in the StatPart (PoC implementation)
+  kStaticPuf,    // weak PUF in the StatPart
+  kDynamicPuf,   // PUF circuit shipped by the Vrf in the DynPart
+};
+
+struct ProverOptions {
+  KeySource key_source = KeySource::kKeyRegister;
+  /// Command staging memory (the PoC sizes it for a single frame + header).
+  std::uint64_t command_buffer_bytes = 2 * 2'304;  // two 18-kbit BRAMs
+};
+
+class SachaProver {
+ public:
+  /// `device_id` names the device in the verifier's enrollment database.
+  SachaProver(const fabric::DeviceModel& device, std::string device_id,
+              const crypto::AesKey& key, ProverOptions options = {});
+
+  // Movable (the ICAP is re-pointed at the moved configuration memory);
+  // copying a device makes no physical sense.
+  SachaProver(SachaProver&& other) noexcept;
+  SachaProver& operator=(SachaProver&&) = delete;
+  SachaProver(const SachaProver&) = delete;
+  SachaProver& operator=(const SachaProver&) = delete;
+
+  /// Power-on: BootMem loads the static partition's configuration into the
+  /// (volatile) StatMem. `static_image` covers frames [0, image size).
+  void boot(const bitstream::ConfigImage& static_image);
+
+  struct HandleResult {
+    std::optional<Response> response;  // nullopt: fire-and-forget config
+    sim::SimDuration icap_time = 0;    // A2 or A4
+    sim::SimDuration mac_init_time = 0;      // A5 (first readback only)
+    sim::SimDuration mac_update_time = 0;    // A6
+    sim::SimDuration mac_finalize_time = 0;  // A7
+  };
+
+  /// Executes one decoded command.
+  HandleResult handle(const Command& command);
+
+  /// Raw-packet entry point: decode, stage in the bounded buffer, handle.
+  /// Undecodable packets produce an error response.
+  HandleResult handle_packet(ByteSpan packet);
+
+  /// Rekeys the MAC engine (DynPart-PUF key rotation after the verifier
+  /// ships a new PUF circuit; §5.2.1 option 2).
+  void set_key(const crypto::AesKey& key);
+
+  /// H_Prv of the most recent MAC_checksum, kept in the attestation
+  /// evidence register so the signature extension can sign it.
+  const std::optional<crypto::Mac>& last_mac() const { return last_mac_; }
+
+  const std::string& device_id() const { return device_id_; }
+  config::ConfigMemory& memory() { return memory_; }
+  const config::ConfigMemory& memory() const { return memory_; }
+  config::Icap& icap() { return icap_; }
+  config::BramBuffer& command_buffer() { return command_buffer_; }
+  const ProverOptions& options() const { return options_; }
+
+ private:
+  HandleResult error_result(ProverStatus status);
+
+  std::string device_id_;
+  ProverOptions options_;
+  config::ConfigMemory memory_;
+  config::Icap icap_;
+  config::BramBuffer command_buffer_;
+  MacEngine mac_;
+  sim::ClockDomain icap_clock_;
+  std::optional<crypto::Mac> last_mac_;
+};
+
+/// Derives the prover key from a PUF read using the enrollment helper data
+/// (used at boot for kStaticPuf, or after circuit reconfiguration for
+/// kDynamicPuf). Fails when the fuzzy extractor cannot decode.
+Result<crypto::AesKey> key_from_puf(const puf::SramPuf& puf,
+                                    const puf::HelperData& helper,
+                                    Rng& noise_rng);
+
+}  // namespace sacha::core

@@ -1,0 +1,170 @@
+#include "core/session.hpp"
+
+namespace sacha::core {
+
+namespace {
+
+/// Ledger keys for one command round, by command type.
+struct ActionKeys {
+  const char* send;
+  const char* device;
+  const char* reply;
+};
+
+ActionKeys keys_for(CommandType type) {
+  switch (type) {
+    case CommandType::kIcapConfig:
+      return {actions::kA1, actions::kA2, nullptr};
+    case CommandType::kIcapReadback:
+      return {actions::kA3, actions::kA4, actions::kA8};
+    case CommandType::kMacChecksum:
+      return {actions::kA9, nullptr, actions::kA10};
+  }
+  return {nullptr, nullptr, nullptr};
+}
+
+}  // namespace
+
+AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
+                                  const SessionOptions& options,
+                                  const SessionHooks& hooks) {
+  AttestationReport report;
+  net::Channel channel(options.channel, options.seed);
+  Rng churn_rng(options.seed ^ 0xfeedface12345678ULL);
+  const net::WireModel& wire = options.channel.wire;
+
+  verifier.begin();
+  const std::size_t n = verifier.command_count();
+  bool config_phase_done = false;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Command command = verifier.command(i);
+
+    // Phase boundary: the whole DynMem is (over)written; the application
+    // starts running (register churn) and the adversary gets its window.
+    if (!config_phase_done && command.type != CommandType::kIcapConfig) {
+      config_phase_done = true;
+      if (hooks.after_config) hooks.after_config(prover);
+      prover.memory().tick_registers(churn_rng, options.register_flip_probability);
+    }
+
+    const ActionKeys keys = keys_for(command.type);
+    std::optional<Response> final_response;
+    bool delivered_and_answered = false;
+    std::optional<Response> cached_device_response;  // dedup across retries
+    bool device_handled = false;
+
+    const std::uint32_t attempts = options.reliable ? options.max_retries + 1 : 1;
+    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+      if (attempt > 0) {
+        ++report.retransmissions;
+        report.ledger.add(actions::kRetransmit, options.retransmit_timeout);
+        report.total_time += options.retransmit_timeout;
+      }
+      Bytes packet = command.encode();
+      if (hooks.on_command && !hooks.on_command(packet)) {
+        continue;  // dropped by the adversary-in-the-middle
+      }
+      ++report.commands_sent;
+      const auto uplink = channel.transfer(packet.size());
+      // Wire occupancy is charged even for lost packets (the sender still
+      // transmits); latency/jitter above the nominal wire time goes to the
+      // latency bucket.
+      const sim::SimDuration wire_up = wire.frame_time(packet.size());
+      report.ledger.add(keys.send, wire_up);
+      report.bytes_to_prover += wire.frame_bytes(packet.size());
+      report.total_time += wire_up;
+      if (!uplink.has_value()) continue;  // lost in transit
+      report.ledger.add(actions::kNetLatency, *uplink - wire_up);
+      report.total_time += *uplink - wire_up;
+
+      // Device side. Retransmitted commands the device already executed are
+      // answered from the response cache (sequence-number dedup in the RX
+      // FSM) so a lost *response* cannot double-step the MAC.
+      SachaProver::HandleResult result;
+      if (device_handled) {
+        result.response = cached_device_response;
+      } else {
+        result = prover.handle_packet(packet);
+        device_handled = true;
+        cached_device_response = result.response;
+        if (result.icap_time > 0 && keys.device != nullptr) {
+          report.ledger.add(keys.device, result.icap_time);
+          report.total_time += result.icap_time;
+        }
+        if (result.mac_init_time > 0) {
+          report.ledger.add(actions::kA5, result.mac_init_time);
+          report.total_time += result.mac_init_time;
+        }
+        if (result.mac_update_time > 0) {
+          report.ledger.add(actions::kA6, result.mac_update_time);
+          report.total_time += result.mac_update_time;
+        }
+        if (result.mac_finalize_time > 0) {
+          report.ledger.add(actions::kA7, result.mac_finalize_time);
+          report.total_time += result.mac_finalize_time;
+        }
+      }
+
+      // Response path (or a synthetic ack in reliable mode so the verifier
+      // can detect loss of fire-and-forget configuration commands).
+      std::optional<Response> response = result.response;
+      if (!response.has_value() && options.reliable) {
+        response = Response{.type = ResponseType::kAck, .status = ProverStatus::kOk};
+      }
+      if (!response.has_value()) {
+        final_response = std::nullopt;
+        delivered_and_answered = true;
+        break;
+      }
+      Bytes reply = response->encode();
+      if (hooks.on_response && !hooks.on_response(reply)) {
+        continue;  // response suppressed
+      }
+      const auto downlink = channel.transfer(reply.size());
+      const sim::SimDuration wire_down = wire.frame_time(reply.size());
+      const char* reply_key = keys.reply;
+      if (response->type == ResponseType::kAck) reply_key = actions::kAck;
+      if (response->type == ResponseType::kError) reply_key = actions::kAck;
+      if (reply_key != nullptr) {
+        report.ledger.add(reply_key, wire_down);
+        report.total_time += wire_down;
+        report.bytes_to_verifier += wire.frame_bytes(reply.size());
+      }
+      if (!downlink.has_value()) continue;  // response lost
+      report.ledger.add(actions::kNetLatency, *downlink - wire_down);
+      report.total_time += *downlink - wire_down;
+
+      auto decoded = Response::decode(reply);
+      if (decoded.ok()) {
+        final_response = decoded.value();
+        if (final_response->type == ResponseType::kAck) {
+          final_response = std::nullopt;  // acks are transport-level only
+        }
+      } else {
+        final_response = std::nullopt;
+      }
+      delivered_and_answered = true;
+      break;
+    }
+
+    if (delivered_and_answered || !options.reliable) {
+      (void)verifier.on_response(i, final_response);
+    } else {
+      // Retries exhausted: record the absence so finish() reports it.
+      (void)verifier.on_response(
+          i, Response{.type = ResponseType::kError,
+                      .status = ProverStatus::kBadCommand});
+    }
+  }
+
+  for (const char* key : {actions::kA1, actions::kA2, actions::kA3, actions::kA4,
+                          actions::kA5, actions::kA6, actions::kA7, actions::kA8,
+                          actions::kA9, actions::kA10}) {
+    report.theoretical_time += report.ledger.total(key);
+  }
+  report.verdict = verifier.finish();
+  return report;
+}
+
+}  // namespace sacha::core

@@ -1,0 +1,72 @@
+#include "core/signed_attest.hpp"
+
+namespace sacha::core {
+
+crypto::Sha256Digest attestation_digest(const crypto::Mac& h_prv) {
+  crypto::Sha256 hash;
+  hash.update(bytes_of("sacha-evidence"));
+  hash.update(h_prv);
+  return hash.finalize();
+}
+
+bool LeafPolicy::accept(std::uint32_t leaf_index) {
+  return used_.insert(leaf_index).second;
+}
+
+SignedAttestReport run_signed_attestation(
+    SachaVerifier& verifier, SachaProver& prover, crypto::HashSigner& signer,
+    const crypto::Sha256Digest& trusted_root, std::uint32_t tree_height,
+    LeafPolicy& policy, const SessionOptions& session,
+    const SessionHooks& hooks) {
+  SignedAttestReport report;
+  report.base = run_attestation(verifier, prover, session, hooks);
+  // In signature mode the session key may be public, so mac_ok alone proves
+  // nothing; the protocol/config checks must still hold.
+  if (!report.base.verdict.protocol_ok || !report.base.verdict.config_ok) {
+    report.detail = "base protocol failed: " + report.base.verdict.detail;
+    return report;
+  }
+
+  // Device: sign H_Prv with the next one-time leaf.
+  if (!prover.last_mac().has_value()) {
+    report.detail = "device holds no attestation evidence";
+    return report;
+  }
+  const crypto::Sha256Digest device_digest =
+      attestation_digest(*prover.last_mac());
+  const auto signature = signer.sign(device_digest);
+  if (!signature.has_value()) {
+    report.detail = "signing identity exhausted (all one-time leaves used)";
+    return report;
+  }
+  report.leaf_index = signature->leaf_index;
+
+  // Verifier: the signed digest must match the digest of H_Vrf — binding
+  // the signature to the transcript the verifier actually received — and
+  // the signature must chain to the trusted root via a fresh leaf.
+  const auto h_vrf = verifier.expected_mac();
+  if (!h_vrf.has_value()) {
+    report.detail = "verifier transcript incomplete";
+    return report;
+  }
+  const crypto::Sha256Digest expected_digest = attestation_digest(*h_vrf);
+  report.binds_transcript = expected_digest == device_digest;
+  report.signature_ok =
+      crypto::merkle_verify(trusted_root, tree_height, expected_digest,
+                            *signature);
+  report.leaf_fresh = policy.accept(signature->leaf_index);
+
+  if (report.ok()) {
+    report.detail = "attested (signature chained to trusted root, leaf " +
+                    std::to_string(report.leaf_index) + ")";
+  } else if (!report.signature_ok) {
+    report.detail = "signature does not verify against the trusted root";
+  } else if (!report.leaf_fresh) {
+    report.detail = "one-time leaf reused";
+  } else if (!report.binds_transcript) {
+    report.detail = "signature does not bind the received transcript";
+  }
+  return report;
+}
+
+}  // namespace sacha::core

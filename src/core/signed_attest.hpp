@@ -1,0 +1,67 @@
+// Signed attestation — the paper's second future-work item (§8).
+//
+// When prover and verifier cannot share a secret before deployment, the
+// MAC alone cannot authenticate the device (anyone could compute it).
+// In signature mode the device additionally holds a hash-based signing
+// identity (a Merkle tree of Lamport one-time keys, crypto/merkle.hpp);
+// the verifier is provisioned only with the *public* root, e.g. through a
+// manufacturer certificate. After the normal protocol, the device signs
+//
+//     digest = SHA-256("sacha-evidence" || H_Prv)
+//
+// with its next one-time leaf. H_Prv already covers the fresh nonce and
+// the verifier-chosen readback order, so the signature inherits freshness;
+// the verifier additionally enforces the one-time property by rejecting
+// leaf reuse (LeafPolicy). Hash-based signatures are the natural choice
+// here: the static partition already contains a hash core, and security
+// reduces to the same primitive the rest of the scheme uses.
+#pragma once
+
+#include <set>
+
+#include "core/session.hpp"
+#include "crypto/merkle.hpp"
+
+namespace sacha::core {
+
+/// Evidence digest bound by the signature.
+crypto::Sha256Digest attestation_digest(const crypto::Mac& h_prv);
+
+/// Verifier-side one-time-leaf bookkeeping: a leaf index may verify once.
+class LeafPolicy {
+ public:
+  /// True iff the leaf was fresh (and marks it used).
+  bool accept(std::uint32_t leaf_index);
+  std::size_t used() const { return used_.size(); }
+
+ private:
+  std::set<std::uint32_t> used_;
+};
+
+struct SignedAttestReport {
+  AttestationReport base;
+  bool signature_ok = false;  // OTS + Merkle path verify against the root
+  bool leaf_fresh = false;    // one-time property respected
+  bool binds_transcript = false;  // signed digest matches H_Vrf
+  std::uint32_t leaf_index = 0;
+  std::string detail;
+
+  bool ok() const {
+    return base.verdict.protocol_ok && base.verdict.config_ok && signature_ok &&
+           leaf_fresh && binds_transcript;
+  }
+};
+
+/// Runs the protocol and the signature exchange. `trusted_root` and
+/// `tree_height` are what the verifier learned at provisioning; `policy`
+/// persists across sessions to enforce one-time leaves.
+SignedAttestReport run_signed_attestation(SachaVerifier& verifier,
+                                          SachaProver& prover,
+                                          crypto::HashSigner& signer,
+                                          const crypto::Sha256Digest& trusted_root,
+                                          std::uint32_t tree_height,
+                                          LeafPolicy& policy,
+                                          const SessionOptions& session = {},
+                                          const SessionHooks& hooks = {});
+
+}  // namespace sacha::core

@@ -1,0 +1,109 @@
+#include "core/state_attest.hpp"
+
+#include "bitstream/bitgen.hpp"
+#include "bitstream/packet.hpp"
+#include "config/icap.hpp"
+#include "crypto/ct.hpp"
+
+namespace sacha::core {
+
+namespace bs = sacha::bitstream;
+
+StateAttestReport run_state_attestation(SachaVerifier& verifier,
+                                        SachaProver& prover,
+                                        softcore::SoftCore& device_cpu,
+                                        const softcore::Program& golden_program,
+                                        const softcore::StateMap& map,
+                                        const StateAttestOptions& options,
+                                        const SessionOptions& session,
+                                        const SessionHooks& hooks) {
+  StateAttestReport report;
+
+  // Phase 1: standard configuration attestation.
+  if (!options.skip_base) {
+    report.base = run_attestation(verifier, prover, session, hooks);
+    if (!report.base.verdict.ok()) {
+      report.detail = "base attestation failed: " + report.base.verdict.detail;
+      return report;
+    }
+  } else {
+    verifier.begin();  // still need a session (nonce frame in golden refs)
+    report.base.verdict.protocol_ok = true;
+    report.base.verdict.mac_ok = true;
+    report.base.verdict.config_ok = true;
+  }
+
+  // Phase 2: the application runs. Device side executes its (possibly
+  // compromised) processor and the live flip-flops follow; verifier side
+  // executes the golden program in lockstep.
+  device_cpu.run(options.cpu_steps);
+  map.sync_to_memory(device_cpu.state(), prover.memory());
+
+  softcore::SoftCore golden_cpu(golden_program);
+  golden_cpu.run(options.cpu_steps);
+  report.expected_state = golden_cpu.state();
+
+  // Phase 3: capture — targeted readback of the frames backing the
+  // processor state, MACed like any readback, compared under the widened
+  // mask against golden-with-expected-state.
+  const fabric::DeviceModel& device = verifier.floorplan().device();
+  const std::uint32_t wpf = device.geometry().words_per_frame();
+  const std::uint32_t idcode = config::device_idcode(device);
+  Bytes captured_bytes;  // capture transcript, in readback order, for the MAC
+  bool all_match = true;
+  std::string mismatch;
+
+  for (const std::uint32_t frame_index : map.frames_touched()) {
+    bs::PacketWriter w;
+    w.sync();
+    w.write_idcode(idcode);
+    w.cmd(bs::CmdOp::kRcfg);
+    w.write_far(device.geometry().address_of(frame_index));
+    w.read_request(wpf);
+    w.cmd(bs::CmdOp::kDesync);
+    const Command command{CommandType::kIcapReadback, frame_index, w.words()};
+    const auto result = prover.handle(command);
+    if (!result.response.has_value() ||
+        result.response->type != ResponseType::kFrameData) {
+      report.detail = "capture readback failed at frame " +
+                      std::to_string(frame_index);
+      return report;
+    }
+    for (std::uint32_t w : result.response->frame_words) {
+      put_u32be(captured_bytes, w);
+    }
+    ++report.frames_checked;
+
+    const bs::Frame received(
+        std::vector<std::uint32_t>(result.response->frame_words));
+    const bs::FrameMask base_mask = bs::architectural_mask(device, frame_index);
+    const bs::FrameMask mask = map.widened_mask(frame_index, base_mask);
+    const bs::Frame expected = map.imprint(
+        frame_index, verifier.golden_frame(frame_index), report.expected_state);
+    if (!bs::masked_equal(received, expected, mask)) {
+      all_match = false;
+      if (mismatch.empty()) {
+        mismatch = "state mismatch at frame " + std::to_string(frame_index);
+      }
+    }
+  }
+
+  // Capture MAC: the prover finalizes its MAC over the captured frames; the
+  // verifier recomputes MAC_K over the transcript it received. A mismatch
+  // means the capture was modified in flight or answered by a keyless
+  // device.
+  const Command checksum{CommandType::kMacChecksum, 0, {}};
+  const auto mac_result = prover.handle(checksum);
+  report.state_mac_ok =
+      mac_result.response.has_value() &&
+      mac_result.response->type == ResponseType::kMacValue &&
+      verifier.verify_mac(captured_bytes, mac_result.response->mac);
+
+  report.state_ok = all_match;
+  report.detail = all_match
+                      ? "application state matches the golden execution"
+                      : mismatch;
+  return report;
+}
+
+}  // namespace sacha::core

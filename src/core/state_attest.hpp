@@ -1,0 +1,58 @@
+// State attestation — the paper's first future-work item (§8), implemented.
+//
+// Baseline SACHa masks out flip-flop bits, so it proves *what hardware is
+// configured* but says nothing about *what state that hardware is in*; a
+// compromised application state (e.g. a hijacked softcore program counter)
+// passes unnoticed. This extension closes that gap:
+//
+//   1. the standard SACHa session runs (configuration attested);
+//   2. the application — a softcore processor — executes for an agreed
+//      number of steps; the verifier steps its own golden copy in lockstep;
+//   3. a capture is taken and the frames holding the processor's
+//      flip-flops are read back again, MACed, and compared against the
+//      golden configuration *imprinted with the expected architectural
+//      state*, under a mask widened to include exactly those state bits.
+//
+// The RegisterStateAttack in the adversary library demonstrates the gap
+// this closes: undetected by baseline SACHa, detected here.
+#pragma once
+
+#include "core/session.hpp"
+#include "softcore/state_map.hpp"
+
+namespace sacha::core {
+
+struct StateAttestOptions {
+  /// Instructions the application executes between the base attestation
+  /// and the capture. Verifier and device agree on this in the challenge.
+  std::uint64_t cpu_steps = 64;
+  /// Skip the base configuration attestation (for experiments isolating
+  /// the state phase).
+  bool skip_base = false;
+};
+
+struct StateAttestReport {
+  AttestationReport base;  // the standard SACHa run (empty if skipped)
+  bool state_ok = false;   // captured state matches the golden execution
+  bool state_mac_ok = false;  // capture readback correctly MACed
+  std::string detail;
+  std::size_t frames_checked = 0;
+  softcore::CpuState expected_state;
+
+  bool ok() const { return base.verdict.ok() && state_ok && state_mac_ok; }
+};
+
+/// Runs base attestation plus the state phase. `device_cpu` is the
+/// processor actually running on the device (pass a tampered one to model
+/// a compromised application); the verifier independently executes
+/// `golden_program` for `options.cpu_steps` to derive the expected state.
+StateAttestReport run_state_attestation(SachaVerifier& verifier,
+                                        SachaProver& prover,
+                                        softcore::SoftCore& device_cpu,
+                                        const softcore::Program& golden_program,
+                                        const softcore::StateMap& map,
+                                        const StateAttestOptions& options = {},
+                                        const SessionOptions& session = {},
+                                        const SessionHooks& hooks = {});
+
+}  // namespace sacha::core

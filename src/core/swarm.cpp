@@ -1,0 +1,43 @@
+#include "core/swarm.hpp"
+
+#include <algorithm>
+
+namespace sacha::core {
+
+std::vector<std::string> SwarmReport::failed_ids() const {
+  std::vector<std::string> ids;
+  for (const SwarmMemberResult& m : members) {
+    if (!m.verdict.ok()) ids.push_back(m.id);
+  }
+  return ids;
+}
+
+SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
+                         SwarmSchedule schedule,
+                         const SessionOptions& options) {
+  SwarmReport report;
+  report.members.reserve(fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    SwarmMember& member = fleet[i];
+    SessionOptions member_options = options;
+    member_options.seed = options.seed + i;  // independent channel randomness
+    const AttestationReport session =
+        run_attestation(*member.verifier, *member.prover, member_options,
+                        member.hooks);
+    SwarmMemberResult result;
+    result.id = member.id;
+    result.verdict = session.verdict;
+    result.duration = session.total_time;
+    if (session.verdict.ok()) ++report.attested;
+    report.total_work += session.total_time;
+    if (schedule == SwarmSchedule::kParallel) {
+      report.makespan = std::max(report.makespan, session.total_time);
+    } else {
+      report.makespan += session.total_time;
+    }
+    report.members.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace sacha::core

@@ -1,0 +1,54 @@
+// Swarm attestation.
+//
+// The related-work section (§4.2) motivates attesting fleets of devices
+// ("a number of low-end, tiny embedded devices ... employed as a group").
+// SACHa composes naturally: each device runs its own session under its own
+// key; the coordinator schedules them serially (one verifier port) or in
+// parallel (simulated makespan = slowest member) and aggregates verdicts.
+// bench_swarm measures how fleet size scales on both schedules and that a
+// single compromised member is isolated, not hidden by the aggregate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace sacha::core {
+
+struct SwarmMember {
+  std::string id;
+  SachaVerifier* verifier = nullptr;
+  SachaProver* prover = nullptr;
+  /// Per-member adversary, if any.
+  SessionHooks hooks;
+};
+
+enum class SwarmSchedule : std::uint8_t {
+  kSerial,    // one session at a time (single verifier port)
+  kParallel,  // all sessions concurrently; makespan = slowest member
+};
+
+struct SwarmMemberResult {
+  std::string id;
+  SachaVerifier::Verdict verdict;
+  sim::SimDuration duration = 0;
+};
+
+struct SwarmReport {
+  std::vector<SwarmMemberResult> members;
+  std::size_t attested = 0;
+  /// Wall-clock of the whole sweep under the chosen schedule.
+  sim::SimDuration makespan = 0;
+  /// Sum of per-member durations (bandwidth/energy budget).
+  sim::SimDuration total_work = 0;
+
+  bool all_attested() const { return attested == members.size(); }
+  std::vector<std::string> failed_ids() const;
+};
+
+SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
+                         SwarmSchedule schedule = SwarmSchedule::kParallel,
+                         const SessionOptions& options = {});
+
+}  // namespace sacha::core

@@ -1,0 +1,322 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "bitstream/packet.hpp"
+#include "config/icap.hpp"
+#include "crypto/ct.hpp"
+
+namespace sacha::core {
+
+namespace bs = sacha::bitstream;
+
+SachaVerifier::SachaVerifier(fabric::Floorplan plan,
+                             bitstream::DesignSpec static_spec,
+                             bitstream::DesignSpec app_spec, crypto::AesKey key,
+                             std::uint64_t session_seed, VerifierOptions options)
+    : plan_(std::move(plan)),
+      bitgen_(plan_.device()),
+      idcode_(config::device_idcode(plan_.device())),
+      static_spec_(std::move(static_spec)),
+      app_spec_(std::move(app_spec)),
+      key_(key),
+      session_seed_(session_seed),
+      options_(options) {
+  assert(plan_.validate().ok());
+  std::vector<fabric::FrameRange> stat_ranges;
+  std::vector<fabric::FrameRange> dyn_ranges;
+  for (const fabric::Partition& p : plan_.partitions()) {
+    if (p.kind == fabric::PartitionKind::kStatic) stat_ranges.push_back(p.frames);
+    if (p.kind == fabric::PartitionKind::kDynamic) dyn_ranges.push_back(p.frames);
+  }
+  assert(!stat_ranges.empty() && !dyn_ranges.empty());
+  std::sort(stat_ranges.begin(), stat_ranges.end(),
+            [](const fabric::FrameRange& a, const fabric::FrameRange& b) {
+              return a.first < b.first;
+            });
+  std::sort(dyn_ranges.begin(), dyn_ranges.end(),
+            [](const fabric::FrameRange& a, const fabric::FrameRange& b) {
+              return a.first < b.first;
+            });
+  // The nonce occupies its own single-frame partition at the top of the
+  // last dynamic region so it can be refreshed without touching the
+  // application; the application spans every dynamic region (§2.1.2
+  // allows one or more).
+  assert(dyn_ranges.back().count >= 2 &&
+         "need room for application + nonce frame");
+  nonce_frame_ = dyn_ranges.back().end() - 1;
+  app_ranges_ = dyn_ranges;
+  app_ranges_.back().count -= 1;  // carve the nonce frame out
+  if (app_ranges_.back().count == 0) app_ranges_.pop_back();
+  for (const fabric::FrameRange& r : app_ranges_) app_frame_total_ += r.count;
+
+  for (const fabric::FrameRange& r : stat_ranges) {
+    static_images_.emplace_back(r, bitgen_.generate(r, static_spec_));
+  }
+  zero_frame_ = bs::Frame(plan_.device().geometry().words_per_frame());
+  regenerate_app_images();
+}
+
+const bitstream::ConfigImage& SachaVerifier::static_image() const {
+  assert(!static_images_.empty() && static_images_.front().first.first == 0 &&
+         "BootMem image must start at frame 0");
+  return static_images_.front().second;
+}
+
+void SachaVerifier::regenerate_app_images() {
+  app_images_.clear();
+  app_images_.reserve(app_ranges_.size());
+  for (const fabric::FrameRange& range : app_ranges_) {
+    app_images_.push_back(bitgen_.generate(range, app_spec_));
+  }
+}
+
+void SachaVerifier::set_app_spec(bitstream::DesignSpec spec) {
+  app_spec_ = std::move(spec);
+  regenerate_app_images();
+}
+
+void SachaVerifier::begin() {
+  crypto::Prg prg(session_seed_ + session_counter_++, "sacha-session");
+  nonce_ = prg.next_u64();
+  nonce_image_ = bitgen_.nonce_frame(nonce_);
+
+  const std::uint32_t total = plan_.device().total_frames();
+  steps_.clear();
+  const std::uint32_t per_step = std::max(1u, options_.frames_per_readback);
+  if (per_step > 1 || options_.order == ReadbackOrder::kSequentialFromZero) {
+    for (std::uint32_t f = 0; f < total; f += per_step) {
+      steps_.emplace_back(f, std::min(per_step, total - f));
+    }
+  } else if (options_.order == ReadbackOrder::kSequentialFromOffset) {
+    // The PoC's schedule: start at a verifier-chosen offset i, wrap mod N.
+    const auto offset = static_cast<std::uint32_t>(prg.next_u64() % total);
+    for (std::uint32_t k = 0; k < total; ++k) {
+      steps_.emplace_back((offset + k) % total, 1);
+    }
+  } else {
+    Rng rng(prg.next_u64());
+    for (std::uint32_t f : rng.permutation(total)) steps_.emplace_back(f, 1);
+  }
+
+  received_.assign(steps_.size(), std::nullopt);
+  received_mac_.reset();
+  protocol_error_.reset();
+}
+
+std::size_t SachaVerifier::config_command_count() const {
+  if (options_.refresh_only) return 1;  // nonce frame only (§5.2.2)
+  const std::uint32_t per = std::max(1u, options_.frames_per_config);
+  std::size_t slots = 0;
+  for (const fabric::FrameRange& r : app_ranges_) {
+    slots += (r.count + per - 1) / per;  // chunks never straddle regions
+  }
+  return slots + 1;  // +1: nonce frame
+}
+
+std::size_t SachaVerifier::command_count() const {
+  return config_command_count() + steps_.size() + 1;  // +1: MAC_checksum
+}
+
+std::vector<std::uint32_t> SachaVerifier::pad(std::vector<std::uint32_t> stream,
+                                              std::uint32_t target_words) const {
+  while (stream.size() < target_words) stream.push_back(bs::kNoopWord);
+  return stream;
+}
+
+Command SachaVerifier::make_config_command(std::size_t slot) const {
+  const std::uint32_t per = std::max(1u, options_.frames_per_config);
+  if (!options_.refresh_only) {
+    for (std::size_t region = 0; region < app_ranges_.size(); ++region) {
+      const fabric::FrameRange& range = app_ranges_[region];
+      const std::size_t region_slots = (range.count + per - 1) / per;
+      if (slot >= region_slots) {
+        slot -= region_slots;
+        continue;
+      }
+      const bs::ConfigImage& image = app_images_[region];
+      const std::uint32_t first =
+          range.first + static_cast<std::uint32_t>(slot) * per;
+      const std::uint32_t count = std::min(per, range.end() - first);
+      if (count == 1) {
+        return Command{CommandType::kIcapConfig, 0,
+                       pad(bitgen_.assemble_single_frame(
+                               image.frames[first - range.first], first,
+                               idcode_),
+                           options_.config_pad_words)};
+      }
+      bs::ConfigImage chunk;
+      for (std::uint32_t f = 0; f < count; ++f) {
+        chunk.frames.push_back(image.frames[first - range.first + f]);
+        chunk.masks.push_back(image.masks[first - range.first + f]);
+      }
+      return Command{CommandType::kIcapConfig, 0,
+                     bitgen_.assemble(chunk, first, idcode_)};
+    }
+  }
+  // Final configuration step: the nonce frame (Fig. 8's second phase).
+  return Command{CommandType::kIcapConfig, 0,
+                 pad(bitgen_.assemble_single_frame(nonce_image_.frames[0],
+                                                   nonce_frame_, idcode_),
+                     options_.config_pad_words)};
+}
+
+Command SachaVerifier::make_readback_command(std::size_t step) const {
+  const auto [first, count] = steps_[step];
+  bs::PacketWriter w;
+  w.sync();
+  w.write_idcode(idcode_);
+  w.cmd(bs::CmdOp::kRcfg);
+  w.write_far(plan_.device().geometry().address_of(first));
+  w.read_request(count * plan_.device().geometry().words_per_frame());
+  w.cmd(bs::CmdOp::kDesync);
+  return Command{CommandType::kIcapReadback, first,
+                 pad(w.words(), options_.readback_pad_words)};
+}
+
+Command SachaVerifier::command(std::size_t index) const {
+  const std::size_t configs = config_command_count();
+  if (index < configs) return make_config_command(index);
+  if (index < configs + steps_.size()) {
+    return make_readback_command(index - configs);
+  }
+  assert(index == configs + steps_.size());
+  return Command{CommandType::kMacChecksum, 0, {}};
+}
+
+Status SachaVerifier::on_response(std::size_t index,
+                                  const std::optional<Response>& response) {
+  const std::size_t configs = config_command_count();
+  if (index < configs) {
+    // Fire-and-forget; an error response means the device rejected a write.
+    if (response.has_value() && response->type == ResponseType::kError) {
+      protocol_error_ = "device rejected configuration command " +
+                        std::to_string(index);
+      return Status::error(*protocol_error_);
+    }
+    return Status();
+  }
+  if (index < configs + steps_.size()) {
+    const std::size_t step = index - configs;
+    if (!response.has_value() || response->type != ResponseType::kFrameData) {
+      protocol_error_ = "missing or bad readback response at step " +
+                        std::to_string(step);
+      return Status::error(*protocol_error_);
+    }
+    const std::uint32_t expected_words =
+        steps_[step].second * plan_.device().geometry().words_per_frame();
+    if (response->frame_words.size() != expected_words) {
+      protocol_error_ = "readback step " + std::to_string(step) +
+                        " returned wrong word count";
+      return Status::error(*protocol_error_);
+    }
+    received_[step] = response->frame_words;
+    return Status();
+  }
+  if (!response.has_value() || response->type != ResponseType::kMacValue) {
+    protocol_error_ = "missing or bad MAC response";
+    return Status::error(*protocol_error_);
+  }
+  received_mac_ = response->mac;
+  return Status();
+}
+
+const bitstream::Frame& SachaVerifier::golden_frame(std::uint32_t index) const {
+  if (index == nonce_frame_) return nonce_image_.frames[0];
+  for (std::size_t region = 0; region < app_ranges_.size(); ++region) {
+    if (app_ranges_[region].contains(index)) {
+      return app_images_[region].frames[index - app_ranges_[region].first];
+    }
+  }
+  for (const auto& [range, image] : static_images_) {
+    if (range.contains(index)) return image.frames[index - range.first];
+  }
+  // Frames outside every partition are never configured: golden is zero.
+  return zero_frame_;
+}
+
+bool SachaVerifier::verify_mac(ByteSpan data, const crypto::Mac& mac) const {
+  const crypto::Mac expected = crypto::Cmac::compute(key_, data);
+  return crypto::ct_equal(expected, mac);
+}
+
+std::optional<crypto::Mac> SachaVerifier::expected_mac() const {
+  for (const auto& step_words : received_) {
+    if (!step_words.has_value()) return std::nullopt;
+  }
+  crypto::Cmac cmac(key_);
+  for (const auto& step_words : received_) {
+    Bytes bytes;
+    bytes.reserve(step_words->size() * 4);
+    for (std::uint32_t w : *step_words) put_u32be(bytes, w);
+    cmac.update(bytes);
+  }
+  return cmac.finalize();
+}
+
+SachaVerifier::Verdict SachaVerifier::finish() const {
+  Verdict verdict;
+  if (protocol_error_.has_value()) {
+    verdict.detail = *protocol_error_;
+    return verdict;
+  }
+  if (!received_mac_.has_value()) {
+    verdict.detail = "no MAC received";
+    return verdict;
+  }
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    if (!received_[s].has_value()) {
+      verdict.detail = "no data for readback step " + std::to_string(s);
+      return verdict;
+    }
+  }
+  verdict.protocol_ok = true;
+
+  // H_Vrf = MAC_K(received configuration), in readback order.
+  const std::optional<crypto::Mac> expected = expected_mac();
+  verdict.mac_ok =
+      expected.has_value() && crypto::ct_equal(*expected, *received_mac_);
+  if (!verdict.mac_ok) {
+    verdict.detail = "MAC mismatch: device does not hold the key or data was modified";
+  }
+
+  // B_Prv == B_Vrf under Msk, every frame covered.
+  const std::uint32_t wpf = plan_.device().geometry().words_per_frame();
+  std::vector<bool> covered(plan_.device().total_frames(), false);
+  bool config_ok = true;
+  std::string config_detail;
+  for (std::size_t s = 0; s < steps_.size() && config_ok; ++s) {
+    const auto [first, count] = steps_[s];
+    for (std::uint32_t f = 0; f < count; ++f) {
+      const std::uint32_t frame_index = first + f;
+      bs::Frame received_frame(std::vector<std::uint32_t>(
+          received_[s]->begin() + static_cast<std::ptrdiff_t>(f) * wpf,
+          received_[s]->begin() + static_cast<std::ptrdiff_t>(f + 1) * wpf));
+      const bs::FrameMask msk =
+          bs::architectural_mask(plan_.device(), frame_index);
+      if (!bs::masked_equal(received_frame, golden_frame(frame_index), msk)) {
+        config_ok = false;
+        config_detail = "configuration mismatch at frame " +
+                        std::to_string(frame_index);
+        break;
+      }
+      covered[frame_index] = true;
+    }
+  }
+  if (config_ok) {
+    for (std::uint32_t f = 0; f < covered.size(); ++f) {
+      if (!covered[f]) {
+        config_ok = false;
+        config_detail = "frame " + std::to_string(f) + " never read back";
+        break;
+      }
+    }
+  }
+  verdict.config_ok = config_ok;
+  if (!config_ok && verdict.detail.empty()) verdict.detail = config_detail;
+  if (verdict.ok()) verdict.detail = "attested";
+  return verdict;
+}
+
+}  // namespace sacha::core

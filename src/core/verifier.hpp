@@ -1,0 +1,163 @@
+// SACHa verifier.
+//
+// Owns everything the device does not: the golden configuration (static
+// design + intended application + session nonce), the register-bit mask
+// Msk, the shared MAC key, and the protocol schedule (which frames to
+// configure, and the order — any permutation, §6.1 — in which to read the
+// configuration memory back). After the run it checks two things (Fig. 9):
+//   1. MAC_K(received frames, in readback order) equals the device's MAC —
+//      the data came from the keyed device and was not modified in flight;
+//   2. Msk(received frames) equals Msk(golden frames) for every step, with
+//      every configuration frame covered — the device is configured exactly
+//      as intended, nonce included.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitgen.hpp"
+#include "core/protocol.hpp"
+#include "crypto/prg.hpp"
+#include "fabric/partition.hpp"
+
+namespace sacha::core {
+
+enum class ReadbackOrder : std::uint8_t {
+  kSequentialFromZero,    // 0, 1, ..., N-1
+  kSequentialFromOffset,  // i, i+1, ..., (i+N-1) % N  (the PoC's choice)
+  kRandomPermutation,     // any permutation (§6.1 allows this)
+};
+
+struct VerifierOptions {
+  ReadbackOrder order = ReadbackOrder::kSequentialFromOffset;
+  /// NOOP-pad command streams to these sizes, matching the proof of
+  /// concept's measured packet sizes (A1 and A3 of Table 3). Streams larger
+  /// than the pad target are sent unpadded.
+  std::uint32_t config_pad_words = 266;
+  std::uint32_t readback_pad_words = 414;
+  /// Frames per ICAP_config command (1 in the PoC; the §6.1 buffer-size
+  /// trade-off sweeps this).
+  std::uint32_t frames_per_config = 1;
+  /// Frames per ICAP_readback command (1 in the PoC). Values > 1 force
+  /// sequential order.
+  std::uint32_t frames_per_readback = 1;
+  /// Refresh session (§5.2.2): reconfigure *only* the nonce partition and
+  /// read the whole memory back — "the Vrf can request a fresh checksum of
+  /// the Prv's configuration without changing the intended application".
+  /// Requires that a full session previously installed the application;
+  /// the full-memory readback still proves the entire configuration.
+  bool refresh_only = false;
+};
+
+class SachaVerifier {
+ public:
+  SachaVerifier(fabric::Floorplan plan, bitstream::DesignSpec static_spec,
+                bitstream::DesignSpec app_spec, crypto::AesKey key,
+                std::uint64_t session_seed, VerifierOptions options = {});
+
+  /// Golden image of the base static partition (the one starting at frame
+  /// 0) — what the BootMem is provisioned with. Additional static islands
+  /// are provisioned separately and covered by golden_frame().
+  const bitstream::ConfigImage& static_image() const;
+
+  /// The frame that holds the session nonce (its own tiny reconfigurable
+  /// partition at the top of the dynamic region, §5.2.2).
+  std::uint32_t nonce_frame_index() const { return nonce_frame_; }
+  std::uint64_t nonce() const { return nonce_; }
+
+  /// (Re)starts a session: draws a fresh nonce and a fresh readback order.
+  void begin();
+
+  std::size_t command_count() const;
+  Command command(std::size_t index) const;
+
+  /// Feeds the response (or its absence, for fire-and-forget configuration
+  /// commands) of command `index` back to the verifier.
+  Status on_response(std::size_t index, const std::optional<Response>& response);
+
+  struct Verdict {
+    bool protocol_ok = false;  // every step answered, no prover errors
+    bool mac_ok = false;       // H_Prv == H_Vrf
+    bool config_ok = false;    // Msk(B_Prv) == Msk(B_Vrf), full coverage
+    std::string detail;        // first failure, for logs
+    bool ok() const { return protocol_ok && mac_ok && config_ok; }
+  };
+  Verdict finish() const;
+
+  /// The planned readback schedule: (first frame, frame count) per step.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& readback_steps()
+      const {
+    return steps_;
+  }
+
+  const fabric::Floorplan& floorplan() const { return plan_; }
+  const VerifierOptions& options() const { return options_; }
+
+  /// Switches between full sessions and §5.2.2 nonce-refresh sessions for
+  /// subsequent begin() calls (typical lifecycle: one full install, then
+  /// periodic cheap refreshes).
+  void set_refresh_only(bool refresh) { options_.refresh_only = refresh; }
+  const bitstream::DesignSpec& app_spec() const { return app_spec_; }
+
+  /// Replaces the intended application (secure code update: the next
+  /// session ships and attests the new design).
+  void set_app_spec(bitstream::DesignSpec spec);
+
+  /// The golden configuration of a frame (static design, application, or
+  /// the current session's nonce frame). Used by the state-attestation
+  /// extension to build expected-state references.
+  const bitstream::Frame& golden_frame(std::uint32_t index) const;
+
+  /// Checks a device MAC over arbitrary data under the shared session key
+  /// (constant-time). Used by protocol extensions that add readback phases.
+  bool verify_mac(ByteSpan data, const crypto::Mac& mac) const;
+
+  /// H_Vrf: the MAC recomputed over the received readback transcript, or
+  /// nullopt while steps are missing. finish() compares this against the
+  /// device's H_Prv; the signature extension signs/verifies it instead.
+  std::optional<crypto::Mac> expected_mac() const;
+
+ private:
+  std::size_t config_command_count() const;
+  void regenerate_app_images();
+  Command make_config_command(std::size_t slot) const;
+  Command make_readback_command(std::size_t step) const;
+  std::vector<std::uint32_t> pad(std::vector<std::uint32_t> stream,
+                                 std::uint32_t target_words) const;
+
+  fabric::Floorplan plan_;
+  bitstream::BitGen bitgen_;
+  std::uint32_t idcode_;
+  bitstream::DesignSpec static_spec_;
+  bitstream::DesignSpec app_spec_;
+  crypto::AesKey key_;
+  std::uint64_t session_seed_;
+  VerifierOptions options_;
+
+  // Application regions: every dynamic partition's frames, in ascending
+  // order, with the nonce frame (last frame of the last dynamic partition)
+  // carved out. §2.1.2 allows "one or more" dynamic partitions; the
+  // intended application spans all of them.
+  std::vector<fabric::FrameRange> app_ranges_;
+  std::uint32_t app_frame_total_ = 0;
+  std::uint32_t nonce_frame_ = 0;
+
+  // Golden static images, one per static partition (ascending by range).
+  std::vector<std::pair<fabric::FrameRange, bitstream::ConfigImage>> static_images_;
+  bitstream::Frame zero_frame_;  // golden for frames outside every partition
+  std::vector<bitstream::ConfigImage> app_images_;  // one per app range
+  bitstream::ConfigImage nonce_image_;
+  std::uint64_t nonce_ = 0;
+  std::uint64_t session_counter_ = 0;
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> steps_;
+  // Per-step received readback words (repeated frames may legitimately
+  // return different register bits, so data is kept per step, not per frame).
+  std::vector<std::optional<std::vector<std::uint32_t>>> received_;
+  std::optional<crypto::Mac> received_mac_;
+  std::optional<std::string> protocol_error_;
+};
+
+}  // namespace sacha::core

@@ -1,0 +1,43 @@
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// This models the area-optimised AES core inside the SACHa static partition
+// (the paper's "AEScmac" block of Fig. 10). Only the forward cipher is
+// provided: CMAC and CTR-mode generation never decrypt. The implementation
+// is a straightforward table-free byte-oriented version — clarity over
+// speed; benchmarks measure it as-is and bench_crypto reports the resulting
+// frame-stream MAC throughput.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sacha::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAesKeySize = 16;
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+using AesKey = std::array<std::uint8_t, kAesKeySize>;
+
+/// AES-128 with a fixed expanded key.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypts one 16-byte block in place.
+  void encrypt_block(AesBlock& block) const;
+
+  /// Convenience: returns E_K(in).
+  AesBlock encrypt(const AesBlock& in) const;
+
+ private:
+  // 11 round keys of 16 bytes.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+/// Builds an AesKey from a buffer that must be exactly 16 bytes.
+AesKey to_aes_key(ByteSpan raw);
+
+}  // namespace sacha::crypto

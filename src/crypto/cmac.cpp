@@ -1,0 +1,83 @@
+#include "crypto/cmac.hpp"
+
+#include <cassert>
+
+namespace sacha::crypto {
+
+namespace {
+
+/// GF(2^128) doubling with the CMAC reduction polynomial (RFC 4493 §2.3).
+AesBlock dbl(const AesBlock& in) {
+  AesBlock out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    const std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = b >> 7;
+  }
+  if (carry) out[15] ^= 0x87;
+  return out;
+}
+
+}  // namespace
+
+Cmac::Cmac(const AesKey& key) : aes_(key) {
+  AesBlock l{};
+  aes_.encrypt_block(l);
+  subkey1_ = dbl(l);
+  subkey2_ = dbl(subkey1_);
+  reset();
+}
+
+void Cmac::reset() {
+  state_.fill(0);
+  buffer_.fill(0);
+  buffered_ = 0;
+  any_input_ = false;
+  finalized_ = false;
+}
+
+void Cmac::update(ByteSpan data) {
+  assert(!finalized_);
+  if (!data.empty()) any_input_ = true;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    // Flush the buffer only when more input follows: the final full block
+    // must stay buffered so finalize() can fold in subkey1.
+    if (buffered_ == kAesBlockSize) {
+      for (std::size_t i = 0; i < kAesBlockSize; ++i) state_[i] ^= buffer_[i];
+      aes_.encrypt_block(state_);
+      buffered_ = 0;
+    }
+    const std::size_t take =
+        std::min(kAesBlockSize - buffered_, data.size() - pos);
+    for (std::size_t i = 0; i < take; ++i) buffer_[buffered_ + i] = data[pos + i];
+    buffered_ += take;
+    pos += take;
+  }
+}
+
+Mac Cmac::finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  AesBlock last{};
+  if (any_input_ && buffered_ == kAesBlockSize) {
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] = buffer_[i] ^ subkey1_[i];
+  } else {
+    // Pad 10...0 and use K2.
+    for (std::size_t i = 0; i < buffered_; ++i) last[i] = buffer_[i];
+    last[buffered_] = 0x80;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= subkey2_[i];
+  }
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) state_[i] ^= last[i];
+  aes_.encrypt_block(state_);
+  return state_;
+}
+
+Mac Cmac::compute(const AesKey& key, ByteSpan data) {
+  Cmac cmac(key);
+  cmac.update(data);
+  return cmac.finalize();
+}
+
+}  // namespace sacha::crypto

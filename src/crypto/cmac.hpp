@@ -1,0 +1,46 @@
+// AES-CMAC (RFC 4493 / NIST SP 800-38B).
+//
+// This is the checksum the SACHa prover computes over the configuration
+// memory. The streaming interface mirrors the hardware: the protocol calls
+// init / update(frame) once per readback command / finalize, exactly like
+// the MAC-init, MAC-update-step-i and MAC-finalize actions A5/A6/A7 of
+// Table 3.
+#pragma once
+
+#include <optional>
+
+#include "crypto/aes.hpp"
+
+namespace sacha::crypto {
+
+using Mac = AesBlock;  // 128-bit tag
+
+/// Streaming AES-CMAC. Usage: construct (or reset()), update() any number of
+/// times with arbitrary-length chunks, finalize() once.
+class Cmac {
+ public:
+  explicit Cmac(const AesKey& key);
+
+  /// Restarts the computation under the same key.
+  void reset();
+
+  void update(ByteSpan data);
+
+  /// Completes the tag; the object must be reset() before reuse.
+  Mac finalize();
+
+  /// One-shot convenience.
+  static Mac compute(const AesKey& key, ByteSpan data);
+
+ private:
+  Aes128 aes_;
+  AesBlock subkey1_{};
+  AesBlock subkey2_{};
+  AesBlock state_{};   // running CBC value
+  AesBlock buffer_{};  // pending partial (or final full) block
+  std::size_t buffered_ = 0;
+  bool any_input_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace sacha::crypto

@@ -1,0 +1,12 @@
+#include "crypto/ct.hpp"
+
+namespace sacha::crypto {
+
+bool ct_equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= static_cast<unsigned>(a[i] ^ b[i]);
+  return diff == 0;
+}
+
+}  // namespace sacha::crypto

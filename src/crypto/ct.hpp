@@ -1,0 +1,13 @@
+// Constant-time comparison. MAC verification on both prover and verifier
+// sides must not leak the position of the first mismatching byte.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace sacha::crypto {
+
+/// True iff a == b, in time independent of the contents (still dependent on
+/// the lengths, which are public).
+bool ct_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace sacha::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hmac.hpp"
+
+namespace sacha::crypto {
+
+HmacSha256::HmacSha256(ByteSpan key) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Sha256Digest d = Sha256::compute(key);
+    for (std::size_t i = 0; i < d.size(); ++i) k[i] = d[i];
+  } else {
+    for (std::size_t i = 0; i < key.size(); ++i) k[i] = key[i];
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad_[i] = k[i] ^ 0x36;
+    opad_[i] = k[i] ^ 0x5c;
+  }
+  reset();
+}
+
+void HmacSha256::reset() {
+  inner_.reset();
+  inner_.update(ipad_);
+}
+
+void HmacSha256::update(ByteSpan data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finalize() {
+  const Sha256Digest inner_digest = inner_.finalize();
+  Sha256 outer;
+  outer.update(opad_);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Sha256Digest HmacSha256::compute(ByteSpan key, ByteSpan data) {
+  HmacSha256 mac(key);
+  mac.update(data);
+  return mac.finalize();
+}
+
+}  // namespace sacha::crypto

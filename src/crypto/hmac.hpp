@@ -1,0 +1,26 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). Used by bench_crypto as the
+// alternative MAC core the paper's area-optimised AES-CMAC is compared
+// against, and by the SWATT-style baseline for response computation.
+#pragma once
+
+#include "crypto/sha256.hpp"
+
+namespace sacha::crypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ByteSpan key);
+
+  void reset();
+  void update(ByteSpan data);
+  Sha256Digest finalize();
+
+  static Sha256Digest compute(ByteSpan key, ByteSpan data);
+
+ private:
+  std::array<std::uint8_t, 64> ipad_{};
+  std::array<std::uint8_t, 64> opad_{};
+  Sha256 inner_;
+};
+
+}  // namespace sacha::crypto

@@ -1,0 +1,62 @@
+#include "crypto/lamport.hpp"
+
+#include <cassert>
+
+namespace sacha::crypto {
+
+Sha256Digest LamportPublicKey::fingerprint() const {
+  Sha256 hash;
+  for (const Sha256Digest& h : hashes) hash.update(h);
+  return hash.finalize();
+}
+
+LamportSecretKey lamport_keygen(std::uint64_t seed, std::uint32_t leaf_index) {
+  LamportSecretKey sk;
+  sk.preimages.resize(kLamportChains);
+  Prg prg(seed ^ (static_cast<std::uint64_t>(leaf_index) * 0x9e3779b97f4a7c15ULL),
+          "lamport-sk");
+  for (auto& preimage : sk.preimages) {
+    const Bytes bytes = prg.bytes(32);
+    std::copy(bytes.begin(), bytes.end(), preimage.begin());
+  }
+  return sk;
+}
+
+LamportPublicKey lamport_public(const LamportSecretKey& sk) {
+  assert(sk.preimages.size() == kLamportChains);
+  LamportPublicKey pk;
+  pk.hashes.reserve(kLamportChains);
+  for (const auto& preimage : sk.preimages) {
+    pk.hashes.push_back(Sha256::compute(preimage));
+  }
+  return pk;
+}
+
+LamportSignature lamport_sign(const LamportSecretKey& sk,
+                              const Sha256Digest& digest) {
+  assert(sk.preimages.size() == kLamportChains);
+  LamportSignature sig;
+  sig.revealed.reserve(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    const int bit = (digest[i / 8] >> (7 - i % 8)) & 1;
+    sig.revealed.push_back(
+        sk.preimages[static_cast<std::size_t>(bit) * 256 + i]);
+  }
+  return sig;
+}
+
+bool lamport_verify(const LamportPublicKey& pk, const Sha256Digest& digest,
+                    const LamportSignature& signature) {
+  if (pk.hashes.size() != kLamportChains || signature.revealed.size() != 256) {
+    return false;
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    const int bit = (digest[i / 8] >> (7 - i % 8)) & 1;
+    const Sha256Digest expected =
+        pk.hashes[static_cast<std::size_t>(bit) * 256 + i];
+    if (Sha256::compute(signature.revealed[i]) != expected) return false;
+  }
+  return true;
+}
+
+}  // namespace sacha::crypto

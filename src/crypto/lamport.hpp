@@ -1,0 +1,56 @@
+// Lamport one-time signatures over SHA-256.
+//
+// Building block for the paper's second future-work item (§8): "add a
+// signature mechanism to the system when it is not possible to exchange a
+// secret key between the prover and the verifier before deployment".
+// Hash-based signatures fit the SACHa setting well — the only primitive
+// they need is the hash core the static partition already contains, and
+// the security reduction is to preimage resistance, with no number-theoretic
+// hardware. A secret key is 2x256 32-byte preimages (deterministically
+// derived from a seed); signing a 256-bit digest reveals one preimage per
+// bit. Strictly one-time: Merkle aggregation (merkle.hpp) turns many OTS
+// leaves into one long-lived public key.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "crypto/prg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sacha::crypto {
+
+inline constexpr std::size_t kLamportChains = 2 * 256;
+
+struct LamportSecretKey {
+  // preimages[b][i] signs bit i with value b (flattened: [b*256 + i]).
+  std::vector<std::array<std::uint8_t, 32>> preimages;  // kLamportChains entries
+};
+
+struct LamportPublicKey {
+  std::vector<Sha256Digest> hashes;  // kLamportChains entries
+
+  /// Compact commitment to the whole public key (the Merkle leaf value).
+  Sha256Digest fingerprint() const;
+
+  bool operator==(const LamportPublicKey&) const = default;
+};
+
+struct LamportSignature {
+  std::vector<std::array<std::uint8_t, 32>> revealed;  // 256 preimages
+
+  bool operator==(const LamportSignature&) const = default;
+};
+
+/// Deterministic keypair from (seed, leaf index).
+LamportSecretKey lamport_keygen(std::uint64_t seed, std::uint32_t leaf_index);
+LamportPublicKey lamport_public(const LamportSecretKey& sk);
+
+/// Signs a 256-bit digest. The caller must never sign twice with one key.
+LamportSignature lamport_sign(const LamportSecretKey& sk,
+                              const Sha256Digest& digest);
+
+bool lamport_verify(const LamportPublicKey& pk, const Sha256Digest& digest,
+                    const LamportSignature& signature);
+
+}  // namespace sacha::crypto

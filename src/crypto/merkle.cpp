@@ -1,0 +1,67 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+namespace sacha::crypto {
+
+namespace {
+Sha256Digest hash_pair(const Sha256Digest& left, const Sha256Digest& right) {
+  Sha256 hash;
+  hash.update(bytes_of("sacha-merkle-node"));
+  hash.update(left);
+  hash.update(right);
+  return hash.finalize();
+}
+}  // namespace
+
+HashSigner::HashSigner(std::uint64_t seed, std::uint32_t height)
+    : seed_(seed), height_(height) {
+  assert(height <= 16 && "tree precomputation is O(2^h) keygens");
+  const std::uint32_t leaves = 1u << height;
+  levels_.resize(height + 1);
+  levels_[0].reserve(leaves);
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    levels_[0].push_back(lamport_public(lamport_keygen(seed_, i)).fingerprint());
+  }
+  for (std::uint32_t level = 1; level <= height; ++level) {
+    const auto& below = levels_[level - 1];
+    levels_[level].reserve(below.size() / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      levels_[level].push_back(hash_pair(below[i], below[i + 1]));
+    }
+  }
+  root_ = levels_[height][0];
+}
+
+std::optional<MerkleSignature> HashSigner::sign(const Sha256Digest& digest) {
+  if (next_leaf_ >= capacity()) return std::nullopt;  // exhausted: refuse
+  const std::uint32_t leaf = next_leaf_++;
+
+  MerkleSignature sig;
+  sig.leaf_index = leaf;
+  const LamportSecretKey sk = lamport_keygen(seed_, leaf);
+  sig.leaf_public = lamport_public(sk);
+  sig.ots = lamport_sign(sk, digest);
+  std::uint32_t index = leaf;
+  for (std::uint32_t level = 0; level < height_; ++level) {
+    sig.auth_path.push_back(levels_[level][index ^ 1u]);
+    index >>= 1;
+  }
+  return sig;
+}
+
+bool merkle_verify(const Sha256Digest& root, std::uint32_t tree_height,
+                   const Sha256Digest& digest, const MerkleSignature& sig) {
+  if (sig.auth_path.size() != tree_height) return false;
+  if (sig.leaf_index >= (1u << tree_height)) return false;
+  if (!lamport_verify(sig.leaf_public, digest, sig.ots)) return false;
+  Sha256Digest node = sig.leaf_public.fingerprint();
+  std::uint32_t index = sig.leaf_index;
+  for (const Sha256Digest& sibling : sig.auth_path) {
+    node = (index & 1u) ? hash_pair(sibling, node) : hash_pair(node, sibling);
+    index >>= 1;
+  }
+  return node == root;
+}
+
+}  // namespace sacha::crypto

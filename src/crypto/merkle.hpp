@@ -1,0 +1,50 @@
+// Merkle aggregation of Lamport one-time keys.
+//
+// A signing identity is a tree of 2^h one-time keys; the root is the
+// long-term public key the verifier learns at provisioning (e.g. from the
+// device manufacturer). Each signature carries the OTS public key, the leaf
+// index, and the authentication path; the verifier recomputes the root.
+// Leaf exhaustion and reuse are the caller's responsibility — HashSigner
+// tracks both.
+#pragma once
+
+#include <optional>
+
+#include "crypto/lamport.hpp"
+
+namespace sacha::crypto {
+
+struct MerkleSignature {
+  std::uint32_t leaf_index = 0;
+  LamportPublicKey leaf_public;
+  LamportSignature ots;
+  std::vector<Sha256Digest> auth_path;  // sibling hashes, leaf to root
+};
+
+/// Stateful hash-based signer (device side).
+class HashSigner {
+ public:
+  /// 2^height one-time keys, all derived from `seed`.
+  HashSigner(std::uint64_t seed, std::uint32_t height);
+
+  const Sha256Digest& root() const { return root_; }
+  std::uint32_t capacity() const { return 1u << height_; }
+  std::uint32_t used() const { return next_leaf_; }
+  std::uint32_t remaining() const { return capacity() - next_leaf_; }
+
+  /// Signs with the next unused leaf; nullopt when exhausted.
+  std::optional<MerkleSignature> sign(const Sha256Digest& digest);
+
+ private:
+  std::uint64_t seed_;
+  std::uint32_t height_;
+  std::uint32_t next_leaf_ = 0;
+  std::vector<std::vector<Sha256Digest>> levels_;  // levels_[0] = leaves
+  Sha256Digest root_{};
+};
+
+/// Verifier side: checks the OTS and the path against the trusted root.
+bool merkle_verify(const Sha256Digest& root, std::uint32_t tree_height,
+                   const Sha256Digest& digest, const MerkleSignature& sig);
+
+}  // namespace sacha::crypto

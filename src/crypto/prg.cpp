@@ -1,0 +1,47 @@
+#include "crypto/prg.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sacha::crypto {
+
+namespace {
+Aes128 seed_cipher(std::uint64_t seed, std::string_view label) {
+  // Key = first 16 bytes of SHA-256(seed_be || label).
+  Bytes material;
+  put_u64be(material, seed);
+  append(material, bytes_of(label));
+  const Sha256Digest digest = Sha256::compute(material);
+  AesKey key{};
+  for (std::size_t i = 0; i < kAesKeySize; ++i) key[i] = digest[i];
+  return Aes128(key);
+}
+}  // namespace
+
+Prg::Prg(std::uint64_t seed, std::string_view label)
+    : aes_(seed_cipher(seed, label)) {}
+
+Bytes Prg::bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    if (used_ == kAesBlockSize) {
+      block_ = aes_.encrypt(counter_);
+      // Increment the counter big-endian.
+      for (int i = 15; i >= 0; --i) {
+        if (++counter_[static_cast<std::size_t>(i)] != 0) break;
+      }
+      used_ = 0;
+    }
+    out.push_back(block_[used_++]);
+  }
+  return out;
+}
+
+std::uint64_t Prg::next_u64() {
+  const Bytes b = bytes(8);
+  return get_u64be(b, 0);
+}
+
+AesKey Prg::key() { return to_aes_key(bytes(kAesKeySize)); }
+
+}  // namespace sacha::crypto

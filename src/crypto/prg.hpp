@@ -1,0 +1,32 @@
+// AES-CTR based deterministic pseudo-random generator.
+//
+// Supplies the cryptographic randomness in the system: verifier nonces,
+// provisioned keys, and the pseudo-random fill used by the Choi-style
+// memory-filling baseline. Domain separation comes from the personalisation
+// string so two PRGs seeded alike but labelled differently diverge.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "crypto/aes.hpp"
+
+namespace sacha::crypto {
+
+class Prg {
+ public:
+  /// Seeds from a 64-bit seed plus a domain-separation label.
+  Prg(std::uint64_t seed, std::string_view label);
+
+  Bytes bytes(std::size_t n);
+  std::uint64_t next_u64();
+  AesKey key();  // 16 fresh bytes as an AES key
+
+ private:
+  Aes128 aes_;
+  AesBlock counter_{};
+  AesBlock block_{};
+  std::size_t used_ = kAesBlockSize;  // forces refill on first use
+};
+
+}  // namespace sacha::crypto

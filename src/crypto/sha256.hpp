@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4), used by the baseline attestation schemes
+// (Chaves-style bitstream hashing, Perito-Tsudik memory checksums) and by
+// the fuzzy extractor's key-derivation step.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sacha::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void reset();
+  void update(ByteSpan data);
+  Sha256Digest finalize();
+
+  static Sha256Digest compute(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sacha::crypto

@@ -1,0 +1,52 @@
+#include "fabric/device.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sacha::fabric {
+
+DeviceModel::DeviceModel(std::string name, ResourceCounts totals,
+                         ConfigGeometry geometry)
+    : name_(std::move(name)), totals_(totals), geometry_(std::move(geometry)) {}
+
+DeviceModel DeviceModel::xc6vlx240t() {
+  // Geometry chosen so logic + BRAM-content frames total exactly 28,488:
+  //   logic: 6 rows x 121 columns x 36 minors = 26,136 frames
+  //   bram:  6 rows x  28 columns x 14 minors =  2,352 frames
+  // The split approximates the real device (most frames configure
+  // interconnect/logic; a small tail holds BRAM content).
+  const ConfigGeometry geometry(BlockGeometry{6, 121, 36},
+                                BlockGeometry{6, 28, 14},
+                                kVirtex6WordsPerFrame);
+  assert(geometry.total_frames() == kVirtex6TotalFrames);
+  // Resource totals are Table 2's "Entire FPGA" row.
+  return DeviceModel("XC6VLX240T",
+                     ResourceCounts{.clb = 18'840,
+                                    .bram18 = 832,
+                                    .iob = 600,
+                                    .dcm = 12,
+                                    .icap = 1},
+                     geometry);
+}
+
+DeviceModel DeviceModel::softcore_test_device() {
+  const ConfigGeometry geometry(BlockGeometry{1, 8, 4},  // 32 logic frames
+                                BlockGeometry{1, 2, 2},  //  4 bram frames
+                                /*words_per_frame=*/16);
+  return DeviceModel(
+      "TESTSC36",
+      ResourceCounts{.clb = 400, .bram18 = 16, .iob = 32, .dcm = 2, .icap = 1},
+      geometry);
+}
+
+DeviceModel DeviceModel::small_test_device() {
+  const ConfigGeometry geometry(BlockGeometry{1, 4, 3},  // 12 logic frames
+                                BlockGeometry{1, 2, 2},  //  4 bram frames
+                                /*words_per_frame=*/8);
+  return DeviceModel(
+      "TEST16",
+      ResourceCounts{.clb = 100, .bram18 = 8, .iob = 16, .dcm = 2, .icap = 1},
+      geometry);
+}
+
+}  // namespace sacha::fabric

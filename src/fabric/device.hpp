@@ -1,0 +1,61 @@
+// Device models.
+//
+// DeviceModel couples a resource inventory with a configuration-memory
+// geometry. Two factory devices are provided:
+//  - xc6vlx240t(): the Virtex-6 part of the paper's proof of concept, with
+//    the exact frame count (28,488), frame size (81 x 32-bit words) and
+//    Table 2 resource totals (18,840 CLB / 832 BRAM18 / 1 ICAP / 12 DCM).
+//  - small_test_device(): a 16-frame toy device so unit tests run protocol
+//    sweeps in microseconds.
+#pragma once
+
+#include <string>
+
+#include "fabric/geometry.hpp"
+#include "fabric/resources.hpp"
+
+namespace sacha::fabric {
+
+class DeviceModel {
+ public:
+  DeviceModel(std::string name, ResourceCounts totals, ConfigGeometry geometry);
+
+  const std::string& name() const { return name_; }
+  const ResourceCounts& totals() const { return totals_; }
+  const ConfigGeometry& geometry() const { return geometry_; }
+
+  std::uint32_t total_frames() const { return geometry_.total_frames(); }
+  std::uint32_t frame_bytes() const { return geometry_.frame_bytes(); }
+
+  /// Size of a bitstream covering `frames` frames, in bytes (payload only,
+  /// excluding packet framing).
+  std::uint64_t bitstream_bytes(std::uint32_t frames) const {
+    return static_cast<std::uint64_t>(frames) * frame_bytes();
+  }
+
+  /// The paper's proof-of-concept device (Xilinx Virtex-6 XC6VLX240T).
+  static DeviceModel xc6vlx240t();
+
+  /// Tiny device for fast tests: 16 frames of 8 words.
+  static DeviceModel small_test_device();
+
+  /// Mid-size test device with enough flip-flop positions in its dynamic
+  /// region to host the softcore's architectural state (36 frames of 16
+  /// words; ~10 register bits per frame at the 2% architectural density).
+  static DeviceModel softcore_test_device();
+
+ private:
+  std::string name_;
+  ResourceCounts totals_;
+  ConfigGeometry geometry_;
+};
+
+/// Number of configuration frames the XC6VLX240T exposes (paper §6.1).
+inline constexpr std::uint32_t kVirtex6TotalFrames = 28'488;
+/// Frames belonging to the dynamic partition in the proof of concept
+/// (paper §7.1, Table 4: ICAP_config repeated 26,400 times).
+inline constexpr std::uint32_t kVirtex6DynamicFrames = 26'400;
+/// 32-bit words per Virtex-6 frame (paper §6.1).
+inline constexpr std::uint32_t kVirtex6WordsPerFrame = 81;
+
+}  // namespace sacha::fabric

@@ -1,0 +1,77 @@
+#include "fabric/geometry.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace sacha::fabric {
+
+std::string FrameAddress::to_string() const {
+  std::ostringstream os;
+  os << (block == BlockType::kLogic ? "LOGIC" : "BRAM") << "[r" << row << ",c"
+     << col << ",m" << minor << "]";
+  return os.str();
+}
+
+std::uint32_t FrameAddress::pack() const {
+  return (static_cast<std::uint32_t>(block) << 28) | ((row & 0xff) << 20) |
+         ((col & 0xfff) << 8) | (minor & 0xff);
+}
+
+FrameAddress FrameAddress::unpack(std::uint32_t word) {
+  FrameAddress addr;
+  addr.block = static_cast<BlockType>((word >> 28) & 0xf);
+  addr.row = (word >> 20) & 0xff;
+  addr.col = (word >> 8) & 0xfff;
+  addr.minor = word & 0xff;
+  return addr;
+}
+
+ConfigGeometry::ConfigGeometry(BlockGeometry logic, BlockGeometry bram,
+                               std::uint32_t words_per_frame)
+    : logic_(logic), bram_(bram), words_per_frame_(words_per_frame) {
+  assert(words_per_frame_ > 0);
+}
+
+std::uint32_t ConfigGeometry::total_frames() const {
+  return logic_.frames() + bram_.frames();
+}
+
+const BlockGeometry& ConfigGeometry::block(BlockType type) const {
+  return type == BlockType::kLogic ? logic_ : bram_;
+}
+
+bool ConfigGeometry::valid(const FrameAddress& addr) const {
+  if (addr.block != BlockType::kLogic && addr.block != BlockType::kBramContent) {
+    return false;
+  }
+  const BlockGeometry& g = block(addr.block);
+  return addr.row < g.rows && addr.col < g.cols && addr.minor < g.minors;
+}
+
+std::uint32_t ConfigGeometry::linear_index(const FrameAddress& addr) const {
+  assert(valid(addr));
+  const BlockGeometry& g = block(addr.block);
+  const std::uint32_t within =
+      (addr.row * g.cols + addr.col) * g.minors + addr.minor;
+  return addr.block == BlockType::kLogic ? within : logic_.frames() + within;
+}
+
+FrameAddress ConfigGeometry::address_of(std::uint32_t index) const {
+  assert(index < total_frames());
+  FrameAddress addr;
+  std::uint32_t within = index;
+  if (index < logic_.frames()) {
+    addr.block = BlockType::kLogic;
+  } else {
+    addr.block = BlockType::kBramContent;
+    within -= logic_.frames();
+  }
+  const BlockGeometry& g = block(addr.block);
+  addr.minor = within % g.minors;
+  within /= g.minors;
+  addr.col = within % g.cols;
+  addr.row = within / g.cols;
+  return addr;
+}
+
+}  // namespace sacha::fabric

@@ -1,0 +1,73 @@
+// Configuration-memory geometry and frame addressing.
+//
+// Xilinx devices address configuration memory through the Frame Address
+// Register (FAR) as (block type, row, major column, minor frame); a frame is
+// the smallest addressable unit (81 x 32-bit words on Virtex-6). We model
+// two block types — interconnect/logic configuration and BRAM content — with
+// per-type (rows x cols x minors) geometry, and provide the bijection
+// between FAR-style addresses and a linear frame index that the protocol
+// uses ("frame_nb" in the paper's ICAP_readback command).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sacha::fabric {
+
+enum class BlockType : std::uint8_t {
+  kLogic = 0,        // CLB/IOB/CLK interconnect and configuration
+  kBramContent = 1,  // block RAM initial/current content
+};
+
+struct FrameAddress {
+  BlockType block = BlockType::kLogic;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  std::uint32_t minor = 0;
+
+  bool operator==(const FrameAddress&) const = default;
+  std::string to_string() const;
+
+  /// Packs into the 32-bit FAR word layout used on the wire:
+  /// [31:24] block, [23:16] row, [15:8] col... cols can exceed 255 on large
+  /// devices, so the layout is [31:28] block, [27:20] row, [19:8] col,
+  /// [7:0] minor.
+  std::uint32_t pack() const;
+  static FrameAddress unpack(std::uint32_t word);
+};
+
+struct BlockGeometry {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint32_t minors = 0;  // frames per (row, col)
+
+  std::uint32_t frames() const { return rows * cols * minors; }
+};
+
+class ConfigGeometry {
+ public:
+  ConfigGeometry(BlockGeometry logic, BlockGeometry bram,
+                 std::uint32_t words_per_frame);
+
+  std::uint32_t words_per_frame() const { return words_per_frame_; }
+  std::uint32_t frame_bytes() const { return words_per_frame_ * 4; }
+  std::uint32_t total_frames() const;
+  const BlockGeometry& block(BlockType type) const;
+
+  bool valid(const FrameAddress& addr) const;
+
+  /// Linear index: logic frames first in (row, col, minor) order, then BRAM
+  /// content frames. Requires valid(addr).
+  std::uint32_t linear_index(const FrameAddress& addr) const;
+
+  /// Inverse of linear_index. Requires index < total_frames().
+  FrameAddress address_of(std::uint32_t index) const;
+
+ private:
+  BlockGeometry logic_;
+  BlockGeometry bram_;
+  std::uint32_t words_per_frame_;
+};
+
+}  // namespace sacha::fabric

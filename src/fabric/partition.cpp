@@ -1,0 +1,133 @@
+#include "fabric/partition.hpp"
+
+#include <sstream>
+
+namespace sacha::fabric {
+
+Floorplan::Floorplan(DeviceModel device) : device_(std::move(device)) {}
+
+void Floorplan::add_partition(Partition partition) {
+  partitions_.push_back(std::move(partition));
+}
+
+void Floorplan::add_component(Component component) {
+  components_.push_back(std::move(component));
+}
+
+const Partition* Floorplan::find_partition(std::string_view name) const {
+  for (const Partition& p : partitions_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+ResourceCounts Floorplan::component_usage(std::string_view partition_name) const {
+  ResourceCounts usage;
+  for (const Component& c : components_) {
+    if (c.partition == partition_name) usage += c.resources;
+  }
+  return usage;
+}
+
+Status Floorplan::validate() const {
+  const std::uint32_t total_frames = device_.total_frames();
+  ResourceCounts region_total;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    const Partition& p = partitions_[i];
+    if (p.frames.end() > total_frames || p.frames.count == 0) {
+      return Status::error("partition '" + p.name + "' frame range out of bounds");
+    }
+    for (std::size_t j = i + 1; j < partitions_.size(); ++j) {
+      if (p.frames.overlaps(partitions_[j].frames)) {
+        return Status::error("partitions '" + p.name + "' and '" +
+                             partitions_[j].name + "' overlap");
+      }
+      if (p.name == partitions_[j].name) {
+        return Status::error("duplicate partition name '" + p.name + "'");
+      }
+    }
+    region_total += p.resources;
+  }
+  if (!region_total.fits_within(device_.totals())) {
+    return Status::error("partition regions exceed device capacity: " +
+                         region_total.to_string() + " vs " +
+                         device_.totals().to_string());
+  }
+  for (const Component& c : components_) {
+    if (find_partition(c.partition) == nullptr) {
+      return Status::error("component '" + c.name + "' targets unknown partition '" +
+                           c.partition + "'");
+    }
+  }
+  for (const Partition& p : partitions_) {
+    const ResourceCounts usage = component_usage(p.name);
+    if (!usage.fits_within(p.resources)) {
+      return Status::error("components overflow partition '" + p.name +
+                           "': " + usage.to_string() + " vs " +
+                           p.resources.to_string());
+    }
+  }
+  return Status();
+}
+
+const Partition* Floorplan::partition_of_frame(std::uint32_t index) const {
+  for (const Partition& p : partitions_) {
+    if (p.frames.contains(index)) return &p;
+  }
+  return nullptr;
+}
+
+std::uint32_t Floorplan::frames_of_kind(PartitionKind kind) const {
+  std::uint32_t n = 0;
+  for (const Partition& p : partitions_) {
+    if (p.kind == kind) n += p.frames.count;
+  }
+  return n;
+}
+
+Floorplan sacha_reference_floorplan() {
+  using namespace component_names;
+  Floorplan plan(DeviceModel::xc6vlx240t());
+
+  const std::uint32_t static_frames =
+      kVirtex6TotalFrames - kVirtex6DynamicFrames;  // 2,088
+
+  // Partition regions: Table 2's StatPart and DynPart rows tile the device
+  // exactly (1,400 + 17,440 CLB = 18,840; 72 + 760 BRAM = 832; 1 + 11 DCM).
+  plan.add_partition(Partition{
+      .name = "StatPart",
+      .kind = PartitionKind::kStatic,
+      .frames = FrameRange{0, static_frames},
+      .resources = {.clb = 1'400, .bram18 = 72, .iob = 20, .dcm = 1, .icap = 1},
+  });
+  plan.add_partition(Partition{
+      .name = "DynPart",
+      .kind = PartitionKind::kDynamic,
+      .frames = FrameRange{static_frames, kVirtex6DynamicFrames},
+      .resources = {.clb = 17'440, .bram18 = 760, .iob = 580, .dcm = 11, .icap = 0},
+  });
+
+  // Static-partition components (Fig. 10 block diagram). The AES-CMAC entry
+  // is the paper's "MAC (+FIFO)" row: 283 CLB, 8 BRAM. The remaining blocks
+  // are decomposed so the partition totals equal Table 2's StatPart row.
+  plan.add_component({kEthCore, "StatPart", {.clb = 620, .bram18 = 4}});
+  plan.add_component({kRxFsm, "StatPart", {.clb = 95}});
+  plan.add_component({kCmdBram, "StatPart", {.clb = 20, .bram18 = 4}});
+  plan.add_component({kIcapCtrl, "StatPart", {.clb = 130, .icap = 1}});
+  plan.add_component({kReadbackFifo, "StatPart", {.clb = 60, .bram18 = 48}});
+  plan.add_component({kHeaderFifo, "StatPart", {.clb = 30, .bram18 = 8}});
+  plan.add_component({kAesCmac, "StatPart", {.clb = 283, .bram18 = 8}});
+  plan.add_component({kTxFsm, "StatPart", {.clb = 110}});
+  plan.add_component({kClocking, "StatPart", {.clb = 12, .dcm = 1}});
+  plan.add_component({kKeyGlue, "StatPart", {.clb = 40}});
+
+  // Dynamic partition: the intended application fills most of the region;
+  // the nonce register is its own tiny reconfigurable island (§5.2.2).
+  plan.add_component({kApplication, "DynPart",
+                      {.clb = 17'400, .bram18 = 760, .dcm = 11}});
+  plan.add_component({kNonceRegister, "DynPart", {.clb = 8}});
+
+  return plan;
+}
+
+}  // namespace sacha::fabric

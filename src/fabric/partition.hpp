@@ -1,0 +1,107 @@
+// Partitions and floorplans.
+//
+// A Floorplan splits a device into a static partition (always configured,
+// loaded from BootMem at power-on) and one or more dynamic partitions
+// (run-time reconfigurable through the ICAP), assigns each a contiguous
+// configuration-frame range and a resource budget, and places named
+// components (ETH core, AES-CMAC, FIFOs, ...) into partitions. Table 2 is
+// the resource report of `sacha_reference_floorplan()`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "fabric/device.hpp"
+
+namespace sacha::fabric {
+
+enum class PartitionKind : std::uint8_t { kStatic, kDynamic };
+
+/// Contiguous range of linear frame indices [first, first + count).
+struct FrameRange {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+
+  std::uint32_t end() const { return first + count; }
+  bool contains(std::uint32_t index) const {
+    return index >= first && index < end();
+  }
+  bool overlaps(const FrameRange& other) const {
+    return first < other.end() && other.first < end();
+  }
+  bool operator==(const FrameRange&) const = default;
+};
+
+struct Partition {
+  std::string name;
+  PartitionKind kind = PartitionKind::kStatic;
+  FrameRange frames;
+  ResourceCounts resources;  // region capacity (Table 2 partition rows)
+};
+
+struct Component {
+  std::string name;
+  std::string partition;     // owning partition name
+  ResourceCounts resources;  // occupied resources (Table 2 component rows)
+};
+
+class Floorplan {
+ public:
+  explicit Floorplan(DeviceModel device);
+
+  const DeviceModel& device() const { return device_; }
+
+  void add_partition(Partition partition);
+  void add_component(Component component);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Component>& components() const { return components_; }
+
+  const Partition* find_partition(std::string_view name) const;
+
+  /// Sum of component usage inside a partition.
+  ResourceCounts component_usage(std::string_view partition_name) const;
+
+  /// Checks: partition frame ranges are in bounds and non-overlapping;
+  /// partition resources tile within the device totals; each component's
+  /// partition exists; per-partition component usage fits the region.
+  Status validate() const;
+
+  /// The partition owning a linear frame index, or nullptr if unassigned.
+  const Partition* partition_of_frame(std::uint32_t index) const;
+
+  /// Frame counts by kind.
+  std::uint32_t frames_of_kind(PartitionKind kind) const;
+
+ private:
+  DeviceModel device_;
+  std::vector<Partition> partitions_;
+  std::vector<Component> components_;
+};
+
+/// Floorplan of the paper's proof of concept on the XC6VLX240T, reproducing
+/// Table 2: StatPart 1,400 CLB / 72 BRAM / 1 ICAP / 1 DCM holding the
+/// communication + MAC stack (the MAC core itself at 283 CLB / 8 BRAM) and
+/// DynPart 17,440 CLB / 760 BRAM / 11 DCM with 26,400 configuration frames.
+Floorplan sacha_reference_floorplan();
+
+/// Component names used by sacha_reference_floorplan().
+namespace component_names {
+inline constexpr const char* kEthCore = "eth_core";
+inline constexpr const char* kRxFsm = "rx_fsm";
+inline constexpr const char* kCmdBram = "cmd_bram";
+inline constexpr const char* kIcapCtrl = "icap_ctrl";
+inline constexpr const char* kReadbackFifo = "readback_fifo";
+inline constexpr const char* kHeaderFifo = "header_fifo";
+inline constexpr const char* kAesCmac = "aes_cmac";
+inline constexpr const char* kTxFsm = "tx_fsm";
+inline constexpr const char* kClocking = "clocking";
+inline constexpr const char* kKeyGlue = "key_register_glue";
+inline constexpr const char* kApplication = "intended_application";
+inline constexpr const char* kNonceRegister = "nonce_register";
+}  // namespace component_names
+
+}  // namespace sacha::fabric

@@ -1,0 +1,32 @@
+#include "fabric/resources.hpp"
+
+#include <sstream>
+
+namespace sacha::fabric {
+
+ResourceCounts& ResourceCounts::operator+=(const ResourceCounts& other) {
+  clb += other.clb;
+  bram18 += other.bram18;
+  iob += other.iob;
+  dcm += other.dcm;
+  icap += other.icap;
+  return *this;
+}
+
+bool ResourceCounts::fits_within(const ResourceCounts& cap) const {
+  return clb <= cap.clb && bram18 <= cap.bram18 && iob <= cap.iob &&
+         dcm <= cap.dcm && icap <= cap.icap;
+}
+
+std::string ResourceCounts::to_string() const {
+  std::ostringstream os;
+  os << "clb=" << clb << " bram18=" << bram18 << " iob=" << iob
+     << " dcm=" << dcm << " icap=" << icap;
+  return os.str();
+}
+
+std::uint64_t bram_capacity_bytes(const ResourceCounts& r) {
+  return r.bram18 * kBram18Bits / 8;
+}
+
+}  // namespace sacha::fabric

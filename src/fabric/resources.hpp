@@ -1,0 +1,41 @@
+// Resource accounting for the configurable fabric.
+//
+// The paper's Table 2 reports occupied CLBs, 18-kbit BRAMs, ICAPs and DCMs
+// for the whole device, the static partition, the MAC core and the dynamic
+// partition. ResourceCounts is the common currency for those numbers: device
+// capacities, partition region sizes and per-component usage all use it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sacha::fabric {
+
+struct ResourceCounts {
+  std::uint32_t clb = 0;     // configurable logic blocks
+  std::uint32_t bram18 = 0;  // 18-kbit block RAMs
+  std::uint32_t iob = 0;     // input/output blocks
+  std::uint32_t dcm = 0;     // digital clock managers
+  std::uint32_t icap = 0;    // internal configuration access ports
+
+  ResourceCounts& operator+=(const ResourceCounts& other);
+  friend ResourceCounts operator+(ResourceCounts a, const ResourceCounts& b) {
+    a += b;
+    return a;
+  }
+  bool operator==(const ResourceCounts&) const = default;
+
+  /// True iff every field of *this is <= the corresponding field of `cap`.
+  bool fits_within(const ResourceCounts& cap) const;
+
+  /// "clb=1400 bram18=72 iob=0 dcm=1 icap=1"
+  std::string to_string() const;
+};
+
+/// Capacity of one 18-kbit BRAM in bits (data bits only, no parity).
+inline constexpr std::uint64_t kBram18Bits = 18 * 1024;
+
+/// Total BRAM storage of a resource set, in bytes (rounded down).
+std::uint64_t bram_capacity_bytes(const ResourceCounts& r);
+
+}  // namespace sacha::fabric

@@ -1,0 +1,38 @@
+#include "net/channel.hpp"
+
+namespace sacha::net {
+
+ChannelParams ChannelParams::ideal() { return ChannelParams{}; }
+
+ChannelParams ChannelParams::lab() {
+  ChannelParams params;
+  // Calibration: the PoC exchanges 83,378 messages (26,400 ICAP_config
+  // commands, 28,488 ICAP_readback commands each answered by a frame, and
+  // the MAC_checksum round trip). The measured 28.5 s minus the ~1.44 s
+  // theoretical duration leaves ~27.06 s of stack/switch latency, i.e.
+  // ~324.5 us per message (~650 us per command round trip).
+  params.per_command_latency = 324'500;  // ns
+  return params;
+}
+
+Channel::Channel(ChannelParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+std::optional<sim::SimDuration> Channel::transfer(std::size_t payload_bytes) {
+  ++messages_sent_;
+  if (params_.loss_probability > 0.0 && rng_.chance(params_.loss_probability)) {
+    ++messages_lost_;
+    return std::nullopt;
+  }
+  sim::SimDuration t = nominal_time(payload_bytes);
+  if (params_.jitter_max > 0) {
+    t += rng_.below(params_.jitter_max + 1);
+  }
+  return t;
+}
+
+sim::SimDuration Channel::nominal_time(std::size_t payload_bytes) const {
+  return params_.wire.frame_time(payload_bytes) + params_.per_command_latency;
+}
+
+}  // namespace sacha::net

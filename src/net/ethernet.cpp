@@ -1,0 +1,74 @@
+#include "net/ethernet.hpp"
+
+#include <algorithm>
+
+namespace sacha::net {
+
+std::uint32_t crc32(ByteSpan data) {
+  std::uint32_t crc = 0xffffffff;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+Bytes EthFrame::encode() const {
+  Bytes wire;
+  wire.reserve(kHeaderBytes + std::max(payload.size(), kMinPayload) + kFcsBytes);
+  wire.insert(wire.end(), dst.begin(), dst.end());
+  wire.insert(wire.end(), src.begin(), src.end());
+  put_u16be(wire, ethertype);
+  append(wire, payload);
+  if (payload.size() < kMinPayload) {
+    wire.insert(wire.end(), kMinPayload - payload.size(), 0);
+  }
+  put_u32be(wire, crc32(wire));
+  return wire;
+}
+
+Result<EthFrame> EthFrame::decode(ByteSpan wire) {
+  using R = Result<EthFrame>;
+  if (wire.size() < kHeaderBytes + kMinPayload + kFcsBytes) {
+    return R::error("frame below minimum size: " + std::to_string(wire.size()));
+  }
+  const std::size_t body = wire.size() - kFcsBytes;
+  const std::uint32_t fcs = get_u32be(wire, body);
+  if (crc32(wire.subspan(0, body)) != fcs) {
+    return R::error("FCS mismatch");
+  }
+  EthFrame frame;
+  std::copy_n(wire.begin(), 6, frame.dst.begin());
+  std::copy_n(wire.begin() + 6, 6, frame.src.begin());
+  frame.ethertype = get_u16be(wire, 12);
+  frame.payload.assign(wire.begin() + kHeaderBytes, wire.begin() + static_cast<std::ptrdiff_t>(body));
+  return frame;
+}
+
+std::size_t EthFrame::wire_bytes() const {
+  return kPreambleAndGapBytes + kHeaderBytes +
+         std::max(payload.size(), kMinPayload) + kFcsBytes;
+}
+
+sim::SimDuration WireModel::frame_time(std::size_t payload_bytes) const {
+  return ns_per_byte_ * frame_bytes(payload_bytes);
+}
+
+std::size_t WireModel::frame_bytes(std::size_t payload_bytes) const {
+  // Payloads above the MTU are fragmented into full frames plus a tail;
+  // every fragment pays the per-frame overhead (and the tail the minimum-
+  // size padding).
+  constexpr std::size_t kOverhead =
+      kPreambleAndGapBytes + kHeaderBytes + kFcsBytes;
+  std::size_t total = 0;
+  do {
+    const std::size_t chunk = std::min(payload_bytes, mtu_payload_);
+    total += kOverhead + std::max(chunk, kMinPayload);
+    payload_bytes -= chunk;
+  } while (payload_bytes > 0);
+  return total;
+}
+
+}  // namespace sacha::net

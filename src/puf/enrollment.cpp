@@ -1,0 +1,51 @@
+#include "puf/enrollment.hpp"
+
+#include <vector>
+
+namespace sacha::puf {
+
+HelperData EnrollmentDb::enroll(const std::string& device_id,
+                                const std::string& circuit_id,
+                                const SramPuf& puf, Rng& rng,
+                                std::uint32_t repetition, std::uint32_t reads) {
+  // Majority over repeated reads to estimate the nominal response.
+  std::vector<std::uint32_t> ones(puf.cells(), 0);
+  for (std::uint32_t r = 0; r < reads; ++r) {
+    const BitVec response = puf.read(rng);
+    for (std::size_t i = 0; i < response.size(); ++i) {
+      ones[i] += response.get(i) ? 1 : 0;
+    }
+  }
+  BitVec reference(puf.cells());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference.set(i, ones[i] * 2 > reads);
+  }
+
+  Enrollment enrollment = generate(reference, repetition, rng);
+  const HelperData helper = enrollment.helper;
+  records_[{device_id, circuit_id}] = std::move(enrollment);
+  return helper;
+}
+
+std::optional<crypto::AesKey> EnrollmentDb::key_of(
+    const std::string& device_id, const std::string& circuit_id) const {
+  if (auto it = records_.find({device_id, circuit_id}); it != records_.end()) {
+    return it->second.key;
+  }
+  return std::nullopt;
+}
+
+std::optional<HelperData> EnrollmentDb::helper_of(
+    const std::string& device_id, const std::string& circuit_id) const {
+  if (auto it = records_.find({device_id, circuit_id}); it != records_.end()) {
+    return it->second.helper;
+  }
+  return std::nullopt;
+}
+
+bool EnrollmentDb::revoke(const std::string& device_id,
+                          const std::string& circuit_id) {
+  return records_.erase({device_id, circuit_id}) > 0;
+}
+
+}  // namespace sacha::puf

@@ -1,0 +1,43 @@
+// Verifier-side PUF enrollment.
+//
+// §5.2.1: each PUF "needs to have gone through an enrollment phase before
+// the deployment of the FPGA" and "the Vrf needs to keep a database of PUF
+// circuits and corresponding keys". EnrollmentDb is that database. Enrolling
+// averages repeated power-up reads (majority vote) to approximate the
+// nominal response, runs Gen, stores the key + helper under a (device, PUF
+// circuit) pair, and hands the helper back so it can be provisioned to (or
+// shipped with) the device.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "puf/fuzzy_extractor.hpp"
+
+namespace sacha::puf {
+
+class EnrollmentDb {
+ public:
+  /// Majority-votes `reads` noisy responses, generates key + helper, and
+  /// stores them under (device_id, circuit_id). Returns the helper data the
+  /// device needs at key-regeneration time.
+  HelperData enroll(const std::string& device_id, const std::string& circuit_id,
+                    const SramPuf& puf, Rng& rng, std::uint32_t repetition = 15,
+                    std::uint32_t reads = 9);
+
+  std::optional<crypto::AesKey> key_of(const std::string& device_id,
+                                       const std::string& circuit_id) const;
+  std::optional<HelperData> helper_of(const std::string& device_id,
+                                      const std::string& circuit_id) const;
+
+  /// Removes a circuit's record (key rotation drops the old circuit).
+  bool revoke(const std::string& device_id, const std::string& circuit_id);
+
+  std::size_t size() const { return records_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, Enrollment> records_;
+};
+
+}  // namespace sacha::puf

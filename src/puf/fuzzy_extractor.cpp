@@ -1,0 +1,76 @@
+#include "puf/fuzzy_extractor.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace sacha::puf {
+
+namespace {
+
+/// Key = first 16 bytes of SHA-256("sacha-puf-key" || bits); commitment =
+/// SHA-256("sacha-puf-chk" || bits). Separate labels so the commitment does
+/// not leak key bytes.
+crypto::AesKey derive_key(const BitVec& key_bits) {
+  Bytes material = bytes_of("sacha-puf-key");
+  append(material, key_bits.bytes());
+  const auto digest = crypto::Sha256::compute(material);
+  return crypto::to_aes_key(ByteSpan(digest.data(), crypto::kAesKeySize));
+}
+
+std::array<std::uint8_t, 32> derive_check(const BitVec& key_bits) {
+  Bytes material = bytes_of("sacha-puf-chk");
+  append(material, key_bits.bytes());
+  return crypto::Sha256::compute(material);
+}
+
+}  // namespace
+
+Enrollment generate(const BitVec& response, std::uint32_t repetition,
+                    Rng& key_rng) {
+  assert(repetition >= 1);
+  assert(response.size() >= required_cells(repetition));
+
+  BitVec key_bits(kKeyBits);
+  for (std::size_t i = 0; i < kKeyBits; ++i) {
+    key_bits.set(i, key_rng.chance(0.5));
+  }
+
+  // codeword = key bits, each repeated `repetition` times.
+  BitVec offset(required_cells(repetition));
+  for (std::size_t i = 0; i < kKeyBits; ++i) {
+    for (std::uint32_t r = 0; r < repetition; ++r) {
+      const std::size_t pos = i * repetition + r;
+      offset.set(pos, key_bits.get(i) ^ response.get(pos));
+    }
+  }
+
+  Enrollment out;
+  out.key = derive_key(key_bits);
+  out.helper.offset = std::move(offset);
+  out.helper.check = derive_check(key_bits);
+  out.helper.repetition = repetition;
+  return out;
+}
+
+std::optional<crypto::AesKey> reproduce(const BitVec& response,
+                                        const HelperData& helper) {
+  const std::uint32_t r = helper.repetition;
+  if (r == 0 || helper.offset.size() != required_cells(r) ||
+      response.size() < required_cells(r)) {
+    return std::nullopt;
+  }
+  BitVec key_bits(kKeyBits);
+  for (std::size_t i = 0; i < kKeyBits; ++i) {
+    std::uint32_t ones = 0;
+    for (std::uint32_t j = 0; j < r; ++j) {
+      const std::size_t pos = i * r + j;
+      ones += (response.get(pos) ^ helper.offset.get(pos)) ? 1 : 0;
+    }
+    key_bits.set(i, ones * 2 > r);  // majority (ties decode to 0)
+  }
+  if (derive_check(key_bits) != helper.check) return std::nullopt;
+  return derive_key(key_bits);
+}
+
+}  // namespace sacha::puf

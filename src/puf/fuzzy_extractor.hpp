@@ -1,0 +1,53 @@
+// Fuzzy extractor (secure sketch + strong extractor) for PUF key derivation.
+//
+// Code-offset construction over a repetition code: Gen() draws a random
+// 128-bit key, encodes each key bit as an r-fold repetition, and publishes
+// helper = codeword XOR response. Rep() XORs a fresh noisy response with the
+// helper and majority-decodes each block; a hash commitment in the helper
+// data detects decode failure instead of silently yielding a wrong key.
+// With per-bit noise p, a block fails when > r/2 cells flip, so r trades
+// PUF area for reliability — bench_puf sweeps exactly that trade-off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "puf/sram_puf.hpp"
+
+namespace sacha::puf {
+
+inline constexpr std::size_t kKeyBits = 128;
+
+struct HelperData {
+  BitVec offset;                           // codeword XOR enrollment response
+  std::array<std::uint8_t, 32> check{};    // SHA-256 commitment to the key
+  std::uint32_t repetition = 0;            // r
+
+  bool operator==(const HelperData&) const = default;
+};
+
+struct Enrollment {
+  crypto::AesKey key{};
+  HelperData helper;
+};
+
+/// Cells needed for a given repetition factor.
+constexpr std::size_t required_cells(std::uint32_t repetition) {
+  return kKeyBits * repetition;
+}
+
+/// Gen: derives (key, helper) from an enrollment-time response. The response
+/// must have at least required_cells(repetition) bits; `key_rng` supplies
+/// the key randomness.
+Enrollment generate(const BitVec& response, std::uint32_t repetition,
+                    Rng& key_rng);
+
+/// Rep: reproduces the key from a fresh noisy response and the helper.
+/// Returns nullopt when decoding fails the commitment check.
+std::optional<crypto::AesKey> reproduce(const BitVec& response,
+                                        const HelperData& helper);
+
+}  // namespace sacha::puf

@@ -1,0 +1,21 @@
+#include "puf/sram_puf.hpp"
+
+namespace sacha::puf {
+
+SramPuf::SramPuf(std::uint64_t device_entropy, std::size_t cells, double noise)
+    : nominal_(cells), noise_(noise) {
+  Rng rng(device_entropy ^ 0x9f7a3c5e1b2d4680ULL);
+  for (std::size_t i = 0; i < cells; ++i) {
+    nominal_.set(i, rng.chance(0.5));
+  }
+}
+
+BitVec SramPuf::read(Rng& noise_rng) const {
+  BitVec response = nominal_;
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    if (noise_rng.chance(noise_)) response.flip(i);
+  }
+  return response;
+}
+
+}  // namespace sacha::puf

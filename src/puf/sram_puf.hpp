@@ -1,0 +1,41 @@
+// Weak PUF model.
+//
+// SACHa derives the MAC key from a weak (key-generating) PUF in either the
+// static or the dynamic partition (§5.2.1). We model an SRAM-style PUF:
+// each cell has a device-unique preferred power-up value plus a per-cell
+// instability; a read returns the preferred values with independent bit
+// flips at the noise rate. The model is intentionally ideal in the paper's
+// sense ("we assume an ideal key-generating PUF") — no ageing, no
+// temperature drift — but noisy enough to require the fuzzy extractor.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace sacha::puf {
+
+class SramPuf {
+ public:
+  /// `device_entropy` determines the device-unique cell biases; `cells` is
+  /// the response width in bits; `noise` is the per-cell flip probability
+  /// of a single read (typical silicon: 0.05-0.15).
+  SramPuf(std::uint64_t device_entropy, std::size_t cells, double noise);
+
+  std::size_t cells() const { return nominal_.size(); }
+  double noise() const { return noise_; }
+
+  /// The noiseless preferred response (ground truth; enrollment approximates
+  /// it by majority over repeated reads).
+  const BitVec& nominal() const { return nominal_; }
+
+  /// One noisy power-up read.
+  BitVec read(Rng& noise_rng) const;
+
+ private:
+  BitVec nominal_;
+  double noise_;
+};
+
+}  // namespace sacha::puf

@@ -1,0 +1,19 @@
+#include "sim/clock.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sacha::sim {
+
+ClockDomain::ClockDomain(std::string name, std::uint32_t freq_mhz)
+    : name_(std::move(name)), freq_mhz_(freq_mhz) {
+  assert(freq_mhz > 0 && 1000 % freq_mhz == 0 &&
+         "clock period must be an integer number of nanoseconds");
+  period_ns_ = 1000 / freq_mhz;
+}
+
+ClockDomain rx_domain() { return ClockDomain("rx", 125); }
+ClockDomain icap_domain() { return ClockDomain("icap", 100); }
+ClockDomain tx_domain() { return ClockDomain("tx", 125); }
+
+}  // namespace sacha::sim

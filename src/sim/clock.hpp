@@ -1,0 +1,46 @@
+// Clock domains.
+//
+// The static partition runs three domains (paper §6.2): RX at 125 MHz
+// (recovered from the incoming network packets), ICAP at 100 MHz and TX at
+// 125 MHz (both derived from the 200 MHz board clock by the DCM). A
+// ClockDomain converts cycle counts to simulated time; periods must divide
+// to whole nanoseconds, which every frequency used here does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace sacha::sim {
+
+class ClockDomain {
+ public:
+  /// `freq_mhz` must divide 1000 (integer-ns period).
+  ClockDomain(std::string name, std::uint32_t freq_mhz);
+
+  const std::string& name() const { return name_; }
+  std::uint32_t freq_mhz() const { return freq_mhz_; }
+  SimDuration period() const { return period_ns_; }
+
+  SimDuration cycles_to_time(std::uint64_t cycles) const {
+    return cycles * period_ns_;
+  }
+  /// Cycles elapsed within `time`, rounded up (a partially elapsed cycle
+  /// still occupies the domain).
+  std::uint64_t time_to_cycles(SimDuration time) const {
+    return (time + period_ns_ - 1) / period_ns_;
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t freq_mhz_;
+  SimDuration period_ns_;
+};
+
+/// The three domains of the proof-of-concept StatPart.
+ClockDomain rx_domain();    // 125 MHz
+ClockDomain icap_domain();  // 100 MHz
+ClockDomain tx_domain();    // 125 MHz
+
+}  // namespace sacha::sim

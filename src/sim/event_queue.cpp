@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace sacha::sim {
+
+void EventQueue::schedule(SimDuration delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventQueue::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(when >= now_);
+  events_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+std::size_t EventQueue::run() { return run_until(~SimTime{0}); }
+
+std::size_t EventQueue::run_until(SimTime deadline) {
+  std::size_t processed = 0;
+  while (!events_.empty() && events_.top().when <= deadline) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the function object instead (events are small).
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    ++processed;
+    event.fn();
+  }
+  // A bounded run leaves the clock at the deadline even when later events
+  // remain pending: simulated time has observably passed.
+  if (deadline != ~SimTime{0} && now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace sacha::sim

@@ -1,0 +1,59 @@
+// Discrete-event simulation core.
+//
+// A classic calendar queue: events are (time, callback) pairs; run() pops
+// them in time order (FIFO among equal times) and advances the simulated
+// clock. The attestation session itself is strictly sequential, but the
+// event queue carries anything concurrent — channel deliveries with jitter,
+// background register churn, interleaved baseline runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sacha::sim {
+
+class EventQueue {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at now() + delay.
+  void schedule(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules at an absolute time (must be >= now()).
+  void schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Runs until the queue is empty. Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs until the queue is empty or the clock passes `deadline`.
+  std::size_t run_until(SimTime deadline);
+
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  /// Advances the clock with no event (sequential-section bookkeeping).
+  void advance(SimDuration delta) { now_ += delta; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sacha::sim

@@ -1,0 +1,54 @@
+// Depth-bounded FIFO model.
+//
+// The StatPart pipeline (Fig. 10) moves data between clock domains through
+// BRAM FIFOs (readback FIFO, header FIFO). This template models a bounded
+// FIFO with occupancy tracking; the high-water mark feeds the design checks
+// that size the BRAM allocation in the floorplan.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+namespace sacha::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t depth) : depth_(depth) {}
+
+  std::size_t depth() const { return depth_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  bool full() const { return items_.size() >= depth_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t overflows() const { return overflows_; }
+
+  /// False (and counts an overflow) when full.
+  bool push(T item) {
+    if (full()) {
+      ++overflows_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void clear() { items_.clear(); }
+
+ private:
+  std::size_t depth_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  std::size_t overflows_ = 0;
+};
+
+}  // namespace sacha::sim

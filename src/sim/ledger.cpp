@@ -1,0 +1,39 @@
+#include "sim/ledger.hpp"
+
+namespace sacha::sim {
+
+void TimeLedger::add(const std::string& action, SimDuration duration) {
+  auto [it, inserted] = entries_.try_emplace(action);
+  if (inserted) order_.push_back(action);
+  ++it->second.count;
+  it->second.total += duration;
+}
+
+std::uint64_t TimeLedger::count(const std::string& action) const {
+  auto it = entries_.find(action);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+SimDuration TimeLedger::total(const std::string& action) const {
+  auto it = entries_.find(action);
+  return it == entries_.end() ? 0 : it->second.total;
+}
+
+SimDuration TimeLedger::average(const std::string& action) const {
+  auto it = entries_.find(action);
+  if (it == entries_.end() || it->second.count == 0) return 0;
+  return it->second.total / it->second.count;
+}
+
+SimDuration TimeLedger::grand_total() const {
+  SimDuration sum = 0;
+  for (const auto& [name, entry] : entries_) sum += entry.total;
+  return sum;
+}
+
+void TimeLedger::clear() {
+  entries_.clear();
+  order_.clear();
+}
+
+}  // namespace sacha::sim

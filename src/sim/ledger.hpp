@@ -1,0 +1,44 @@
+// Per-action time ledger.
+//
+// Table 3 reports the duration of each low-level action (A1-A10); Table 4
+// reports how often each runs and the summed time. The ledger accumulates
+// (count, total duration) per named action during a session so the bench
+// binaries can print both tables directly from a run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sacha::sim {
+
+class TimeLedger {
+ public:
+  void add(const std::string& action, SimDuration duration);
+
+  std::uint64_t count(const std::string& action) const;
+  SimDuration total(const std::string& action) const;
+  /// Total / count; 0 if the action never ran.
+  SimDuration average(const std::string& action) const;
+
+  /// Sum over all actions.
+  SimDuration grand_total() const;
+
+  /// Action names in insertion order.
+  const std::vector<std::string>& actions() const { return order_; }
+
+  void clear();
+
+ private:
+  struct Entry {
+    std::uint64_t count = 0;
+    SimDuration total = 0;
+  };
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace sacha::sim

@@ -1,0 +1,22 @@
+// Simulated time.
+//
+// All simulation time is in integer nanoseconds. The clocks in the paper's
+// design (125 MHz Ethernet RX/TX, 100 MHz ICAP, 200 MHz board clock) all
+// have integer-nanosecond periods, so cycle arithmetic is exact.
+#pragma once
+
+#include <cstdint>
+
+namespace sacha::sim {
+
+using SimTime = std::uint64_t;      // absolute, ns
+using SimDuration = std::uint64_t;  // relative, ns
+
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Formats 1234567 -> "1.234567 ms"-style human-readable duration.
+inline double to_seconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+}  // namespace sacha::sim

@@ -1,0 +1,206 @@
+#include "softcore/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace sacha::softcore {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == ';' || c == '#') break;  // comment
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::optional<std::uint8_t> parse_register(const std::string& token) {
+  if (token.size() < 2 || token[0] != 'r') return std::nullopt;
+  int value = 0;
+  for (std::size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return std::nullopt;
+    value = value * 10 + (token[i] - '0');
+  }
+  if (value < 0 || value >= static_cast<int>(kNumRegisters)) return std::nullopt;
+  return static_cast<std::uint8_t>(value);
+}
+
+std::optional<std::uint16_t> parse_number(const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const long value = std::stol(token, &pos, 0);  // handles 0x..., decimal
+    if (pos != token.size() || value < -32768 || value > 65535) {
+      return std::nullopt;
+    }
+    return static_cast<std::uint16_t>(value);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Opcode> parse_mnemonic(const std::string& token) {
+  for (std::uint8_t op = 0; valid_opcode(op); ++op) {
+    if (token == mnemonic(static_cast<Opcode>(op))) {
+      return static_cast<Opcode>(op);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<Program> assemble(std::string_view source) {
+  using R = Result<Program>;
+  // Pass 1: collect labels.
+  std::map<std::string, std::uint16_t> labels;
+  {
+    std::istringstream in{std::string(source)};
+    std::string line;
+    std::uint16_t address = 0;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      auto tokens = tokenize(line);
+      if (tokens.empty()) continue;
+      if (tokens[0].back() == ':') {
+        const std::string label = tokens[0].substr(0, tokens[0].size() - 1);
+        if (label.empty() || labels.count(label) != 0) {
+          return R::error("line " + std::to_string(line_no) +
+                          ": bad or duplicate label");
+        }
+        labels[label] = address;
+        tokens.erase(tokens.begin());
+      }
+      if (!tokens.empty()) ++address;
+    }
+  }
+
+  // Pass 2: encode.
+  Program program;
+  std::istringstream in{std::string(source)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto tokens = tokenize(line);
+    if (!tokens.empty() && tokens[0].back() == ':') tokens.erase(tokens.begin());
+    if (tokens.empty()) continue;
+
+    const auto fail = [&](const std::string& why) {
+      return R::error("line " + std::to_string(line_no) + ": " + why);
+    };
+    const auto opcode = parse_mnemonic(tokens[0]);
+    if (!opcode.has_value()) return fail("unknown mnemonic '" + tokens[0] + "'");
+
+    const auto reg = [&](std::size_t i) -> std::optional<std::uint8_t> {
+      return i < tokens.size() ? parse_register(tokens[i]) : std::nullopt;
+    };
+    const auto imm_or_label = [&](std::size_t i) -> std::optional<std::uint16_t> {
+      if (i >= tokens.size()) return std::nullopt;
+      if (auto it = labels.find(tokens[i]); it != labels.end()) return it->second;
+      return parse_number(tokens[i]);
+    };
+
+    Instruction inst;
+    inst.op = *opcode;
+    switch (*opcode) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+        break;
+      case Opcode::kLdi: {
+        const auto rd = reg(1);
+        const auto imm = imm_or_label(2);
+        if (!rd || !imm) return fail("ldi rd, imm");
+        inst.rd = *rd;
+        inst.imm = *imm;
+        break;
+      }
+      case Opcode::kMov: {
+        const auto rd = reg(1), rs1 = reg(2);
+        if (!rd || !rs1) return fail("mov rd, rs1");
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        break;
+      }
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor: {
+        const auto rd = reg(1), rs1 = reg(2), rs2 = reg(3);
+        if (!rd || !rs1 || !rs2) return fail("op rd, rs1, rs2");
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = *rs2;
+        break;
+      }
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kAddi: {
+        const auto rd = reg(1), rs1 = reg(2);
+        const auto imm = imm_or_label(3);
+        if (!rd || !rs1 || !imm) return fail("op rd, rs1, imm");
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = *imm;
+        break;
+      }
+      case Opcode::kLd:
+      case Opcode::kSt: {
+        const auto rd = reg(1), rs1 = reg(2);
+        const auto imm = imm_or_label(3);
+        if (!rd || !rs1) return fail("ld/st rd, rs1[, imm]");
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = imm.value_or(0);
+        break;
+      }
+      case Opcode::kJmp: {
+        const auto imm = imm_or_label(1);
+        if (!imm) return fail("jmp target");
+        inst.imm = *imm;
+        break;
+      }
+      case Opcode::kBeq:
+      case Opcode::kBne: {
+        const auto rd = reg(1), rs1 = reg(2);
+        const auto imm = imm_or_label(3);
+        if (!rd || !rs1 || !imm) return fail("beq/bne rd, rs1, target");
+        inst.rd = *rd;
+        inst.rs1 = *rs1;
+        inst.imm = *imm;
+        break;
+      }
+    }
+    program.push_back(inst);
+  }
+  return program;
+}
+
+std::string disassemble(const Program& program) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < program.size(); ++i) {
+    os << i << ": " << program[i].to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sacha::softcore

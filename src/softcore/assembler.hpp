@@ -1,0 +1,26 @@
+// A small two-pass assembler for the softcore.
+//
+// Syntax, one instruction per line:
+//   loop:                ; labels end with ':'
+//     ldi  r1, 10        ; decimal or 0x-hex immediates
+//     addi r0, r0, 1
+//     bne  r0, r1, loop  ; branch targets may be labels or numbers
+//     st   r0, r2, 4     ; mem[r2 + 4] <- r0
+//     halt
+// Comments start with ';' or '#'. Register-register ops take three
+// registers (add r0, r1, r2). Errors report the line number.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.hpp"
+#include "softcore/cpu.hpp"
+
+namespace sacha::softcore {
+
+Result<Program> assemble(std::string_view source);
+
+/// Disassembles for debugging / golden tests.
+std::string disassemble(const Program& program);
+
+}  // namespace sacha::softcore

@@ -1,0 +1,99 @@
+#include "softcore/cpu.hpp"
+
+namespace sacha::softcore {
+
+SoftCore::SoftCore(Program program, std::size_t data_words)
+    : program_(std::move(program)), data_(data_words, 0) {}
+
+void SoftCore::step() {
+  if (state_.halted) return;
+  if (state_.pc >= program_.size()) {
+    state_.halted = true;  // ran off the end: trap
+    return;
+  }
+  const Instruction inst = program_[state_.pc];
+  auto& r = state_.regs;
+  std::uint16_t next_pc = static_cast<std::uint16_t>(state_.pc + 1);
+
+  const auto mem_address = [&](std::uint16_t base, std::uint16_t offset) {
+    return static_cast<std::size_t>(
+        static_cast<std::uint16_t>(base + offset));
+  };
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      state_.halted = true;
+      return;
+    case Opcode::kLdi:
+      r[inst.rd] = inst.imm;
+      break;
+    case Opcode::kMov:
+      r[inst.rd] = r[inst.rs1];
+      break;
+    case Opcode::kAdd:
+      r[inst.rd] = static_cast<std::uint16_t>(r[inst.rs1] + r[inst.rs2()]);
+      break;
+    case Opcode::kSub:
+      r[inst.rd] = static_cast<std::uint16_t>(r[inst.rs1] - r[inst.rs2()]);
+      break;
+    case Opcode::kAnd:
+      r[inst.rd] = r[inst.rs1] & r[inst.rs2()];
+      break;
+    case Opcode::kOr:
+      r[inst.rd] = r[inst.rs1] | r[inst.rs2()];
+      break;
+    case Opcode::kXor:
+      r[inst.rd] = r[inst.rs1] ^ r[inst.rs2()];
+      break;
+    case Opcode::kShl:
+      r[inst.rd] = static_cast<std::uint16_t>(r[inst.rs1] << (inst.imm & 15));
+      break;
+    case Opcode::kShr:
+      r[inst.rd] = static_cast<std::uint16_t>(r[inst.rs1] >> (inst.imm & 15));
+      break;
+    case Opcode::kAddi:
+      r[inst.rd] = static_cast<std::uint16_t>(r[inst.rs1] + inst.imm);
+      break;
+    case Opcode::kLd: {
+      const std::size_t address = mem_address(r[inst.rs1], inst.imm);
+      if (address >= data_.size()) {
+        state_.halted = true;
+        return;
+      }
+      r[inst.rd] = data_[address];
+      break;
+    }
+    case Opcode::kSt: {
+      const std::size_t address = mem_address(r[inst.rs1], inst.imm);
+      if (address >= data_.size()) {
+        state_.halted = true;
+        return;
+      }
+      data_[address] = r[inst.rd];
+      break;
+    }
+    case Opcode::kJmp:
+      next_pc = inst.imm;
+      break;
+    case Opcode::kBeq:
+      if (r[inst.rd] == r[inst.rs1]) next_pc = inst.imm;
+      break;
+    case Opcode::kBne:
+      if (r[inst.rd] != r[inst.rs1]) next_pc = inst.imm;
+      break;
+  }
+  state_.pc = next_pc;
+}
+
+std::uint64_t SoftCore::run(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (steps < max_steps && !state_.halted) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace sacha::softcore

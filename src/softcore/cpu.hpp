@@ -1,0 +1,59 @@
+// The softcore processor.
+//
+// Deterministic 16-bit machine: 8 general registers, a 16-bit program
+// counter, a halted flag, and a small word-addressed BRAM data memory.
+// Identical programs stepped the same number of times yield identical
+// state on the verifier's golden copy and the device — which is exactly
+// what state attestation compares.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "softcore/isa.hpp"
+
+namespace sacha::softcore {
+
+using Program = std::vector<Instruction>;
+
+struct CpuState {
+  std::array<std::uint16_t, kNumRegisters> regs{};
+  std::uint16_t pc = 0;
+  bool halted = false;
+
+  bool operator==(const CpuState&) const = default;
+
+  /// Architectural state bits: 8x16 registers + 16 pc + 1 halted.
+  static constexpr std::size_t kStateBits = kNumRegisters * 16 + 16 + 1;
+};
+
+class SoftCore {
+ public:
+  SoftCore(Program program, std::size_t data_words = 64);
+
+  const CpuState& state() const { return state_; }
+  const std::vector<std::uint16_t>& data_memory() const { return data_; }
+  const Program& program() const { return program_; }
+
+  bool halted() const { return state_.halted; }
+
+  /// Executes one instruction; no-op once halted. Out-of-range pc or memory
+  /// access halts the core (hardware traps to a safe state).
+  void step();
+
+  /// Steps up to `max_steps` times or until halted; returns steps executed.
+  std::uint64_t run(std::uint64_t max_steps);
+
+  /// Direct state manipulation — used by experiments to model a glitched or
+  /// tampered processor.
+  CpuState& mutable_state() { return state_; }
+  std::vector<std::uint16_t>& mutable_data() { return data_; }
+
+ private:
+  Program program_;
+  CpuState state_;
+  std::vector<std::uint16_t> data_;
+};
+
+}  // namespace sacha::softcore

@@ -1,0 +1,59 @@
+#include "softcore/isa.hpp"
+
+#include <sstream>
+
+namespace sacha::softcore {
+
+bool valid_opcode(std::uint8_t op) {
+  return op <= static_cast<std::uint8_t>(Opcode::kBne);
+}
+
+const char* mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kLdi: return "ldi";
+    case Opcode::kMov: return "mov";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kLd: return "ld";
+    case Opcode::kSt: return "st";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+  }
+  return "?";
+}
+
+std::uint32_t Instruction::encode() const {
+  return (static_cast<std::uint32_t>(op) << 24) |
+         (static_cast<std::uint32_t>(rd & 0x0f) << 20) |
+         (static_cast<std::uint32_t>(rs1 & 0x0f) << 16) | imm;
+}
+
+std::optional<Instruction> Instruction::decode(std::uint32_t word) {
+  const std::uint8_t op = static_cast<std::uint8_t>(word >> 24);
+  if (!valid_opcode(op)) return std::nullopt;
+  Instruction inst;
+  inst.op = static_cast<Opcode>(op);
+  inst.rd = static_cast<std::uint8_t>((word >> 20) & 0x0f);
+  inst.rs1 = static_cast<std::uint8_t>((word >> 16) & 0x0f);
+  inst.imm = static_cast<std::uint16_t>(word);
+  if (inst.rd >= kNumRegisters || inst.rs1 >= kNumRegisters) return std::nullopt;
+  return inst;
+}
+
+std::string Instruction::to_string() const {
+  std::ostringstream os;
+  os << mnemonic(op) << " r" << int{rd} << ", r" << int{rs1} << ", 0x"
+     << std::hex << imm;
+  return os.str();
+}
+
+}  // namespace sacha::softcore

@@ -1,0 +1,65 @@
+// Instruction set of the embedded softcore.
+//
+// The paper's future-work section (§8) proposes following "the trend of
+// embedding softcore processors in an FPGA" and extending attestation to
+// "the current state of the FPGA application (including the state of the
+// embedded processor)". This module provides that processor: a small
+// 8-register, 16-bit load/store machine whose architectural state lives in
+// fabric flip-flops (mapped to configuration-frame register bits by
+// softcore::StateMap) and whose data memory lives in BRAM.
+//
+// Encoding: one 32-bit word per instruction:
+//   [31:24] opcode  [23:20] rd  [19:16] rs1  [15:0] imm/rs2
+// Register-register ops keep rs2 in imm[3:0].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace sacha::softcore {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,
+  kLdi = 0x02,   // rd <- imm16
+  kMov = 0x03,   // rd <- rs1
+  kAdd = 0x04,   // rd <- rs1 + rs2
+  kSub = 0x05,   // rd <- rs1 - rs2
+  kAnd = 0x06,
+  kOr = 0x07,
+  kXor = 0x08,
+  kShl = 0x09,   // rd <- rs1 << (imm & 15)
+  kShr = 0x0a,   // rd <- rs1 >> (imm & 15)
+  kAddi = 0x0b,  // rd <- rs1 + simm16
+  kLd = 0x0c,    // rd <- mem[rs1 + simm]
+  kSt = 0x0d,    // mem[rs1 + simm] <- rd
+  kJmp = 0x0e,   // pc <- imm16
+  kBeq = 0x0f,   // if rd == rs1: pc <- imm16
+  kBne = 0x10,   // if rd != rs1: pc <- imm16
+};
+
+inline constexpr std::uint32_t kNumRegisters = 8;
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint16_t imm = 0;  // also carries rs2 in imm[3:0] for reg-reg ops
+
+  std::uint8_t rs2() const { return static_cast<std::uint8_t>(imm & 0x0f); }
+
+  std::uint32_t encode() const;
+  static std::optional<Instruction> decode(std::uint32_t word);
+
+  std::string to_string() const;
+  bool operator==(const Instruction&) const = default;
+};
+
+/// True for opcodes defined above (decode rejects anything else).
+bool valid_opcode(std::uint8_t op);
+
+/// Mnemonic ("ldi", "beq", ...) or "?" for invalid.
+const char* mnemonic(Opcode op);
+
+}  // namespace sacha::softcore

@@ -1,0 +1,92 @@
+#include "softcore/state_map.hpp"
+
+#include <algorithm>
+
+#include "bitstream/bitgen.hpp"
+
+namespace sacha::softcore {
+
+Result<StateMap> StateMap::build(const fabric::DeviceModel& device,
+                                 fabric::FrameRange range) {
+  StateMap map;
+  for (std::uint32_t f = range.first; f < range.end(); ++f) {
+    const bitstream::FrameMask mask = bitstream::architectural_mask(device, f);
+    for (std::uint32_t b = 0; b < mask.bit_count(); ++b) {
+      if (!mask.get_bit(b)) {
+        map.bits_.push_back(BitRef{f, b});
+        if (map.bits_.size() == CpuState::kStateBits) break;
+      }
+    }
+    if (map.bits_.size() == CpuState::kStateBits) break;
+  }
+  if (map.bits_.size() < CpuState::kStateBits) {
+    return Result<StateMap>::error(
+        "frame range holds only " + std::to_string(map.bits_.size()) +
+        " flip-flop positions; softcore state needs " +
+        std::to_string(CpuState::kStateBits));
+  }
+  for (const BitRef& ref : map.bits_) {
+    if (map.frames_touched_.empty() || map.frames_touched_.back() != ref.frame) {
+      map.frames_touched_.push_back(ref.frame);
+    }
+  }
+  return map;
+}
+
+BitVec StateMap::state_bits(const CpuState& state) {
+  BitVec bits(CpuState::kStateBits);
+  std::size_t pos = 0;
+  for (std::uint16_t reg : state.regs) {
+    for (int b = 0; b < 16; ++b) bits.set(pos++, (reg >> b) & 1);
+  }
+  for (int b = 0; b < 16; ++b) bits.set(pos++, (state.pc >> b) & 1);
+  bits.set(pos++, state.halted);
+  return bits;
+}
+
+CpuState StateMap::state_from_bits(const BitVec& bits) {
+  CpuState state;
+  std::size_t pos = 0;
+  for (auto& reg : state.regs) {
+    reg = 0;
+    for (int b = 0; b < 16; ++b) {
+      reg = static_cast<std::uint16_t>(reg | (bits.get(pos++) << b));
+    }
+  }
+  state.pc = 0;
+  for (int b = 0; b < 16; ++b) {
+    state.pc = static_cast<std::uint16_t>(state.pc | (bits.get(pos++) << b));
+  }
+  state.halted = bits.get(pos++);
+  return state;
+}
+
+void StateMap::sync_to_memory(const CpuState& state,
+                              config::ConfigMemory& memory) const {
+  const BitVec bits = state_bits(state);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    memory.set_register_bit(bits_[i].frame, bits_[i].bit, bits.get(i));
+  }
+}
+
+bitstream::Frame StateMap::imprint(std::uint32_t frame_index,
+                                   const bitstream::Frame& golden,
+                                   const CpuState& expected) const {
+  bitstream::Frame out = golden;
+  const BitVec bits = state_bits(expected);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i].frame == frame_index) out.set_bit(bits_[i].bit, bits.get(i));
+  }
+  return out;
+}
+
+bitstream::FrameMask StateMap::widened_mask(
+    std::uint32_t frame_index, const bitstream::FrameMask& mask) const {
+  bitstream::FrameMask out = mask;
+  for (const BitRef& ref : bits_) {
+    if (ref.frame == frame_index) out.set_bit(ref.bit, true);
+  }
+  return out;
+}
+
+}  // namespace sacha::softcore

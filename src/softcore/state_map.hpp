@@ -1,0 +1,67 @@
+// Mapping between softcore architectural state and fabric flip-flops.
+//
+// On silicon, each CPU register bit is one flip-flop whose value appears at
+// a fixed position inside a fixed configuration frame during readback (the
+// positions the mask Msk normally blanks out). StateMap allocates one
+// mask-0 (flip-flop) position per architectural state bit within a frame
+// range, and provides both directions:
+//   - device side: imprint a live CpuState into ConfigMemory's register
+//     layer (the running processor's flip-flops);
+//   - verifier side: imprint the *expected* state onto golden frames and
+//     widen the mask so those positions are compared instead of ignored —
+//     the §8 extension from configuration attestation to state attestation.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/result.hpp"
+#include "config/config_memory.hpp"
+#include "fabric/partition.hpp"
+#include "softcore/cpu.hpp"
+
+namespace sacha::softcore {
+
+class StateMap {
+ public:
+  /// Allocates CpuState::kStateBits flip-flop positions from `range` (in
+  /// frame order). Fails if the range does not contain enough register
+  /// bits. Deterministic in the device, so verifier and device agree.
+  static Result<StateMap> build(const fabric::DeviceModel& device,
+                                fabric::FrameRange range);
+
+  /// State bits in map order: regs r0..r7 (LSB first), pc, halted.
+  static BitVec state_bits(const CpuState& state);
+  static CpuState state_from_bits(const BitVec& bits);
+
+  /// Device side: writes the live state into the memory's register layer.
+  void sync_to_memory(const CpuState& state, config::ConfigMemory& memory) const;
+
+  /// Verifier side: returns `golden` with the expected state imprinted at
+  /// this frame's mapped positions (other bits untouched).
+  bitstream::Frame imprint(std::uint32_t frame_index,
+                           const bitstream::Frame& golden,
+                           const CpuState& expected) const;
+
+  /// Verifier side: the frame's mask with mapped positions re-enabled
+  /// (state bits become *compared* bits).
+  bitstream::FrameMask widened_mask(std::uint32_t frame_index,
+                                    const bitstream::FrameMask& mask) const;
+
+  /// Frames containing at least one mapped bit, ascending.
+  const std::vector<std::uint32_t>& frames_touched() const {
+    return frames_touched_;
+  }
+
+  std::size_t bit_count() const { return bits_.size(); }
+
+ private:
+  struct BitRef {
+    std::uint32_t frame = 0;
+    std::uint32_t bit = 0;
+  };
+  std::vector<BitRef> bits_;  // bits_[i] backs architectural state bit i
+  std::vector<std::uint32_t> frames_touched_;
+};
+
+}  // namespace sacha::softcore

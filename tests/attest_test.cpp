@@ -1,0 +1,307 @@
+// Tests for the baseline attestation schemes: Perito-Tsudik proofs of
+// secure erasure on the bounded-memory MCU, SWATT timing-based software
+// attestation, Chaves on-the-fly bitstream hashing, and the Drimer-Kuhn
+// secure-update protocol — including the assumption violations that
+// motivate SACHa.
+#include <gtest/gtest.h>
+
+#include "attest/chaves.hpp"
+#include "attest/drimer_kuhn.hpp"
+#include "bitstream/bitgen.hpp"
+#include "attest/mcu.hpp"
+#include "attest/perito_tsudik.hpp"
+#include "attest/swatt.hpp"
+#include "common/rng.hpp"
+#include "crypto/prg.hpp"
+
+namespace sacha::attest {
+namespace {
+
+crypto::AesKey key_of(std::uint8_t fill) {
+  crypto::AesKey key{};
+  key.fill(fill);
+  return key;
+}
+
+// --------------------------------------------------------------------- MCU
+
+TEST(Mcu, WriteWithinBounds) {
+  BoundedMemoryMcu mcu(128, key_of(1));
+  EXPECT_TRUE(mcu.write(0, Bytes(128, 0xaa)));
+  EXPECT_FALSE(mcu.write(1, Bytes(128, 0xbb)));
+  EXPECT_FALSE(mcu.write(200, Bytes(1, 0xcc)));
+}
+
+TEST(Mcu, ChecksumDependsOnMemoryAndNonce) {
+  BoundedMemoryMcu mcu(64, key_of(1));
+  mcu.write(0, Bytes(64, 0x11));
+  const crypto::Mac a = mcu.checksum(1);
+  const crypto::Mac b = mcu.checksum(2);
+  EXPECT_NE(a, b);
+  mcu.write(10, Bytes(1, 0x99));
+  EXPECT_NE(a, mcu.checksum(1));
+}
+
+TEST(Mcu, ChecksumDependsOnKey) {
+  BoundedMemoryMcu a(64, key_of(1)), b(64, key_of(2));
+  EXPECT_NE(a.checksum(7), b.checksum(7));
+}
+
+// ----------------------------------------------------------- PeritoTsudik
+
+TEST(PeritoTsudik, HonestDeviceAttests) {
+  BoundedMemoryMcu mcu(4'096, key_of(3));
+  PoseVerifier verifier(key_of(3), 4'096);
+  const Bytes firmware = bytes_of("firmware-v1: blink the LED");
+  const PoseReport report = verifier.attest(mcu, firmware, 1);
+  EXPECT_TRUE(report.attested) << report.detail;
+  EXPECT_EQ(report.bytes_sent, 4'096u);
+}
+
+TEST(PeritoTsudik, FirmwareIsActuallyInstalled) {
+  BoundedMemoryMcu mcu(1'024, key_of(3));
+  const Bytes firmware = bytes_of("firmware-v2");
+  PoseVerifier verifier(key_of(3), 1'024);
+  ASSERT_TRUE(verifier.attest(mcu, firmware, 2).attested);
+  EXPECT_TRUE(std::equal(firmware.begin(), firmware.end(), mcu.memory().begin()));
+}
+
+TEST(PeritoTsudik, PriorMalwareIsErased) {
+  BoundedMemoryMcu mcu(1'024, key_of(3));
+  const Bytes malware = bytes_of("EVIL PAYLOAD");
+  mcu.infect(500, malware);
+  PoseVerifier verifier(key_of(3), 1'024);
+  ASSERT_TRUE(verifier.attest(mcu, bytes_of("clean"), 3).attested);
+  // Nothing of the malware survives anywhere in memory.
+  const auto it = std::search(mcu.memory().begin(), mcu.memory().end(),
+                              malware.begin(), malware.end());
+  EXPECT_EQ(it, mcu.memory().end());
+}
+
+TEST(PeritoTsudik, WrongKeyFails) {
+  BoundedMemoryMcu mcu(512, key_of(4));
+  PoseVerifier verifier(key_of(5), 512);
+  EXPECT_FALSE(verifier.attest(mcu, bytes_of("fw"), 4).attested);
+}
+
+TEST(PeritoTsudik, OversizedFirmwareRejected) {
+  BoundedMemoryMcu mcu(64, key_of(3));
+  PoseVerifier verifier(key_of(3), 64);
+  EXPECT_FALSE(verifier.attest(mcu, Bytes(65, 1), 5).attested);
+}
+
+TEST(PeritoTsudik, HidingFailsWithoutHiddenMemory) {
+  // The bounded-memory premise: no room to stash, so the malware cannot
+  // survive the fill.
+  BoundedMemoryMcu mcu(1'024, key_of(3));
+  mcu.infect(100, bytes_of("persistent-malware"));
+  HidingMcu adversary(mcu, /*hidden_memory_bytes=*/8);
+  EXPECT_FALSE(adversary.stash(100, 18));
+  PoseVerifier verifier(key_of(3), 1'024);
+  EXPECT_TRUE(verifier.attest(mcu, bytes_of("clean"), 6).attested);
+  EXPECT_FALSE(adversary.restore());
+}
+
+TEST(PeritoTsudik, HiddenMemoryBreaksTheScheme) {
+  // Assumption violation: a device with secret extra memory survives the
+  // erasure undetected — quantifying why the memory bound must be right.
+  BoundedMemoryMcu mcu(1'024, key_of(3));
+  const Bytes malware = bytes_of("persistent-malware");
+  mcu.infect(100, malware);
+  HidingMcu adversary(mcu, /*hidden_memory_bytes=*/64);
+  ASSERT_TRUE(adversary.stash(100, malware.size()));
+  PoseVerifier verifier(key_of(3), 1'024);
+  const PoseReport report = verifier.attest(mcu, bytes_of("clean"), 7);
+  EXPECT_TRUE(report.attested) << "the proof itself still verifies";
+  ASSERT_TRUE(adversary.restore());
+  const auto it = std::search(mcu.memory().begin(), mcu.memory().end(),
+                              malware.begin(), malware.end());
+  EXPECT_NE(it, mcu.memory().end()) << "malware restored after attestation";
+}
+
+// ------------------------------------------------------------------ SWATT
+
+Bytes golden_memory(std::size_t n) {
+  Rng rng(987);
+  return rng.bytes(n);
+}
+
+TEST(Swatt, HonestDevicePasses) {
+  const Bytes memory = golden_memory(4'096);
+  SwattDevice device(memory);
+  SwattVerifier verifier(memory);
+  const SwattVerdict verdict = verifier.attest(device, 42);
+  EXPECT_TRUE(verdict.ok());
+}
+
+TEST(Swatt, NonRedirectingMalwareFailsChecksum) {
+  const Bytes memory = golden_memory(4'096);
+  SwattDevice device(memory);
+  device.compromise(1'000, bytes_of("malware-no-redirect"), /*redirect=*/false);
+  SwattVerifier verifier(memory);
+  SwattConfig config;
+  // Enough iterations that the walk almost surely samples the region.
+  const SwattVerdict verdict = verifier.attest(device, 43);
+  EXPECT_FALSE(verdict.checksum_ok);
+  (void)config;
+}
+
+TEST(Swatt, RedirectingMalwareCaughtByTiming) {
+  const Bytes memory = golden_memory(4'096);
+  SwattDevice device(memory);
+  device.compromise(1'000, bytes_of("malware-with-redirect"), /*redirect=*/true);
+  SwattVerifier verifier(memory);
+  const SwattVerdict verdict = verifier.attest(device, 44, /*time_slack=*/0.001);
+  EXPECT_TRUE(verdict.checksum_ok) << "redirection preserves the checksum";
+  EXPECT_FALSE(verdict.time_ok) << "but costs measurable extra cycles";
+}
+
+TEST(Swatt, NetworkJitterMasksTheTimingSignal) {
+  // §4.1's critique: over a network, jitter dwarfs the redirection
+  // overhead, so the timing check either rejects honest devices or accepts
+  // compromised ones.
+  const Bytes memory = golden_memory(4'096);
+  SwattDevice compromised(memory);
+  compromised.compromise(1'000, bytes_of("remote-malware"), /*redirect=*/true);
+  SwattVerifier verifier(memory);
+  // A slack generous enough to absorb 1 ms of jitter...
+  const sim::SimDuration jitter = sim::kMillisecond;
+  SwattVerdict honest_far =
+      verifier.attest(SwattDevice(memory), 45, /*time_slack=*/5.0, jitter);
+  EXPECT_TRUE(honest_far.ok()) << "honest device passes with loose bound";
+  // ...also lets the compromised device through: the scheme degrades.
+  SwattVerdict bad = verifier.attest(compromised, 45, /*time_slack=*/5.0, jitter);
+  EXPECT_TRUE(bad.time_ok) << "redirection hides inside the slack";
+}
+
+TEST(Swatt, DetectionProbabilityGrowsWithIterations) {
+  const Bytes memory = golden_memory(16'384);
+  SwattVerifier verifier_small(memory, SwattConfig{.iterations = 64});
+  SwattVerifier verifier_large(memory, SwattConfig{.iterations = 16'384});
+  int missed_small = 0, missed_large = 0;
+  for (std::uint64_t challenge = 0; challenge < 20; ++challenge) {
+    SwattDevice device(memory, SwattConfig{.iterations = 64});
+    device.compromise(8'000, Bytes(16, 0xee), /*redirect=*/false);
+    if (verifier_small.attest(device, challenge).checksum_ok) ++missed_small;
+    SwattDevice device2(memory, SwattConfig{.iterations = 16'384});
+    device2.compromise(8'000, Bytes(16, 0xee), /*redirect=*/false);
+    if (verifier_large.attest(device2, challenge).checksum_ok) ++missed_large;
+  }
+  EXPECT_GT(missed_small, 0) << "a 64-step walk misses a 16-byte patch often";
+  EXPECT_EQ(missed_large, 0) << "a full-size walk essentially never misses";
+}
+
+// ----------------------------------------------------------------- Chaves
+
+struct ChavesRig {
+  ChavesRig()
+      : device(fabric::DeviceModel::small_test_device()),
+        memory(device),
+        attestor(memory, fabric::FrameRange{4, 12}),
+        gen(device) {}
+  fabric::DeviceModel device;
+  config::ConfigMemory memory;
+  ChavesAttestor attestor;
+  bitstream::BitGen gen;
+};
+
+TEST(Chaves, HonestLoadMatchesExpectedHash) {
+  ChavesRig rig;
+  const auto image = rig.gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  ASSERT_TRUE(rig.attestor.load(image.frames, 4).ok());
+  EXPECT_EQ(rig.attestor.report(), ChavesAttestor::expected(image.frames));
+}
+
+TEST(Chaves, ModifiedBitstreamChangesHash) {
+  ChavesRig rig;
+  auto image = rig.gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  const auto want = ChavesAttestor::expected(image.frames);
+  image.frames[3].flip_bit(7);
+  ASSERT_TRUE(rig.attestor.load(image.frames, 4).ok());
+  EXPECT_NE(rig.attestor.report(), want);
+}
+
+TEST(Chaves, RefusesWritesOutsideRestrictedArea) {
+  ChavesRig rig;
+  const auto image = rig.gen.generate(fabric::FrameRange{0, 2}, {"evil", 1});
+  EXPECT_FALSE(rig.attestor.load(image.frames, 0).ok());  // static area
+  EXPECT_FALSE(rig.attestor.load(image.frames, 15).ok()); // spills past end
+}
+
+TEST(Chaves, DirectConfigWriteBypassesTheHash) {
+  // The assumption gap SACHa closes: an adversary writing the configuration
+  // memory directly (not through the trusted core) is invisible to the
+  // on-the-fly hash.
+  ChavesRig rig;
+  const auto image = rig.gen.generate(fabric::FrameRange{4, 12}, {"app", 1});
+  ASSERT_TRUE(rig.attestor.load(image.frames, 4).ok());
+  const auto report_before = rig.attestor.report();
+
+  bitstream::Frame tampered = rig.memory.config_frame(6);
+  tampered.flip_bit(11);
+  rig.memory.write_frame(6, tampered);  // direct write, core bypassed
+
+  EXPECT_EQ(rig.attestor.report(), report_before)
+      << "hash unchanged although the running configuration changed";
+  EXPECT_EQ(rig.attestor.report(), ChavesAttestor::expected(image.frames))
+      << "the verifier would still accept";
+}
+
+// ------------------------------------------------------------ DrimerKuhn
+
+TEST(DrimerKuhn, AuthenticatedUpdateAndAttest) {
+  ExternalNvm nvm;
+  DrimerKuhnDevice device(nvm, key_of(9));
+  DrimerKuhnVerifier verifier(key_of(9));
+  const Bytes bitstream = crypto::Prg(1, "dk-bs").bytes(2'048);
+  ASSERT_TRUE(device.apply_update(verifier.make_update(1, bitstream)).ok());
+  const crypto::Mac response = device.attest(777);
+  EXPECT_TRUE(verifier.verify(777, 1, bitstream, response));
+}
+
+TEST(DrimerKuhn, ForgedUpdateRejected) {
+  ExternalNvm nvm;
+  DrimerKuhnDevice device(nvm, key_of(9));
+  DrimerKuhnVerifier wrong_key(key_of(10));
+  const Bytes bitstream = crypto::Prg(2, "dk-bs").bytes(512);
+  EXPECT_FALSE(device.apply_update(wrong_key.make_update(1, bitstream)).ok());
+}
+
+TEST(DrimerKuhn, RollbackRejected) {
+  ExternalNvm nvm;
+  DrimerKuhnDevice device(nvm, key_of(9));
+  DrimerKuhnVerifier verifier(key_of(9));
+  ASSERT_TRUE(device.apply_update(verifier.make_update(2, Bytes(64, 2))).ok());
+  EXPECT_FALSE(device.apply_update(verifier.make_update(1, Bytes(64, 1))).ok());
+  EXPECT_EQ(device.running_version(), 2u);
+}
+
+TEST(DrimerKuhn, TamperedNvmDetected) {
+  ExternalNvm nvm;
+  DrimerKuhnDevice device(nvm, key_of(9));
+  DrimerKuhnVerifier verifier(key_of(9));
+  const Bytes bitstream = crypto::Prg(3, "dk-bs").bytes(256);
+  ASSERT_TRUE(device.apply_update(verifier.make_update(1, bitstream)).ok());
+  // Attacker rewrites the NVM content out-of-band.
+  NvmSlot evil = *nvm.slot();
+  evil.bitstream[0] ^= 1;
+  nvm.program(evil);
+  EXPECT_FALSE(verifier.verify(5, 1, bitstream, device.attest(5)));
+}
+
+TEST(DrimerKuhn, RunningConfigTamperIsInvisible) {
+  // The scheme's blind spot: attestation covers the NVM, not the running
+  // configuration. SACHa's adversary strikes exactly here.
+  ExternalNvm nvm;
+  DrimerKuhnDevice device(nvm, key_of(9));
+  DrimerKuhnVerifier verifier(key_of(9));
+  const Bytes bitstream = crypto::Prg(4, "dk-bs").bytes(256);
+  ASSERT_TRUE(device.apply_update(verifier.make_update(1, bitstream)).ok());
+  device.running_configuration()[10] ^= 0xff;  // live tamper
+  EXPECT_TRUE(verifier.verify(6, 1, bitstream, device.attest(6)))
+      << "verifier accepts although the device runs modified hardware";
+  EXPECT_NE(device.running_configuration(), nvm.slot()->bitstream);
+}
+
+}  // namespace
+}  // namespace sacha::attest

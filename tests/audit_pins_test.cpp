@@ -1,0 +1,154 @@
+// Tests for the audit log (hash-chained session history) and the
+// pin-connectivity view behind the external-tap threat case.
+#include <gtest/gtest.h>
+
+#include "attacks/env.hpp"
+#include "attacks/library.hpp"
+#include "bitstream/pins.hpp"
+#include "core/audit.hpp"
+
+namespace sacha::core {
+namespace {
+
+AttestationReport run_once(std::uint64_t seed, bool tamper = false) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(seed);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  SessionHooks hooks;
+  if (tamper) {
+    hooks.after_config = [](SachaProver& p) {
+      bitstream::Frame f = p.memory().config_frame(6);
+      f.flip_bit(3);
+      p.memory().write_frame(6, f);
+    };
+  }
+  return run_attestation(verifier, prover, env.session_options, hooks);
+}
+
+TEST(AuditLog, RecordsOutcomesAndChains) {
+  AuditLog log;
+  log.append("dev-a", 111, run_once(1));
+  log.append("dev-b", 222, run_once(2, /*tamper=*/true));
+  log.append("dev-a", 333, run_once(3));
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.failures(), 1u);
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_TRUE(log.entries()[0].attested);
+  EXPECT_FALSE(log.entries()[1].attested);
+}
+
+TEST(AuditLog, EmptyLogVerifies) {
+  AuditLog log;
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_EQ(log.head(), crypto::Sha256Digest{});
+}
+
+TEST(AuditLog, ModifiedEntryBreaksChain) {
+  AuditLog log;
+  log.append("dev-a", 1, run_once(4));
+  log.append("dev-a", 2, run_once(5));
+  AuditLog tampered = log;
+  const_cast<AuditEntry&>(tampered.entries()[0]).attested = false;
+  EXPECT_FALSE(tampered.verify_chain());
+}
+
+TEST(AuditLog, ReorderedEntriesBreakChain) {
+  AuditLog log;
+  log.append("dev-a", 1, run_once(6));
+  log.append("dev-b", 2, run_once(7));
+  AuditLog tampered = log;
+  auto& entries = const_cast<std::vector<AuditEntry>&>(tampered.entries());
+  std::swap(entries[0], entries[1]);
+  EXPECT_FALSE(tampered.verify_chain());
+}
+
+TEST(AuditLog, HeadChangesWithEveryAppend) {
+  AuditLog log;
+  const auto h0 = log.head();
+  log.append("dev-a", 1, run_once(8));
+  const auto h1 = log.head();
+  log.append("dev-a", 2, run_once(9));
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, log.head());
+}
+
+TEST(AuditLog, CanonicalBytesDisambiguateFields) {
+  // device_id/detail length prefixes prevent ambiguity attacks on the
+  // canonical encoding ("ab" + "c" vs "a" + "bc").
+  AuditEntry a, b;
+  a.device_id = "ab";
+  a.detail = "c";
+  b.device_id = "a";
+  b.detail = "bc";
+  EXPECT_NE(a.canonical_bytes(), b.canonical_bytes());
+}
+
+}  // namespace
+}  // namespace sacha::core
+
+namespace sacha::bitstream {
+namespace {
+
+TEST(Pins, LocationsAreDeterministicAndValid) {
+  const auto device = fabric::DeviceModel::small_test_device();
+  const std::uint32_t logic_frames =
+      device.geometry().block(fabric::BlockType::kLogic).frames();
+  for (std::uint32_t pin = 0; pin < device.totals().iob; ++pin) {
+    const PinBit a = pin_bit_location(device, pin);
+    const PinBit b = pin_bit_location(device, pin);
+    EXPECT_EQ(a.frame, b.frame);
+    EXPECT_EQ(a.bit, b.bit);
+    EXPECT_LT(a.frame, logic_frames);
+    EXPECT_LT(a.bit, device.geometry().words_per_frame() * 32);
+    // Pin enables are configuration bits, never flip-flop state.
+    EXPECT_TRUE(architectural_mask(device, a.frame).get_bit(a.bit))
+        << "pin " << pin;
+  }
+}
+
+TEST(Pins, ExtractAndDiff) {
+  const auto device = fabric::DeviceModel::small_test_device();
+  std::vector<Frame> frames(device.total_frames(),
+                            Frame(device.geometry().words_per_frame()));
+  const auto view = [&frames](std::uint32_t f) -> const std::vector<std::uint32_t>& {
+    return frames[f].words();
+  };
+  const BitVec all_off = extract_pin_map(device, view);
+  EXPECT_EQ(all_off.popcount(), 0u);
+
+  // Enable pin 3.
+  const PinBit loc = pin_bit_location(device, 3);
+  frames[loc.frame].set_bit(loc.bit, true);
+  const BitVec one_on = extract_pin_map(device, view);
+  EXPECT_TRUE(one_on.get(3));
+  EXPECT_EQ(one_on.popcount(), 1u);
+
+  const PinDiff diff = diff_pin_maps(all_off, one_on);
+  EXPECT_EQ(diff.newly_enabled, std::vector<std::uint32_t>{3});
+  EXPECT_TRUE(diff.newly_disabled.empty());
+  EXPECT_NE(diff.to_string().find("pin(s): 3"), std::string::npos);
+
+  const PinDiff reverse = diff_pin_maps(one_on, all_off);
+  EXPECT_EQ(reverse.newly_disabled, std::vector<std::uint32_t>{3});
+}
+
+TEST(Pins, NoDiffIsEmpty) {
+  BitVec a(8), b(8);
+  a.set(2, true);
+  b.set(2, true);
+  const PinDiff diff = diff_pin_maps(a, b);
+  EXPECT_TRUE(diff.empty());
+  EXPECT_EQ(diff.to_string(), "no pin changes");
+}
+
+TEST(Pins, ExternalTapAttackNamesThePin) {
+  const attacks::ExternalTapAttack attack;
+  const auto outcome = attack.run(attacks::AttackEnv::small(70));
+  EXPECT_EQ(outcome.result, attacks::AttackResult::kDetected)
+      << outcome.evidence;
+  EXPECT_NE(outcome.evidence.find("unexpected connections"), std::string::npos)
+      << outcome.evidence;
+}
+
+}  // namespace
+}  // namespace sacha::bitstream

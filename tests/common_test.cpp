@@ -1,0 +1,270 @@
+// Unit and property tests for sacha_common: byte packing, hex codec,
+// deterministic RNG, bit vectors, result types.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/bitvec.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+namespace sacha {
+namespace {
+
+TEST(Hex, RoundTripsArbitraryBytes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes data = rng.bytes(static_cast<std::size_t>(rng.below(200)));
+    const auto decoded = from_hex(to_hex(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(Hex, EncodesKnownValue) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+}
+
+TEST(Hex, AcceptsUppercase) {
+  const auto decoded = from_hex("DEADBEEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_hex(*decoded), "deadbeef");
+}
+
+TEST(Hex, RejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Hex, EmptyStringIsEmptyBuffer) {
+  const auto decoded = from_hex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(BytePacking, U16RoundTrip) {
+  Bytes out;
+  put_u16be(out, 0xbeef);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(get_u16be(out, 0), 0xbeef);
+}
+
+TEST(BytePacking, U32RoundTrip) {
+  Bytes out;
+  put_u32be(out, 0xdeadbeef);
+  EXPECT_EQ(get_u32be(out, 0), 0xdeadbeefu);
+}
+
+TEST(BytePacking, U64RoundTrip) {
+  Bytes out;
+  put_u64be(out, 0x0123456789abcdefULL);
+  EXPECT_EQ(get_u64be(out, 0), 0x0123456789abcdefULL);
+}
+
+TEST(BytePacking, BigEndianByteOrder) {
+  Bytes out;
+  put_u32be(out, 0x01020304);
+  EXPECT_EQ(out[0], 0x01);
+  EXPECT_EQ(out[3], 0x04);
+}
+
+TEST(BytePacking, OffsetReads) {
+  Bytes out;
+  put_u32be(out, 0xaaaaaaaa);
+  put_u32be(out, 0x12345678);
+  EXPECT_EQ(get_u32be(out, 4), 0x12345678u);
+}
+
+TEST(XorBytes, SelfXorIsZero) {
+  Rng rng(2);
+  const Bytes a = rng.bytes(64);
+  const Bytes z = xor_bytes(a, a);
+  EXPECT_TRUE(std::all_of(z.begin(), z.end(), [](auto b) { return b == 0; }));
+}
+
+TEST(XorBytes, IsInvolutive) {
+  Rng rng(3);
+  const Bytes a = rng.bytes(32);
+  const Bytes b = rng.bytes(32);
+  EXPECT_EQ(xor_bytes(xor_bytes(a, b), b), a);
+}
+
+TEST(Rng, IsDeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BytesHasRequestedLength) {
+  Rng rng(12);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+    EXPECT_EQ(rng.bytes(n).size(), n);
+  }
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  const auto p = rng.permutation(100);
+  std::set<std::uint32_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(14);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8, 13};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, v);
+}
+
+TEST(BitVec, StartsCleared) {
+  BitVec v(20);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_FALSE(v.get(i));
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, AllOnesConstructorRespectsSize) {
+  BitVec v(13, true);
+  EXPECT_EQ(v.popcount(), 13u);
+  // The spare bits of the last byte must stay zero so byte-level equality
+  // matches bit-level equality.
+  EXPECT_EQ(v.bytes().back(), 0x1f);
+}
+
+TEST(BitVec, SetGetFlip) {
+  BitVec v(16);
+  v.set(3, true);
+  EXPECT_TRUE(v.get(3));
+  v.flip(3);
+  EXPECT_FALSE(v.get(3));
+  v.flip(15);
+  EXPECT_TRUE(v.get(15));
+}
+
+TEST(BitVec, HammingDistance) {
+  BitVec a(10), b(10);
+  a.set(1, true);
+  a.set(5, true);
+  b.set(5, true);
+  b.set(9, true);
+  EXPECT_EQ(a.hamming(b), 2u);
+  EXPECT_EQ(a.hamming(a), 0u);
+}
+
+TEST(BitVec, XorMatchesHamming) {
+  Rng rng(15);
+  BitVec a(64), b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a.set(i, rng.chance(0.5));
+    b.set(i, rng.chance(0.5));
+  }
+  EXPECT_EQ((a ^ b).popcount(), a.hamming(b));
+}
+
+TEST(BitVec, FromBytesRoundTrip) {
+  Rng rng(16);
+  const Bytes packed = rng.bytes(8);
+  const BitVec v = BitVec::from_bytes(packed, 61);
+  for (std::size_t i = 0; i < 61; ++i) {
+    EXPECT_EQ(v.get(i), ((packed[i / 8] >> (i % 8)) & 1) != 0) << i;
+  }
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.message(), "");
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  const Status s = Status::error("boom");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "boom");
+}
+
+TEST(ResultType, ValueAndError) {
+  Result<int> ok = 7;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  const auto err = Result<int>::error("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "nope");
+}
+
+TEST(ResultType, TakeMovesValue) {
+  Result<Bytes> r = Bytes{1, 2, 3};
+  const Bytes taken = std::move(r).take();
+  EXPECT_EQ(taken, (Bytes{1, 2, 3}));
+}
+
+// Property sweep: u32 round trip over structured patterns.
+class PackingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PackingSweep, U32RoundTrip) {
+  Bytes out;
+  put_u32be(out, GetParam());
+  EXPECT_EQ(get_u32be(out, 0), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PackingSweep,
+                         ::testing::Values(0u, 1u, 0x80000000u, 0xffffffffu,
+                                           0x7fffffffu, 0x55aa55aau,
+                                           0xaa55aa55u, 0x00ff00ffu));
+
+}  // namespace
+}  // namespace sacha

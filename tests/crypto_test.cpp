@@ -1,0 +1,287 @@
+// Tests for sacha_crypto against the official vectors:
+//  - AES-128: FIPS-197 Appendix B/C.1
+//  - AES-CMAC: RFC 4493 §4 examples 1-4
+//  - SHA-256: FIPS 180-4 / NIST CAVP short messages
+//  - HMAC-SHA256: RFC 4231 test cases
+// plus structural property sweeps (streaming == one-shot, key separation,
+// constant-time equality semantics, PRG determinism).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/cmac.hpp"
+#include "crypto/ct.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/prg.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sacha::crypto {
+namespace {
+
+Bytes hex(std::string_view h) {
+  auto v = from_hex(h);
+  EXPECT_TRUE(v.has_value()) << h;
+  return *v;
+}
+
+std::string mac_hex(const AesBlock& m) { return to_hex(m); }
+std::string digest_hex(const Sha256Digest& d) { return to_hex(d); }
+
+// ---------------------------------------------------------------- AES-128
+
+TEST(Aes128, Fips197AppendixB) {
+  const Aes128 aes(to_aes_key(hex("2b7e151628aed2a6abf7158809cf4f3c")));
+  AesBlock block{};
+  const Bytes pt = hex("3243f6a8885a308d313198a2e0370734");
+  std::copy(pt.begin(), pt.end(), block.begin());
+  aes.encrypt_block(block);
+  EXPECT_EQ(to_hex(block), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes(to_aes_key(hex("000102030405060708090a0b0c0d0e0f")));
+  AesBlock block{};
+  const Bytes pt = hex("00112233445566778899aabbccddeeff");
+  std::copy(pt.begin(), pt.end(), block.begin());
+  aes.encrypt_block(block);
+  EXPECT_EQ(to_hex(block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, EncryptIsDeterministic) {
+  const Aes128 aes(to_aes_key(hex("00000000000000000000000000000000")));
+  AesBlock in{};
+  EXPECT_EQ(aes.encrypt(in), aes.encrypt(in));
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertexts) {
+  AesBlock in{};
+  const auto c1 = Aes128(to_aes_key(hex("00000000000000000000000000000001"))).encrypt(in);
+  const auto c2 = Aes128(to_aes_key(hex("00000000000000000000000000000002"))).encrypt(in);
+  EXPECT_NE(c1, c2);
+}
+
+// --------------------------------------------------------------- AES-CMAC
+
+const char* kRfc4493Key = "2b7e151628aed2a6abf7158809cf4f3c";
+
+struct CmacVector {
+  const char* message_hex;
+  const char* tag_hex;
+};
+
+class CmacRfc4493 : public ::testing::TestWithParam<CmacVector> {};
+
+TEST_P(CmacRfc4493, MatchesVector) {
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  const Bytes msg = hex(GetParam().message_hex);
+  EXPECT_EQ(mac_hex(Cmac::compute(key, msg)), GetParam().tag_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, CmacRfc4493,
+    ::testing::Values(
+        CmacVector{"", "bb1d6929e95937287fa37d129b756746"},
+        CmacVector{"6bc1bee22e409f96e93d7e117393172a",
+                   "070a16b46b4d4144f79bdd9dd04a287c"},
+        CmacVector{"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+                   "30c81c46a35ce411",
+                   "dfa66747de9ae63030ca32611497c827"},
+        CmacVector{"6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+                   "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710",
+                   "51f0bebf7e3b9d92fc49741779363cfe"}));
+
+TEST(Cmac, StreamingMatchesOneShot) {
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(21);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Bytes msg = rng.bytes(static_cast<std::size_t>(rng.below(300)));
+    Cmac streaming(key);
+    std::size_t pos = 0;
+    while (pos < msg.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(40), msg.size() - pos);
+      streaming.update(ByteSpan(msg).subspan(pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(streaming.finalize(), Cmac::compute(key, msg));
+  }
+}
+
+TEST(Cmac, ResetRestartsCleanly) {
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Cmac cmac(key);
+  cmac.update(hex("6bc1bee22e409f96e93d7e117393172a"));
+  (void)cmac.finalize();
+  cmac.reset();
+  cmac.update(hex("6bc1bee22e409f96e93d7e117393172a"));
+  EXPECT_EQ(mac_hex(cmac.finalize()), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, KeySeparation) {
+  const Bytes msg = hex("00112233445566778899aabbccddeeff");
+  const auto t1 = Cmac::compute(to_aes_key(hex("000102030405060708090a0b0c0d0e0f")), msg);
+  const auto t2 = Cmac::compute(to_aes_key(hex("0f0102030405060708090a0b0c0d0e0f")), msg);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(Cmac, SingleBitFlipChangesTag) {
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(22);
+  Bytes msg = rng.bytes(324);  // one configuration frame
+  const auto before = Cmac::compute(key, msg);
+  msg[200] ^= 0x01;
+  EXPECT_NE(before, Cmac::compute(key, msg));
+}
+
+TEST(Cmac, BlockBoundaryLengths) {
+  // Lengths straddling the 16-byte boundary exercise both padding paths.
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(23);
+  for (std::size_t len : {15u, 16u, 17u, 31u, 32u, 33u}) {
+    const Bytes msg = rng.bytes(len);
+    Cmac streaming(key);
+    streaming.update(msg);
+    EXPECT_EQ(streaming.finalize(), Cmac::compute(key, msg)) << len;
+  }
+}
+
+// ---------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyMessage) {
+  EXPECT_EQ(digest_hex(Sha256::compute({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::compute(bytes_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::compute(bytes_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Rng rng(24);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Bytes msg = rng.bytes(static_cast<std::size_t>(rng.below(500)));
+    Sha256 streaming;
+    std::size_t pos = 0;
+    while (pos < msg.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(70), msg.size() - pos);
+      streaming.update(ByteSpan(msg).subspan(pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(streaming.finalize(), Sha256::compute(msg));
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // 55/56/57 and 63/64/65 bytes exercise the length-field overflow path.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const Bytes msg(len, 0x61);
+    Sha256 a;
+    a.update(msg);
+    EXPECT_EQ(a.finalize(), Sha256::compute(msg)) << len;
+  }
+}
+
+// ------------------------------------------------------------ HMAC-SHA256
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(digest_hex(HmacSha256::compute(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(digest_hex(HmacSha256::compute(
+                bytes_of("Jefe"), bytes_of("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(digest_hex(HmacSha256::compute(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(digest_hex(HmacSha256::compute(
+                key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, StreamingMatchesOneShot) {
+  const Bytes key = bytes_of("frame-stream-key");
+  Rng rng(25);
+  const Bytes msg = rng.bytes(777);
+  HmacSha256 streaming(key);
+  streaming.update(ByteSpan(msg).subspan(0, 300));
+  streaming.update(ByteSpan(msg).subspan(300));
+  EXPECT_EQ(streaming.finalize(), HmacSha256::compute(key, msg));
+}
+
+// --------------------------------------------------------------------- PRG
+
+TEST(Prg, DeterministicFromSeedAndLabel) {
+  Prg a(99, "nonce"), b(99, "nonce");
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+}
+
+TEST(Prg, LabelsAreDomainSeparated) {
+  Prg a(99, "nonce"), b(99, "key");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Prg, SeedsAreSeparated) {
+  Prg a(1, "x"), b(2, "x");
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(Prg, StreamIsConsistentAcrossCallSizes) {
+  Prg a(7, "stream"), b(7, "stream");
+  Bytes joined = a.bytes(10);
+  append(joined, a.bytes(23));
+  EXPECT_EQ(joined, b.bytes(33));
+}
+
+TEST(Prg, KeyHasAesSize) {
+  Prg p(5, "k");
+  EXPECT_EQ(p.key().size(), kAesKeySize);
+}
+
+// ---------------------------------------------------------------- ct_equal
+
+TEST(CtEqual, EqualBuffers) {
+  const Bytes a = {1, 2, 3};
+  EXPECT_TRUE(ct_equal(a, a));
+}
+
+TEST(CtEqual, UnequalContent) {
+  const Bytes a = {1, 2, 3}, b = {1, 2, 4};
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(CtEqual, UnequalLength) {
+  const Bytes a = {1, 2, 3}, b = {1, 2};
+  EXPECT_FALSE(ct_equal(a, b));
+}
+
+TEST(CtEqual, EmptyBuffersAreEqual) { EXPECT_TRUE(ct_equal({}, {})); }
+
+}  // namespace
+}  // namespace sacha::crypto

@@ -1,0 +1,141 @@
+// Tests for multi-dynamic-partition floorplans (§2.1.2: "there can be one
+// or more run-time configurable partitions"): the application spans every
+// dynamic region, the nonce keeps its own slot, and the protocol covers
+// and protects all regions.
+#include <gtest/gtest.h>
+
+#include "attacks/env.hpp"
+#include "core/session.hpp"
+
+namespace sacha::core {
+namespace {
+
+/// Small device split as: static [0,4), dynA [4,9), static island [9,10),
+/// dynB [10,16). Two dynamic regions separated by static frames.
+fabric::Floorplan split_plan() {
+  fabric::Floorplan plan(fabric::DeviceModel::small_test_device());
+  plan.add_partition({"StatPart",
+                      fabric::PartitionKind::kStatic,
+                      fabric::FrameRange{0, 4},
+                      {.clb = 18, .bram18 = 2, .iob = 4, .dcm = 1, .icap = 1}});
+  plan.add_partition({"DynA",
+                      fabric::PartitionKind::kDynamic,
+                      fabric::FrameRange{4, 5},
+                      {.clb = 40, .bram18 = 3, .iob = 6}});
+  plan.add_partition({"StatIsland",
+                      fabric::PartitionKind::kStatic,
+                      fabric::FrameRange{9, 1},
+                      {.clb = 2}});
+  plan.add_partition({"DynB",
+                      fabric::PartitionKind::kDynamic,
+                      fabric::FrameRange{10, 6},
+                      {.clb = 40, .bram18 = 3, .iob = 6, .dcm = 1}});
+  return plan;
+}
+
+crypto::AesKey key() {
+  crypto::AesKey k{};
+  k.fill(0x44);
+  return k;
+}
+
+struct Rig {
+  Rig()
+      : verifier(split_plan(), {"static-v1", 1}, {"app-v1", 1}, key(), 1),
+        prover(fabric::DeviceModel::small_test_device(), "split-dev", key()) {
+    // BootMem covers the base static region; the static island belongs to
+    // the static design too and is provisioned the same way.
+    prover.boot(verifier.static_image());
+    for (std::uint32_t f = 9; f < 10; ++f) {
+      prover.memory().write_frame(f, verifier.golden_frame(f));
+    }
+  }
+  SachaVerifier verifier;
+  SachaProver prover;
+};
+
+TEST(MultiPartition, PlanValidates) {
+  EXPECT_TRUE(split_plan().validate().ok());
+  EXPECT_EQ(split_plan().frames_of_kind(fabric::PartitionKind::kDynamic), 11u);
+}
+
+TEST(MultiPartition, NonceLivesInLastDynamicRegion) {
+  Rig rig;
+  EXPECT_EQ(rig.verifier.nonce_frame_index(), 15u);
+}
+
+TEST(MultiPartition, HonestDeviceAttests) {
+  Rig rig;
+  const AttestationReport report = run_attestation(rig.verifier, rig.prover);
+  EXPECT_TRUE(report.verdict.ok()) << report.verdict.detail;
+  // 5 (DynA) + 5 (DynB minus nonce) app configs + 1 nonce.
+  EXPECT_EQ(report.ledger.count(actions::kA1), 11u);
+  // Readback still covers every frame of the device.
+  EXPECT_EQ(report.ledger.count(actions::kA3), 16u);
+}
+
+TEST(MultiPartition, BothRegionsAreConfigured) {
+  Rig rig;
+  ASSERT_TRUE(run_attestation(rig.verifier, rig.prover).verdict.ok());
+  for (std::uint32_t f : {4u, 8u, 10u, 14u}) {
+    EXPECT_EQ(rig.prover.memory().config_frame(f), rig.verifier.golden_frame(f))
+        << "frame " << f;
+  }
+}
+
+TEST(MultiPartition, TamperInEitherRegionDetected) {
+  for (std::uint32_t target : {5u, 12u}) {
+    Rig rig;
+    SessionHooks hooks;
+    hooks.after_config = [target](SachaProver& p) {
+      bitstream::Frame f = p.memory().config_frame(target);
+      f.flip_bit(7);
+      p.memory().write_frame(target, f);
+    };
+    const AttestationReport report =
+        run_attestation(rig.verifier, rig.prover, {}, hooks);
+    EXPECT_FALSE(report.verdict.ok()) << "target " << target;
+  }
+}
+
+TEST(MultiPartition, StaticIslandTamperDetected) {
+  Rig rig;
+  SessionHooks hooks;
+  hooks.after_config = [](SachaProver& p) {
+    bitstream::Frame f = p.memory().config_frame(9);  // the island
+    f.flip_bit(2);
+    p.memory().write_frame(9, f);
+  };
+  const AttestationReport report =
+      run_attestation(rig.verifier, rig.prover, {}, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+}
+
+TEST(MultiPartition, ChunkedConfigNeverStraddlesRegions) {
+  Rig rig;
+  core::VerifierOptions options;
+  options.frames_per_config = 4;
+  SachaVerifier verifier(split_plan(), {"static-v1", 1}, {"app-v1", 1}, key(), 2,
+                         options);
+  SachaProver prover(fabric::DeviceModel::small_test_device(), "split", key());
+  prover.boot(verifier.static_image());
+  prover.memory().write_frame(9, verifier.golden_frame(9));
+  const AttestationReport report = run_attestation(verifier, prover);
+  EXPECT_TRUE(report.verdict.ok()) << report.verdict.detail;
+  // DynA: ceil(5/4)=2 chunks; DynB-app: ceil(5/4)=2 chunks; +1 nonce.
+  EXPECT_EQ(report.ledger.count(actions::kA1), 5u);
+  // The static island at frame 9 must be untouched by configuration.
+  EXPECT_EQ(prover.memory().config_frame(9), verifier.golden_frame(9));
+}
+
+TEST(MultiPartition, RefreshSessionsWork) {
+  Rig rig;
+  ASSERT_TRUE(run_attestation(rig.verifier, rig.prover).verdict.ok());
+  rig.verifier.set_refresh_only(true);
+  const AttestationReport refresh = run_attestation(rig.verifier, rig.prover);
+  EXPECT_TRUE(refresh.verdict.ok()) << refresh.verdict.detail;
+  EXPECT_EQ(refresh.ledger.count(actions::kA1), 1u);
+}
+
+}  // namespace
+}  // namespace sacha::core

@@ -1,0 +1,123 @@
+// Tests for the network substrate: Ethernet codec (padding, FCS), the
+// Gigabit wire model against the packet sizes behind Table 3, and the
+// simulated channel (latency, jitter, loss).
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "net/channel.hpp"
+#include "net/ethernet.hpp"
+
+namespace sacha::net {
+namespace {
+
+TEST(EthFrame, EncodeDecodeRoundTrip) {
+  EthFrame frame;
+  frame.dst = {1, 2, 3, 4, 5, 6};
+  frame.src = {7, 8, 9, 10, 11, 12};
+  frame.payload = Bytes(100, 0xab);
+  auto decoded = EthFrame::decode(frame.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().dst, frame.dst);
+  EXPECT_EQ(decoded.value().src, frame.src);
+  EXPECT_EQ(decoded.value().ethertype, kSachaEtherType);
+  EXPECT_EQ(decoded.value().payload, frame.payload);
+}
+
+TEST(EthFrame, ShortPayloadIsPadded) {
+  EthFrame frame;
+  frame.payload = Bytes(10, 0x11);
+  const Bytes wire = frame.encode();
+  // 14 header + 46 padded payload + 4 FCS.
+  EXPECT_EQ(wire.size(), 64u);
+  auto decoded = EthFrame::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().payload.size(), kMinPayload);
+  EXPECT_EQ(Bytes(decoded.value().payload.begin(),
+                  decoded.value().payload.begin() + 10),
+            frame.payload);
+}
+
+TEST(EthFrame, CorruptedFcsRejected) {
+  EthFrame frame;
+  frame.payload = Bytes(100, 0x22);
+  Bytes wire = frame.encode();
+  wire[20] ^= 0x01;
+  EXPECT_FALSE(EthFrame::decode(wire).ok());
+}
+
+TEST(EthFrame, TruncatedFrameRejected) {
+  EXPECT_FALSE(EthFrame::decode(Bytes(10, 0)).ok());
+}
+
+TEST(EthFrame, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(WireModel, MinimumFrameTime) {
+  // 84 bytes total (incl. preamble + IFG) at 8 ns/byte.
+  const WireModel wire;
+  EXPECT_EQ(wire.frame_time(1), 672u);
+  EXPECT_EQ(wire.frame_time(46), 672u);
+}
+
+TEST(WireModel, Table3PacketSizes) {
+  const WireModel wire;
+  // A1: ICAP_config command, 4-byte header + 266-word padded stream.
+  EXPECT_EQ(wire.frame_time(4 + 266 * 4), 8'848u);
+  // A3: ICAP_readback command, 4 + 4 + 414-word padded stream = 1,664 bytes
+  // payload -> 1,702 wire bytes -> 13,616 ns, Table 3's exact value.
+  EXPECT_EQ(wire.frame_time(4 + 4 + 414 * 4), 13'616u);
+  // A8: frame sendback, 4 + 324 = 328 payload -> 366 bytes -> 2,928 ns.
+  EXPECT_EQ(wire.frame_time(4 + 324), 2'928u);
+}
+
+TEST(Channel, IdealChannelIsWireOnly) {
+  Channel channel(ChannelParams::ideal(), 1);
+  const auto t = channel.transfer(328);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2'928u);
+}
+
+TEST(Channel, LabChannelAddsPerMessageLatency) {
+  Channel channel(ChannelParams::lab(), 1);
+  const auto t = channel.transfer(328);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 2'928u + 324'500u);
+}
+
+TEST(Channel, JitterStaysInBound) {
+  ChannelParams params;
+  params.jitter_max = 1'000;
+  Channel channel(params, 7);
+  for (int i = 0; i < 200; ++i) {
+    const auto t = channel.transfer(46);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_GE(*t, 672u);
+    EXPECT_LE(*t, 672u + 1'000u);
+  }
+}
+
+TEST(Channel, LossRateRoughlyHonoured) {
+  ChannelParams params;
+  params.loss_probability = 0.3;
+  Channel channel(params, 11);
+  int lost = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!channel.transfer(46).has_value()) ++lost;
+  }
+  EXPECT_EQ(channel.messages_lost(), static_cast<std::uint64_t>(lost));
+  EXPECT_GT(lost, 220);
+  EXPECT_LT(lost, 380);
+}
+
+TEST(Channel, ZeroLossNeverLoses) {
+  Channel channel(ChannelParams::ideal(), 3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(channel.transfer(100).has_value());
+  }
+  EXPECT_EQ(channel.messages_lost(), 0u);
+}
+
+}  // namespace
+}  // namespace sacha::net

@@ -1,0 +1,122 @@
+// Tests for §5.2.2 nonce-refresh sessions: after a full install, the
+// verifier refreshes only the nonce partition and re-reads the whole
+// memory — cheap freshness without retransmitting the application.
+#include <gtest/gtest.h>
+
+#include "attacks/env.hpp"
+#include "core/session.hpp"
+
+namespace sacha::core {
+namespace {
+
+TEST(Refresh, WorksAfterFullSession) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(300);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(run_attestation(verifier, prover).verdict.ok());
+
+  verifier.set_refresh_only(true);
+  const AttestationReport refresh = run_attestation(verifier, prover);
+  EXPECT_TRUE(refresh.verdict.ok()) << refresh.verdict.detail;
+  // One config command (the nonce) instead of twelve.
+  EXPECT_EQ(refresh.ledger.count(actions::kA1), 1u);
+  // Readback still covers the whole memory.
+  EXPECT_EQ(refresh.ledger.count(actions::kA3), 16u);
+}
+
+TEST(Refresh, FailsOnFreshDevice) {
+  // Without a prior full install the application frames are zero, so the
+  // full-memory readback must reject the device.
+  attacks::AttackEnv env = attacks::AttackEnv::small(301);
+  env.verifier_options.refresh_only = true;
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  const AttestationReport report = run_attestation(verifier, prover);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_FALSE(report.verdict.config_ok);
+}
+
+TEST(Refresh, DetectsTamperSinceLastSession) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(302);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(run_attestation(verifier, prover).verdict.ok());
+
+  // The adversary strikes between sessions (no tamper window needed: the
+  // refresh does not overwrite the application).
+  bitstream::Frame f = prover.memory().config_frame(7);
+  f.flip_bit(30);
+  prover.memory().write_frame_preserving_registers(7, f);
+
+  verifier.set_refresh_only(true);
+  const AttestationReport refresh = run_attestation(verifier, prover);
+  EXPECT_FALSE(refresh.verdict.ok());
+  EXPECT_FALSE(refresh.verdict.config_ok);
+}
+
+TEST(Refresh, NonceStillRollsPerRefresh) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(303);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(run_attestation(verifier, prover).verdict.ok());
+  verifier.set_refresh_only(true);
+  (void)run_attestation(verifier, prover);
+  const std::uint64_t n1 = verifier.nonce();
+  (void)run_attestation(verifier, prover);
+  EXPECT_NE(verifier.nonce(), n1);
+}
+
+TEST(Refresh, RefusesStaleNonceReplayAcrossRefreshes) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(304);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(run_attestation(verifier, prover).verdict.ok());
+  verifier.set_refresh_only(true);
+
+  // Adversary drops the (only) config command of the refresh: the device
+  // still holds the previous session's nonce.
+  SessionHooks hooks;
+  hooks.on_command = [](Bytes& packet) {
+    auto cmd = Command::decode(packet);
+    return !(cmd.ok() && cmd.value().type == CommandType::kIcapConfig);
+  };
+  const AttestationReport report = run_attestation(verifier, prover, {}, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+}
+
+TEST(Refresh, DoesNotInstallApplicationUpdates) {
+  // set_app_spec during refresh mode changes the golden but ships nothing:
+  // the verifier must *detect* the device still runs the old version. This
+  // is the intended semantics — refresh proves what is there, it does not
+  // update.
+  attacks::AttackEnv env = attacks::AttackEnv::small(305);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(run_attestation(verifier, prover).verdict.ok());
+  verifier.set_refresh_only(true);
+  verifier.set_app_spec({"app-v2", 2});
+  const AttestationReport report = run_attestation(verifier, prover);
+  EXPECT_FALSE(report.verdict.ok()) << "device still runs v1; must not pass";
+  // A full session then installs and attests v2.
+  verifier.set_refresh_only(false);
+  EXPECT_TRUE(run_attestation(verifier, prover).verdict.ok());
+}
+
+TEST(Refresh, MuchCheaperThanFullSession) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(306);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  const AttestationReport full = run_attestation(verifier, prover);
+  verifier.set_refresh_only(true);
+  const AttestationReport refresh = run_attestation(verifier, prover);
+  ASSERT_TRUE(full.verdict.ok());
+  ASSERT_TRUE(refresh.verdict.ok());
+  // On the toy device padded readback commands dominate the upload, so the
+  // byte saving is modest; the command saving is the structural one (11 of
+  // 12 configuration commands disappear).
+  EXPECT_LT(refresh.bytes_to_prover, full.bytes_to_prover);
+  EXPECT_EQ(full.commands_sent - refresh.commands_sent, 11u);
+}
+
+}  // namespace
+}  // namespace sacha::core

@@ -1,0 +1,146 @@
+// Tests for the simulation substrate: clock domains, event queue ordering,
+// the time ledger, and the bounded FIFO model.
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fifo.hpp"
+#include "sim/ledger.hpp"
+
+namespace sacha::sim {
+namespace {
+
+TEST(ClockDomain, PocDomainPeriods) {
+  EXPECT_EQ(rx_domain().period(), 8u);    // 125 MHz
+  EXPECT_EQ(tx_domain().period(), 8u);    // 125 MHz
+  EXPECT_EQ(icap_domain().period(), 10u); // 100 MHz
+}
+
+TEST(ClockDomain, CyclesToTime) {
+  EXPECT_EQ(icap_domain().cycles_to_time(183), 1'830u);
+  EXPECT_EQ(icap_domain().cycles_to_time(2'404), 24'040u);
+  EXPECT_EQ(tx_domain().cycles_to_time(16), 128u);
+}
+
+TEST(ClockDomain, TimeToCyclesRoundsUp) {
+  const ClockDomain icap = icap_domain();
+  EXPECT_EQ(icap.time_to_cycles(10), 1u);
+  EXPECT_EQ(icap.time_to_cycles(11), 2u);
+  EXPECT_EQ(icap.time_to_cycles(20), 2u);
+}
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(30, [&] { order.push_back(3); });
+  queue.schedule(10, [&] { order.push_back(1); });
+  queue.schedule(20, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(7, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(5, [&] {
+    ++fired;
+    queue.schedule(5, [&] { ++fired; });
+  });
+  queue.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 10u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(10, [&] { ++fired; });
+  queue.schedule(100, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 50u);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, AdvanceMovesClock) {
+  EventQueue queue;
+  queue.advance(123);
+  EXPECT_EQ(queue.now(), 123u);
+}
+
+TEST(Ledger, AccumulatesPerAction) {
+  TimeLedger ledger;
+  ledger.add("A1", 100);
+  ledger.add("A1", 200);
+  ledger.add("A2", 50);
+  EXPECT_EQ(ledger.count("A1"), 2u);
+  EXPECT_EQ(ledger.total("A1"), 300u);
+  EXPECT_EQ(ledger.average("A1"), 150u);
+  EXPECT_EQ(ledger.grand_total(), 350u);
+}
+
+TEST(Ledger, UnknownActionIsZero) {
+  TimeLedger ledger;
+  EXPECT_EQ(ledger.count("missing"), 0u);
+  EXPECT_EQ(ledger.total("missing"), 0u);
+  EXPECT_EQ(ledger.average("missing"), 0u);
+}
+
+TEST(Ledger, PreservesInsertionOrder) {
+  TimeLedger ledger;
+  ledger.add("z", 1);
+  ledger.add("a", 1);
+  ledger.add("z", 1);
+  EXPECT_EQ(ledger.actions(), (std::vector<std::string>{"z", "a"}));
+}
+
+TEST(Ledger, ClearResets) {
+  TimeLedger ledger;
+  ledger.add("x", 5);
+  ledger.clear();
+  EXPECT_EQ(ledger.grand_total(), 0u);
+  EXPECT_TRUE(ledger.actions().empty());
+}
+
+TEST(FifoModel, PushPopOrder) {
+  Fifo<int> fifo(4);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.push(2));
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_EQ(fifo.pop(), 2);
+  EXPECT_EQ(fifo.pop(), std::nullopt);
+}
+
+TEST(FifoModel, RejectsWhenFull) {
+  Fifo<int> fifo(2);
+  EXPECT_TRUE(fifo.push(1));
+  EXPECT_TRUE(fifo.push(2));
+  EXPECT_FALSE(fifo.push(3));
+  EXPECT_EQ(fifo.overflows(), 1u);
+  EXPECT_EQ(fifo.size(), 2u);
+}
+
+TEST(FifoModel, TracksHighWater) {
+  Fifo<int> fifo(8);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.push(3);
+  (void)fifo.pop();
+  (void)fifo.pop();
+  fifo.push(4);
+  EXPECT_EQ(fifo.high_water(), 3u);
+}
+
+}  // namespace
+}  // namespace sacha::sim

@@ -1,0 +1,314 @@
+// Tests for the softcore substrate: instruction codec, CPU semantics,
+// assembler, determinism, and the state<->fabric mapping.
+#include <gtest/gtest.h>
+
+#include "bitstream/bitgen.hpp"
+#include "softcore/assembler.hpp"
+#include "softcore/state_map.hpp"
+
+namespace sacha::softcore {
+namespace {
+
+Program asm_or_die(std::string_view src) {
+  auto p = assemble(src);
+  EXPECT_TRUE(p.ok()) << p.message();
+  return p.ok() ? p.value() : Program{};
+}
+
+// --------------------------------------------------------------------- ISA
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  for (std::uint8_t op = 0; valid_opcode(op); ++op) {
+    Instruction inst{static_cast<Opcode>(op), 3, 5, 0x1234};
+    auto decoded = Instruction::decode(inst.encode());
+    ASSERT_TRUE(decoded.has_value()) << int{op};
+    EXPECT_EQ(*decoded, inst);
+  }
+}
+
+TEST(Isa, DecodeRejectsBadOpcode) {
+  EXPECT_FALSE(Instruction::decode(0xff000000).has_value());
+}
+
+TEST(Isa, DecodeRejectsBadRegister) {
+  // rd = 9 > 7.
+  const std::uint32_t word = (0x04u << 24) | (9u << 20);
+  EXPECT_FALSE(Instruction::decode(word).has_value());
+}
+
+TEST(Isa, Rs2LivesInImmLowNibble) {
+  Instruction inst{Opcode::kAdd, 0, 1, 0x0002};
+  EXPECT_EQ(inst.rs2(), 2);
+}
+
+// --------------------------------------------------------------------- CPU
+
+TEST(Cpu, LdiAndArithmetic) {
+  SoftCore cpu(asm_or_die(R"(
+    ldi r1, 10
+    ldi r2, 32
+    add r3, r1, r2
+    sub r4, r2, r1
+    halt
+  )"));
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.state().regs[3], 42);
+  EXPECT_EQ(cpu.state().regs[4], 22);
+}
+
+TEST(Cpu, LogicAndShifts) {
+  SoftCore cpu(asm_or_die(R"(
+    ldi r1, 0x0f0f
+    ldi r2, 0x00ff
+    and r3, r1, r2
+    or  r4, r1, r2
+    xor r5, r1, r2
+    shl r6, r2, 4
+    shr r7, r2, 4
+    halt
+  )"));
+  cpu.run(100);
+  EXPECT_EQ(cpu.state().regs[3], 0x000f);
+  EXPECT_EQ(cpu.state().regs[4], 0x0fff);
+  EXPECT_EQ(cpu.state().regs[5], 0x0ff0);
+  EXPECT_EQ(cpu.state().regs[6], 0x0ff0);
+  EXPECT_EQ(cpu.state().regs[7], 0x000f);
+}
+
+TEST(Cpu, LoadStore) {
+  SoftCore cpu(asm_or_die(R"(
+    ldi r1, 7
+    ldi r2, 3
+    st  r1, r2, 5     ; mem[8] <- 7
+    ld  r4, r2, 5     ; r4 <- mem[8]
+    halt
+  )"));
+  cpu.run(100);
+  EXPECT_EQ(cpu.data_memory()[8], 7);
+  EXPECT_EQ(cpu.state().regs[4], 7);
+}
+
+TEST(Cpu, LoopWithBranch) {
+  // Sum 1..10 into r2.
+  SoftCore cpu(asm_or_die(R"(
+    ldi r1, 0       ; i
+    ldi r2, 0       ; sum
+    ldi r3, 10      ; limit
+  loop:
+    addi r1, r1, 1
+    add  r2, r2, r1
+    bne  r1, r3, loop
+    halt
+  )"));
+  cpu.run(1'000);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.state().regs[2], 55);
+}
+
+TEST(Cpu, JmpRedirectsPc) {
+  SoftCore cpu(asm_or_die(R"(
+    jmp skip
+    ldi r1, 99
+  skip:
+    ldi r2, 1
+    halt
+  )"));
+  cpu.run(100);
+  EXPECT_EQ(cpu.state().regs[1], 0);
+  EXPECT_EQ(cpu.state().regs[2], 1);
+}
+
+TEST(Cpu, RunningOffProgramHalts) {
+  SoftCore cpu(asm_or_die("ldi r1, 1"));
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+}
+
+TEST(Cpu, OutOfRangeMemoryAccessTraps) {
+  SoftCore cpu(asm_or_die(R"(
+    ldi r1, 9999
+    ld  r2, r1, 0
+    ldi r3, 1
+  )"),
+               /*data_words=*/16);
+  cpu.run(100);
+  EXPECT_TRUE(cpu.halted());
+  EXPECT_EQ(cpu.state().regs[3], 0) << "trap must stop execution";
+}
+
+TEST(Cpu, StepCountHonoured) {
+  SoftCore cpu(asm_or_die(R"(
+  loop:
+    addi r1, r1, 1
+    jmp loop
+  )"));
+  EXPECT_EQ(cpu.run(7), 7u);
+  EXPECT_FALSE(cpu.halted());
+  // 7 steps = 4 addi (steps 1,3,5,7) => r1 == 4.
+  EXPECT_EQ(cpu.state().regs[1], 4);
+}
+
+TEST(Cpu, DeterministicAcrossInstances) {
+  const Program program = asm_or_die(R"(
+    ldi r1, 3
+  loop:
+    add r2, r2, r1
+    addi r3, r3, 1
+    bne r3, r1, loop
+    halt
+  )");
+  SoftCore a(program), b(program);
+  a.run(500);
+  b.run(500);
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_EQ(a.data_memory(), b.data_memory());
+}
+
+// ---------------------------------------------------------------- Assembler
+
+TEST(Assembler, ReportsUnknownMnemonic) {
+  EXPECT_FALSE(assemble("frobnicate r1").ok());
+}
+
+TEST(Assembler, ReportsBadRegister) {
+  EXPECT_FALSE(assemble("ldi r9, 1").ok());
+  EXPECT_FALSE(assemble("ldi rx, 1").ok());
+}
+
+TEST(Assembler, ReportsMissingOperands) {
+  EXPECT_FALSE(assemble("add r1, r2").ok());
+  EXPECT_FALSE(assemble("jmp").ok());
+}
+
+TEST(Assembler, ReportsDuplicateLabel) {
+  EXPECT_FALSE(assemble("a:\n nop\na:\n nop").ok());
+}
+
+TEST(Assembler, ReportsUnknownLabel) {
+  EXPECT_FALSE(assemble("jmp nowhere").ok());
+}
+
+TEST(Assembler, HexAndDecimalImmediates) {
+  const Program p = asm_or_die("ldi r1, 0x10\nldi r2, 16");
+  EXPECT_EQ(p[0].imm, p[1].imm);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)  {
+  const Program p = asm_or_die(R"(
+    ; a comment line
+    # another comment
+    nop   ; trailing comment
+  )");
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Assembler, DisassembleNamesEveryOpcode) {
+  Program program;
+  for (std::uint8_t op = 0; valid_opcode(op); ++op) {
+    program.push_back(Instruction{static_cast<Opcode>(op), 1, 2, 3});
+  }
+  const std::string text = disassemble(program);
+  for (std::uint8_t op = 0; valid_opcode(op); ++op) {
+    EXPECT_NE(text.find(mnemonic(static_cast<Opcode>(op))), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------------- StateMap
+
+fabric::DeviceModel sc_device() { return fabric::DeviceModel::softcore_test_device(); }
+
+TEST(StateMap, BuildsOnSoftcoreDevice) {
+  auto map = StateMap::build(sc_device(), fabric::FrameRange{6, 30});
+  ASSERT_TRUE(map.ok()) << map.message();
+  EXPECT_EQ(map.value().bit_count(), CpuState::kStateBits);
+  EXPECT_FALSE(map.value().frames_touched().empty());
+}
+
+TEST(StateMap, FailsWhenRangeTooSmall) {
+  auto map = StateMap::build(sc_device(), fabric::FrameRange{6, 2});
+  EXPECT_FALSE(map.ok());
+}
+
+TEST(StateMap, StateBitsRoundTrip) {
+  CpuState state;
+  state.regs = {1, 2, 0xffff, 0x8000, 5, 6, 7, 8};
+  state.pc = 0xabcd;
+  state.halted = true;
+  EXPECT_EQ(StateMap::state_from_bits(StateMap::state_bits(state)), state);
+}
+
+TEST(StateMap, SyncThenReadbackRecoversState) {
+  const auto device = sc_device();
+  auto map = StateMap::build(device, fabric::FrameRange{6, 30});
+  ASSERT_TRUE(map.ok());
+  config::ConfigMemory memory(device);
+
+  CpuState state;
+  state.regs = {10, 20, 30, 40, 50, 60, 70, 80};
+  state.pc = 0x1234;
+  state.halted = false;
+  map.value().sync_to_memory(state, memory);
+
+  // Recover through the readback path + imprint/masked-compare machinery.
+  for (const std::uint32_t f : map.value().frames_touched()) {
+    const bitstream::Frame readback = memory.readback_frame(f);
+    const bitstream::FrameMask widened =
+        map.value().widened_mask(f, memory.mask(f));
+    const bitstream::Frame expected =
+        map.value().imprint(f, memory.config_frame(f), state);
+    EXPECT_TRUE(bitstream::masked_equal(readback, expected, widened))
+        << "frame " << f;
+  }
+}
+
+TEST(StateMap, DifferentStatesDiffer) {
+  const auto device = sc_device();
+  auto map = StateMap::build(device, fabric::FrameRange{6, 30});
+  ASSERT_TRUE(map.ok());
+  config::ConfigMemory memory(device);
+  CpuState state;
+  state.regs[0] = 0x0001;
+  map.value().sync_to_memory(state, memory);
+
+  CpuState other = state;
+  other.regs[0] = 0x0000;
+  bool any_mismatch = false;
+  for (const std::uint32_t f : map.value().frames_touched()) {
+    const bitstream::Frame readback = memory.readback_frame(f);
+    const bitstream::FrameMask widened =
+        map.value().widened_mask(f, memory.mask(f));
+    const bitstream::Frame expected =
+        map.value().imprint(f, memory.config_frame(f), other);
+    if (!bitstream::masked_equal(readback, expected, widened)) {
+      any_mismatch = true;
+    }
+  }
+  EXPECT_TRUE(any_mismatch);
+}
+
+TEST(StateMap, WidenedMaskOnlyAddsMappedBits) {
+  const auto device = sc_device();
+  auto map = StateMap::build(device, fabric::FrameRange{6, 30});
+  ASSERT_TRUE(map.ok());
+  const std::uint32_t f = map.value().frames_touched()[0];
+  const bitstream::FrameMask base = bitstream::architectural_mask(device, f);
+  const bitstream::FrameMask widened = map.value().widened_mask(f, base);
+  std::uint32_t added = 0;
+  for (std::uint32_t b = 0; b < base.bit_count(); ++b) {
+    EXPECT_TRUE(!base.get_bit(b) || widened.get_bit(b)) << "mask bit lost";
+    if (!base.get_bit(b) && widened.get_bit(b)) ++added;
+  }
+  EXPECT_GT(added, 0u);
+}
+
+TEST(StateMap, DeterministicAcrossBuilds) {
+  const auto device = sc_device();
+  auto a = StateMap::build(device, fabric::FrameRange{6, 30});
+  auto b = StateMap::build(device, fabric::FrameRange{6, 30});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().frames_touched(), b.value().frames_touched());
+}
+
+}  // namespace
+}  // namespace sacha::softcore

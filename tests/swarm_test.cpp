@@ -1,0 +1,97 @@
+// Tests for swarm attestation: aggregation, scheduling semantics, and
+// isolation of compromised members.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "attacks/env.hpp"
+#include "core/swarm.hpp"
+
+namespace sacha::core {
+namespace {
+
+/// Owns the fleet's verifiers/provers (SwarmMember holds raw pointers).
+struct Fleet {
+  explicit Fleet(std::size_t n, std::uint64_t base_seed = 500) {
+    for (std::size_t i = 0; i < n; ++i) {
+      envs.push_back(attacks::AttackEnv::small(base_seed + i));
+      verifiers.push_back(envs.back().make_verifier());
+      provers.push_back(envs.back().make_prover());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(SwarmMember{"node-" + std::to_string(i), &verifiers[i],
+                                    &provers[i], {}});
+    }
+  }
+
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<SachaVerifier> verifiers;
+  std::deque<SachaProver> provers;
+  std::vector<SwarmMember> members;
+};
+
+TEST(Swarm, AllHonestMembersAttest) {
+  Fleet fleet(5);
+  const SwarmReport report = attest_swarm(fleet.members);
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_EQ(report.attested, 5u);
+  EXPECT_TRUE(report.failed_ids().empty());
+  EXPECT_EQ(report.members.size(), 5u);
+}
+
+TEST(Swarm, CompromisedMemberIsolated) {
+  Fleet fleet(4);
+  fleet.members[2].hooks.after_config = [](SachaProver& p) {
+    bitstream::Frame f = p.memory().config_frame(6);
+    f.flip_bit(1);
+    p.memory().write_frame(6, f);
+  };
+  const SwarmReport report = attest_swarm(fleet.members);
+  EXPECT_EQ(report.attested, 3u);
+  EXPECT_EQ(report.failed_ids(), std::vector<std::string>{"node-2"});
+}
+
+TEST(Swarm, ParallelMakespanIsMaxSerialIsSum) {
+  Fleet fleet(6);
+  const SwarmReport parallel = attest_swarm(fleet.members, SwarmSchedule::kParallel);
+  Fleet fleet2(6);
+  const SwarmReport serial = attest_swarm(fleet2.members, SwarmSchedule::kSerial);
+  EXPECT_EQ(serial.makespan, serial.total_work);
+  EXPECT_LT(parallel.makespan, parallel.total_work);
+  sim::SimDuration max_member = 0;
+  for (const auto& m : parallel.members) {
+    max_member = std::max(max_member, m.duration);
+  }
+  EXPECT_EQ(parallel.makespan, max_member);
+}
+
+TEST(Swarm, TotalWorkEqualsSumOfMembers) {
+  Fleet fleet(3);
+  const SwarmReport report = attest_swarm(fleet.members);
+  sim::SimDuration sum = 0;
+  for (const auto& m : report.members) sum += m.duration;
+  EXPECT_EQ(report.total_work, sum);
+}
+
+TEST(Swarm, EmptyFleetIsVacuouslyAttested) {
+  std::vector<SwarmMember> empty;
+  const SwarmReport report = attest_swarm(empty);
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_EQ(report.makespan, 0u);
+}
+
+TEST(Swarm, MembersGetIndependentChannelRandomness) {
+  // With jitter enabled, member durations must not be identical clones.
+  Fleet fleet(4);
+  SessionOptions options;
+  options.channel.jitter_max = 100'000;
+  const SwarmReport report = attest_swarm(fleet.members, SwarmSchedule::kParallel,
+                                          options);
+  ASSERT_TRUE(report.all_attested());
+  std::set<sim::SimDuration> distinct;
+  for (const auto& m : report.members) distinct.insert(m.duration);
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sacha::core

@@ -1,0 +1,114 @@
+// The timing model as executable derivations: every constant behind the
+// Table 3 / Table 4 reproduction is recomputed here from first principles
+// (wire arithmetic, ICAP cycle decomposition, protocol counting), so a
+// change that silently shifts the reproduction fails a named test rather
+// than a bench eyeball.
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "net/ethernet.hpp"
+#include "sim/clock.hpp"
+
+namespace sacha {
+namespace {
+
+// ----------------------------------------------------------- wire model
+
+TEST(WireDerivation, GigabitByteTime) {
+  // 1 Gbit/s => 8 ns per byte; overhead = 20 preamble/IFG + 14 header + 4 FCS.
+  const net::WireModel wire;
+  EXPECT_EQ(wire.frame_bytes(46), 84u);
+  EXPECT_EQ(wire.frame_time(46), 84u * 8);
+}
+
+TEST(WireDerivation, A1PacketSize) {
+  // ICAP_config command: 4 B header + 266 words (91 effective + padding).
+  const std::size_t payload = 4 + 266 * 4;
+  EXPECT_EQ(payload, 1'068u);
+  EXPECT_EQ(net::WireModel().frame_time(payload), 8'848u);
+}
+
+TEST(WireDerivation, A3PacketSizeNeedsOversizeMtu) {
+  // ICAP_readback command: 4 + 4 + 414 words = 1,664 B payload — above the
+  // standard 1,500 B MTU, single frame on the PoC link (MTU 2,000).
+  const std::size_t payload = 4 + 4 + 414 * 4;
+  EXPECT_EQ(payload, 1'664u);
+  EXPECT_GT(payload, std::size_t{1'500});
+  EXPECT_EQ(net::WireModel().frame_time(payload), 13'616u);
+  // A standard-MTU link would fragment and cost one extra overhead block.
+  EXPECT_EQ(net::WireModel(8, 1'500).frame_time(payload), 13'616u + 38 * 8);
+}
+
+TEST(WireDerivation, A8PacketSize) {
+  // Frame response: 4 B header + 324 B frame.
+  EXPECT_EQ(net::WireModel().frame_time(4 + 324), 2'928u);
+}
+
+// ------------------------------------------------------------ ICAP model
+
+TEST(IcapDerivation, A2CycleDecomposition) {
+  // 91 stream words x 1 port cycle + 81 data x 1 extra + 11 commit = 183.
+  const std::uint32_t stream_words = 1 + 2 + 2 + 2 + 1 + 81 + 2;
+  EXPECT_EQ(stream_words, 91u);
+  const std::uint32_t cycles = stream_words + 81 + 11;
+  EXPECT_EQ(cycles, 183u);
+  EXPECT_EQ(sim::icap_domain().cycles_to_time(cycles), 1'830u);
+}
+
+TEST(IcapDerivation, A4CycleDecomposition) {
+  // 10 stream words + 2,232 flush + (81 pad + 81 data) output = 2,404.
+  const std::uint32_t stream_words = 1 + 2 + 2 + 2 + 1 + 2;
+  EXPECT_EQ(stream_words, 10u);
+  const std::uint32_t cycles = stream_words + 2'232 + 81 + 81;
+  EXPECT_EQ(cycles, 2'404u);
+  EXPECT_EQ(sim::icap_domain().cycles_to_time(cycles), 24'040u);
+}
+
+TEST(MacDerivation, A5A6A7AtTxClock) {
+  const sim::ClockDomain tx = sim::tx_domain();
+  EXPECT_EQ(tx.cycles_to_time(15), 120u);  // A5
+  EXPECT_EQ(tx.cycles_to_time(16), 128u);  // A6
+  EXPECT_EQ(tx.cycles_to_time(17), 136u);  // A7
+}
+
+// ------------------------------------------------------- protocol counts
+
+TEST(CountDerivation, Virtex6CommandArithmetic) {
+  // 26,400 dynamic frames (26,399 application + 1 nonce), 28,488 readbacks.
+  EXPECT_EQ(fabric::kVirtex6TotalFrames - fabric::kVirtex6DynamicFrames, 2'088u);
+  const std::uint64_t commands = 26'400ull + 28'488ull + 1ull;
+  EXPECT_EQ(commands, 54'889u);
+  // Messages: config commands are one-way; readbacks and the checksum are
+  // request/response pairs.
+  const std::uint64_t messages = 26'400ull + 2ull * 28'488ull + 2ull;
+  EXPECT_EQ(messages, 83'378u);
+}
+
+TEST(CountDerivation, TheoreticalDurationFormula) {
+  // Sum of counts x modeled action times lands within 1 ms of 1.443 s.
+  const double total_ns = 26'400.0 * (8'848 + 1'830) +
+                          28'488.0 * (13'616 + 24'040 + 128 + 2'928) +
+                          120 + 136 + 672 + 672;
+  EXPECT_NEAR(total_ns / 1e9, 1.443, 0.002);
+}
+
+TEST(CountDerivation, LabLatencyCalibration) {
+  // (28.5 s - theoretical) / 83,378 messages ~ 324.5 us.
+  const double theoretical = 1.4417;
+  const double per_message_us = (28.5 - theoretical) / 83'378 * 1e6;
+  EXPECT_NEAR(per_message_us, 324.5, 1.0);
+  EXPECT_EQ(net::ChannelParams::lab().per_command_latency, 324'500u);
+}
+
+TEST(CountDerivation, BoundedMemoryMargin) {
+  // Partial bitstream vs total device BRAM: > 4x margin.
+  const auto device = fabric::DeviceModel::xc6vlx240t();
+  const double partial =
+      static_cast<double>(device.bitstream_bytes(fabric::kVirtex6DynamicFrames));
+  const double bram =
+      static_cast<double>(fabric::bram_capacity_bytes(device.totals()));
+  EXPECT_GT(partial / bram, 4.0);
+}
+
+}  // namespace
+}  // namespace sacha
