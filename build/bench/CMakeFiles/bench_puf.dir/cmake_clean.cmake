@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_puf.dir/bench_puf.cpp.o"
+  "CMakeFiles/bench_puf.dir/bench_puf.cpp.o.d"
+  "bench_puf"
+  "bench_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scrubbing.dir/bench_scrubbing.cpp.o"
+  "CMakeFiles/bench_scrubbing.dir/bench_scrubbing.cpp.o.d"
+  "bench_scrubbing"
+  "bench_scrubbing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scrubbing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

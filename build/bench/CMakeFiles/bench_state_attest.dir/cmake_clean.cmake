@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_attest.dir/bench_state_attest.cpp.o"
+  "CMakeFiles/bench_state_attest.dir/bench_state_attest.cpp.o.d"
+  "bench_state_attest"
+  "bench_state_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swarm.dir/bench_swarm.cpp.o"
+  "CMakeFiles/bench_swarm.dir/bench_swarm.cpp.o.d"
+  "bench_swarm"
+  "bench_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_actions.dir/bench_table3_actions.cpp.o"
+  "CMakeFiles/bench_table3_actions.dir/bench_table3_actions.cpp.o.d"
+  "bench_table3_actions"
+  "bench_table3_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/processor_attestation.dir/processor_attestation.cpp.o"
+  "CMakeFiles/processor_attestation.dir/processor_attestation.cpp.o.d"
+  "processor_attestation"
+  "processor_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/processor_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

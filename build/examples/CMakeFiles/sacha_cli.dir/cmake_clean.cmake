@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_cli.dir/sacha_cli.cpp.o"
+  "CMakeFiles/sacha_cli.dir/sacha_cli.cpp.o.d"
+  "sacha_cli"
+  "sacha_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/softcore_state.cpp" "examples/CMakeFiles/softcore_state.dir/softcore_state.cpp.o" "gcc" "examples/CMakeFiles/softcore_state.dir/softcore_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sacha_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sacha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sacha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/sacha_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/softcore/CMakeFiles/sacha_softcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sacha_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/sacha_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sacha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

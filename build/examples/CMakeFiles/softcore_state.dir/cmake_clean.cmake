@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcore_state.dir/softcore_state.cpp.o"
+  "CMakeFiles/softcore_state.dir/softcore_state.cpp.o.d"
+  "softcore_state"
+  "softcore_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcore_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_attacks.dir/env.cpp.o"
+  "CMakeFiles/sacha_attacks.dir/env.cpp.o.d"
+  "CMakeFiles/sacha_attacks.dir/library.cpp.o"
+  "CMakeFiles/sacha_attacks.dir/library.cpp.o.d"
+  "libsacha_attacks.a"
+  "libsacha_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attest/chaves.cpp" "src/attest/CMakeFiles/sacha_attest.dir/chaves.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/chaves.cpp.o.d"
+  "/root/repo/src/attest/drimer_kuhn.cpp" "src/attest/CMakeFiles/sacha_attest.dir/drimer_kuhn.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/drimer_kuhn.cpp.o.d"
+  "/root/repo/src/attest/mcu.cpp" "src/attest/CMakeFiles/sacha_attest.dir/mcu.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/mcu.cpp.o.d"
+  "/root/repo/src/attest/perito_tsudik.cpp" "src/attest/CMakeFiles/sacha_attest.dir/perito_tsudik.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/perito_tsudik.cpp.o.d"
+  "/root/repo/src/attest/smart.cpp" "src/attest/CMakeFiles/sacha_attest.dir/smart.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/smart.cpp.o.d"
+  "/root/repo/src/attest/swatt.cpp" "src/attest/CMakeFiles/sacha_attest.dir/swatt.cpp.o" "gcc" "src/attest/CMakeFiles/sacha_attest.dir/swatt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sacha_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/sacha_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sacha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sacha_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_attest.dir/chaves.cpp.o"
+  "CMakeFiles/sacha_attest.dir/chaves.cpp.o.d"
+  "CMakeFiles/sacha_attest.dir/drimer_kuhn.cpp.o"
+  "CMakeFiles/sacha_attest.dir/drimer_kuhn.cpp.o.d"
+  "CMakeFiles/sacha_attest.dir/mcu.cpp.o"
+  "CMakeFiles/sacha_attest.dir/mcu.cpp.o.d"
+  "CMakeFiles/sacha_attest.dir/perito_tsudik.cpp.o"
+  "CMakeFiles/sacha_attest.dir/perito_tsudik.cpp.o.d"
+  "CMakeFiles/sacha_attest.dir/smart.cpp.o"
+  "CMakeFiles/sacha_attest.dir/smart.cpp.o.d"
+  "CMakeFiles/sacha_attest.dir/swatt.cpp.o"
+  "CMakeFiles/sacha_attest.dir/swatt.cpp.o.d"
+  "libsacha_attest.a"
+  "libsacha_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitstream/bitgen.cpp" "src/bitstream/CMakeFiles/sacha_bitstream.dir/bitgen.cpp.o" "gcc" "src/bitstream/CMakeFiles/sacha_bitstream.dir/bitgen.cpp.o.d"
+  "/root/repo/src/bitstream/compress.cpp" "src/bitstream/CMakeFiles/sacha_bitstream.dir/compress.cpp.o" "gcc" "src/bitstream/CMakeFiles/sacha_bitstream.dir/compress.cpp.o.d"
+  "/root/repo/src/bitstream/frame.cpp" "src/bitstream/CMakeFiles/sacha_bitstream.dir/frame.cpp.o" "gcc" "src/bitstream/CMakeFiles/sacha_bitstream.dir/frame.cpp.o.d"
+  "/root/repo/src/bitstream/packet.cpp" "src/bitstream/CMakeFiles/sacha_bitstream.dir/packet.cpp.o" "gcc" "src/bitstream/CMakeFiles/sacha_bitstream.dir/packet.cpp.o.d"
+  "/root/repo/src/bitstream/pins.cpp" "src/bitstream/CMakeFiles/sacha_bitstream.dir/pins.cpp.o" "gcc" "src/bitstream/CMakeFiles/sacha_bitstream.dir/pins.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sacha_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

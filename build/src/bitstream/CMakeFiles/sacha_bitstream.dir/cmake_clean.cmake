@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_bitstream.dir/bitgen.cpp.o"
+  "CMakeFiles/sacha_bitstream.dir/bitgen.cpp.o.d"
+  "CMakeFiles/sacha_bitstream.dir/compress.cpp.o"
+  "CMakeFiles/sacha_bitstream.dir/compress.cpp.o.d"
+  "CMakeFiles/sacha_bitstream.dir/frame.cpp.o"
+  "CMakeFiles/sacha_bitstream.dir/frame.cpp.o.d"
+  "CMakeFiles/sacha_bitstream.dir/packet.cpp.o"
+  "CMakeFiles/sacha_bitstream.dir/packet.cpp.o.d"
+  "CMakeFiles/sacha_bitstream.dir/pins.cpp.o"
+  "CMakeFiles/sacha_bitstream.dir/pins.cpp.o.d"
+  "libsacha_bitstream.a"
+  "libsacha_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_common.dir/bitvec.cpp.o"
+  "CMakeFiles/sacha_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/sacha_common.dir/bytes.cpp.o"
+  "CMakeFiles/sacha_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sacha_common.dir/log.cpp.o"
+  "CMakeFiles/sacha_common.dir/log.cpp.o.d"
+  "CMakeFiles/sacha_common.dir/rng.cpp.o"
+  "CMakeFiles/sacha_common.dir/rng.cpp.o.d"
+  "libsacha_common.a"
+  "libsacha_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

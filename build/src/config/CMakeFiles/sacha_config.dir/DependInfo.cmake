@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/bram_buffer.cpp" "src/config/CMakeFiles/sacha_config.dir/bram_buffer.cpp.o" "gcc" "src/config/CMakeFiles/sacha_config.dir/bram_buffer.cpp.o.d"
+  "/root/repo/src/config/config_memory.cpp" "src/config/CMakeFiles/sacha_config.dir/config_memory.cpp.o" "gcc" "src/config/CMakeFiles/sacha_config.dir/config_memory.cpp.o.d"
+  "/root/repo/src/config/icap.cpp" "src/config/CMakeFiles/sacha_config.dir/icap.cpp.o" "gcc" "src/config/CMakeFiles/sacha_config.dir/icap.cpp.o.d"
+  "/root/repo/src/config/seu.cpp" "src/config/CMakeFiles/sacha_config.dir/seu.cpp.o" "gcc" "src/config/CMakeFiles/sacha_config.dir/seu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sacha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/sacha_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

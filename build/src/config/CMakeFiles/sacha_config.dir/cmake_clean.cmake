@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_config.dir/bram_buffer.cpp.o"
+  "CMakeFiles/sacha_config.dir/bram_buffer.cpp.o.d"
+  "CMakeFiles/sacha_config.dir/config_memory.cpp.o"
+  "CMakeFiles/sacha_config.dir/config_memory.cpp.o.d"
+  "CMakeFiles/sacha_config.dir/icap.cpp.o"
+  "CMakeFiles/sacha_config.dir/icap.cpp.o.d"
+  "CMakeFiles/sacha_config.dir/seu.cpp.o"
+  "CMakeFiles/sacha_config.dir/seu.cpp.o.d"
+  "libsacha_config.a"
+  "libsacha_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

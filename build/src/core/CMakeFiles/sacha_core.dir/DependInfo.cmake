@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/sacha_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/mac_engine.cpp" "src/core/CMakeFiles/sacha_core.dir/mac_engine.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/mac_engine.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/sacha_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/prover.cpp" "src/core/CMakeFiles/sacha_core.dir/prover.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/prover.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/sacha_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/signed_attest.cpp" "src/core/CMakeFiles/sacha_core.dir/signed_attest.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/signed_attest.cpp.o.d"
+  "/root/repo/src/core/state_attest.cpp" "src/core/CMakeFiles/sacha_core.dir/state_attest.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/state_attest.cpp.o.d"
+  "/root/repo/src/core/swarm.cpp" "src/core/CMakeFiles/sacha_core.dir/swarm.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/swarm.cpp.o.d"
+  "/root/repo/src/core/verifier.cpp" "src/core/CMakeFiles/sacha_core.dir/verifier.cpp.o" "gcc" "src/core/CMakeFiles/sacha_core.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/sacha_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitstream/CMakeFiles/sacha_bitstream.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sacha_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sacha_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sacha_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/sacha_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/softcore/CMakeFiles/sacha_softcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_core.dir/audit.cpp.o"
+  "CMakeFiles/sacha_core.dir/audit.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/mac_engine.cpp.o"
+  "CMakeFiles/sacha_core.dir/mac_engine.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/protocol.cpp.o"
+  "CMakeFiles/sacha_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/prover.cpp.o"
+  "CMakeFiles/sacha_core.dir/prover.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/session.cpp.o"
+  "CMakeFiles/sacha_core.dir/session.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/signed_attest.cpp.o"
+  "CMakeFiles/sacha_core.dir/signed_attest.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/state_attest.cpp.o"
+  "CMakeFiles/sacha_core.dir/state_attest.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/swarm.cpp.o"
+  "CMakeFiles/sacha_core.dir/swarm.cpp.o.d"
+  "CMakeFiles/sacha_core.dir/verifier.cpp.o"
+  "CMakeFiles/sacha_core.dir/verifier.cpp.o.d"
+  "libsacha_core.a"
+  "libsacha_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/cmac.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/cmac.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/cmac.cpp.o.d"
+  "/root/repo/src/crypto/ct.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/ct.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/ct.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/lamport.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/lamport.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/lamport.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/prg.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/prg.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/prg.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/sacha_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/sacha_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

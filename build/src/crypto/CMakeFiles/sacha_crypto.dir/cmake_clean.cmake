@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_crypto.dir/aes.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/cmac.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/cmac.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/ct.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/ct.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/lamport.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/lamport.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/prg.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/prg.cpp.o.d"
+  "CMakeFiles/sacha_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sacha_crypto.dir/sha256.cpp.o.d"
+  "libsacha_crypto.a"
+  "libsacha_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/device.cpp" "src/fabric/CMakeFiles/sacha_fabric.dir/device.cpp.o" "gcc" "src/fabric/CMakeFiles/sacha_fabric.dir/device.cpp.o.d"
+  "/root/repo/src/fabric/geometry.cpp" "src/fabric/CMakeFiles/sacha_fabric.dir/geometry.cpp.o" "gcc" "src/fabric/CMakeFiles/sacha_fabric.dir/geometry.cpp.o.d"
+  "/root/repo/src/fabric/partition.cpp" "src/fabric/CMakeFiles/sacha_fabric.dir/partition.cpp.o" "gcc" "src/fabric/CMakeFiles/sacha_fabric.dir/partition.cpp.o.d"
+  "/root/repo/src/fabric/resources.cpp" "src/fabric/CMakeFiles/sacha_fabric.dir/resources.cpp.o" "gcc" "src/fabric/CMakeFiles/sacha_fabric.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_fabric.dir/device.cpp.o"
+  "CMakeFiles/sacha_fabric.dir/device.cpp.o.d"
+  "CMakeFiles/sacha_fabric.dir/geometry.cpp.o"
+  "CMakeFiles/sacha_fabric.dir/geometry.cpp.o.d"
+  "CMakeFiles/sacha_fabric.dir/partition.cpp.o"
+  "CMakeFiles/sacha_fabric.dir/partition.cpp.o.d"
+  "CMakeFiles/sacha_fabric.dir/resources.cpp.o"
+  "CMakeFiles/sacha_fabric.dir/resources.cpp.o.d"
+  "libsacha_fabric.a"
+  "libsacha_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

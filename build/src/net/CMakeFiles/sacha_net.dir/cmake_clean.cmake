@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_net.dir/channel.cpp.o"
+  "CMakeFiles/sacha_net.dir/channel.cpp.o.d"
+  "CMakeFiles/sacha_net.dir/ethernet.cpp.o"
+  "CMakeFiles/sacha_net.dir/ethernet.cpp.o.d"
+  "libsacha_net.a"
+  "libsacha_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/puf/enrollment.cpp" "src/puf/CMakeFiles/sacha_puf.dir/enrollment.cpp.o" "gcc" "src/puf/CMakeFiles/sacha_puf.dir/enrollment.cpp.o.d"
+  "/root/repo/src/puf/fuzzy_extractor.cpp" "src/puf/CMakeFiles/sacha_puf.dir/fuzzy_extractor.cpp.o" "gcc" "src/puf/CMakeFiles/sacha_puf.dir/fuzzy_extractor.cpp.o.d"
+  "/root/repo/src/puf/sram_puf.cpp" "src/puf/CMakeFiles/sacha_puf.dir/sram_puf.cpp.o" "gcc" "src/puf/CMakeFiles/sacha_puf.dir/sram_puf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sacha_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sacha_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_puf.dir/enrollment.cpp.o"
+  "CMakeFiles/sacha_puf.dir/enrollment.cpp.o.d"
+  "CMakeFiles/sacha_puf.dir/fuzzy_extractor.cpp.o"
+  "CMakeFiles/sacha_puf.dir/fuzzy_extractor.cpp.o.d"
+  "CMakeFiles/sacha_puf.dir/sram_puf.cpp.o"
+  "CMakeFiles/sacha_puf.dir/sram_puf.cpp.o.d"
+  "libsacha_puf.a"
+  "libsacha_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

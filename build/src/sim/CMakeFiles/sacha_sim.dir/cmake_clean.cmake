@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_sim.dir/clock.cpp.o"
+  "CMakeFiles/sacha_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/sacha_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sacha_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sacha_sim.dir/ledger.cpp.o"
+  "CMakeFiles/sacha_sim.dir/ledger.cpp.o.d"
+  "libsacha_sim.a"
+  "libsacha_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacha_softcore.dir/assembler.cpp.o"
+  "CMakeFiles/sacha_softcore.dir/assembler.cpp.o.d"
+  "CMakeFiles/sacha_softcore.dir/cpu.cpp.o"
+  "CMakeFiles/sacha_softcore.dir/cpu.cpp.o.d"
+  "CMakeFiles/sacha_softcore.dir/isa.cpp.o"
+  "CMakeFiles/sacha_softcore.dir/isa.cpp.o.d"
+  "CMakeFiles/sacha_softcore.dir/state_map.cpp.o"
+  "CMakeFiles/sacha_softcore.dir/state_map.cpp.o.d"
+  "libsacha_softcore.a"
+  "libsacha_softcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacha_softcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsacha_softcore.a"
+)

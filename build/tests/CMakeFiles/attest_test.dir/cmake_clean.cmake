@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_test.dir/attest_test.cpp.o"
+  "CMakeFiles/attest_test.dir/attest_test.cpp.o.d"
+  "attest_test"
+  "attest_test.pdb"
+  "attest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_pins_test.dir/audit_pins_test.cpp.o"
+  "CMakeFiles/audit_pins_test.dir/audit_pins_test.cpp.o.d"
+  "audit_pins_test"
+  "audit_pins_test.pdb"
+  "audit_pins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_pins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipartition_test.dir/multipartition_test.cpp.o"
+  "CMakeFiles/multipartition_test.dir/multipartition_test.cpp.o.d"
+  "multipartition_test"
+  "multipartition_test.pdb"
+  "multipartition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipartition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

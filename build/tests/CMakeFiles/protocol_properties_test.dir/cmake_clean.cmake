@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_properties_test.dir/protocol_properties_test.cpp.o"
+  "CMakeFiles/protocol_properties_test.dir/protocol_properties_test.cpp.o.d"
+  "protocol_properties_test"
+  "protocol_properties_test.pdb"
+  "protocol_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puf_test.dir/puf_test.cpp.o"
+  "CMakeFiles/puf_test.dir/puf_test.cpp.o.d"
+  "puf_test"
+  "puf_test.pdb"
+  "puf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

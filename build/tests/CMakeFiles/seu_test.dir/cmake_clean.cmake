@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seu_test.dir/seu_test.cpp.o"
+  "CMakeFiles/seu_test.dir/seu_test.cpp.o.d"
+  "seu_test"
+  "seu_test.pdb"
+  "seu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

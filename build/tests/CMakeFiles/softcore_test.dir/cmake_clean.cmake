@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softcore_test.dir/softcore_test.cpp.o"
+  "CMakeFiles/softcore_test.dir/softcore_test.cpp.o.d"
+  "softcore_test"
+  "softcore_test.pdb"
+  "softcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

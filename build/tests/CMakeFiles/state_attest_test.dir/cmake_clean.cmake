@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_attest_test.dir/state_attest_test.cpp.o"
+  "CMakeFiles/state_attest_test.dir/state_attest_test.cpp.o.d"
+  "state_attest_test"
+  "state_attest_test.pdb"
+  "state_attest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_attest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/config_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/puf_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_test[1]_include.cmake")
+include("/root/repo/build/tests/attacks_test[1]_include.cmake")
+include("/root/repo/build/tests/softcore_test[1]_include.cmake")
+include("/root/repo/build/tests/state_attest_test[1]_include.cmake")
+include("/root/repo/build/tests/signature_test[1]_include.cmake")
+include("/root/repo/build/tests/swarm_test[1]_include.cmake")
+include("/root/repo/build/tests/seu_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/refresh_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_pins_test[1]_include.cmake")
+include("/root/repo/build/tests/smart_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/multipartition_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_model_test[1]_include.cmake")
