@@ -5,7 +5,15 @@
 // (AES-CMAC vs HMAC-SHA256) on the protocol's actual unit of work — one
 // 324-byte configuration frame — and on a full configuration-memory stream,
 // plus the primitive costs underneath.
+//
+// The AES engine has three tiers (reference / T-table / AES-NI, see
+// crypto/aes.hpp); the tier sweep below is the crypto fast-path regression
+// gate: it prints bytes/sec per tier, checks the MACs are bit-identical,
+// and emits BENCH_crypto.json for trajectory tracking.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
 
 #include "bench_util.hpp"
 #include "crypto/cmac.hpp"
@@ -22,27 +30,44 @@ crypto::AesKey bench_key() {
   return prg.key();
 }
 
+std::vector<crypto::AesImpl> available_tiers() {
+  std::vector<crypto::AesImpl> tiers = {crypto::AesImpl::kReference,
+                                        crypto::AesImpl::kTtable};
+  if (crypto::Aes128::aesni_supported()) tiers.push_back(crypto::AesImpl::kAesni);
+  return tiers;
+}
+
 void BM_AesBlockEncrypt(benchmark::State& state) {
-  const crypto::Aes128 aes(bench_key());
+  const auto impl = static_cast<crypto::AesImpl>(state.range(0));
+  const crypto::Aes128 aes(bench_key(), impl);
   crypto::AesBlock block{};
   for (auto _ : state) {
     aes.encrypt_block(block);
     benchmark::DoNotOptimize(block);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+  state.SetLabel(crypto::to_string(aes.impl()));
 }
-BENCHMARK(BM_AesBlockEncrypt);
+BENCHMARK(BM_AesBlockEncrypt)
+    ->Arg(static_cast<int>(crypto::AesImpl::kReference))
+    ->Arg(static_cast<int>(crypto::AesImpl::kTtable))
+    ->Arg(static_cast<int>(crypto::AesImpl::kAesni));
 
 void BM_CmacFrameUpdate(benchmark::State& state) {
-  crypto::Cmac cmac(bench_key());
+  const auto impl = static_cast<crypto::AesImpl>(state.range(0));
+  crypto::Cmac cmac(bench_key(), impl);
   const Bytes frame(324, 0x3c);
   for (auto _ : state) {
     cmac.update(frame);
     benchmark::DoNotOptimize(cmac);
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 324);
+  state.SetLabel(crypto::to_string(cmac.impl()));
 }
-BENCHMARK(BM_CmacFrameUpdate);
+BENCHMARK(BM_CmacFrameUpdate)
+    ->Arg(static_cast<int>(crypto::AesImpl::kReference))
+    ->Arg(static_cast<int>(crypto::AesImpl::kTtable))
+    ->Arg(static_cast<int>(crypto::AesImpl::kAesni));
 
 void BM_HmacSha256FrameUpdate(benchmark::State& state) {
   crypto::HmacSha256 hmac(Bytes(16, 0x3c));
@@ -68,9 +93,10 @@ BENCHMARK(BM_Sha256FrameUpdate);
 
 void BM_CmacFullConfigMemory(benchmark::State& state) {
   // MAC over the whole XC6VLX240T configuration: 28,488 frames x 324 B.
+  const auto impl = static_cast<crypto::AesImpl>(state.range(0));
   const Bytes frame(324, 0x7e);
   for (auto _ : state) {
-    crypto::Cmac cmac(bench_key());
+    crypto::Cmac cmac(bench_key(), impl);
     for (std::uint32_t f = 0; f < fabric::kVirtex6TotalFrames; ++f) {
       cmac.update(frame);
     }
@@ -78,8 +104,13 @@ void BM_CmacFullConfigMemory(benchmark::State& state) {
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           fabric::kVirtex6TotalFrames * 324);
+  state.SetLabel(crypto::to_string(crypto::Aes128::resolve(impl)));
 }
-BENCHMARK(BM_CmacFullConfigMemory)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CmacFullConfigMemory)
+    ->Arg(static_cast<int>(crypto::AesImpl::kReference))
+    ->Arg(static_cast<int>(crypto::AesImpl::kTtable))
+    ->Arg(static_cast<int>(crypto::AesImpl::kAesni))
+    ->Unit(benchmark::kMillisecond);
 
 void BM_HmacFullConfigMemory(benchmark::State& state) {
   const Bytes frame(324, 0x7e);
@@ -105,6 +136,65 @@ void BM_PrgBytes(benchmark::State& state) {
 }
 BENCHMARK(BM_PrgBytes)->Arg(16)->Arg(324)->Arg(4096);
 
+/// Best-of-3 AES-CMAC throughput of one tier over `data`, in bytes/sec.
+double measure_cmac_throughput(crypto::AesImpl impl, const Bytes& data,
+                               crypto::Mac& mac_out) {
+  using clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    crypto::Cmac cmac(bench_key(), impl);
+    const auto t0 = clock::now();
+    cmac.update(data);
+    mac_out = cmac.finalize();
+    const double secs = std::chrono::duration<double>(clock::now() - t0).count();
+    if (secs > 0) best = std::max(best, static_cast<double>(data.size()) / secs);
+  }
+  return best;
+}
+
+void tier_sweep_and_emit() {
+  benchutil::print_title("AES-CMAC tier sweep (frame-stream workload)");
+  // One full XC6VLX240T readback volume: 28,488 frames x 324 bytes.
+  const Bytes stream(static_cast<std::size_t>(fabric::kVirtex6TotalFrames) * 324,
+                     0x5a);
+  std::vector<benchutil::BenchRecord> records;
+  double reference_bps = 0.0;
+  crypto::Mac reference_mac{};
+  bool macs_identical = true;
+
+  std::printf("%-12s %14s %10s %8s\n", "tier", "throughput", "speedup", "MAC");
+  for (crypto::AesImpl impl : available_tiers()) {
+    crypto::Mac mac{};
+    const double bps = measure_cmac_throughput(impl, stream, mac);
+    if (impl == crypto::AesImpl::kReference) {
+      reference_bps = bps;
+      reference_mac = mac;
+    }
+    if (mac != reference_mac) macs_identical = false;
+    const double speedup = reference_bps > 0 ? bps / reference_bps : 0.0;
+    std::printf("%-12s %11.1f MB/s %9.2fx %8s\n", crypto::to_string(impl),
+                bps / 1e6, speedup, mac == reference_mac ? "match" : "DIFFER");
+    records.push_back({"bench_crypto",
+                       std::string("cmac_") + crypto::to_string(impl) +
+                           "_throughput",
+                       bps, "bytes_per_sec"});
+    if (impl != crypto::AesImpl::kReference) {
+      records.push_back({"bench_crypto",
+                         std::string("cmac_") + crypto::to_string(impl) +
+                             "_speedup_vs_reference",
+                         speedup, "x"});
+    }
+  }
+  records.push_back({"bench_crypto", "tiers_bit_identical",
+                     macs_identical ? 1.0 : 0.0, "bool"});
+  std::printf("\nMACs across tiers: %s\n",
+              macs_identical ? "bit-identical" : "MISMATCH — fast path broken");
+  if (!crypto::Aes128::aesni_supported()) {
+    std::printf("(AES-NI tier unavailable on this host; reported when present)\n");
+  }
+  benchutil::write_bench_json("BENCH_crypto.json", records);
+}
+
 void print_context() {
   benchutil::print_title("MAC core comparison (software models)");
   std::printf(
@@ -118,6 +208,7 @@ void print_context() {
 
 int main(int argc, char** argv) {
   print_context();
+  tier_sweep_and_emit();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

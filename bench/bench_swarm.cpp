@@ -6,7 +6,9 @@
 // work, and parallel scheduling keeps the makespan flat.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <deque>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/swarm.hpp"
@@ -74,6 +76,43 @@ void print_sweep() {
               "masks it.\n");
 }
 
+/// Host wall-clock of a 16-member fleet under both schedules — the number
+/// the attest_swarm worker pool moves. Emits BENCH_swarm.json.
+void wallclock_sweep_and_emit() {
+  using clock = std::chrono::steady_clock;
+  constexpr std::size_t kFleetSize = 16;
+
+  Fleet serial_fleet(kFleetSize);
+  const auto t0 = clock::now();
+  const auto serial = core::attest_swarm(serial_fleet.members,
+                                         core::SwarmSchedule::kSerial);
+  const double serial_s = std::chrono::duration<double>(clock::now() - t0).count();
+
+  Fleet parallel_fleet(kFleetSize);
+  const auto t1 = clock::now();
+  const auto parallel = core::attest_swarm(parallel_fleet.members,
+                                           core::SwarmSchedule::kParallel);
+  const double parallel_s =
+      std::chrono::duration<double>(clock::now() - t1).count();
+
+  const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
+  std::printf("\n16-member fleet host wall-clock: serial %.3f s, parallel "
+              "%.3f s (%.2fx, %u hardware threads)\n",
+              serial_s, parallel_s, speedup,
+              std::thread::hardware_concurrency());
+  benchutil::write_bench_json(
+      "BENCH_swarm.json",
+      {
+          {"bench_swarm", "serial_wallclock_16", serial_s, "s"},
+          {"bench_swarm", "parallel_wallclock_16", parallel_s, "s"},
+          {"bench_swarm", "parallel_speedup_16", speedup, "x"},
+          {"bench_swarm", "hardware_threads",
+           static_cast<double>(std::thread::hardware_concurrency()), "threads"},
+          {"bench_swarm", "attested_16",
+           static_cast<double>(serial.attested + parallel.attested), "sessions"},
+      });
+}
+
 void BM_SwarmParallel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -89,6 +128,7 @@ BENCHMARK(BM_SwarmParallel)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMilliseco
 
 int main(int argc, char** argv) {
   print_sweep();
+  wallclock_sweep_and_emit();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

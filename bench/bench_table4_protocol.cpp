@@ -7,6 +7,8 @@
 // Table 4 and the two headline totals.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench_util.hpp"
 
 using namespace sacha;
@@ -33,7 +35,11 @@ const PaperRow kPaper[] = {
 };
 
 void print_table4() {
+  const auto wall0 = std::chrono::steady_clock::now();
   const auto ideal = benchutil::run_virtex6_session(net::ChannelParams::ideal());
+  const double ideal_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
   const auto lab = benchutil::run_virtex6_session(net::ChannelParams::lab());
 
   benchutil::print_title("Table 4: total timing of the SACHa protocol");
@@ -80,6 +86,22 @@ void print_table4() {
               static_cast<double>(refresh.bytes_to_prover) / 1e6,
               static_cast<double>(full.total_time) /
                   static_cast<double>(refresh.total_time));
+
+  // Perf-trajectory record: simulated reproduction numbers plus the host
+  // wall-clock of a full-scale session (the number the crypto fast path and
+  // the ICAP readback-reserve fix move).
+  benchutil::write_bench_json(
+      "BENCH_protocol.json",
+      {
+          {"bench_table4_protocol", "theoretical_duration",
+           sim::to_seconds(ideal.theoretical_time), "s"},
+          {"bench_table4_protocol", "lab_duration",
+           sim::to_seconds(lab.total_time), "s"},
+          {"bench_table4_protocol", "full_session_host_wallclock", ideal_wall_s,
+           "s"},
+          {"bench_table4_protocol", "full_session_mac_bytes",
+           static_cast<double>(fabric::kVirtex6TotalFrames) * 324, "bytes"},
+      });
 }
 
 void BM_FullSessionSmallDevice(benchmark::State& state) {

@@ -6,11 +6,57 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "attacks/env.hpp"
 #include "core/session.hpp"
 
 namespace sacha::benchutil {
+
+// ---- Benchmark-regression emission --------------------------------------
+//
+// Benches append BenchRecords and write them as BENCH_<name>.json next to
+// the working directory. Each record is `{bench, metric, value, unit}` —
+// the schema future PRs diff to track the perf trajectory.
+
+struct BenchRecord {
+  std::string bench;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Writes `records` to `path` as a JSON array; returns false on I/O error.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.6g, "
+                 "\"unit\": \"%s\"}%s\n",
+                 json_escape(r.bench).c_str(), json_escape(r.metric).c_str(),
+                 r.value, json_escape(r.unit).c_str(),
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  const bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("\n[bench-json] wrote %s (%zu records)\n", path.c_str(),
+                      records.size());
+  return ok;
+}
 
 struct V6Run {
   core::AttestationReport report;

@@ -57,6 +57,18 @@ bitstream::Frame ConfigMemory::readback_frame(std::uint32_t index) const {
   return out;
 }
 
+void ConfigMemory::readback_into(std::uint32_t index,
+                                 std::vector<std::uint32_t>& out) const {
+  assert(index < config_.size());
+  const bitstream::Frame& cfg = config_[index];
+  const bitstream::Frame& reg = registers_[index];
+  const bitstream::FrameMask& msk = masks_[index];
+  const std::uint32_t words = words_per_frame();
+  for (std::uint32_t w = 0; w < words; ++w) {
+    out.push_back((cfg.word(w) & msk.word(w)) | (reg.word(w) & ~msk.word(w)));
+  }
+}
+
 const bitstream::FrameMask& ConfigMemory::mask(std::uint32_t index) const {
   assert(index < masks_.size());
   return masks_[index];

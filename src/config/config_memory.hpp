@@ -45,6 +45,11 @@ class ConfigMemory {
   /// replaced by live values.
   bitstream::Frame readback_frame(std::uint32_t index) const;
 
+  /// Appends the readback view of a frame directly to `out` — the streaming
+  /// form used by Icap::execute so a full-memory readback does not build a
+  /// temporary Frame per frame.
+  void readback_into(std::uint32_t index, std::vector<std::uint32_t>& out) const;
+
   const bitstream::FrameMask& mask(std::uint32_t index) const;
 
   /// Simulates the running application: each register bit flips with

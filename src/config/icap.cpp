@@ -27,11 +27,22 @@ Result<std::vector<std::uint32_t>> Icap::execute(
 
   const std::uint32_t wpf = memory_->words_per_frame();
   const std::uint32_t total = memory_->total_frames();
+  const std::vector<bs::ConfigOp> ops = std::move(parsed).take();
   std::vector<std::uint32_t> output;
+  // Reserve the whole readback volume up front: the op list is already
+  // parsed, so the output size is known exactly and the frame loop below
+  // never reallocates.
+  std::size_t read_words = 0;
+  for (const bs::ConfigOp& op : ops) {
+    if (const auto* rd = std::get_if<bs::OpReadRequest>(&op)) {
+      read_words += rd->word_count;
+    }
+  }
+  output.reserve(read_words);
   std::uint32_t crc_accum = 0;
   std::vector<std::uint32_t> crc_window;  // payload words since last CRC check
 
-  for (const bs::ConfigOp& op : std::move(parsed).take()) {
+  for (const bs::ConfigOp& op : ops) {
     if (std::holds_alternative<bs::OpSync>(op) ||
         std::holds_alternative<bs::OpNoop>(op)) {
       continue;
@@ -92,8 +103,7 @@ Result<std::vector<std::uint32_t>> Icap::execute(
         return R::error("ICAP: read past end of configuration memory");
       }
       for (std::uint32_t f = 0; f < frames; ++f) {
-        const bs::Frame frame = memory_->readback_frame(far_index_ + f);
-        output.insert(output.end(), frame.words().begin(), frame.words().end());
+        memory_->readback_into(far_index_ + f, output);
       }
       far_index_ += frames;
       stats_.frames_read += frames;

@@ -31,6 +31,12 @@ class MacEngine {
   /// Folds one readback frame into the MAC. Returns the update duration.
   sim::SimDuration update(ByteSpan frame_bytes);
 
+  /// Frame fast path: folds readback words (big-endian on the wire and in
+  /// the MAC, as everywhere in SACHa) without materialising a byte vector.
+  /// The words are serialised through a small stack staging area, so the
+  /// per-frame heap allocation of the byte path disappears.
+  sim::SimDuration update(std::span<const std::uint32_t> frame_words);
+
   /// Completes the MAC. Returns the finalize duration via `duration`.
   crypto::Mac finalize(sim::SimDuration& duration);
 

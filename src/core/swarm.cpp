@@ -1,8 +1,30 @@
 #include "core/swarm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 namespace sacha::core {
+
+namespace {
+
+/// Runs member `i`'s session. Seeds derive from the member index, never
+/// from scheduling, so serial and parallel runs are bit-identical.
+SwarmMemberResult run_member(SwarmMember& member, std::size_t index,
+                             const SessionOptions& options) {
+  SessionOptions member_options = options;
+  member_options.seed = options.seed + index;  // independent channel randomness
+  const AttestationReport session = run_attestation(
+      *member.verifier, *member.prover, member_options, member.hooks);
+  SwarmMemberResult result;
+  result.id = member.id;
+  result.verdict = session.verdict;
+  result.duration = session.total_time;
+  result.mac = member.prover->last_mac();
+  return result;
+}
+
+}  // namespace
 
 std::vector<std::string> SwarmReport::failed_ids() const {
   std::vector<std::string> ids;
@@ -16,26 +38,41 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
                          SwarmSchedule schedule,
                          const SessionOptions& options) {
   SwarmReport report;
-  report.members.reserve(fleet.size());
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    SwarmMember& member = fleet[i];
-    SessionOptions member_options = options;
-    member_options.seed = options.seed + i;  // independent channel randomness
-    const AttestationReport session =
-        run_attestation(*member.verifier, *member.prover, member_options,
-                        member.hooks);
-    SwarmMemberResult result;
-    result.id = member.id;
-    result.verdict = session.verdict;
-    result.duration = session.total_time;
-    if (session.verdict.ok()) ++report.attested;
-    report.total_work += session.total_time;
-    if (schedule == SwarmSchedule::kParallel) {
-      report.makespan = std::max(report.makespan, session.total_time);
-    } else {
-      report.makespan += session.total_time;
+  report.members.resize(fleet.size());
+
+  if (schedule == SwarmSchedule::kParallel && fleet.size() > 1) {
+    // Worker pool: members are independent devices with independent
+    // verifiers, so N sessions genuinely run on N threads. Work is claimed
+    // by index from a shared counter; results land in member order.
+    const std::size_t workers = std::min<std::size_t>(
+        fleet.size(), std::max(1u, std::thread::hardware_concurrency()));
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < fleet.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        report.members[i] = run_member(fleet[i], i, options);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  } else {
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      report.members[i] = run_member(fleet[i], i, options);
     }
-    report.members.push_back(std::move(result));
+  }
+
+  // Merge in member order (identical for both schedules).
+  for (const SwarmMemberResult& m : report.members) {
+    if (m.verdict.ok()) ++report.attested;
+    report.total_work += m.duration;
+    if (schedule == SwarmSchedule::kParallel) {
+      report.makespan = std::max(report.makespan, m.duration);
+    } else {
+      report.makespan += m.duration;
+    }
   }
   return report;
 }

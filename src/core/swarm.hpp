@@ -5,6 +5,11 @@
 // SACHa composes naturally: each device runs its own session under its own
 // key; the coordinator schedules them serially (one verifier port) or in
 // parallel (simulated makespan = slowest member) and aggregates verdicts.
+// kParallel really runs the member sessions on a worker pool (one thread
+// per member up to the host's core count): sessions share no state, every
+// member derives its channel randomness from `options.seed + index`, and
+// the report is merged in member order, so the result is bit-identical to
+// the serial schedule while the host wall-clock divides by the core count.
 // bench_swarm measures how fleet size scales on both schedules and that a
 // single compromised member is isolated, not hidden by the aggregate.
 #pragma once
@@ -33,6 +38,9 @@ struct SwarmMemberResult {
   std::string id;
   SachaVerifier::Verdict verdict;
   sim::SimDuration duration = 0;
+  /// H_Prv of the member's session (the device's attestation evidence),
+  /// recorded so fleet runs can be compared MAC-for-MAC across schedules.
+  std::optional<crypto::Mac> mac;
 };
 
 struct SwarmReport {

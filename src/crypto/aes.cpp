@@ -33,13 +33,73 @@ constexpr std::uint8_t kSbox[256] = {
 constexpr std::uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
                                     0x20, 0x40, 0x80, 0x1b, 0x36};
 
-std::uint8_t xtime(std::uint8_t x) {
+constexpr std::uint8_t xtime(std::uint8_t x) {
   return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
 }
 
+// T-tables: Te0[x] is the MixColumns-weighted column contributed by S-box
+// output S = kSbox[x] when it sits in row 0 of a column; Te1..Te3 are the
+// same word rotated for rows 1..3. One table lookup fuses SubBytes,
+// ShiftRows (via the byte the caller indexes with) and MixColumns.
+struct Ttables {
+  std::uint32_t te0[256];
+  std::uint32_t te1[256];
+  std::uint32_t te2[256];
+  std::uint32_t te3[256];
+};
+
+constexpr Ttables make_ttables() {
+  Ttables t{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t s = kSbox[i];
+    const std::uint8_t s2 = xtime(s);
+    const std::uint8_t s3 = static_cast<std::uint8_t>(s2 ^ s);
+    const std::uint32_t w = (static_cast<std::uint32_t>(s2) << 24) |
+                            (static_cast<std::uint32_t>(s) << 16) |
+                            (static_cast<std::uint32_t>(s) << 8) |
+                            static_cast<std::uint32_t>(s3);
+    t.te0[i] = w;
+    t.te1[i] = (w >> 8) | (w << 24);
+    t.te2[i] = (w >> 16) | (w << 16);
+    t.te3[i] = (w >> 24) | (w << 8);
+  }
+  return t;
+}
+
+constexpr Ttables kTe = make_ttables();
+
 }  // namespace
 
-Aes128::Aes128(const AesKey& key) {
+const char* to_string(AesImpl impl) {
+  switch (impl) {
+    case AesImpl::kAuto: return "auto";
+    case AesImpl::kReference: return "reference";
+    case AesImpl::kTtable: return "ttable";
+    case AesImpl::kAesni: return "aesni";
+  }
+  return "?";
+}
+
+bool Aes128::aesni_supported() {
+#if defined(SACHA_HAVE_AESNI)
+  // The tier is compiled in; still require the CPU to report AES support.
+  return __builtin_cpu_supports("aes") != 0;
+#else
+  return false;
+#endif
+}
+
+AesImpl Aes128::resolve(AesImpl requested) {
+  if (requested == AesImpl::kAuto) {
+    return aesni_supported() ? AesImpl::kAesni : AesImpl::kTtable;
+  }
+  if (requested == AesImpl::kAesni && !aesni_supported()) {
+    return AesImpl::kTtable;  // graceful degrade on hosts without AES-NI
+  }
+  return requested;
+}
+
+Aes128::Aes128(const AesKey& key, AesImpl impl) : impl_(resolve(impl)) {
   // Key expansion (FIPS-197 §5.2), Nk=4, Nr=10.
   for (std::size_t i = 0; i < 16; ++i) round_keys_[i] = key[i];
   for (std::size_t i = 4; i < 44; ++i) {
@@ -56,9 +116,15 @@ Aes128::Aes128(const AesKey& key) {
       round_keys_[4 * i + j] = round_keys_[4 * (i - 4) + j] ^ t[j];
     }
   }
+  for (std::size_t i = 0; i < 44; ++i) {
+    round_words_[i] = (static_cast<std::uint32_t>(round_keys_[4 * i]) << 24) |
+                      (static_cast<std::uint32_t>(round_keys_[4 * i + 1]) << 16) |
+                      (static_cast<std::uint32_t>(round_keys_[4 * i + 2]) << 8) |
+                      static_cast<std::uint32_t>(round_keys_[4 * i + 3]);
+  }
 }
 
-void Aes128::encrypt_block(AesBlock& s) const {
+void Aes128::encrypt_block_reference(AesBlock& s) const {
   auto add_round_key = [&](int round) {
     for (std::size_t i = 0; i < 16; ++i) {
       s[i] ^= round_keys_[static_cast<std::size_t>(round) * 16 + i];
@@ -98,10 +164,126 @@ void Aes128::encrypt_block(AesBlock& s) const {
   add_round_key(10);
 }
 
+namespace {
+
+// One full T-table encryption over big-endian column words c0..c3.
+inline void ttable_rounds(const std::uint32_t* rk, std::uint32_t& c0,
+                          std::uint32_t& c1, std::uint32_t& c2,
+                          std::uint32_t& c3) {
+  std::uint32_t s0 = c0 ^ rk[0];
+  std::uint32_t s1 = c1 ^ rk[1];
+  std::uint32_t s2 = c2 ^ rk[2];
+  std::uint32_t s3 = c3 ^ rk[3];
+  for (int round = 1; round <= 9; ++round) {
+    const std::uint32_t* k = rk + 4 * round;
+    const std::uint32_t t0 = kTe.te0[s0 >> 24] ^ kTe.te1[(s1 >> 16) & 0xff] ^
+                             kTe.te2[(s2 >> 8) & 0xff] ^ kTe.te3[s3 & 0xff] ^ k[0];
+    const std::uint32_t t1 = kTe.te0[s1 >> 24] ^ kTe.te1[(s2 >> 16) & 0xff] ^
+                             kTe.te2[(s3 >> 8) & 0xff] ^ kTe.te3[s0 & 0xff] ^ k[1];
+    const std::uint32_t t2 = kTe.te0[s2 >> 24] ^ kTe.te1[(s3 >> 16) & 0xff] ^
+                             kTe.te2[(s0 >> 8) & 0xff] ^ kTe.te3[s1 & 0xff] ^ k[2];
+    const std::uint32_t t3 = kTe.te0[s3 >> 24] ^ kTe.te1[(s0 >> 16) & 0xff] ^
+                             kTe.te2[(s1 >> 8) & 0xff] ^ kTe.te3[s2 & 0xff] ^ k[3];
+    s0 = t0; s1 = t1; s2 = t2; s3 = t3;
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  const std::uint32_t* k = rk + 40;
+  c0 = ((static_cast<std::uint32_t>(kSbox[s0 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(kSbox[(s1 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[(s2 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(kSbox[s3 & 0xff])) ^ k[0];
+  c1 = ((static_cast<std::uint32_t>(kSbox[s1 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(kSbox[(s2 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[(s3 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(kSbox[s0 & 0xff])) ^ k[1];
+  c2 = ((static_cast<std::uint32_t>(kSbox[s2 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(kSbox[(s3 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[(s0 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(kSbox[s1 & 0xff])) ^ k[2];
+  c3 = ((static_cast<std::uint32_t>(kSbox[s3 >> 24]) << 24) |
+        (static_cast<std::uint32_t>(kSbox[(s0 >> 16) & 0xff]) << 16) |
+        (static_cast<std::uint32_t>(kSbox[(s1 >> 8) & 0xff]) << 8) |
+        static_cast<std::uint32_t>(kSbox[s2 & 0xff])) ^ k[3];
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+void Aes128::encrypt_block_ttable(AesBlock& block) const {
+  std::uint32_t c0 = load_be32(&block[0]);
+  std::uint32_t c1 = load_be32(&block[4]);
+  std::uint32_t c2 = load_be32(&block[8]);
+  std::uint32_t c3 = load_be32(&block[12]);
+  ttable_rounds(round_words_.data(), c0, c1, c2, c3);
+  store_be32(&block[0], c0);
+  store_be32(&block[4], c1);
+  store_be32(&block[8], c2);
+  store_be32(&block[12], c3);
+}
+
+void Aes128::encrypt_block(AesBlock& block) const {
+  switch (impl_) {
+    case AesImpl::kReference: encrypt_block_reference(block); return;
+    case AesImpl::kAesni:
+      detail::aesni_encrypt_block(round_keys_.data(), block.data());
+      return;
+    case AesImpl::kTtable:
+    case AesImpl::kAuto: encrypt_block_ttable(block); return;
+  }
+}
+
 AesBlock Aes128::encrypt(const AesBlock& in) const {
   AesBlock out = in;
   encrypt_block(out);
   return out;
+}
+
+void Aes128::cbc_mac_absorb(AesBlock& state, const std::uint8_t* data,
+                            std::size_t nblocks) const {
+  if (nblocks == 0) return;
+  switch (impl_) {
+    case AesImpl::kAesni:
+      detail::aesni_cbc_mac(round_keys_.data(), state.data(), data, nblocks);
+      return;
+    case AesImpl::kTtable:
+    case AesImpl::kAuto: {
+      // Keep the chaining value in registers across the whole run.
+      std::uint32_t c0 = load_be32(&state[0]);
+      std::uint32_t c1 = load_be32(&state[4]);
+      std::uint32_t c2 = load_be32(&state[8]);
+      std::uint32_t c3 = load_be32(&state[12]);
+      for (std::size_t b = 0; b < nblocks; ++b, data += kAesBlockSize) {
+        c0 ^= load_be32(data);
+        c1 ^= load_be32(data + 4);
+        c2 ^= load_be32(data + 8);
+        c3 ^= load_be32(data + 12);
+        ttable_rounds(round_words_.data(), c0, c1, c2, c3);
+      }
+      store_be32(&state[0], c0);
+      store_be32(&state[4], c1);
+      store_be32(&state[8], c2);
+      store_be32(&state[12], c3);
+      return;
+    }
+    case AesImpl::kReference:
+      for (std::size_t b = 0; b < nblocks; ++b, data += kAesBlockSize) {
+        for (std::size_t i = 0; i < kAesBlockSize; ++i) state[i] ^= data[i];
+        encrypt_block_reference(state);
+      }
+      return;
+  }
 }
 
 AesKey to_aes_key(ByteSpan raw) {

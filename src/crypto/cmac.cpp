@@ -1,5 +1,6 @@
 #include "crypto/cmac.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace sacha::crypto {
@@ -21,7 +22,7 @@ AesBlock dbl(const AesBlock& in) {
 
 }  // namespace
 
-Cmac::Cmac(const AesKey& key) : aes_(key) {
+Cmac::Cmac(const AesKey& key, AesImpl impl) : aes_(key, impl) {
   AesBlock l{};
   aes_.encrypt_block(l);
   subkey1_ = dbl(l);
@@ -39,22 +40,38 @@ void Cmac::reset() {
 
 void Cmac::update(ByteSpan data) {
   assert(!finalized_);
-  if (!data.empty()) any_input_ = true;
+  if (data.empty()) return;
+  any_input_ = true;
   std::size_t pos = 0;
-  while (pos < data.size()) {
-    // Flush the buffer only when more input follows: the final full block
-    // must stay buffered so finalize() can fold in subkey1.
-    if (buffered_ == kAesBlockSize) {
-      for (std::size_t i = 0; i < kAesBlockSize; ++i) state_[i] ^= buffer_[i];
-      aes_.encrypt_block(state_);
-      buffered_ = 0;
+
+  // Drain the staging buffer first. A full buffer may only be absorbed once
+  // more input is known to follow: the final full block must stay staged so
+  // finalize() can fold in subkey1.
+  if (buffered_ > 0) {
+    if (buffered_ < kAesBlockSize) {
+      const std::size_t take = std::min(kAesBlockSize - buffered_, data.size());
+      std::copy_n(data.data(), take, buffer_.data() + buffered_);
+      buffered_ += take;
+      pos = take;
+      if (pos == data.size()) return;
     }
-    const std::size_t take =
-        std::min(kAesBlockSize - buffered_, data.size() - pos);
-    for (std::size_t i = 0; i < take; ++i) buffer_[buffered_ + i] = data[pos + i];
-    buffered_ += take;
-    pos += take;
+    // buffered_ == kAesBlockSize and more input follows.
+    aes_.cbc_mac_absorb(state_, buffer_.data(), 1);
+    buffered_ = 0;
   }
+
+  // Bulk path: absorb every whole block except the last directly from the
+  // input span, without staging bytes through the buffer.
+  const std::size_t remaining = data.size() - pos;
+  if (remaining > kAesBlockSize) {
+    const std::size_t nblocks = (remaining - 1) / kAesBlockSize;
+    aes_.cbc_mac_absorb(state_, data.data() + pos, nblocks);
+    pos += nblocks * kAesBlockSize;
+  }
+
+  const std::size_t tail = data.size() - pos;  // 1..16 bytes
+  std::copy_n(data.data() + pos, tail, buffer_.data());
+  buffered_ = tail;
 }
 
 Mac Cmac::finalize() {

@@ -4,7 +4,10 @@
 // memory. The streaming interface mirrors the hardware: the protocol calls
 // init / update(frame) once per readback command / finalize, exactly like
 // the MAC-init, MAC-update-step-i and MAC-finalize actions A5/A6/A7 of
-// Table 3.
+// Table 3. update() runs whole 16-byte blocks straight from the input span
+// through Aes128::cbc_mac_absorb — only a trailing partial (or the final
+// full) block is staged in the internal buffer, so the frame stream is
+// MACed at the selected AES tier's full throughput.
 #pragma once
 
 #include <optional>
@@ -19,7 +22,7 @@ using Mac = AesBlock;  // 128-bit tag
 /// times with arbitrary-length chunks, finalize() once.
 class Cmac {
  public:
-  explicit Cmac(const AesKey& key);
+  explicit Cmac(const AesKey& key, AesImpl impl = AesImpl::kAuto);
 
   /// Restarts the computation under the same key.
   void reset();
@@ -31,6 +34,9 @@ class Cmac {
 
   /// One-shot convenience.
   static Mac compute(const AesKey& key, ByteSpan data);
+
+  /// The AES tier doing the work.
+  AesImpl impl() const { return aes_.impl(); }
 
  private:
   Aes128 aes_;

@@ -60,6 +60,87 @@ TEST(Aes128, DifferentKeysDifferentCiphertexts) {
   EXPECT_NE(c1, c2);
 }
 
+// ------------------------------------------------------- AES fast-path tiers
+
+std::vector<AesImpl> fast_tiers() {
+  std::vector<AesImpl> tiers = {AesImpl::kTtable};
+  if (Aes128::aesni_supported()) tiers.push_back(AesImpl::kAesni);
+  return tiers;
+}
+
+TEST(Aes128Tiers, AutoResolvesToARunnableTier) {
+  const AesImpl resolved = Aes128::resolve(AesImpl::kAuto);
+  EXPECT_NE(resolved, AesImpl::kAuto);
+  EXPECT_NE(resolved, AesImpl::kReference);  // auto always picks a fast tier
+  if (!Aes128::aesni_supported()) {
+    EXPECT_EQ(resolved, AesImpl::kTtable);
+  }
+}
+
+TEST(Aes128Tiers, Fips197VectorsOnEveryTier) {
+  struct Vector {
+    const char* key;
+    const char* plaintext;
+    const char* ciphertext;
+  };
+  const Vector vectors[] = {
+      {"2b7e151628aed2a6abf7158809cf4f3c", "3243f6a8885a308d313198a2e0370734",
+       "3925841d02dc09fbdc118597196a0b32"},
+      {"000102030405060708090a0b0c0d0e0f", "00112233445566778899aabbccddeeff",
+       "69c4e0d86a7b0430d8cdb78070b4c55a"},
+  };
+  for (AesImpl impl : fast_tiers()) {
+    for (const Vector& v : vectors) {
+      const Aes128 aes(to_aes_key(hex(v.key)), impl);
+      ASSERT_EQ(aes.impl(), impl);
+      AesBlock block{};
+      const Bytes pt = hex(v.plaintext);
+      std::copy(pt.begin(), pt.end(), block.begin());
+      aes.encrypt_block(block);
+      EXPECT_EQ(to_hex(block), v.ciphertext) << to_string(impl);
+    }
+  }
+}
+
+TEST(Aes128Tiers, MatchReferenceOn10kRandomBlocks) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Bytes key_bytes = rng.bytes(kAesKeySize);
+    const AesKey key = to_aes_key(key_bytes);
+    const Aes128 reference(key, AesImpl::kReference);
+    std::vector<Aes128> fast;
+    for (AesImpl impl : fast_tiers()) fast.emplace_back(key, impl);
+    for (int block_i = 0; block_i < 100; ++block_i) {
+      const Bytes pt = rng.bytes(kAesBlockSize);
+      AesBlock block{};
+      std::copy(pt.begin(), pt.end(), block.begin());
+      const AesBlock expected = reference.encrypt(block);
+      for (const Aes128& aes : fast) {
+        EXPECT_EQ(aes.encrypt(block), expected)
+            << to_string(aes.impl()) << " key=" << to_hex(key_bytes)
+            << " pt=" << to_hex(pt);
+      }
+    }
+  }
+}
+
+TEST(Aes128Tiers, CbcMacAbsorbMatchesBlockwiseEncrypt) {
+  Rng rng(777);
+  const AesKey key = to_aes_key(rng.bytes(kAesKeySize));
+  const Aes128 reference(key, AesImpl::kReference);
+  for (AesImpl impl : fast_tiers()) {
+    const Aes128 aes(key, impl);
+    for (std::size_t nblocks : {1u, 2u, 5u, 32u}) {
+      const Bytes msg = rng.bytes(nblocks * kAesBlockSize);
+      AesBlock expected{};
+      reference.cbc_mac_absorb(expected, msg.data(), nblocks);
+      AesBlock got{};
+      aes.cbc_mac_absorb(got, msg.data(), nblocks);
+      EXPECT_EQ(got, expected) << to_string(impl) << " nblocks=" << nblocks;
+    }
+  }
+}
+
 // --------------------------------------------------------------- AES-CMAC
 
 const char* kRfc4493Key = "2b7e151628aed2a6abf7158809cf4f3c";
@@ -131,6 +212,52 @@ TEST(Cmac, SingleBitFlipChangesTag) {
   const auto before = Cmac::compute(key, msg);
   msg[200] ^= 0x01;
   EXPECT_NE(before, Cmac::compute(key, msg));
+}
+
+TEST(Cmac, ChunkedUpdateAllSplitSizes) {
+  // Property: feeding a 3-block message in fixed-size chunks of every split
+  // size 1..33 gives the one-shot tag, on every tier — exercises the bulk
+  // path, the staging buffer, and every interaction between them.
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(31);
+  const Bytes msg = rng.bytes(3 * kAesBlockSize);
+  const Mac expected = Cmac::compute(key, msg);
+  std::vector<AesImpl> tiers = {AesImpl::kReference, AesImpl::kTtable};
+  if (Aes128::aesni_supported()) tiers.push_back(AesImpl::kAesni);
+  for (AesImpl impl : tiers) {
+    for (std::size_t split = 1; split <= 33; ++split) {
+      Cmac streaming(key, impl);
+      std::size_t pos = 0;
+      while (pos < msg.size()) {
+        const std::size_t chunk = std::min(split, msg.size() - pos);
+        streaming.update(ByteSpan(msg).subspan(pos, chunk));
+        pos += chunk;
+      }
+      EXPECT_EQ(streaming.finalize(), expected)
+          << to_string(impl) << " split=" << split;
+    }
+  }
+}
+
+TEST(Cmac, TiersAgreeOnRfc4493Vectors) {
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  const char* messages[] = {
+      "", "6bc1bee22e409f96e93d7e117393172a",
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411",
+      "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"};
+  for (const char* m : messages) {
+    const Bytes msg = hex(m);
+    Cmac reference(key, AesImpl::kReference);
+    reference.update(msg);
+    const Mac expected = reference.finalize();
+    for (AesImpl impl : {AesImpl::kTtable, AesImpl::kAesni}) {
+      Cmac fast(key, impl);  // kAesni degrades to ttable when unsupported
+      fast.update(msg);
+      EXPECT_EQ(fast.finalize(), expected) << to_string(impl);
+    }
+  }
 }
 
 TEST(Cmac, BlockBoundaryLengths) {

@@ -80,6 +80,46 @@ TEST(Swarm, EmptyFleetIsVacuouslyAttested) {
   EXPECT_EQ(report.makespan, 0u);
 }
 
+TEST(Swarm, ParallelMatchesSerialDeterministically) {
+  // 16-member fleet, same base seeds: the threaded schedule must produce
+  // the identical report — per-member verdicts, durations and MACs — as
+  // the serial one. Sessions share no state and member seeds derive from
+  // the member index, so threading must not be observable in the results.
+  constexpr std::size_t kFleetSize = 16;
+  Fleet serial_fleet(kFleetSize);
+  Fleet parallel_fleet(kFleetSize);
+  // Tamper with the same two members in both fleets so the comparison also
+  // covers failing verdicts.
+  for (Fleet* fleet : {&serial_fleet, &parallel_fleet}) {
+    for (std::size_t i : {3u, 11u}) {
+      fleet->members[i].hooks.after_config = [](SachaProver& p) {
+        bitstream::Frame f = p.memory().config_frame(4);
+        f.flip_bit(9);
+        p.memory().write_frame(4, f);
+      };
+    }
+  }
+  const SwarmReport serial =
+      attest_swarm(serial_fleet.members, SwarmSchedule::kSerial);
+  const SwarmReport parallel =
+      attest_swarm(parallel_fleet.members, SwarmSchedule::kParallel);
+
+  ASSERT_EQ(serial.members.size(), kFleetSize);
+  ASSERT_EQ(parallel.members.size(), kFleetSize);
+  EXPECT_EQ(serial.attested, parallel.attested);
+  EXPECT_EQ(serial.total_work, parallel.total_work);
+  for (std::size_t i = 0; i < kFleetSize; ++i) {
+    EXPECT_EQ(parallel.members[i].id, serial.members[i].id) << i;
+    EXPECT_EQ(parallel.members[i].verdict.ok(), serial.members[i].verdict.ok())
+        << i;
+    EXPECT_EQ(parallel.members[i].duration, serial.members[i].duration) << i;
+    ASSERT_TRUE(serial.members[i].mac.has_value()) << i;
+    ASSERT_TRUE(parallel.members[i].mac.has_value()) << i;
+    EXPECT_EQ(*parallel.members[i].mac, *serial.members[i].mac) << i;
+  }
+  EXPECT_EQ(serial.failed_ids(), parallel.failed_ids());
+}
+
 TEST(Swarm, MembersGetIndependentChannelRandomness) {
   // With jitter enabled, member durations must not be identical clones.
   Fleet fleet(4);
