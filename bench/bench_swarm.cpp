@@ -39,8 +39,9 @@ void print_sweep() {
   benchutil::print_title("Swarm attestation: fleet-size sweep (lab channel)");
   core::SessionOptions options;
   options.channel = net::ChannelParams::lab();
-  std::printf("%8s %16s %16s %14s\n", "devices", "serial makespan",
-              "parallel makespan", "total work");
+  std::printf("%8s %16s %16s %14s %8s %16s %12s\n", "devices",
+              "serial makespan", "parallel makespan", "total work", "models",
+              "model mem", "retained");
   for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
     Fleet serial_fleet(n);
     const auto serial =
@@ -49,14 +50,18 @@ void print_sweep() {
     Fleet parallel_fleet(n);
     const auto parallel = core::attest_swarm(
         parallel_fleet.members, core::SwarmSchedule::kParallel, options);
-    std::printf("%8zu %14.3f s %14.3f s %12.3f s%s\n", n,
+    std::printf("%8zu %14.3f s %14.3f s %12.3f s %8zu %14zu B %10zu B%s\n", n,
                 sim::to_seconds(serial.makespan),
                 sim::to_seconds(parallel.makespan),
                 sim::to_seconds(serial.total_work),
+                serial.distinct_golden_models, serial.golden_model_bytes,
+                serial.retained_readback_bytes,
                 serial.all_attested() && parallel.all_attested()
                     ? ""
                     : "  [FAILURES]");
   }
+  std::printf("=> one golden model regardless of fleet size; streaming "
+              "verifiers retain no readback.\n");
 
   // Compromised-minority isolation.
   Fleet fleet(8);
@@ -110,6 +115,14 @@ void wallclock_sweep_and_emit() {
            static_cast<double>(std::thread::hardware_concurrency()), "threads"},
           {"bench_swarm", "attested_16",
            static_cast<double>(serial.attested + parallel.attested), "sessions"},
+          {"bench_swarm", "distinct_golden_models_16",
+           static_cast<double>(serial.distinct_golden_models), "models"},
+          {"bench_swarm", "golden_model_bytes_16",
+           static_cast<double>(serial.golden_model_bytes), "B"},
+          {"bench_swarm", "unshared_golden_model_bytes_16",
+           static_cast<double>(serial.unshared_golden_model_bytes), "B"},
+          {"bench_swarm", "retained_readback_bytes_16",
+           static_cast<double>(serial.retained_readback_bytes), "B"},
       });
 }
 

@@ -1,0 +1,168 @@
+#include "bitstream/golden_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace sacha::bitstream {
+
+GoldenModel::GoldenModel(const fabric::Floorplan& plan, DesignSpec static_spec,
+                         DesignSpec app_spec)
+    : static_spec_(std::move(static_spec)), app_spec_(std::move(app_spec)) {
+  assert(plan.validate().ok());
+  const fabric::DeviceModel& device = plan.device();
+  total_frames_ = device.total_frames();
+  words_per_frame_ = device.geometry().words_per_frame();
+
+  std::vector<fabric::FrameRange> stat_ranges;
+  std::vector<fabric::FrameRange> dyn_ranges;
+  for (const fabric::Partition& p : plan.partitions()) {
+    if (p.kind == fabric::PartitionKind::kStatic) stat_ranges.push_back(p.frames);
+    if (p.kind == fabric::PartitionKind::kDynamic) dyn_ranges.push_back(p.frames);
+  }
+  assert(!stat_ranges.empty() && !dyn_ranges.empty());
+  const auto by_first = [](const fabric::FrameRange& a,
+                           const fabric::FrameRange& b) {
+    return a.first < b.first;
+  };
+  std::sort(stat_ranges.begin(), stat_ranges.end(), by_first);
+  std::sort(dyn_ranges.begin(), dyn_ranges.end(), by_first);
+  // The nonce occupies its own single-frame partition at the top of the
+  // last dynamic region so it can be refreshed without touching the
+  // application; the application spans every dynamic region (§2.1.2
+  // allows one or more).
+  assert(dyn_ranges.back().count >= 2 &&
+         "need room for application + nonce frame");
+  nonce_frame_ = dyn_ranges.back().end() - 1;
+  app_ranges_ = dyn_ranges;
+  app_ranges_.back().count -= 1;  // carve the nonce frame out
+  if (app_ranges_.back().count == 0) app_ranges_.pop_back();
+  for (const fabric::FrameRange& r : app_ranges_) app_frame_total_ += r.count;
+
+  BitGen bitgen(device);
+  for (const fabric::FrameRange& r : stat_ranges) {
+    static_images_.emplace_back(r, bitgen.generate(r, static_spec_));
+  }
+  app_images_.reserve(app_ranges_.size());
+  for (const fabric::FrameRange& r : app_ranges_) {
+    app_images_.push_back(bitgen.generate(r, app_spec_));
+  }
+  zero_frame_ = Frame(words_per_frame_);
+
+  // Flat tables: one architectural_mask generation per frame for the life of
+  // the model (the per-session verifier previously regenerated every mask on
+  // every finish()), and golden words pre-masked so the streaming compare is
+  // a single AND+compare pass.
+  const std::size_t table_words =
+      static_cast<std::size_t>(total_frames_) * words_per_frame_;
+  mask_words_.resize(table_words);
+  masked_golden_.assign(table_words, 0);
+  for (std::uint32_t f = 0; f < total_frames_; ++f) {
+    const FrameMask mask = architectural_mask(device, f);
+    std::uint32_t* mask_row =
+        mask_words_.data() + static_cast<std::size_t>(f) * words_per_frame_;
+    std::copy(mask.words().begin(), mask.words().end(), mask_row);
+    if (f == nonce_frame_) continue;  // golden content is per-session
+    const Frame& golden = golden_frame(f);
+    std::uint32_t* golden_row =
+        masked_golden_.data() + static_cast<std::size_t>(f) * words_per_frame_;
+    for (std::uint32_t w = 0; w < words_per_frame_; ++w) {
+      golden_row[w] = golden.word(w) & mask_row[w];
+    }
+  }
+}
+
+const ConfigImage& GoldenModel::static_image() const {
+  assert(!static_images_.empty() && static_images_.front().first.first == 0 &&
+         "BootMem image must start at frame 0");
+  return static_images_.front().second;
+}
+
+const Frame& GoldenModel::golden_frame(std::uint32_t index) const {
+  if (index == nonce_frame_) return zero_frame_;
+  for (std::size_t region = 0; region < app_ranges_.size(); ++region) {
+    if (app_ranges_[region].contains(index)) {
+      return app_images_[region].frames[index - app_ranges_[region].first];
+    }
+  }
+  for (const auto& [range, image] : static_images_) {
+    if (range.contains(index)) return image.frames[index - range.first];
+  }
+  // Frames outside every partition are never configured: golden is zero.
+  return zero_frame_;
+}
+
+std::size_t GoldenModel::footprint_bytes() const {
+  std::size_t bytes = (mask_words_.size() + masked_golden_.size()) * 4;
+  const auto image_bytes = [](const ConfigImage& image) {
+    std::size_t b = 0;
+    for (const Frame& f : image.frames) b += f.words().size() * 4;
+    for (const FrameMask& m : image.masks) b += m.words().size() * 4;
+    return b;
+  };
+  for (const auto& [range, image] : static_images_) bytes += image_bytes(image);
+  for (const ConfigImage& image : app_images_) bytes += image_bytes(image);
+  return bytes;
+}
+
+namespace {
+
+struct ModelCache {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::weak_ptr<const GoldenModel>> entries;
+};
+
+ModelCache& model_cache() {
+  static ModelCache cache;
+  return cache;
+}
+
+/// Everything the model content depends on: device identity and geometry,
+/// partition layout, and both design specs.
+std::string cache_key(const fabric::Floorplan& plan,
+                      const DesignSpec& static_spec,
+                      const DesignSpec& app_spec) {
+  std::string key = plan.device().name();
+  key += '/' + std::to_string(plan.device().total_frames());
+  key += 'x' + std::to_string(plan.device().geometry().words_per_frame());
+  for (const fabric::Partition& p : plan.partitions()) {
+    key += p.kind == fabric::PartitionKind::kStatic ? "|s" : "|d";
+    key += std::to_string(p.frames.first) + '+' + std::to_string(p.frames.count);
+  }
+  key += "|static=" + static_spec.name + '#' + std::to_string(static_spec.seed);
+  key += "|app=" + app_spec.name + '#' + std::to_string(app_spec.seed);
+  return key;
+}
+
+}  // namespace
+
+std::shared_ptr<const GoldenModel> GoldenModel::shared(
+    const fabric::Floorplan& plan, const DesignSpec& static_spec,
+    const DesignSpec& app_spec) {
+  ModelCache& cache = model_cache();
+  const std::string key = cache_key(plan, static_spec, app_spec);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  for (auto it = cache.entries.begin(); it != cache.entries.end();) {
+    it = it->second.expired() ? cache.entries.erase(it) : std::next(it);
+  }
+  if (auto it = cache.entries.find(key); it != cache.entries.end()) {
+    if (auto model = it->second.lock()) return model;
+  }
+  auto model = std::make_shared<const GoldenModel>(plan, static_spec, app_spec);
+  cache.entries[key] = model;
+  return model;
+}
+
+std::size_t GoldenModel::live_cache_entries() {
+  ModelCache& cache = model_cache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  std::size_t live = 0;
+  for (const auto& [key, entry] : cache.entries) {
+    if (!entry.expired()) ++live;
+  }
+  return live;
+}
+
+}  // namespace sacha::bitstream

@@ -1,0 +1,145 @@
+// Precompiled golden reference for streaming verification.
+//
+// The verifier's hot loop compares every readback frame against the golden
+// configuration under the architectural register mask. Doing that from the
+// region-structured images means, per frame per session: a linear scan over
+// partition ranges, a fresh `architectural_mask` generation (an Rng walk over
+// ~2% of the frame bits), a `bs::Frame` construction and a byte
+// re-serialisation for the MAC. GoldenModel hoists all of it to build time:
+// one flat frame-index-indexed table of mask words and pre-masked golden
+// words, computed once per (device, floorplan, static design, application)
+// and immutable afterwards, so a streamed masked compare is a single
+// AND+compare pass over the incoming word span.
+//
+// Immutability is what makes the model shareable: a swarm fleet of N devices
+// provisioned with the same floorplan and designs holds one GoldenModel via
+// `shared_ptr` instead of N copies of the ~9.2 MB (Virtex-6) golden image.
+// `GoldenModel::shared()` interns models in a process-wide cache keyed by
+// device + partition layout + design specs; the cache holds weak references,
+// so models die with their last verifier.
+//
+// The session nonce frame is deliberately *not* part of the model: its
+// content changes every `begin()`, so the verifier overlays it per session.
+// The model still carries that frame's architectural mask (flip-flop
+// positions are silicon, not session, state).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bitstream/bitgen.hpp"
+#include "fabric/partition.hpp"
+
+namespace sacha::bitstream {
+
+class GoldenModel {
+ public:
+  /// Builds the full golden reference for `plan`: region images for command
+  /// assembly, plus the flat mask / masked-golden tables for streaming
+  /// compare. Prefer `shared()` so identical fleets intern one copy.
+  GoldenModel(const fabric::Floorplan& plan, DesignSpec static_spec,
+              DesignSpec app_spec);
+
+  /// Interned construction: returns the cached model for this
+  /// (device, partition layout, static spec, app spec) if one is alive,
+  /// else builds and caches it. Thread-safe.
+  static std::shared_ptr<const GoldenModel> shared(
+      const fabric::Floorplan& plan, const DesignSpec& static_spec,
+      const DesignSpec& app_spec);
+
+  /// Live entries in the intern cache (expired entries are swept on each
+  /// shared() call). Exposed for the sharing tests and the fleet bench.
+  static std::size_t live_cache_entries();
+
+  // -- Region structure (what SachaVerifier previously derived itself) -----
+
+  /// Dynamic-partition ranges spanned by the application, ascending, with
+  /// the nonce frame carved out of the last one.
+  const std::vector<fabric::FrameRange>& app_ranges() const {
+    return app_ranges_;
+  }
+  std::uint32_t app_frame_total() const { return app_frame_total_; }
+  /// The single-frame nonce partition at the top of the last dynamic region.
+  std::uint32_t nonce_frame() const { return nonce_frame_; }
+
+  /// Golden image of the base static partition (starts at frame 0) — what
+  /// the BootMem is provisioned with.
+  const ConfigImage& static_image() const;
+  /// Golden image of application region `region` (index into app_ranges()).
+  const ConfigImage& app_image(std::size_t region) const {
+    return app_images_[region];
+  }
+
+  /// Golden content of any frame except the nonce frame (whose content is
+  /// per-session); the nonce frame and frames outside every partition
+  /// resolve to the all-zero frame.
+  const Frame& golden_frame(std::uint32_t index) const;
+  const Frame& zero_frame() const { return zero_frame_; }
+
+  // -- Flat streaming tables ------------------------------------------------
+
+  std::uint32_t total_frames() const { return total_frames_; }
+  std::uint32_t words_per_frame() const { return words_per_frame_; }
+
+  /// Architectural register mask of `frame`, identical word-for-word to
+  /// `architectural_mask(device, frame)`.
+  std::span<const std::uint32_t> mask_words(std::uint32_t frame) const {
+    return {mask_words_.data() +
+                static_cast<std::size_t>(frame) * words_per_frame_,
+            words_per_frame_};
+  }
+
+  /// Golden frame content with register bits already forced to zero
+  /// (`golden & mask`). The nonce frame's slot is all-zero; the verifier
+  /// overlays the session nonce.
+  std::span<const std::uint32_t> masked_golden_words(std::uint32_t frame) const {
+    return {masked_golden_.data() +
+                static_cast<std::size_t>(frame) * words_per_frame_,
+            words_per_frame_};
+  }
+
+  /// Streaming masked compare: true iff `received` (one frame's words)
+  /// agrees with the golden configuration on every mask=1 bit. Not valid
+  /// for the nonce frame — its golden content lives in the session.
+  bool frame_matches(std::uint32_t frame,
+                     std::span<const std::uint32_t> received) const {
+    const std::uint32_t* mask = mask_words_.data() +
+                                static_cast<std::size_t>(frame) * words_per_frame_;
+    const std::uint32_t* golden =
+        masked_golden_.data() + static_cast<std::size_t>(frame) * words_per_frame_;
+    // Branch-free OR-reduction: a whole frame is one pass, so accumulating
+    // the difference vectorizes where an early-exit compare would not.
+    std::uint32_t diff = 0;
+    for (std::uint32_t w = 0; w < words_per_frame_; ++w) {
+      diff |= (received[w] & mask[w]) ^ golden[w];
+    }
+    return diff == 0;
+  }
+
+  /// Heap footprint of the model (flat tables + region images), for the
+  /// fleet memory accounting in bench_swarm / bench_verifier.
+  std::size_t footprint_bytes() const;
+
+  const DesignSpec& static_spec() const { return static_spec_; }
+  const DesignSpec& app_spec() const { return app_spec_; }
+
+ private:
+  DesignSpec static_spec_;
+  DesignSpec app_spec_;
+  std::uint32_t total_frames_ = 0;
+  std::uint32_t words_per_frame_ = 0;
+  std::uint32_t nonce_frame_ = 0;
+  std::uint32_t app_frame_total_ = 0;
+
+  std::vector<fabric::FrameRange> app_ranges_;
+  std::vector<std::pair<fabric::FrameRange, ConfigImage>> static_images_;
+  std::vector<ConfigImage> app_images_;
+  Frame zero_frame_;
+
+  std::vector<std::uint32_t> mask_words_;     // total_frames * words_per_frame
+  std::vector<std::uint32_t> masked_golden_;  // same shape, golden & mask
+};
+
+}  // namespace sacha::bitstream

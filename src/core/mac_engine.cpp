@@ -1,7 +1,5 @@
 #include "core/mac_engine.hpp"
 
-#include <algorithm>
-#include <array>
 #include <cassert>
 
 namespace sacha::core {
@@ -28,23 +26,7 @@ sim::SimDuration MacEngine::update(ByteSpan frame_bytes) {
 
 sim::SimDuration MacEngine::update(std::span<const std::uint32_t> frame_words) {
   assert(started_);
-  // Serialise big-endian through a stack block; 64 words per round keeps the
-  // staging area cache-hot and feeds Cmac 16-byte-aligned bulk chunks.
-  std::array<std::uint8_t, 256> staging;
-  std::size_t done = 0;
-  while (done < frame_words.size()) {
-    const std::size_t n =
-        std::min<std::size_t>(staging.size() / 4, frame_words.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::uint32_t w = frame_words[done + i];
-      staging[4 * i + 0] = static_cast<std::uint8_t>(w >> 24);
-      staging[4 * i + 1] = static_cast<std::uint8_t>(w >> 16);
-      staging[4 * i + 2] = static_cast<std::uint8_t>(w >> 8);
-      staging[4 * i + 3] = static_cast<std::uint8_t>(w);
-    }
-    cmac_.update(ByteSpan(staging.data(), n * 4));
-    done += n;
-  }
+  cmac_.update(frame_words);
   return tx_clock_.cycles_to_time(timing_.update_cycles);
 }
 

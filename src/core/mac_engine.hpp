@@ -33,8 +33,9 @@ class MacEngine {
 
   /// Frame fast path: folds readback words (big-endian on the wire and in
   /// the MAC, as everywhere in SACHa) without materialising a byte vector.
-  /// The words are serialised through a small stack staging area, so the
-  /// per-frame heap allocation of the byte path disappears.
+  /// Delegates to the word-span CMAC, which absorbs whole blocks straight
+  /// from the word stream (the AES tier handles the big-endian mapping),
+  /// so the per-frame heap allocation and serialisation both disappear.
   sim::SimDuration update(std::span<const std::uint32_t> frame_words);
 
   /// Completes the MAC. Returns the finalize duration via `duration`.

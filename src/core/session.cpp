@@ -83,7 +83,13 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
       // FSM) so a lost *response* cannot double-step the MAC.
       SachaProver::HandleResult result;
       if (device_handled) {
-        result.response = cached_device_response;
+        // The cache must survive further retries, but the last permitted
+        // attempt can consume it instead of copying the frame payload.
+        if (attempt + 1 == attempts) {
+          result.response = std::move(cached_device_response);
+        } else {
+          result.response = cached_device_response;
+        }
       } else {
         result = prover.handle_packet(packet);
         device_handled = true;
@@ -108,7 +114,7 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
 
       // Response path (or a synthetic ack in reliable mode so the verifier
       // can detect loss of fire-and-forget configuration commands).
-      std::optional<Response> response = result.response;
+      std::optional<Response> response = std::move(result.response);
       if (!response.has_value() && options.reliable) {
         response = Response{.type = ResponseType::kAck, .status = ProverStatus::kOk};
       }
@@ -137,7 +143,7 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
 
       auto decoded = Response::decode(reply);
       if (decoded.ok()) {
-        final_response = decoded.value();
+        final_response = std::move(decoded).take();
         if (final_response->type == ResponseType::kAck) {
           final_response = std::nullopt;  // acks are transport-level only
         }
@@ -149,7 +155,7 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     }
 
     if (delivered_and_answered || !options.reliable) {
-      (void)verifier.on_response(i, final_response);
+      (void)verifier.on_response(i, std::move(final_response));
     } else {
       // Retries exhausted: record the absence so finish() reports it.
       (void)verifier.on_response(
@@ -164,6 +170,7 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     report.theoretical_time += report.ledger.total(key);
   }
   report.verdict = verifier.finish();
+  report.verifier_retained_bytes = verifier.retained_readback_bytes();
   return report;
 }
 

@@ -74,6 +74,10 @@ struct AttestationReport {
   std::uint64_t retransmissions = 0;
   std::uint64_t bytes_to_prover = 0;
   std::uint64_t bytes_to_verifier = 0;
+  /// Readback bytes the verifier still buffers after finish(): the full
+  /// transcript in VerifyMode::kRetained, 0 in the streaming mode. The
+  /// fleet benches aggregate this per member.
+  std::uint64_t verifier_retained_bytes = 0;
 };
 
 /// Runs one full attestation. The verifier's begin() is called internally.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <thread>
 
 namespace sacha::core {
@@ -74,6 +75,20 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
       report.makespan += m.duration;
     }
   }
+
+  // Verifier-side memory accounting: interned GoldenModels dedupe by
+  // pointer identity, so a homogeneous fleet counts one model.
+  std::set<const bitstream::GoldenModel*> distinct;
+  for (const SwarmMember& member : fleet) {
+    const auto& model = member.verifier->golden_model();
+    report.unshared_golden_model_bytes += model->footprint_bytes();
+    if (distinct.insert(model.get()).second) {
+      report.golden_model_bytes += model->footprint_bytes();
+    }
+    report.retained_readback_bytes +=
+        member.verifier->retained_readback_bytes();
+  }
+  report.distinct_golden_models = distinct.size();
   return report;
 }
 

@@ -51,6 +51,18 @@ struct SwarmReport {
   /// Sum of per-member durations (bandwidth/energy budget).
   sim::SimDuration total_work = 0;
 
+  // Verifier-side memory accounting. Members provisioned with the same
+  // device type + designs share one interned GoldenModel, so
+  // `golden_model_bytes` stays flat as the fleet grows while
+  // `unshared_golden_model_bytes` (what per-member copies would cost)
+  // grows linearly.
+  std::size_t distinct_golden_models = 0;
+  std::size_t golden_model_bytes = 0;           // sum over distinct models
+  std::size_t unshared_golden_model_bytes = 0;  // sum over members
+  /// Readback bytes still buffered across all member verifiers after their
+  /// sessions (0 for streaming-mode fleets).
+  std::size_t retained_readback_bytes = 0;
+
   bool all_attested() const { return attested == members.size(); }
   std::vector<std::string> failed_ids() const;
 };

@@ -15,72 +15,53 @@ SachaVerifier::SachaVerifier(fabric::Floorplan plan,
                              bitstream::DesignSpec static_spec,
                              bitstream::DesignSpec app_spec, crypto::AesKey key,
                              std::uint64_t session_seed, VerifierOptions options)
+    // `plan` is deliberately copied into the delegated constructor (not
+    // moved): GoldenModel::shared reads it in the same argument list.
+    : SachaVerifier(plan, bs::GoldenModel::shared(plan, static_spec, app_spec),
+                    key, session_seed, options) {}
+
+SachaVerifier::SachaVerifier(fabric::Floorplan plan,
+                             std::shared_ptr<const bitstream::GoldenModel> model,
+                             crypto::AesKey key, std::uint64_t session_seed,
+                             VerifierOptions options)
     : plan_(std::move(plan)),
       bitgen_(plan_.device()),
       idcode_(config::device_idcode(plan_.device())),
-      static_spec_(std::move(static_spec)),
-      app_spec_(std::move(app_spec)),
       key_(key),
       session_seed_(session_seed),
-      options_(options) {
+      options_(options),
+      model_(std::move(model)),
+      stream_cmac_(key) {
   assert(plan_.validate().ok());
-  std::vector<fabric::FrameRange> stat_ranges;
-  std::vector<fabric::FrameRange> dyn_ranges;
-  for (const fabric::Partition& p : plan_.partitions()) {
-    if (p.kind == fabric::PartitionKind::kStatic) stat_ranges.push_back(p.frames);
-    if (p.kind == fabric::PartitionKind::kDynamic) dyn_ranges.push_back(p.frames);
-  }
-  assert(!stat_ranges.empty() && !dyn_ranges.empty());
-  std::sort(stat_ranges.begin(), stat_ranges.end(),
-            [](const fabric::FrameRange& a, const fabric::FrameRange& b) {
-              return a.first < b.first;
-            });
-  std::sort(dyn_ranges.begin(), dyn_ranges.end(),
-            [](const fabric::FrameRange& a, const fabric::FrameRange& b) {
-              return a.first < b.first;
-            });
-  // The nonce occupies its own single-frame partition at the top of the
-  // last dynamic region so it can be refreshed without touching the
-  // application; the application spans every dynamic region (§2.1.2
-  // allows one or more).
-  assert(dyn_ranges.back().count >= 2 &&
-         "need room for application + nonce frame");
-  nonce_frame_ = dyn_ranges.back().end() - 1;
-  app_ranges_ = dyn_ranges;
-  app_ranges_.back().count -= 1;  // carve the nonce frame out
-  if (app_ranges_.back().count == 0) app_ranges_.pop_back();
-  for (const fabric::FrameRange& r : app_ranges_) app_frame_total_ += r.count;
-
-  for (const fabric::FrameRange& r : stat_ranges) {
-    static_images_.emplace_back(r, bitgen_.generate(r, static_spec_));
-  }
-  zero_frame_ = bs::Frame(plan_.device().geometry().words_per_frame());
-  regenerate_app_images();
+  assert(model_ != nullptr);
+  assert(model_->total_frames() == plan_.device().total_frames() &&
+         model_->words_per_frame() ==
+             plan_.device().geometry().words_per_frame() &&
+         "golden model built for a different device");
 }
 
 const bitstream::ConfigImage& SachaVerifier::static_image() const {
-  assert(!static_images_.empty() && static_images_.front().first.first == 0 &&
-         "BootMem image must start at frame 0");
-  return static_images_.front().second;
-}
-
-void SachaVerifier::regenerate_app_images() {
-  app_images_.clear();
-  app_images_.reserve(app_ranges_.size());
-  for (const fabric::FrameRange& range : app_ranges_) {
-    app_images_.push_back(bitgen_.generate(range, app_spec_));
-  }
+  return model_->static_image();
 }
 
 void SachaVerifier::set_app_spec(bitstream::DesignSpec spec) {
-  app_spec_ = std::move(spec);
-  regenerate_app_images();
+  model_ = bs::GoldenModel::shared(plan_, model_->static_spec(), spec);
 }
 
 void SachaVerifier::begin() {
   crypto::Prg prg(session_seed_ + session_counter_++, "sacha-session");
   nonce_ = prg.next_u64();
   nonce_image_ = bitgen_.nonce_frame(nonce_);
+  // Session overlay for the streaming compare: nonce words under the nonce
+  // frame's architectural mask (its row in the shared model is zero).
+  const std::span<const std::uint32_t> nonce_mask =
+      model_->mask_words(model_->nonce_frame());
+  const std::vector<std::uint32_t>& nonce_words =
+      nonce_image_.frames[0].words();
+  nonce_masked_.resize(nonce_words.size());
+  for (std::size_t w = 0; w < nonce_words.size(); ++w) {
+    nonce_masked_[w] = nonce_words[w] & nonce_mask[w];
+  }
 
   const std::uint32_t total = plan_.device().total_frames();
   steps_.clear();
@@ -100,7 +81,21 @@ void SachaVerifier::begin() {
     for (std::uint32_t f : rng.permutation(total)) steps_.emplace_back(f, 1);
   }
 
-  received_.assign(steps_.size(), std::nullopt);
+  config_commands_ = config_command_count();
+  words_per_frame_ = plan_.device().geometry().words_per_frame();
+  stream_cmac_.reset();
+  streamed_mac_.reset();
+  next_stream_step_ = 0;
+  pending_.clear();
+  step_done_.assign(steps_.size(), 0);
+  covered_.assign(total, 0);
+  mismatch_frame_.reset();
+  if (options_.mode == VerifyMode::kRetained) {
+    received_.assign(steps_.size(), std::nullopt);
+  } else {
+    received_.clear();
+    received_.shrink_to_fit();
+  }
   received_mac_.reset();
   protocol_error_.reset();
 }
@@ -109,7 +104,7 @@ std::size_t SachaVerifier::config_command_count() const {
   if (options_.refresh_only) return 1;  // nonce frame only (§5.2.2)
   const std::uint32_t per = std::max(1u, options_.frames_per_config);
   std::size_t slots = 0;
-  for (const fabric::FrameRange& r : app_ranges_) {
+  for (const fabric::FrameRange& r : model_->app_ranges()) {
     slots += (r.count + per - 1) / per;  // chunks never straddle regions
   }
   return slots + 1;  // +1: nonce frame
@@ -128,14 +123,15 @@ std::vector<std::uint32_t> SachaVerifier::pad(std::vector<std::uint32_t> stream,
 Command SachaVerifier::make_config_command(std::size_t slot) const {
   const std::uint32_t per = std::max(1u, options_.frames_per_config);
   if (!options_.refresh_only) {
-    for (std::size_t region = 0; region < app_ranges_.size(); ++region) {
-      const fabric::FrameRange& range = app_ranges_[region];
+    const std::vector<fabric::FrameRange>& app_ranges = model_->app_ranges();
+    for (std::size_t region = 0; region < app_ranges.size(); ++region) {
+      const fabric::FrameRange& range = app_ranges[region];
       const std::size_t region_slots = (range.count + per - 1) / per;
       if (slot >= region_slots) {
         slot -= region_slots;
         continue;
       }
-      const bs::ConfigImage& image = app_images_[region];
+      const bs::ConfigImage& image = model_->app_image(region);
       const std::uint32_t first =
           range.first + static_cast<std::uint32_t>(slot) * per;
       const std::uint32_t count = std::min(per, range.end() - first);
@@ -158,7 +154,8 @@ Command SachaVerifier::make_config_command(std::size_t slot) const {
   // Final configuration step: the nonce frame (Fig. 8's second phase).
   return Command{CommandType::kIcapConfig, 0,
                  pad(bitgen_.assemble_single_frame(nonce_image_.frames[0],
-                                                   nonce_frame_, idcode_),
+                                                   model_->nonce_frame(),
+                                                   idcode_),
                      options_.config_pad_words)};
 }
 
@@ -185,9 +182,64 @@ Command SachaVerifier::command(std::size_t index) const {
   return Command{CommandType::kMacChecksum, 0, {}};
 }
 
+void SachaVerifier::absorb_in_order(std::size_t step,
+                                    std::span<const std::uint32_t> words) {
+  stream_cmac_.update(words);
+  step_done_[step] = 1;
+  const auto [first, count] = steps_[step];
+  const std::uint32_t wpf = model_->words_per_frame();
+  const std::uint32_t nonce_frame = model_->nonce_frame();
+  for (std::uint32_t f = 0; f < count; ++f) {
+    const std::uint32_t frame_index = first + f;
+    // The compare stops at the first mismatch in step order, matching the
+    // retained verdict's first-failure detail (the MAC still absorbs every
+    // step — it is defined over the whole transcript).
+    if (mismatch_frame_.has_value()) return;
+    const std::span<const std::uint32_t> frame_words =
+        words.subspan(static_cast<std::size_t>(f) * wpf, wpf);
+    bool match;
+    if (frame_index == nonce_frame) {
+      const std::span<const std::uint32_t> mask =
+          model_->mask_words(nonce_frame);
+      match = true;
+      for (std::uint32_t w = 0; w < wpf; ++w) {
+        if ((frame_words[w] & mask[w]) != nonce_masked_[w]) {
+          match = false;
+          break;
+        }
+      }
+    } else {
+      match = model_->frame_matches(frame_index, frame_words);
+    }
+    if (!match) {
+      mismatch_frame_ = frame_index;
+      return;
+    }
+    covered_[frame_index] = 1;
+  }
+}
+
+void SachaVerifier::absorb_response(std::size_t step,
+                                    std::vector<std::uint32_t>&& words) {
+  if (step != next_stream_step_) {
+    pending_.emplace(step, std::move(words));
+    return;
+  }
+  absorb_in_order(step, words);
+  ++next_stream_step_;
+  while (!pending_.empty() && pending_.begin()->first == next_stream_step_) {
+    absorb_in_order(next_stream_step_, pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    ++next_stream_step_;
+  }
+  if (next_stream_step_ == steps_.size()) {
+    streamed_mac_ = stream_cmac_.finalize();
+  }
+}
+
 Status SachaVerifier::on_response(std::size_t index,
-                                  const std::optional<Response>& response) {
-  const std::size_t configs = config_command_count();
+                                  std::optional<Response> response) {
+  const std::size_t configs = config_commands_;
   if (index < configs) {
     // Fire-and-forget; an error response means the device rejected a write.
     if (response.has_value() && response->type == ResponseType::kError) {
@@ -204,14 +256,23 @@ Status SachaVerifier::on_response(std::size_t index,
                         std::to_string(step);
       return Status::error(*protocol_error_);
     }
-    const std::uint32_t expected_words =
-        steps_[step].second * plan_.device().geometry().words_per_frame();
+    const std::uint32_t expected_words = steps_[step].second * words_per_frame_;
     if (response->frame_words.size() != expected_words) {
       protocol_error_ = "readback step " + std::to_string(step) +
                         " returned wrong word count";
       return Status::error(*protocol_error_);
     }
-    received_[step] = response->frame_words;
+    if (options_.mode == VerifyMode::kRetained) {
+      received_[step] = std::move(response->frame_words);
+      return Status();
+    }
+    // Streaming: a step can be absorbed into the running MAC exactly once.
+    if (step_done_[step] || (!pending_.empty() && pending_.count(step) != 0)) {
+      protocol_error_ =
+          "duplicate readback response at step " + std::to_string(step);
+      return Status::error(*protocol_error_);
+    }
+    absorb_response(step, std::move(response->frame_words));
     return Status();
   }
   if (!response.has_value() || response->type != ResponseType::kMacValue) {
@@ -223,17 +284,10 @@ Status SachaVerifier::on_response(std::size_t index,
 }
 
 const bitstream::Frame& SachaVerifier::golden_frame(std::uint32_t index) const {
-  if (index == nonce_frame_) return nonce_image_.frames[0];
-  for (std::size_t region = 0; region < app_ranges_.size(); ++region) {
-    if (app_ranges_[region].contains(index)) {
-      return app_images_[region].frames[index - app_ranges_[region].first];
-    }
+  if (index == model_->nonce_frame() && !nonce_image_.frames.empty()) {
+    return nonce_image_.frames[0];
   }
-  for (const auto& [range, image] : static_images_) {
-    if (range.contains(index)) return image.frames[index - range.first];
-  }
-  // Frames outside every partition are never configured: golden is zero.
-  return zero_frame_;
+  return model_->golden_frame(index);
 }
 
 bool SachaVerifier::verify_mac(ByteSpan data, const crypto::Mac& mac) const {
@@ -242,6 +296,7 @@ bool SachaVerifier::verify_mac(ByteSpan data, const crypto::Mac& mac) const {
 }
 
 std::optional<crypto::Mac> SachaVerifier::expected_mac() const {
+  if (options_.mode == VerifyMode::kStreaming) return streamed_mac_;
   for (const auto& step_words : received_) {
     if (!step_words.has_value()) return std::nullopt;
   }
@@ -255,6 +310,15 @@ std::optional<crypto::Mac> SachaVerifier::expected_mac() const {
   return cmac.finalize();
 }
 
+std::size_t SachaVerifier::retained_readback_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& step_words : received_) {
+    if (step_words.has_value()) bytes += step_words->size() * 4;
+  }
+  for (const auto& [step, words] : pending_) bytes += words.size() * 4;
+  return bytes;
+}
+
 SachaVerifier::Verdict SachaVerifier::finish() const {
   Verdict verdict;
   if (protocol_error_.has_value()) {
@@ -265,8 +329,10 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
     verdict.detail = "no MAC received";
     return verdict;
   }
+  const bool streaming = options_.mode == VerifyMode::kStreaming;
   for (std::size_t s = 0; s < steps_.size(); ++s) {
-    if (!received_[s].has_value()) {
+    const bool have = streaming ? step_done_[s] != 0 : received_[s].has_value();
+    if (!have) {
       verdict.detail = "no data for readback step " + std::to_string(s);
       return verdict;
     }
@@ -281,35 +347,53 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
     verdict.detail = "MAC mismatch: device does not hold the key or data was modified";
   }
 
-  // B_Prv == B_Vrf under Msk, every frame covered.
-  const std::uint32_t wpf = plan_.device().geometry().words_per_frame();
-  std::vector<bool> covered(plan_.device().total_frames(), false);
+  // B_Prv == B_Vrf under Msk, every frame covered. Streaming mode already
+  // did the masked compares and coverage marking on arrival; only the O(1)
+  // verdict assembly is left here.
   bool config_ok = true;
   std::string config_detail;
-  for (std::size_t s = 0; s < steps_.size() && config_ok; ++s) {
-    const auto [first, count] = steps_[s];
-    for (std::uint32_t f = 0; f < count; ++f) {
-      const std::uint32_t frame_index = first + f;
-      bs::Frame received_frame(std::vector<std::uint32_t>(
-          received_[s]->begin() + static_cast<std::ptrdiff_t>(f) * wpf,
-          received_[s]->begin() + static_cast<std::ptrdiff_t>(f + 1) * wpf));
-      const bs::FrameMask msk =
-          bs::architectural_mask(plan_.device(), frame_index);
-      if (!bs::masked_equal(received_frame, golden_frame(frame_index), msk)) {
-        config_ok = false;
-        config_detail = "configuration mismatch at frame " +
-                        std::to_string(frame_index);
-        break;
+  if (streaming) {
+    if (mismatch_frame_.has_value()) {
+      config_ok = false;
+      config_detail = "configuration mismatch at frame " +
+                      std::to_string(*mismatch_frame_);
+    } else {
+      for (std::uint32_t f = 0; f < covered_.size(); ++f) {
+        if (!covered_[f]) {
+          config_ok = false;
+          config_detail = "frame " + std::to_string(f) + " never read back";
+          break;
+        }
       }
-      covered[frame_index] = true;
     }
-  }
-  if (config_ok) {
-    for (std::uint32_t f = 0; f < covered.size(); ++f) {
-      if (!covered[f]) {
-        config_ok = false;
-        config_detail = "frame " + std::to_string(f) + " never read back";
-        break;
+  } else {
+    const std::uint32_t wpf = plan_.device().geometry().words_per_frame();
+    std::vector<bool> covered(plan_.device().total_frames(), false);
+    for (std::size_t s = 0; s < steps_.size() && config_ok; ++s) {
+      const auto [first, count] = steps_[s];
+      for (std::uint32_t f = 0; f < count; ++f) {
+        const std::uint32_t frame_index = first + f;
+        bs::Frame received_frame(std::vector<std::uint32_t>(
+            received_[s]->begin() + static_cast<std::ptrdiff_t>(f) * wpf,
+            received_[s]->begin() + static_cast<std::ptrdiff_t>(f + 1) * wpf));
+        const bs::FrameMask msk =
+            bs::architectural_mask(plan_.device(), frame_index);
+        if (!bs::masked_equal(received_frame, golden_frame(frame_index), msk)) {
+          config_ok = false;
+          config_detail = "configuration mismatch at frame " +
+                          std::to_string(frame_index);
+          break;
+        }
+        covered[frame_index] = true;
+      }
+    }
+    if (config_ok) {
+      for (std::uint32_t f = 0; f < covered.size(); ++f) {
+        if (!covered[f]) {
+          config_ok = false;
+          config_detail = "frame " + std::to_string(f) + " never read back";
+          break;
+        }
       }
     }
   }

@@ -10,14 +10,27 @@
 //   2. Msk(received frames) equals Msk(golden frames) for every step, with
 //      every configuration frame covered — the device is configured exactly
 //      as intended, nonce included.
+//
+// Two execution modes produce bit-identical verdicts:
+//   - kStreaming (default): responses are folded into a running CMAC and
+//     masked-compared against the shared GoldenModel the moment they
+//     arrive; nothing is retained per step, so finish() is O(1) checks and
+//     a fleet of verifiers holds one golden image between them.
+//   - kRetained: the seed behaviour — buffer every response and do all the
+//     work in finish() (byte re-serialisation for the MAC, per-frame
+//     architectural_mask regeneration for the compare). Kept as the
+//     differential-testing oracle and the bench baseline.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bitstream/bitgen.hpp"
+#include "bitstream/golden_model.hpp"
 #include "core/protocol.hpp"
 #include "crypto/prg.hpp"
 #include "fabric/partition.hpp"
@@ -28,6 +41,11 @@ enum class ReadbackOrder : std::uint8_t {
   kSequentialFromZero,    // 0, 1, ..., N-1
   kSequentialFromOffset,  // i, i+1, ..., (i+N-1) % N  (the PoC's choice)
   kRandomPermutation,     // any permutation (§6.1 allows this)
+};
+
+enum class VerifyMode : std::uint8_t {
+  kStreaming,  // verify responses as they arrive, retain nothing
+  kRetained,   // buffer the transcript, verify in finish() (seed behaviour)
 };
 
 struct VerifierOptions {
@@ -49,6 +67,7 @@ struct VerifierOptions {
   /// Requires that a full session previously installed the application;
   /// the full-memory readback still proves the entire configuration.
   bool refresh_only = false;
+  VerifyMode mode = VerifyMode::kStreaming;
 };
 
 class SachaVerifier {
@@ -57,6 +76,15 @@ class SachaVerifier {
                 bitstream::DesignSpec app_spec, crypto::AesKey key,
                 std::uint64_t session_seed, VerifierOptions options = {});
 
+  /// Shares a pre-built golden model instead of interning one (a fleet
+  /// coordinator that already holds the model for this device type skips
+  /// the cache lookup). The model must have been built for this floorplan
+  /// and these specs.
+  SachaVerifier(fabric::Floorplan plan,
+                std::shared_ptr<const bitstream::GoldenModel> model,
+                crypto::AesKey key, std::uint64_t session_seed,
+                VerifierOptions options = {});
+
   /// Golden image of the base static partition (the one starting at frame
   /// 0) — what the BootMem is provisioned with. Additional static islands
   /// are provisioned separately and covered by golden_frame().
@@ -64,7 +92,7 @@ class SachaVerifier {
 
   /// The frame that holds the session nonce (its own tiny reconfigurable
   /// partition at the top of the dynamic region, §5.2.2).
-  std::uint32_t nonce_frame_index() const { return nonce_frame_; }
+  std::uint32_t nonce_frame_index() const { return model_->nonce_frame(); }
   std::uint64_t nonce() const { return nonce_; }
 
   /// (Re)starts a session: draws a fresh nonce and a fresh readback order.
@@ -74,8 +102,10 @@ class SachaVerifier {
   Command command(std::size_t index) const;
 
   /// Feeds the response (or its absence, for fire-and-forget configuration
-  /// commands) of command `index` back to the verifier.
-  Status on_response(std::size_t index, const std::optional<Response>& response);
+  /// commands) of command `index` back to the verifier. Takes the response
+  /// by value: frame payloads are moved, never copied, into whatever
+  /// buffering the mode requires (none in streaming mode).
+  Status on_response(std::size_t index, std::optional<Response> response);
 
   struct Verdict {
     bool protocol_ok = false;  // every step answered, no prover errors
@@ -99,16 +129,23 @@ class SachaVerifier {
   /// subsequent begin() calls (typical lifecycle: one full install, then
   /// periodic cheap refreshes).
   void set_refresh_only(bool refresh) { options_.refresh_only = refresh; }
-  const bitstream::DesignSpec& app_spec() const { return app_spec_; }
+  const bitstream::DesignSpec& app_spec() const { return model_->app_spec(); }
 
   /// Replaces the intended application (secure code update: the next
-  /// session ships and attests the new design).
+  /// session ships and attests the new design). Re-interns the golden
+  /// model for the new spec.
   void set_app_spec(bitstream::DesignSpec spec);
 
   /// The golden configuration of a frame (static design, application, or
   /// the current session's nonce frame). Used by the state-attestation
   /// extension to build expected-state references.
   const bitstream::Frame& golden_frame(std::uint32_t index) const;
+
+  /// The shared golden reference. Fleet members provisioned identically
+  /// return the same object (use_count exposes the sharing).
+  const std::shared_ptr<const bitstream::GoldenModel>& golden_model() const {
+    return model_;
+  }
 
   /// Checks a device MAC over arbitrary data under the shared session key
   /// (constant-time). Used by protocol extensions that add readback phases.
@@ -117,45 +154,74 @@ class SachaVerifier {
   /// H_Vrf: the MAC recomputed over the received readback transcript, or
   /// nullopt while steps are missing. finish() compares this against the
   /// device's H_Prv; the signature extension signs/verifies it instead.
+  /// In streaming mode this is the incrementally folded MAC — no transcript
+  /// is retained or re-serialised.
   std::optional<crypto::Mac> expected_mac() const;
+
+  /// Readback bytes currently buffered for verification: the full ~9.2 MB
+  /// (Virtex-6) transcript in retained mode, 0 in streaming mode once the
+  /// in-order absorb has drained (out-of-order arrivals buffer only the
+  /// gap). The fleet benches report this per member.
+  std::size_t retained_readback_bytes() const;
 
  private:
   std::size_t config_command_count() const;
-  void regenerate_app_images();
   Command make_config_command(std::size_t slot) const;
   Command make_readback_command(std::size_t step) const;
   std::vector<std::uint32_t> pad(std::vector<std::uint32_t> stream,
                                  std::uint32_t target_words) const;
+  /// Streaming path: folds step `step`'s words into the running CMAC and
+  /// masked-compares them against the golden model in place. Out-of-order
+  /// arrivals are buffered (moved, not copied) until their turn so the MAC
+  /// sees readback order.
+  void absorb_response(std::size_t step, std::vector<std::uint32_t>&& words);
+  void absorb_in_order(std::size_t step,
+                       std::span<const std::uint32_t> words);
 
   fabric::Floorplan plan_;
   bitstream::BitGen bitgen_;
   std::uint32_t idcode_;
-  bitstream::DesignSpec static_spec_;
-  bitstream::DesignSpec app_spec_;
   crypto::AesKey key_;
   std::uint64_t session_seed_;
   VerifierOptions options_;
 
-  // Application regions: every dynamic partition's frames, in ascending
-  // order, with the nonce frame (last frame of the last dynamic partition)
-  // carved out. §2.1.2 allows "one or more" dynamic partitions; the
-  // intended application spans all of them.
-  std::vector<fabric::FrameRange> app_ranges_;
-  std::uint32_t app_frame_total_ = 0;
-  std::uint32_t nonce_frame_ = 0;
+  /// Immutable golden reference (regions, images, flat mask / masked-golden
+  /// tables), interned so identical fleet members share one copy.
+  std::shared_ptr<const bitstream::GoldenModel> model_;
 
-  // Golden static images, one per static partition (ascending by range).
-  std::vector<std::pair<fabric::FrameRange, bitstream::ConfigImage>> static_images_;
-  bitstream::Frame zero_frame_;  // golden for frames outside every partition
-  std::vector<bitstream::ConfigImage> app_images_;  // one per app range
   bitstream::ConfigImage nonce_image_;
+  /// Current nonce frame content under its architectural mask (the nonce
+  /// frame's row in the golden model is zero because its content is
+  /// per-session; this is the session overlay).
+  std::vector<std::uint32_t> nonce_masked_;
   std::uint64_t nonce_ = 0;
   std::uint64_t session_counter_ = 0;
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> steps_;
+  /// config_command_count() and words-per-frame, frozen at begin():
+  /// on_response runs once per response (28k+ times on a Virtex-6 session),
+  /// so the region walk and geometry chasing move out of the hot path.
+  std::size_t config_commands_ = 0;
+  std::uint32_t words_per_frame_ = 0;
+
+  // -- Streaming state (kStreaming) ----------------------------------------
+  crypto::Cmac stream_cmac_;
+  std::optional<crypto::Mac> streamed_mac_;  // set once all steps absorbed
+  std::size_t next_stream_step_ = 0;
+  /// Out-of-order arrivals parked (moved) until the in-order absorb reaches
+  /// them. Empty for the session driver, which delivers in step order.
+  std::map<std::size_t, std::vector<std::uint32_t>> pending_;
+  std::vector<char> step_done_;
+  std::vector<char> covered_;
+  /// First masked mismatch in step order (the compare stops there, matching
+  /// the retained verdict's first-failure detail).
+  std::optional<std::uint32_t> mismatch_frame_;
+
+  // -- Retained state (kRetained, the seed behaviour) ----------------------
   // Per-step received readback words (repeated frames may legitimately
   // return different register bits, so data is kept per step, not per frame).
   std::vector<std::optional<std::vector<std::uint32_t>>> received_;
+
   std::optional<crypto::Mac> received_mac_;
   std::optional<std::string> protocol_error_;
 };

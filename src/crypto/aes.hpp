@@ -58,6 +58,15 @@ class Aes128 {
   void cbc_mac_absorb(AesBlock& state, const std::uint8_t* data,
                       std::size_t nblocks) const;
 
+  /// CBC-MAC absorption straight from a 32-bit word stream: each block is
+  /// the big-endian serialization of four consecutive words (`words` holds
+  /// `4 * nblocks` entries). On the AES-NI tier the byte swap rides in the
+  /// latency shadow of the AES round chain, so this costs the same as
+  /// absorbing pre-serialized bytes — the readback hot path never
+  /// materializes a byte stream at all.
+  void cbc_mac_absorb_words(AesBlock& state, const std::uint32_t* words,
+                            std::size_t nblocks) const;
+
   /// The tier actually executing (kAuto is resolved at construction).
   AesImpl impl() const { return impl_; }
 
@@ -88,6 +97,8 @@ namespace detail {
 void aesni_encrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
 void aesni_cbc_mac(const std::uint8_t* round_keys, std::uint8_t* state,
                    const std::uint8_t* data, std::size_t nblocks);
+void aesni_cbc_mac_words(const std::uint8_t* round_keys, std::uint8_t* state,
+                         const std::uint32_t* words, std::size_t nblocks);
 }  // namespace detail
 
 }  // namespace sacha::crypto

@@ -9,6 +9,7 @@
 #include "crypto/aes.hpp"
 
 #if defined(SACHA_HAVE_AESNI)
+#include <tmmintrin.h>  // PSHUFB (SSSE3) for the word-stream byte swap
 #include <wmmintrin.h>
 #endif
 
@@ -58,6 +59,23 @@ void aesni_cbc_mac(const std::uint8_t* round_keys, std::uint8_t* state,
   _mm_storeu_si128(reinterpret_cast<__m128i*>(state), s);
 }
 
+void aesni_cbc_mac_words(const std::uint8_t* round_keys, std::uint8_t* state,
+                         const std::uint32_t* words, std::size_t nblocks) {
+  const RoundKeys rk = load_keys(round_keys);
+  // Per-word byte swap: the block is the big-endian serialization of four
+  // little-endian host words. PSHUFB executes off the AESENC dependency
+  // chain, so the swap is free relative to the serial round latency.
+  const __m128i bswap =
+      _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  for (std::size_t b = 0; b < nblocks; ++b, words += 4) {
+    __m128i m = _mm_loadu_si128(reinterpret_cast<const __m128i*>(words));
+    m = _mm_shuffle_epi8(m, bswap);
+    s = encrypt(rk, _mm_xor_si128(s, m));
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), s);
+}
+
 #else  // !SACHA_HAVE_AESNI
 
 // Link-time stubs for builds without the tier; the dispatcher never routes
@@ -68,6 +86,11 @@ void aesni_encrypt_block(const std::uint8_t*, std::uint8_t*) {
 
 void aesni_cbc_mac(const std::uint8_t*, std::uint8_t*, const std::uint8_t*,
                    std::size_t) {
+  assert(false && "AES-NI tier not compiled in");
+}
+
+void aesni_cbc_mac_words(const std::uint8_t*, std::uint8_t*,
+                         const std::uint32_t*, std::size_t) {
   assert(false && "AES-NI tier not compiled in");
 }
 

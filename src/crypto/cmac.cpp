@@ -1,6 +1,7 @@
 #include "crypto/cmac.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 namespace sacha::crypto {
@@ -72,6 +73,63 @@ void Cmac::update(ByteSpan data) {
   const std::size_t tail = data.size() - pos;  // 1..16 bytes
   std::copy_n(data.data() + pos, tail, buffer_.data());
   buffered_ = tail;
+}
+
+void Cmac::update(std::span<const std::uint32_t> words) {
+  assert(!finalized_);
+  if (words.empty()) return;
+  if (buffered_ % 4 != 0) {
+    // Mixed byte/word input left the staging buffer off a word boundary;
+    // serialize this call through the byte path. The readback hot path
+    // feeds words exclusively, so it never lands here.
+    std::array<std::uint8_t, 256> staging;
+    std::size_t done = 0;
+    while (done < words.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(staging.size() / 4, words.size() - done);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t w = words[done + i];
+        staging[4 * i + 0] = static_cast<std::uint8_t>(w >> 24);
+        staging[4 * i + 1] = static_cast<std::uint8_t>(w >> 16);
+        staging[4 * i + 2] = static_cast<std::uint8_t>(w >> 8);
+        staging[4 * i + 3] = static_cast<std::uint8_t>(w);
+      }
+      update(ByteSpan(staging.data(), n * 4));
+      done += n;
+    }
+    return;
+  }
+
+  const auto stage_word = [this](std::uint32_t w) {
+    buffer_[buffered_ + 0] = static_cast<std::uint8_t>(w >> 24);
+    buffer_[buffered_ + 1] = static_cast<std::uint8_t>(w >> 16);
+    buffer_[buffered_ + 2] = static_cast<std::uint8_t>(w >> 8);
+    buffer_[buffered_ + 3] = static_cast<std::uint8_t>(w);
+    buffered_ += 4;
+  };
+
+  any_input_ = true;
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    while (buffered_ < kAesBlockSize && pos < words.size()) {
+      stage_word(words[pos++]);
+    }
+    if (pos == words.size()) return;  // all staged; finalize() drains it
+    // buffered_ == kAesBlockSize and more input follows.
+    aes_.cbc_mac_absorb(state_, buffer_.data(), 1);
+    buffered_ = 0;
+  }
+
+  // Bulk path: absorb every whole block except the last straight from the
+  // word stream (the tier does the big-endian mapping itself — no byte
+  // serialization). finalize() needs at least one byte left staged.
+  const std::size_t remaining_bytes = (words.size() - pos) * 4;
+  if (remaining_bytes > kAesBlockSize) {
+    const std::size_t nblocks = (remaining_bytes - 1) / kAesBlockSize;
+    aes_.cbc_mac_absorb_words(state_, words.data() + pos, nblocks);
+    pos += nblocks * 4;
+  }
+  while (pos < words.size()) stage_word(words[pos++]);  // 1..4 tail words
 }
 
 Mac Cmac::finalize() {

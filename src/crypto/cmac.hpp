@@ -29,6 +29,14 @@ class Cmac {
 
   void update(ByteSpan data);
 
+  /// Word-span fast path: absorbs 32-bit words in big-endian order (the wire
+  /// and MAC byte order everywhere in SACHa) without materialising a byte
+  /// vector. Words are serialised through a small stack staging area in
+  /// 16-byte-aligned chunks, so readback frames stream into the MAC with no
+  /// per-frame heap allocation. Used by the prover's MacEngine and the
+  /// streaming verifier.
+  void update(std::span<const std::uint32_t> words);
+
   /// Completes the tag; the object must be reset() before reuse.
   Mac finalize();
 

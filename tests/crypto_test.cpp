@@ -272,6 +272,63 @@ TEST(Cmac, BlockBoundaryLengths) {
   }
 }
 
+TEST(Cmac, WordSpanMatchesByteSerialization) {
+  // The word-span path (readback hot loop) must equal the byte path over
+  // the big-endian serialization, on every tier, for every word-chunking —
+  // including the frame size (81 words = 324 B), whose blocks straddle
+  // update calls and keep the staging buffer at every word-aligned phase.
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(41);
+  std::vector<std::uint32_t> words(4 * 81);
+  for (std::uint32_t& w : words) w = static_cast<std::uint32_t>(rng.next_u64());
+  Bytes serialized;
+  serialized.reserve(words.size() * 4);
+  for (std::uint32_t w : words) put_u32be(serialized, w);
+
+  std::vector<AesImpl> tiers = {AesImpl::kReference, AesImpl::kTtable};
+  if (Aes128::aesni_supported()) tiers.push_back(AesImpl::kAesni);
+  for (AesImpl impl : tiers) {
+    Cmac byte_path(key, impl);
+    byte_path.update(serialized);
+    const Mac expected = byte_path.finalize();
+    for (std::size_t split : {1u, 2u, 3u, 4u, 5u, 7u, 64u, 81u, 324u}) {
+      Cmac word_path(key, impl);
+      std::size_t pos = 0;
+      while (pos < words.size()) {
+        const std::size_t chunk = std::min(split, words.size() - pos);
+        word_path.update(
+            std::span<const std::uint32_t>(words.data() + pos, chunk));
+        pos += chunk;
+      }
+      EXPECT_EQ(word_path.finalize(), expected)
+          << to_string(impl) << " split=" << split;
+    }
+  }
+}
+
+TEST(Cmac, MixedByteAndWordUpdates) {
+  // Byte updates can leave the staging buffer off a word boundary; word
+  // updates arriving next must serialize through the fallback and still
+  // match the one-shot byte tag.
+  const AesKey key = to_aes_key(hex(kRfc4493Key));
+  Rng rng(42);
+  std::vector<std::uint32_t> words(81);
+  for (std::uint32_t& w : words) w = static_cast<std::uint32_t>(rng.next_u64());
+  Bytes word_bytes;
+  for (std::uint32_t w : words) put_u32be(word_bytes, w);
+
+  for (std::size_t prefix_len : {1u, 3u, 5u, 15u, 16u, 17u, 21u}) {
+    const Bytes prefix = rng.bytes(prefix_len);
+    Bytes full = prefix;
+    full.insert(full.end(), word_bytes.begin(), word_bytes.end());
+    Cmac mixed(key);
+    mixed.update(prefix);
+    mixed.update(std::span<const std::uint32_t>(words));
+    EXPECT_EQ(mixed.finalize(), Cmac::compute(key, full))
+        << "prefix=" << prefix_len;
+  }
+}
+
 // ---------------------------------------------------------------- SHA-256
 
 TEST(Sha256, EmptyMessage) {

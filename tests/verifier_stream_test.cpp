@@ -1,0 +1,340 @@
+// Streaming verifier + shared GoldenModel: equivalence against the retained
+// (seed) verifier across the attack library, golden-table regressions, model
+// sharing semantics, and the zero-retention memory contract.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "attacks/library.hpp"
+#include "bitstream/golden_model.hpp"
+#include "core/swarm.hpp"
+
+namespace sacha {
+namespace {
+
+namespace bs = sacha::bitstream;
+
+attacks::AttackEnv env_with_mode(core::VerifyMode mode,
+                                 std::uint64_t seed = 77) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(seed);
+  env.verifier_options.mode = mode;
+  return env;
+}
+
+// ---- GoldenModel table regressions --------------------------------------
+
+TEST(GoldenModel, MaskTableMatchesPerCallArchitecturalMask) {
+  const attacks::AttackEnv env = attacks::AttackEnv::small();
+  const auto model = bs::GoldenModel::shared(env.plan, env.static_spec,
+                                             env.app_spec);
+  const fabric::DeviceModel& device = env.plan.device();
+  for (std::uint32_t f = 0; f < device.total_frames(); ++f) {
+    const bs::FrameMask per_call = bs::architectural_mask(device, f);
+    const auto table = model->mask_words(f);
+    ASSERT_EQ(table.size(), per_call.words().size()) << "frame " << f;
+    for (std::uint32_t w = 0; w < per_call.size(); ++w) {
+      EXPECT_EQ(table[w], per_call.word(w)) << "frame " << f << " word " << w;
+    }
+  }
+}
+
+TEST(GoldenModel, MaskedGoldenTableMatchesApplyMask) {
+  const attacks::AttackEnv env = attacks::AttackEnv::small();
+  const auto model = bs::GoldenModel::shared(env.plan, env.static_spec,
+                                             env.app_spec);
+  const fabric::DeviceModel& device = env.plan.device();
+  for (std::uint32_t f = 0; f < device.total_frames(); ++f) {
+    if (f == model->nonce_frame()) {
+      // Per-session content: the shared table holds zeros.
+      for (const std::uint32_t w : model->masked_golden_words(f)) {
+        EXPECT_EQ(w, 0u);
+      }
+      continue;
+    }
+    const bs::Frame expected = bs::apply_mask(
+        model->golden_frame(f), bs::architectural_mask(device, f));
+    const auto table = model->masked_golden_words(f);
+    for (std::uint32_t w = 0; w < expected.size(); ++w) {
+      EXPECT_EQ(table[w], expected.word(w)) << "frame " << f << " word " << w;
+    }
+  }
+}
+
+TEST(GoldenModel, RegionStructureMatchesVerifier) {
+  const attacks::AttackEnv env = attacks::AttackEnv::small();
+  const core::SachaVerifier verifier = env.make_verifier();
+  const auto& model = verifier.golden_model();
+  EXPECT_EQ(model->nonce_frame(), verifier.nonce_frame_index());
+  EXPECT_EQ(model->static_image(), verifier.static_image());
+  EXPECT_GT(model->app_frame_total(), 0u);
+  EXPECT_GT(model->footprint_bytes(), 0u);
+}
+
+// ---- Sharing semantics ---------------------------------------------------
+
+TEST(GoldenModel, IdenticallyProvisionedVerifiersShareOneModel) {
+  const attacks::AttackEnv env_a = attacks::AttackEnv::small(100);
+  const attacks::AttackEnv env_b = attacks::AttackEnv::small(200);  // same plan/specs
+  const core::SachaVerifier a = env_a.make_verifier();
+  const core::SachaVerifier b = env_b.make_verifier();
+  EXPECT_EQ(a.golden_model().get(), b.golden_model().get())
+      << "fleet members with one device type must intern one golden model";
+}
+
+TEST(GoldenModel, DifferentAppSpecGetsDifferentModel) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  core::SachaVerifier a = env.make_verifier();
+  env.app_spec = bs::DesignSpec{"another-app", 3};
+  const core::SachaVerifier b = env.make_verifier();
+  EXPECT_NE(a.golden_model().get(), b.golden_model().get());
+
+  // Secure code update re-interns: a now agrees with b.
+  a.set_app_spec(bs::DesignSpec{"another-app", 3});
+  EXPECT_EQ(a.golden_model().get(), b.golden_model().get());
+}
+
+TEST(GoldenModel, CacheEntriesDieWithTheirLastVerifier) {
+  const std::size_t before = bs::GoldenModel::live_cache_entries();
+  {
+    attacks::AttackEnv unique_env = attacks::AttackEnv::small();
+    unique_env.app_spec = bs::DesignSpec{"cache-lifetime-probe", 42};
+    const core::SachaVerifier v = unique_env.make_verifier();
+    EXPECT_GE(bs::GoldenModel::live_cache_entries(), before + 1);
+  }
+  EXPECT_EQ(bs::GoldenModel::live_cache_entries(), before)
+      << "weak cache must not outlive the verifiers";
+}
+
+// ---- Streaming == retained, across the attack library -------------------
+
+/// Every scenario in the §7.2 suite must produce the identical outcome,
+/// verdict flags, and detail string under both verifier modes.
+TEST(StreamingVerifier, AttackLibraryVerdictsBitIdenticalToRetained) {
+  for (const auto& attack : attacks::standard_suite()) {
+    const attacks::AttackOutcome streamed =
+        attack->run(env_with_mode(core::VerifyMode::kStreaming));
+    const attacks::AttackOutcome retained =
+        attack->run(env_with_mode(core::VerifyMode::kRetained));
+    EXPECT_EQ(streamed.result, retained.result) << attack->name();
+    EXPECT_EQ(streamed.verdict.protocol_ok, retained.verdict.protocol_ok)
+        << attack->name();
+    EXPECT_EQ(streamed.verdict.mac_ok, retained.verdict.mac_ok)
+        << attack->name();
+    EXPECT_EQ(streamed.verdict.config_ok, retained.verdict.config_ok)
+        << attack->name();
+    EXPECT_EQ(streamed.verdict.detail, retained.verdict.detail)
+        << attack->name();
+    EXPECT_EQ(streamed.evidence, retained.evidence) << attack->name();
+  }
+}
+
+/// One full session per mode with the same seeds: reports (times, byte
+/// counts, MACs) must agree field for field; only the retained buffer
+/// differs.
+void expect_reports_identical(const core::AttestationReport& streamed,
+                              const core::AttestationReport& retained) {
+  EXPECT_EQ(streamed.verdict.protocol_ok, retained.verdict.protocol_ok);
+  EXPECT_EQ(streamed.verdict.mac_ok, retained.verdict.mac_ok);
+  EXPECT_EQ(streamed.verdict.config_ok, retained.verdict.config_ok);
+  EXPECT_EQ(streamed.verdict.detail, retained.verdict.detail);
+  EXPECT_EQ(streamed.theoretical_time, retained.theoretical_time);
+  EXPECT_EQ(streamed.total_time, retained.total_time);
+  EXPECT_EQ(streamed.commands_sent, retained.commands_sent);
+  EXPECT_EQ(streamed.retransmissions, retained.retransmissions);
+  EXPECT_EQ(streamed.bytes_to_prover, retained.bytes_to_prover);
+  EXPECT_EQ(streamed.bytes_to_verifier, retained.bytes_to_verifier);
+}
+
+core::AttestationReport run_mode(core::VerifyMode mode,
+                                 const core::SessionOptions& session,
+                                 const core::SessionHooks& hooks = {},
+                                 std::uint64_t seed = 321) {
+  attacks::AttackEnv env = env_with_mode(mode, seed);
+  env.session_options = session;
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  return core::run_attestation(verifier, prover, env.session_options, hooks);
+}
+
+TEST(StreamingVerifier, HonestSessionMatchesRetained) {
+  const core::SessionOptions session;
+  const auto streamed = run_mode(core::VerifyMode::kStreaming, session);
+  const auto retained = run_mode(core::VerifyMode::kRetained, session);
+  ASSERT_TRUE(streamed.verdict.ok()) << streamed.verdict.detail;
+  expect_reports_identical(streamed, retained);
+  EXPECT_EQ(streamed.verifier_retained_bytes, 0u);
+  EXPECT_GT(retained.verifier_retained_bytes, 0u);
+}
+
+TEST(StreamingVerifier, LossyReliableRetransmitRunMatchesRetained) {
+  core::SessionOptions session;
+  session.reliable = true;
+  session.channel.loss_probability = 0.08;
+  const auto streamed = run_mode(core::VerifyMode::kStreaming, session);
+  const auto retained = run_mode(core::VerifyMode::kRetained, session);
+  ASSERT_TRUE(streamed.verdict.ok()) << streamed.verdict.detail;
+  EXPECT_GT(streamed.retransmissions, 0u)
+      << "lossy channel should force retransmissions";
+  expect_reports_identical(streamed, retained);
+}
+
+TEST(StreamingVerifier, DroppedReadbackResponseMatchesRetained) {
+  core::SessionHooks hooks;
+  int reply_count = 0;
+  hooks.on_response = [&reply_count](Bytes&) { return ++reply_count != 9; };
+  const core::SessionOptions session;
+  const auto streamed =
+      run_mode(core::VerifyMode::kStreaming, session, hooks);
+  reply_count = 0;
+  const auto retained =
+      run_mode(core::VerifyMode::kRetained, session, hooks);
+  EXPECT_FALSE(streamed.verdict.ok());
+  expect_reports_identical(streamed, retained);
+}
+
+TEST(StreamingVerifier, TamperWindowMatchesRetained) {
+  core::SessionHooks hooks;
+  hooks.after_config = [](core::SachaProver& p) {
+    bitstream::Frame f = p.memory().config_frame(6);
+    f.flip_bit(2);  // a configuration-visible bit flip after config phase
+    p.memory().write_frame(6, f);
+  };
+  const core::SessionOptions session;
+  const auto streamed = run_mode(core::VerifyMode::kStreaming, session, hooks);
+  const auto retained = run_mode(core::VerifyMode::kRetained, session, hooks);
+  expect_reports_identical(streamed, retained);
+}
+
+/// Single-event upsets on *register* (mask=0) bits must stay invisible to
+/// the masked compare while *configuration* bit flips are detected — in
+/// both modes, with identical details.
+TEST(StreamingVerifier, SeuOnRegisterBitIgnoredOnConfigBitDetected) {
+  for (const bool flip_config_bit : {false, true}) {
+    core::SessionHooks hooks;
+    hooks.after_config = [flip_config_bit](core::SachaProver& p) {
+      const fabric::DeviceModel& device = p.memory().device();
+      const bs::FrameMask mask = bs::architectural_mask(device, 5);
+      // Find a bit of the wanted kind: config (mask=1) or register (mask=0).
+      for (std::uint32_t b = 0; b < mask.bit_count(); ++b) {
+        if (mask.get_bit(b) == flip_config_bit) {
+          bitstream::Frame f = p.memory().config_frame(5);
+          f.flip_bit(b);
+          p.memory().write_frame(5, f);
+          return;
+        }
+      }
+      FAIL() << "no bit of the requested kind in frame 5";
+    };
+    const core::SessionOptions session;
+    const auto streamed =
+        run_mode(core::VerifyMode::kStreaming, session, hooks);
+    const auto retained =
+        run_mode(core::VerifyMode::kRetained, session, hooks);
+    expect_reports_identical(streamed, retained);
+    if (flip_config_bit) {
+      EXPECT_FALSE(streamed.verdict.config_ok);
+    } else {
+      // A register-bit SEU changes the raw words (and thus the MAC input on
+      // both sides consistently) but not the masked compare.
+      EXPECT_TRUE(streamed.verdict.ok()) << streamed.verdict.detail;
+    }
+  }
+}
+
+TEST(StreamingVerifier, RefreshSessionMatchesRetained) {
+  for (const core::VerifyMode mode :
+       {core::VerifyMode::kStreaming, core::VerifyMode::kRetained}) {
+    attacks::AttackEnv env = env_with_mode(mode);
+    core::SachaVerifier verifier = env.make_verifier();
+    core::SachaProver prover = env.make_prover();
+    const auto install = core::run_attestation(verifier, prover);
+    ASSERT_TRUE(install.verdict.ok()) << install.verdict.detail;
+    verifier.set_refresh_only(true);
+    const auto refresh = core::run_attestation(verifier, prover);
+    EXPECT_TRUE(refresh.verdict.ok()) << refresh.verdict.detail;
+    EXPECT_EQ(refresh.verifier_retained_bytes,
+              mode == core::VerifyMode::kStreaming
+                  ? 0u
+                  : install.verifier_retained_bytes);
+  }
+}
+
+// ---- Streaming-specific mechanics ---------------------------------------
+
+/// The public on_response API does not require in-order delivery: the
+/// streaming absorb parks out-of-order steps and drains them so the MAC
+/// still sees readback order.
+TEST(StreamingVerifier, OutOfOrderResponsesAbsorbCorrectly) {
+  attacks::AttackEnv env = env_with_mode(core::VerifyMode::kStreaming);
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  verifier.begin();
+
+  const std::size_t n = verifier.command_count();
+  std::vector<std::optional<core::Response>> responses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    responses[i] = prover.handle(verifier.command(i)).response;
+  }
+  // Feed readback responses in reverse order; configs first, MAC last.
+  const std::size_t readback_begin = n - 1 - verifier.readback_steps().size();
+  for (std::size_t i = 0; i < readback_begin; ++i) {
+    ASSERT_TRUE(verifier.on_response(i, std::move(responses[i])).ok());
+  }
+  for (std::size_t i = n - 2; i >= readback_begin; --i) {
+    ASSERT_TRUE(verifier.on_response(i, std::move(responses[i])).ok());
+    if (i == readback_begin) break;
+  }
+  ASSERT_TRUE(verifier.on_response(n - 1, std::move(responses[n - 1])).ok());
+
+  const auto verdict = verifier.finish();
+  EXPECT_TRUE(verdict.ok()) << verdict.detail;
+  EXPECT_EQ(verifier.retained_readback_bytes(), 0u)
+      << "pending buffer must fully drain";
+}
+
+TEST(StreamingVerifier, DuplicateReadbackResponseIsAProtocolError) {
+  attacks::AttackEnv env = env_with_mode(core::VerifyMode::kStreaming);
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  verifier.begin();
+  const std::size_t n = verifier.command_count();
+  std::optional<core::Response> dup;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    auto response = prover.handle(verifier.command(i)).response;
+    if (i + 2 == n) dup = response;  // last readback step
+    ASSERT_TRUE(verifier.on_response(i, std::move(response)).ok());
+  }
+  ASSERT_TRUE(dup.has_value());
+  EXPECT_FALSE(verifier.on_response(n - 2, std::move(dup)).ok());
+  EXPECT_FALSE(verifier.finish().ok());
+}
+
+// ---- Fleet-level memory accounting --------------------------------------
+
+TEST(SwarmGoldenModel, HomogeneousFleetSharesOneModel) {
+  constexpr std::size_t kFleet = 16;
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<core::SwarmMember> members;
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    envs.push_back(attacks::AttackEnv::small(7000 + i));
+    verifiers.push_back(envs.back().make_verifier());
+    provers.push_back(envs.back().make_prover());
+  }
+  for (std::size_t i = 0; i < kFleet; ++i) {
+    members.push_back(core::SwarmMember{"node-" + std::to_string(i),
+                                        &verifiers[i], &provers[i], {}});
+  }
+  const core::SwarmReport report = core::attest_swarm(members);
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_EQ(report.distinct_golden_models, 1u)
+      << "one device type must intern exactly one golden model";
+  EXPECT_EQ(report.unshared_golden_model_bytes,
+            kFleet * report.golden_model_bytes);
+  EXPECT_EQ(report.retained_readback_bytes, 0u)
+      << "streaming fleet retains no readback";
+}
+
+}  // namespace
+}  // namespace sacha
