@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <thread>
 
@@ -142,6 +143,16 @@ BENCHMARK(BM_SwarmParallel)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMilliseco
 int main(int argc, char** argv) {
   print_sweep();
   wallclock_sweep_and_emit();
+  // With telemetry on (SACHA_OBS=1), export the merged fleet timeline of
+  // everything above — per-member session spans on their worker-thread
+  // lanes — as a Chrome trace_event file (chrome://tracing / Perfetto).
+  if (obs::enabled()) {
+    const char* out = std::getenv("SACHA_TRACE_OUT");
+    const std::string path = out != nullptr ? out : "TRACE_swarm.json";
+    if (obs::write_chrome_trace(path)) {
+      std::printf("[trace] wrote %s\n", path.c_str());
+    }
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,14 +10,19 @@
 
 #include "attacks/env.hpp"
 #include "core/session.hpp"
+#include "obs/export.hpp"
 
 namespace sacha::benchutil {
 
 // ---- Benchmark-regression emission --------------------------------------
 //
 // Benches append BenchRecords and write them as BENCH_<name>.json next to
-// the working directory. Each record is `{bench, metric, value, unit}` —
-// the schema future PRs diff to track the perf trajectory.
+// the working directory. The file is one JSON object:
+//   {"records": [{bench, metric, value, unit}, ...], "metrics": {...}}
+// `records` is the schema future PRs diff to track the perf trajectory;
+// `metrics` embeds the telemetry registry snapshot at write time (all
+// zeros when SACHA_OBS is off), so every BENCH_*.json also records the
+// counter/histogram trajectory of the run that produced it.
 
 struct BenchRecord {
   std::string bench;
@@ -36,12 +41,13 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Writes `records` to `path` as a JSON array; returns false on I/O error.
+/// Writes `records` (plus the current telemetry snapshot) to `path`;
+/// returns false on I/O error.
 inline bool write_bench_json(const std::string& path,
                              const std::vector<BenchRecord>& records) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n\"records\": [\n");
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f,
@@ -51,7 +57,11 @@ inline bool write_bench_json(const std::string& path,
                  r.value, json_escape(r.unit).c_str(),
                  i + 1 < records.size() ? "," : "");
   }
-  std::fprintf(f, "]\n");
+  std::fprintf(f, "],\n\"metrics\": ");
+  const std::string metrics =
+      obs::metrics_json(obs::MetricsRegistry::global().snapshot());
+  std::fwrite(metrics.data(), 1, metrics.size(), f);
+  std::fprintf(f, "}\n");
   const bool ok = std::fclose(f) == 0;
   if (ok) std::printf("\n[bench-json] wrote %s (%zu records)\n", path.c_str(),
                       records.size());

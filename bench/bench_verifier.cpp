@@ -249,6 +249,12 @@ BENCHMARK(BM_VerifierReplay)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The CI telemetry gate runs this bench twice — SACHA_OBS unset and
+  // SACHA_OBS=1 — and compares streaming_verify_throughput between the two
+  // BENCH_verifier.json files; record which mode produced this one.
+  std::printf("telemetry: %s\n", obs::enabled() ? "enabled" : "disabled");
+  g_records.push_back({"bench_verifier", "telemetry_enabled",
+                       obs::enabled() ? 1.0 : 0.0, "bool"});
   virtex6_replay_headline();
   fleet_memory_sweep();
   benchutil::write_bench_json("BENCH_verifier.json", g_records);

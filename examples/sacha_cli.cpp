@@ -10,6 +10,7 @@
 
 #include "attacks/library.hpp"
 #include "core/signed_attest.hpp"
+#include "obs/export.hpp"
 
 using namespace sacha;
 
@@ -28,6 +29,8 @@ struct CliOptions {
   std::uint64_t seed = 1;
   bool list_attacks = false;
   bool help = false;
+  bool metrics = false;       // print the telemetry snapshot after the run
+  std::string trace_out;      // write the session Chrome trace here
 };
 
 void print_help() {
@@ -44,6 +47,9 @@ void print_help() {
       "  --frames-per-config N             frames per ICAP_config command\n"
       "  --signed                          hash-based signature mode\n"
       "  --seed N                          session/provisioning seed\n"
+      "  --metrics                         print telemetry counters/histograms (JSON)\n"
+      "  --trace-out FILE                  write the session timeline as a\n"
+      "                                    Chrome trace_event JSON (chrome://tracing)\n"
       "  --help                            this text\n");
 }
 
@@ -65,6 +71,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.reliable = true;
     } else if (arg == "--signed") {
       options.signed_mode = true;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (!v) return false;
+      options.trace_out = v;
     } else if (arg == "--device") {
       const char* v = next("--device");
       if (!v) return false;
@@ -159,6 +171,24 @@ void print_report(const core::AttestationReport& report) {
               report.verdict.detail.c_str());
 }
 
+/// Telemetry emission for every path that ran a session.
+void emit_telemetry(const CliOptions& options) {
+  if (!options.trace_out.empty()) {
+    if (obs::write_chrome_trace(options.trace_out)) {
+      std::printf("trace              : wrote %s (open in chrome://tracing)\n",
+                  options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to '%s'\n",
+                   options.trace_out.c_str());
+    }
+  }
+  if (options.metrics) {
+    std::printf("\n%s",
+                obs::metrics_json(obs::MetricsRegistry::global().snapshot())
+                    .c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -177,6 +207,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Either telemetry flag turns the runtime toggle on for this process.
+  if (options.metrics || !options.trace_out.empty()) obs::set_enabled(true);
+
   attacks::AttackEnv env = build_env(options);
   std::printf("device=%s frames=%u order=%s latency=%lluus loss=%.3f%s%s\n",
               env.plan.device().name().c_str(), env.plan.device().total_frames(),
@@ -191,6 +224,7 @@ int main(int argc, char** argv) {
         const attacks::AttackOutcome outcome = attack->run(env);
         std::printf("\nattack '%s': %s\n  %s\n", outcome.name.c_str(),
                     attacks::to_string(outcome.result), outcome.evidence.c_str());
+        emit_telemetry(options);
         return outcome.result == attacks::AttackResult::kUndetected ? 1 : 0;
       }
     }
@@ -211,9 +245,13 @@ int main(int argc, char** argv) {
     std::printf("signature          : %s (leaf %u)\n",
                 report.signature_ok && report.leaf_fresh ? "VALID" : "INVALID",
                 report.leaf_index);
+    emit_telemetry(options);
     return report.ok() ? 0 : 1;
   }
   const auto report = core::run_attestation(verifier, prover, env.session_options);
   print_report(report);
+  std::printf("trace id           : %s\n",
+              obs::to_string(report.trace_id).c_str());
+  emit_telemetry(options);
   return report.verdict.ok() ? 0 : 1;
 }

@@ -1,7 +1,10 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+#include <thread>
 
 namespace sacha {
 
@@ -18,14 +21,33 @@ const char* level_tag(LogLevel level) {
   }
   return "?";
 }
+
+/// Monotonic epoch shared by all log lines (first log call wins).
+std::chrono::steady_clock::time_point log_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Small per-thread ordinal (assignment order), far more readable in
+/// interleaved worker-pool logs than the raw std::thread::id hash.
+unsigned thread_ordinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal = next.fetch_add(1);
+  return ordinal;
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (level < g_level.load() || level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[%s] %s\n", level_tag(level), message.c_str());
+  if (!log_enabled(level)) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    log_epoch())
+          .count();
+  std::fprintf(stderr, "[%11.6f] [%s] [tid %u] %s\n", seconds,
+               level_tag(level), thread_ordinal(), message.c_str());
 }
 
 }  // namespace sacha

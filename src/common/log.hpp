@@ -1,5 +1,13 @@
 // Tiny leveled logger. Examples use it to narrate protocol traces; the
 // libraries log only at kDebug so tests stay quiet by default.
+//
+// Every line carries a monotonic timestamp (seconds since the first log
+// call, microsecond resolution) and the caller's thread id, so interleaved
+// fleet sessions on a worker pool stay attributable:
+//   [   0.001234] [DEBUG] [tid 3] session finished device=node-7 verdict=ok
+// Structured context goes through LogLine::kv(), which appends a
+// " key=value" suffix — grep-able, and consistent across the library
+// (the convention: human text first, kv() pairs after).
 #pragma once
 
 #include <sstream>
@@ -13,21 +21,37 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// True when `level` passes the current threshold — callers can skip
+/// message formatting entirely for discarded levels.
+inline bool log_enabled(LogLevel level) {
+  return level >= log_level() && level != LogLevel::kOff;
+}
+
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, stream_.str()); }
+  explicit LogLine(LogLevel level)
+      : level_(level), live_(log_enabled(level)) {}
+  ~LogLine() {
+    if (live_) log_message(level_, stream_.str());
+  }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    stream_ << v;
+    if (live_) stream_ << v;
+    return *this;
+  }
+  /// Appends a structured " key=value" pair.
+  template <typename T>
+  LogLine& kv(const char* key, const T& value) {
+    if (live_) stream_ << ' ' << key << '=' << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool live_;
   std::ostringstream stream_;
 };
 }  // namespace detail

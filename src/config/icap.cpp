@@ -2,6 +2,7 @@
 
 #include "bitstream/bitgen.hpp"
 #include "bitstream/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace sacha::config {
 
@@ -22,6 +23,9 @@ Result<std::vector<std::uint32_t>> Icap::execute(
   if (!parsed.ok()) return R::error("ICAP: " + parsed.message());
 
   ++stats_.command_streams;
+  static obs::Counter& streams =
+      obs::MetricsRegistry::global().counter("sacha.prover.icap_streams");
+  streams.add(1);
   stats_.cycles +=
       static_cast<std::uint64_t>(timing_.port_cycles_per_word) * words.size();
 
@@ -88,6 +92,9 @@ Result<std::vector<std::uint32_t>> Icap::execute(
       crc_window.insert(crc_window.end(), wr->words.begin(), wr->words.end());
       far_index_ += frames;
       stats_.frames_written += frames;
+      static obs::Counter& written = obs::MetricsRegistry::global().counter(
+          "sacha.prover.icap_frames_written");
+      written.add(frames);
       stats_.cycles +=
           static_cast<std::uint64_t>(timing_.write_extra_per_word) * wr->words.size() +
           static_cast<std::uint64_t>(timing_.frame_commit_cycles) * frames;
@@ -107,6 +114,9 @@ Result<std::vector<std::uint32_t>> Icap::execute(
       }
       far_index_ += frames;
       stats_.frames_read += frames;
+      static obs::Counter& read = obs::MetricsRegistry::global().counter(
+          "sacha.prover.icap_frames_read");
+      read.add(frames);
       // Each read request pays the pipeline-flush penalty; the port then
       // shifts out one pad frame plus the requested words, one cycle each.
       stats_.cycles +=

@@ -12,6 +12,8 @@ Bytes AuditEntry::canonical_bytes() const {
   put_u16be(out, static_cast<std::uint16_t>(detail.size()));
   append(out, bytes_of(detail));
   put_u64be(out, session_time);
+  put_u64be(out, trace_id.hi);
+  put_u64be(out, trace_id.lo);
   return out;
 }
 
@@ -34,6 +36,7 @@ const crypto::Sha256Digest& AuditLog::append(const std::string& device_id,
   entry.attested = report.verdict.ok();
   entry.detail = report.verdict.detail;
   entry.session_time = report.total_time;
+  entry.trace_id = report.trace_id;
   entry.chained_digest = chain(entry, head_);
   head_ = entry.chained_digest;
   entries_.push_back(std::move(entry));

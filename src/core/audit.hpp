@@ -23,6 +23,10 @@ struct AuditEntry {
   bool attested = false;
   std::string detail;
   sim::SimDuration session_time = 0;
+  /// Timeline key of the audited session — links the verdict to its trace
+  /// spans and metrics. Covered by the chain digest, so the *claimed*
+  /// evidence timeline cannot be swapped after the fact.
+  obs::TraceId trace_id{};
   crypto::Sha256Digest chained_digest{};  // covers this entry + predecessor
 
   /// Canonical byte encoding fed into the chain digest.

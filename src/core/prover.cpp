@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "bitstream/packet.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace sacha::core {
 
@@ -40,6 +42,12 @@ void SachaProver::boot(const bitstream::ConfigImage& static_image) {
 void SachaProver::set_key(const crypto::AesKey& key) { mac_.rekey(key); }
 
 SachaProver::HandleResult SachaProver::error_result(ProverStatus status) {
+  static obs::Counter& errors =
+      obs::MetricsRegistry::global().counter("sacha.prover.errors");
+  errors.add(1);
+  (log_debug() << "prover rejected command")
+      .kv("device", device_id_)
+      .kv("status", static_cast<int>(status));
   HandleResult result;
   result.response = Response{.type = ResponseType::kError, .status = status};
   return result;

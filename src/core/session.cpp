@@ -1,5 +1,11 @@
 #include "core/session.hpp"
 
+#include <chrono>
+#include <optional>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace sacha::core {
 
 namespace {
@@ -33,12 +39,45 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
   Rng churn_rng(options.seed ^ 0xfeedface12345678ULL);
   const net::WireModel& wire = options.channel.wire;
 
+  const auto host_start = std::chrono::steady_clock::now();
   verifier.begin();
   const std::size_t n = verifier.command_count();
+  // Command schedule: [0, configs-1) app configuration, configs-1 the nonce
+  // frame, [configs, n-1) readback rounds, n-1 the MAC checksum.
+  const std::size_t configs = n - verifier.readback_steps().size() - 1;
   bool config_phase_done = false;
 
+  report.trace_id = obs::make_trace_id(prover.device_id(), verifier.nonce());
+  static obs::Counter& sessions_started =
+      obs::MetricsRegistry::global().counter("sacha.session.started");
+  sessions_started.add(1);
+
+  // Session timeline: one top-level span, one child span per protocol phase
+  // (the Table 4 steps), one grandchild per readback round. The phase spans
+  // are contiguous, so the timeline covers the session wall-clock.
+  obs::Span session_span("session", report.trace_id);
+  session_span.arg("device", prover.device_id());
+  std::optional<obs::Span> phase_span;
+
   for (std::size_t i = 0; i < n; ++i) {
+    if (i == 0 && configs > 1) {
+      phase_span.emplace("configure.stream_in", report.trace_id, "phase");
+    }
+    if (i + 1 == configs) {
+      phase_span.emplace("nonce.inject", report.trace_id, "phase");
+    } else if (i == configs) {
+      phase_span.emplace("readback.absorb", report.trace_id, "phase");
+    } else if (i + 1 == n) {
+      phase_span.emplace("cmac.finish", report.trace_id, "phase");
+    }
+    std::optional<obs::Span> round_span;
+    if (obs::enabled() && i >= configs && i + 1 < n) {
+      round_span.emplace("readback.round", report.trace_id, "readback");
+    }
     const Command command = verifier.command(i);
+    if (round_span.has_value()) {
+      round_span->arg("frame", std::to_string(command.frame_nb));
+    }
 
     // Phase boundary: the whole DynMem is (over)written; the application
     // starts running (register churn) and the adversary gets its window.
@@ -169,8 +208,42 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
                           actions::kA9, actions::kA10}) {
     report.theoretical_time += report.ledger.total(key);
   }
-  report.verdict = verifier.finish();
+  phase_span.reset();
+  {
+    // Streaming mode did its masked compares during readback.absorb; this
+    // span is where the retained oracle does all of its comparing.
+    obs::Span verdict_span("compare.verdict", report.trace_id, "phase");
+    report.verdict = verifier.finish();
+  }
   report.verifier_retained_bytes = verifier.retained_readback_bytes();
+  session_span.end();
+  report.host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
+
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& attested = registry.counter("sacha.session.attested");
+    static obs::Counter& failed = registry.counter("sacha.session.failed");
+    static obs::Counter& commands = registry.counter("sacha.session.commands");
+    static obs::Counter& retransmissions =
+        registry.counter("sacha.session.retransmissions");
+    static obs::Histogram& host_hist =
+        registry.histogram("sacha.session.host_ns");
+    (report.verdict.ok() ? attested : failed).add(1);
+    commands.add(report.commands_sent);
+    retransmissions.add(report.retransmissions);
+    host_hist.observe(report.host_ns);
+  }
+  (log_debug() << "attestation session finished")
+      .kv("device", prover.device_id())
+      .kv("nonce", verifier.nonce())
+      .kv("trace", obs::to_string(report.trace_id))
+      .kv("verdict", report.verdict.ok() ? "attested" : "failed")
+      .kv("commands", report.commands_sent)
+      .kv("retransmissions", report.retransmissions)
+      .kv("host_ms", static_cast<double>(report.host_ns) / 1e6);
   return report;
 }
 

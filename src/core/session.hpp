@@ -18,6 +18,7 @@
 #include "core/prover.hpp"
 #include "core/verifier.hpp"
 #include "net/channel.hpp"
+#include "obs/trace.hpp"
 #include "sim/ledger.hpp"
 
 namespace sacha::core {
@@ -78,6 +79,12 @@ struct AttestationReport {
   /// transcript in VerifyMode::kRetained, 0 in the streaming mode. The
   /// fleet benches aggregate this per member.
   std::uint64_t verifier_retained_bytes = 0;
+  /// Timeline key of this session ((device id, nonce)-derived), valid even
+  /// with telemetry disabled so audit entries always link to a would-be
+  /// trace. With telemetry enabled, the global obs::Tracer holds the spans.
+  obs::TraceId trace_id{};
+  /// Host wall-clock of the whole session (not simulated time).
+  std::uint64_t host_ns = 0;
 };
 
 /// Runs one full attestation. The verifier's begin() is called internally.

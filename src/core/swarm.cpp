@@ -2,26 +2,36 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <thread>
+
+#include "common/log.hpp"
 
 namespace sacha::core {
 
 namespace {
 
 /// Runs member `i`'s session. Seeds derive from the member index, never
-/// from scheduling, so serial and parallel runs are bit-identical.
+/// from scheduling, so serial and parallel runs are bit-identical (the
+/// host_ns wall-clock is the one scheduling-dependent field).
 SwarmMemberResult run_member(SwarmMember& member, std::size_t index,
-                             const SessionOptions& options) {
+                             const SessionOptions& options,
+                             const obs::TraceId& fleet_trace) {
   SessionOptions member_options = options;
   member_options.seed = options.seed + index;  // independent channel randomness
+  obs::Span member_span("swarm.member", fleet_trace, "swarm");
+  member_span.arg("member", member.id);
   const AttestationReport session = run_attestation(
       *member.verifier, *member.prover, member_options, member.hooks);
+  member_span.end();
   SwarmMemberResult result;
   result.id = member.id;
   result.verdict = session.verdict;
   result.duration = session.total_time;
   result.mac = member.prover->last_mac();
+  result.host_ns = session.host_ns;
+  result.trace_id = session.trace_id;
   return result;
 }
 
@@ -40,6 +50,13 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
                          const SessionOptions& options) {
   SwarmReport report;
   report.members.resize(fleet.size());
+  report.fleet_trace = obs::make_trace_id(
+      "swarm/" + std::to_string(fleet.size()), options.seed);
+  const auto host_start = std::chrono::steady_clock::now();
+  obs::Span fleet_span("swarm", report.fleet_trace, "swarm");
+  fleet_span.arg("members", std::to_string(fleet.size()));
+  fleet_span.arg("schedule",
+                 schedule == SwarmSchedule::kParallel ? "parallel" : "serial");
 
   if (schedule == SwarmSchedule::kParallel && fleet.size() > 1) {
     // Worker pool: members are independent devices with independent
@@ -52,7 +69,8 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
       for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
            i < fleet.size();
            i = next.fetch_add(1, std::memory_order_relaxed)) {
-        report.members[i] = run_member(fleet[i], i, options);
+        report.members[i] = run_member(fleet[i], i, options,
+                                       report.fleet_trace);
       }
     };
     std::vector<std::thread> pool;
@@ -61,7 +79,8 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
     for (std::thread& t : pool) t.join();
   } else {
     for (std::size_t i = 0; i < fleet.size(); ++i) {
-      report.members[i] = run_member(fleet[i], i, options);
+      report.members[i] = run_member(fleet[i], i, options,
+                                     report.fleet_trace);
     }
   }
 
@@ -89,6 +108,22 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
         member.verifier->retained_readback_bytes();
   }
   report.distinct_golden_models = distinct.size();
+
+  fleet_span.end();
+  report.host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
+  if (obs::enabled()) {
+    report.metrics = obs::MetricsRegistry::global().snapshot();
+  }
+  (log_debug() << "swarm attestation finished")
+      .kv("members", fleet.size())
+      .kv("attested", report.attested)
+      .kv("schedule",
+          schedule == SwarmSchedule::kParallel ? "parallel" : "serial")
+      .kv("trace", obs::to_string(report.fleet_trace))
+      .kv("host_ms", static_cast<double>(report.host_ns) / 1e6);
   return report;
 }
 

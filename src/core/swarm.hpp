@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace sacha::core {
 
@@ -41,6 +43,14 @@ struct SwarmMemberResult {
   /// H_Prv of the member's session (the device's attestation evidence),
   /// recorded so fleet runs can be compared MAC-for-MAC across schedules.
   std::optional<crypto::Mac> mac;
+  /// Host wall-clock of this member's session (steady clock, not simulated
+  /// time) — what the new fleet timeline reports, recorded here so the
+  /// timeline and the report agree. Scheduling-dependent, so excluded from
+  /// the serial/parallel bit-identity guarantee.
+  std::uint64_t host_ns = 0;
+  /// Timeline key of the member's session; with telemetry enabled the
+  /// session's spans in obs::Tracer carry this id.
+  obs::TraceId trace_id{};
 };
 
 struct SwarmReport {
@@ -62,6 +72,17 @@ struct SwarmReport {
   /// Readback bytes still buffered across all member verifiers after their
   /// sessions (0 for streaming-mode fleets).
   std::size_t retained_readback_bytes = 0;
+
+  /// Host wall-clock of the whole attest_swarm call.
+  std::uint64_t host_ns = 0;
+  /// Fleet timeline key (seed + fleet size derived). The per-member session
+  /// spans nest under "swarm.member" spans carrying this id, one tracer
+  /// thread lane per worker, so one Chrome-trace export shows the merged
+  /// fleet timeline.
+  obs::TraceId fleet_trace{};
+  /// Registry snapshot taken when the sweep finished (empty with telemetry
+  /// disabled). Audited verdicts can embed or countersign it.
+  obs::MetricsSnapshot metrics;
 
   bool all_attested() const { return attested == members.size(); }
   std::vector<std::string> failed_ids() const;

@@ -4,8 +4,10 @@
 #include <cassert>
 
 #include "bitstream/packet.hpp"
+#include "common/log.hpp"
 #include "config/icap.hpp"
 #include "crypto/ct.hpp"
+#include "obs/metrics.hpp"
 
 namespace sacha::core {
 
@@ -49,6 +51,9 @@ void SachaVerifier::set_app_spec(bitstream::DesignSpec spec) {
 }
 
 void SachaVerifier::begin() {
+  static obs::Counter& sessions =
+      obs::MetricsRegistry::global().counter("sacha.verifier.sessions_begun");
+  sessions.add(1);
   crypto::Prg prg(session_seed_ + session_counter_++, "sacha-session");
   nonce_ = prg.next_u64();
   nonce_image_ = bitgen_.nonce_frame(nonce_);
@@ -184,9 +189,20 @@ Command SachaVerifier::command(std::size_t index) const {
 
 void SachaVerifier::absorb_in_order(std::size_t step,
                                     std::span<const std::uint32_t> words) {
+  // Counters only on this path: it runs once per readback round (28k+ per
+  // Virtex-6 session), so the per-event telemetry cost must stay at a
+  // relaxed add behind the enable branch. Span-level timing lives one layer
+  // up, in the session driver's readback.round spans.
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& frames_absorbed =
+      registry.counter("sacha.verifier.frames_absorbed");
+  static obs::Counter& words_absorbed =
+      registry.counter("sacha.verifier.words_absorbed");
   stream_cmac_.update(words);
   step_done_[step] = 1;
   const auto [first, count] = steps_[step];
+  frames_absorbed.add(count);
+  words_absorbed.add(words.size());
   const std::uint32_t wpf = model_->words_per_frame();
   const std::uint32_t nonce_frame = model_->nonce_frame();
   for (std::uint32_t f = 0; f < count; ++f) {
@@ -212,6 +228,10 @@ void SachaVerifier::absorb_in_order(std::size_t step,
       match = model_->frame_matches(frame_index, frame_words);
     }
     if (!match) {
+      static obs::Counter& mismatches =
+          obs::MetricsRegistry::global().counter(
+              "sacha.verifier.mask_mismatches");
+      mismatches.add(1);
       mismatch_frame_ = frame_index;
       return;
     }
@@ -222,6 +242,9 @@ void SachaVerifier::absorb_in_order(std::size_t step,
 void SachaVerifier::absorb_response(std::size_t step,
                                     std::vector<std::uint32_t>&& words) {
   if (step != next_stream_step_) {
+    static obs::Counter& parked = obs::MetricsRegistry::global().counter(
+        "sacha.verifier.out_of_order_parked");
+    parked.add(1);
     pending_.emplace(step, std::move(words));
     return;
   }
@@ -323,6 +346,8 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
   Verdict verdict;
   if (protocol_error_.has_value()) {
     verdict.detail = *protocol_error_;
+    (log_debug() << "verifier verdict: protocol error")
+        .kv("detail", *protocol_error_);
     return verdict;
   }
   if (!received_mac_.has_value()) {

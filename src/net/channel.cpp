@@ -1,5 +1,8 @@
 #include "net/channel.hpp"
 
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace sacha::net {
 
 ChannelParams ChannelParams::ideal() { return ChannelParams{}; }
@@ -19,15 +22,31 @@ Channel::Channel(ChannelParams params, std::uint64_t seed)
     : params_(params), rng_(seed) {}
 
 std::optional<sim::SimDuration> Channel::transfer(std::size_t payload_bytes) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& messages = registry.counter("sacha.net.messages");
+  static obs::Counter& bytes = registry.counter("sacha.net.payload_bytes");
+  static obs::Counter& lost = registry.counter("sacha.net.messages_lost");
+  static obs::Histogram& latency =
+      registry.histogram("sacha.net.transfer_sim_ns");
+
   ++messages_sent_;
+  messages.add(1);
+  bytes.add(payload_bytes);
   if (params_.loss_probability > 0.0 && rng_.chance(params_.loss_probability)) {
     ++messages_lost_;
+    lost.add(1);
+    if (log_enabled(LogLevel::kDebug)) {
+      (log_debug() << "channel dropped message")
+          .kv("payload_bytes", payload_bytes)
+          .kv("lost_total", messages_lost_);
+    }
     return std::nullopt;
   }
   sim::SimDuration t = nominal_time(payload_bytes);
   if (params_.jitter_max > 0) {
     t += rng_.below(params_.jitter_max + 1);
   }
+  latency.observe(t);
   return t;
 }
 

@@ -1,0 +1,152 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace sacha::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSample& c = snapshot.counters[i];
+    out << (i ? "," : "") << "\n    \"" << json_escape(c.name)
+        << "\": " << c.value;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSample& g = snapshot.gauges[i];
+    out << (i ? "," : "") << "\n    \"" << json_escape(g.name)
+        << "\": " << g.value;
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i ? "," : "") << "\n    \"" << json_escape(h.name)
+        << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+        << ", \"bounds\": [";
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      out << (b ? "," : "") << h.upper_bounds[b];
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      out << (b ? "," : "") << h.bucket_counts[b];
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
+      cumulative += h.bucket_counts[b];
+      out << name << "_bucket{le=\"" << h.upper_bounds[b] << "\"} "
+          << cumulative << "\n";
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << name << "_sum " << h.sum << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string chrome_trace_json(const std::vector<SpanRecord>& records) {
+  // Remap thread hashes to small ordinals (by first appearance in record
+  // order) so timelines read as worker lanes.
+  std::map<std::uint64_t, unsigned> tid_map;
+  unsigned next_tid = 0;
+  for (const SpanRecord& r : records) {
+    if (tid_map.emplace(r.thread_id, next_tid).second) ++next_tid;
+  }
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    char ts[64];
+    char dur[64];
+    std::snprintf(ts, sizeof(ts), "%.3f",
+                  static_cast<double>(r.start_ns) / 1'000.0);
+    std::snprintf(dur, sizeof(dur), "%.3f",
+                  static_cast<double>(r.duration_ns) / 1'000.0);
+    out << (i ? ",\n" : "\n") << " {\"name\": \"" << json_escape(r.name)
+        << "\", \"cat\": \"" << json_escape(r.category)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid_map[r.thread_id]
+        << ", \"ts\": " << ts << ", \"dur\": " << dur << ", \"args\": {";
+    out << "\"trace_id\": \"" << to_string(r.trace) << "\"";
+    for (const auto& [key, value] : r.args) {
+      out << ", \"" << json_escape(key) << "\": \"" << json_escape(value)
+          << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written == content.size()) return false;
+  return ok;
+}
+
+bool write_metrics_json(const std::string& path) {
+  return write_text_file(path,
+                         metrics_json(MetricsRegistry::global().snapshot()));
+}
+
+bool write_prometheus(const std::string& path) {
+  return write_text_file(
+      path, prometheus_text(MetricsRegistry::global().snapshot()));
+}
+
+bool write_chrome_trace(const std::string& path) {
+  return write_text_file(path, chrome_trace_json(Tracer::global().drain()));
+}
+
+}  // namespace sacha::obs

@@ -1,0 +1,36 @@
+// Telemetry exporters.
+//
+// Three consumer-facing formats:
+//   - metrics_json: the snapshot as one JSON object, embedded in the
+//     BENCH_*.json files and available from the CLI (--metrics);
+//   - prometheus_text: the text exposition format (names have dots mapped
+//     to underscores, histograms expand to cumulative `le` buckets) for
+//     scraping a long-running fleet verifier;
+//   - chrome_trace_json: the tracer's span records as Chrome trace_event
+//     "X" (complete) events — load the file in chrome://tracing or Perfetto
+//     to see per-session flame charts; thread ids are remapped to small
+//     ordinals in order of first appearance so fleet timelines read as
+//     "worker 0..N-1" lanes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sacha::obs {
+
+std::string metrics_json(const MetricsSnapshot& snapshot);
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+std::string chrome_trace_json(const std::vector<SpanRecord>& records);
+
+/// Writes `content` to `path`; false on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+/// Convenience: snapshots the global registry / drains the global tracer
+/// and writes the chosen format. Returns false on I/O error.
+bool write_metrics_json(const std::string& path);
+bool write_prometheus(const std::string& path);
+bool write_chrome_trace(const std::string& path);
+
+}  // namespace sacha::obs

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sacha::obs {
+
+namespace {
+
+#ifndef SACHA_OBS_DEFAULT_ENABLED
+#define SACHA_OBS_DEFAULT_ENABLED 0
+#endif
+
+bool initial_enabled() {
+  if (const char* env = std::getenv("SACHA_OBS")) {
+    return env[0] == '1' || env[0] == 't' || env[0] == 'T' || env[0] == 'y';
+  }
+  return SACHA_OBS_DEFAULT_ENABLED != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{initial_enabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> default_latency_buckets_ns() {
+  static constexpr std::array<std::uint64_t, 22> kBuckets = {
+      1'000,       2'000,       5'000,         10'000,        20'000,
+      50'000,      100'000,     200'000,       500'000,       1'000'000,
+      2'000'000,   5'000'000,   10'000'000,    20'000'000,    50'000'000,
+      100'000'000, 200'000'000, 500'000'000,   1'000'000'000, 2'000'000'000,
+      5'000'000'000ULL, 10'000'000'000ULL};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::span<const std::uint64_t> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()),
+      buckets_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    const auto d = default_latency_buckets_ns();
+    bounds_.assign(d.begin(), d.end());
+    buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) const {
+  // First bound with v <= bound (`le` semantics); past the last -> overflow.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(
+    std::string_view name, std::span<const std::uint64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.push_back({name, c->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.push_back({name, g->value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.push_back({name, h->upper_bounds(), h->bucket_counts(),
+                               h->count(), h->sum()});
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace sacha::obs

@@ -1,0 +1,159 @@
+// Process-wide telemetry: lock-free counters, gauges, and fixed-bucket
+// latency histograms, named like "sacha.verifier.frames_absorbed".
+//
+// The fleet operator's question ("where do sessions spend time, and why do
+// members fail?") needs instrumentation on paths that run tens of
+// thousands of times per attestation, so the design splits hot and cold:
+//   - updates are a relaxed atomic op guarded by one branch on the global
+//     enable flag (the *disabled* cost is that single predictable branch);
+//   - registration and snapshotting take a mutex, but call sites cache the
+//     returned instrument reference (instruments live for the process, the
+//     registry never reallocates them), so the map lookup happens once.
+// The enable flag defaults to SACHA_OBS_DEFAULT_ENABLED (a compile-time
+// knob, off unless the build says otherwise) and honours the SACHA_OBS
+// environment variable, so benches and CI can A/B without a rebuild.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sacha::obs {
+
+/// Runtime telemetry toggle. Initialised from SACHA_OBS=1/0 when set,
+/// otherwise from the SACHA_OBS_DEFAULT_ENABLED compile definition.
+bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  /// Relaxed add; one branch when telemetry is disabled.
+  void add(std::uint64_t n = 1) {
+    if (enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) {
+    if (enabled()) value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// 1-2-5 series from 1 us to 10 s — wide enough for both host-side span
+/// latencies and simulated channel transfer times (both in ns).
+std::span<const std::uint64_t> default_latency_buckets_ns();
+
+/// Fixed-bucket histogram with Prometheus `le` (cumulative-at-export,
+/// per-bucket stored) semantics: observation v lands in the first bucket
+/// whose upper bound satisfies v <= bound, or the overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const std::uint64_t> upper_bounds);
+
+  void observe(std::uint64_t v) {
+    if (!enabled()) return;
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  const std::vector<std::uint64_t>& upper_bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Per-bucket (non-cumulative) counts; index bounds.size() is overflow.
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset();
+
+  std::size_t bucket_index(std::uint64_t v) const;
+
+ private:
+  std::vector<std::uint64_t> bounds_;  // sorted ascending, immutable
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+// ---- Snapshot ------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<std::uint64_t> upper_bounds;
+  std::vector<std::uint64_t> bucket_counts;  // + overflow at the end
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+/// Cheap to pass around; SwarmReport and the bench JSON embed one.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Counter value by exact name, 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const;
+};
+
+// ---- Registry ------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented library path uses.
+  static MetricsRegistry& global();
+
+  /// Finds or creates the named instrument. Returned references stay valid
+  /// for the registry's lifetime — call sites cache them (typically in a
+  /// function-local static) so the hot path never touches the map.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::span<const std::uint64_t> upper_bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (instruments stay registered). Benches use it
+  /// to scope a snapshot to one run.
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace sacha::obs

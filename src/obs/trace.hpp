@@ -1,0 +1,112 @@
+// Span-based tracing: per-session protocol timelines.
+//
+// A Span is an RAII interval on the host's monotonic clock. Spans opened on
+// the same thread nest (a thread-local depth counter records how deep), and
+// every span carries a TraceId derived from (device id, nonce) — the
+// session key of the paper's Fig. 9 run — so a fleet coordinator can pull
+// one member's timeline out of the merged record stream. The phase names
+// used by the instrumented session driver mirror the protocol steps of
+// Table 4: bitstream stream-in, nonce injection, per-readback-round absorb,
+// CMAC finish, masked-compare verdict.
+//
+// Cost model matches the metrics side: when telemetry is disabled a Span
+// constructor is one branch and no clock read; when enabled, two clock
+// reads and one short mutex-guarded append on close. The global record
+// buffer is bounded — overflow drops spans and counts them in
+// `sacha.obs.spans_dropped` rather than growing without limit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sacha::obs {
+
+/// 128-bit session timeline key derived from (device id, nonce).
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const { return hi != 0 || lo != 0; }
+  bool operator==(const TraceId&) const = default;
+};
+
+TraceId make_trace_id(std::string_view device_id, std::uint64_t nonce);
+std::string to_string(const TraceId& id);
+
+/// One closed span. `start_ns` is relative to the tracer's epoch (first
+/// use), so timelines from different threads share one time base.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  TraceId trace;
+  std::uint64_t thread_id = 0;  // std::hash of the opening thread's id
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint32_t depth = 0;  // nesting depth on the opening thread
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  /// Nanoseconds since the tracer's epoch (monotonic).
+  std::uint64_t now_ns() const;
+
+  /// Copies the recorded spans (end order).
+  std::vector<SpanRecord> records() const;
+  /// Moves the recorded spans out and clears the buffer.
+  std::vector<SpanRecord> drain();
+  void clear();
+  std::size_t size() const;
+
+ private:
+  friend class Span;
+  Tracer();
+  void append(SpanRecord&& record);
+
+  static constexpr std::size_t kMaxRecords = 1u << 22;  // ~4M spans
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> records_;
+};
+
+/// RAII span. Construct to open, end()/destroy to close and record.
+class Span {
+ public:
+  Span(std::string name, TraceId trace = {}, std::string category = "session");
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+
+  /// Attaches a key=value annotation (no-op on inactive spans).
+  Span& arg(std::string key, std::string value);
+
+  /// Closes and records the span; idempotent.
+  void end();
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  SpanRecord record_;
+};
+
+/// Fraction of the interval of the `session_name` span with trace id `id`
+/// covered by the union of its direct children (depth + 1, same thread).
+/// Returns 0 when the session span is missing. This is the acceptance
+/// metric for "spans cover >= N% of the member's session wall-clock".
+double timeline_coverage(const std::vector<SpanRecord>& records,
+                         const TraceId& id,
+                         std::string_view session_name = "session");
+
+}  // namespace sacha::obs

@@ -1,0 +1,355 @@
+// Telemetry layer: registry concurrency, histogram bucket edges, span
+// nesting/ordering (including under the parallel swarm schedule), exporter
+// golden outputs, and the report/audit wiring that links every verdict to
+// its timeline.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <thread>
+
+#include "attacks/env.hpp"
+#include "core/audit.hpp"
+#include "core/swarm.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace sacha;
+
+namespace {
+
+/// Every test starts with telemetry on, a drained tracer, and zeroed
+/// instruments, and leaves telemetry off (the library default) behind.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_enabled(true);
+    obs::Tracer::global().clear();
+    obs::MetricsRegistry::global().reset_values();
+  }
+  void TearDown() override {
+    obs::Tracer::global().clear();
+    obs::MetricsRegistry::global().reset_values();
+    obs::set_enabled(false);
+  }
+};
+
+TEST_F(ObsTest, CounterIdentityAndBasics) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& a = registry.counter("test.identity");
+  obs::Counter& b = registry.counter("test.identity");
+  EXPECT_EQ(&a, &b) << "same name must resolve to the same instrument";
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST_F(ObsTest, CountersFromManyThreadsSumExactly) {
+  auto& registry = obs::MetricsRegistry::global();
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 50'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&registry] {
+      // Deliberately re-resolve by name per thread: registration must be
+      // thread-safe and return the one shared instrument.
+      obs::Counter& c = registry.counter("test.concurrent");
+      obs::Histogram& h = registry.histogram("test.concurrent_hist");
+      for (int i = 0; i < kIncrements; ++i) {
+        c.add(1);
+        h.observe(1'000);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(registry.counter("test.concurrent").value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.histogram("test.concurrent_hist").count(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, DisabledInstrumentsDoNotCount) {
+  auto& registry = obs::MetricsRegistry::global();
+  obs::Counter& c = registry.counter("test.disabled");
+  obs::Histogram& h = registry.histogram("test.disabled_hist");
+  obs::set_enabled(false);
+  c.add(5);
+  h.observe(123);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  obs::set_enabled(true);
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  obs::Histogram h{std::span<const std::uint64_t>(bounds)};
+  // `le` semantics: v <= bound lands in that bucket.
+  h.observe(0);     // -> le=10
+  h.observe(10);    // -> le=10 (edge inclusive)
+  h.observe(11);    // -> le=100
+  h.observe(100);   // -> le=100
+  h.observe(101);   // -> le=1000
+  h.observe(1000);  // -> le=1000
+  h.observe(1001);  // -> overflow
+  const std::vector<std::uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 1000 + 1001);
+}
+
+TEST_F(ObsTest, TraceIdDerivation) {
+  const obs::TraceId a = obs::make_trace_id("device-1", 42);
+  const obs::TraceId b = obs::make_trace_id("device-1", 42);
+  const obs::TraceId c = obs::make_trace_id("device-2", 42);
+  const obs::TraceId d = obs::make_trace_id("device-1", 43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(obs::to_string(a).size(), 32u);
+}
+
+TEST_F(ObsTest, SpanNestingDepthAndContainment) {
+  const obs::TraceId id = obs::make_trace_id("nest", 1);
+  {
+    obs::Span outer("outer", id);
+    {
+      obs::Span inner("inner", id);
+      obs::Span sibling_after_inner_ends("ignored", {});
+      // `inner` still open here: depth of this span is outer+2.
+    }
+    obs::Span second("second", id);
+  }
+  const auto records = obs::Tracer::global().drain();
+  ASSERT_EQ(records.size(), 4u);
+  const auto find = [&](const std::string& name) -> const obs::SpanRecord& {
+    for (const auto& r : records) {
+      if (r.name == name) return r;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    static obs::SpanRecord none;
+    return none;
+  };
+  const auto& outer = find("outer");
+  const auto& inner = find("inner");
+  const auto& second = find("second");
+  EXPECT_EQ(inner.depth, outer.depth + 1);
+  EXPECT_EQ(second.depth, outer.depth + 1);
+  // Containment: children start no earlier and end no later than the parent.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  // Ordering: spans are recorded in end order, so inner precedes outer.
+  EXPECT_LT(&inner - records.data(), &outer - records.data());
+  // Sibling ordering within the parent.
+  EXPECT_GE(second.start_ns, inner.start_ns + inner.duration_ns);
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  obs::set_enabled(false);
+  {
+    obs::Span span("invisible", obs::make_trace_id("x", 1));
+  }
+  EXPECT_EQ(obs::Tracer::global().size(), 0u);
+}
+
+TEST_F(ObsTest, SessionTimelinePhasesAndCoverage) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(7);
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options);
+  ASSERT_TRUE(report.verdict.ok());
+  EXPECT_TRUE(report.trace_id.valid());
+  EXPECT_GT(report.host_ns, 0u);
+
+  const auto records = obs::Tracer::global().records();
+  std::size_t rounds = 0;
+  bool saw_configure = false, saw_nonce = false, saw_readback = false,
+       saw_cmac = false, saw_verdict = false, saw_session = false;
+  for (const auto& r : records) {
+    if (r.trace != report.trace_id) continue;
+    if (r.name == "configure.stream_in") saw_configure = true;
+    if (r.name == "nonce.inject") saw_nonce = true;
+    if (r.name == "readback.absorb") saw_readback = true;
+    if (r.name == "cmac.finish") saw_cmac = true;
+    if (r.name == "compare.verdict") saw_verdict = true;
+    if (r.name == "session") saw_session = true;
+    if (r.name == "readback.round") ++rounds;
+  }
+  EXPECT_TRUE(saw_configure);
+  EXPECT_TRUE(saw_nonce);
+  EXPECT_TRUE(saw_readback);
+  EXPECT_TRUE(saw_cmac);
+  EXPECT_TRUE(saw_verdict);
+  EXPECT_TRUE(saw_session);
+  EXPECT_EQ(rounds, verifier.readback_steps().size());
+  // The phase spans tile the session: >= 95% of its wall-clock is covered.
+  EXPECT_GE(obs::timeline_coverage(records, report.trace_id), 0.95);
+
+  // Hot-path instruments moved with the session: the prover read exactly
+  // the frames the verifier absorbed, and the MAC engine hashed exactly the
+  // words the verifier streamed.
+  const auto snap = obs::MetricsRegistry::global().snapshot();
+  const std::uint64_t frames =
+      snap.counter_value("sacha.verifier.frames_absorbed");
+  EXPECT_GT(frames, 0u);
+  EXPECT_EQ(snap.counter_value("sacha.prover.icap_frames_read"), frames);
+  EXPECT_EQ(snap.counter_value("sacha.prover.mac_update_bytes"),
+            snap.counter_value("sacha.verifier.words_absorbed") * 4);
+  EXPECT_EQ(snap.counter_value("sacha.session.attested"), 1u);
+  EXPECT_GT(snap.counter_value("sacha.net.messages"), 0u);
+}
+
+TEST_F(ObsTest, ParallelSwarmTimelineMergesAllMembers) {
+  constexpr std::size_t kMembers = 8;
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<core::SwarmMember> members;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    envs.push_back(attacks::AttackEnv::small(300 + i));
+    verifiers.push_back(envs.back().make_verifier());
+    provers.push_back(envs.back().make_prover());
+  }
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    members.push_back(core::SwarmMember{"node-" + std::to_string(i),
+                                        &verifiers[i], &provers[i], {}});
+  }
+  const core::SwarmReport report =
+      core::attest_swarm(members, core::SwarmSchedule::kParallel);
+  ASSERT_TRUE(report.all_attested());
+  EXPECT_TRUE(report.fleet_trace.valid());
+  EXPECT_GT(report.host_ns, 0u);
+  EXPECT_FALSE(report.metrics.empty())
+      << "enabled runs must snapshot the registry into the report";
+  EXPECT_EQ(report.metrics.counter_value("sacha.session.attested"), kMembers);
+
+  const auto records = obs::Tracer::global().records();
+  // One merged timeline: every member's session spans are present, each
+  // with its own trace id, and each session's phase spans cover >= 95% of
+  // that member's wall-clock (the acceptance bar for the fleet timeline).
+  std::size_t member_spans = 0;
+  for (const auto& r : records) {
+    if (r.name == "swarm.member" && r.trace == report.fleet_trace) {
+      ++member_spans;
+    }
+  }
+  EXPECT_EQ(member_spans, kMembers);
+  for (const auto& m : report.members) {
+    ASSERT_TRUE(m.trace_id.valid()) << m.id;
+    EXPECT_GT(m.host_ns, 0u) << m.id;
+    EXPECT_GE(obs::timeline_coverage(records, m.trace_id), 0.95) << m.id;
+  }
+  // Member trace ids are distinct — the merged stream stays separable.
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    for (std::size_t j = i + 1; j < kMembers; ++j) {
+      EXPECT_NE(report.members[i].trace_id, report.members[j].trace_id);
+    }
+  }
+  // The Chrome export of the merged timeline is one well-formed JSON object
+  // containing every member's lane.
+  const std::string chrome = obs::chrome_trace_json(records);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  for (const auto& m : report.members) {
+    EXPECT_NE(chrome.find(obs::to_string(m.trace_id)), std::string::npos)
+        << m.id;
+  }
+}
+
+TEST_F(ObsTest, AuditEntryLinksVerdictToTimeline) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(21);
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options);
+
+  core::AuditLog log;
+  log.append(prover.device_id(), verifier.nonce(), report);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries()[0].trace_id, report.trace_id);
+  EXPECT_TRUE(log.verify_chain());
+
+  // The trace id is covered by the hash chain: rewriting which timeline a
+  // verdict claims to have is tamper-evident.
+  core::AuditLog tampered = log;
+  const_cast<core::AuditEntry&>(tampered.entries()[0]).trace_id.lo ^= 1;
+  EXPECT_FALSE(tampered.verify_chain());
+}
+
+TEST_F(ObsTest, MetricsJsonGolden) {
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"sacha.a", 3});
+  snap.gauges.push_back({"sacha.g", -2});
+  snap.histograms.push_back({"sacha.h", {10, 20}, {1, 0, 2}, 3, 52});
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"sacha.a\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"sacha.g\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"sacha.h\": {\"count\": 3, \"sum\": 52, \"bounds\": [10,20], "
+      "\"buckets\": [1,0,2]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(obs::metrics_json(snap), expected);
+}
+
+TEST_F(ObsTest, PrometheusTextGolden) {
+  obs::MetricsSnapshot snap;
+  snap.counters.push_back({"sacha.verifier.frames_absorbed", 16});
+  snap.gauges.push_back({"sacha.fleet.size", 4});
+  snap.histograms.push_back({"sacha.net.transfer_sim_ns", {10, 20}, {1, 0, 2},
+                             3, 52});
+  const std::string expected =
+      "# TYPE sacha_verifier_frames_absorbed counter\n"
+      "sacha_verifier_frames_absorbed 16\n"
+      "# TYPE sacha_fleet_size gauge\n"
+      "sacha_fleet_size 4\n"
+      "# TYPE sacha_net_transfer_sim_ns histogram\n"
+      "sacha_net_transfer_sim_ns_bucket{le=\"10\"} 1\n"
+      "sacha_net_transfer_sim_ns_bucket{le=\"20\"} 1\n"
+      "sacha_net_transfer_sim_ns_bucket{le=\"+Inf\"} 3\n"
+      "sacha_net_transfer_sim_ns_sum 52\n"
+      "sacha_net_transfer_sim_ns_count 3\n";
+  EXPECT_EQ(obs::prometheus_text(snap), expected);
+}
+
+TEST_F(ObsTest, ChromeTraceGolden) {
+  obs::SpanRecord r;
+  r.name = "session";
+  r.category = "phase";
+  r.trace = obs::TraceId{0x1122334455667788ULL, 0x99aabbccddeeff00ULL};
+  r.thread_id = 0xdeadbeef;
+  r.start_ns = 1'500;
+  r.duration_ns = 2'250;
+  r.args.emplace_back("device", "node-0");
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      " {\"name\": \"session\", \"cat\": \"phase\", \"ph\": \"X\", "
+      "\"pid\": 1, \"tid\": 0, \"ts\": 1.500, \"dur\": 2.250, \"args\": "
+      "{\"trace_id\": \"112233445566778899aabbccddeeff00\", "
+      "\"device\": \"node-0\"}}\n"
+      "]}\n";
+  EXPECT_EQ(obs::chrome_trace_json({r}), expected);
+}
+
+TEST_F(ObsTest, ExportersHandleEmptyState) {
+  obs::MetricsSnapshot empty;
+  EXPECT_EQ(obs::metrics_json(empty),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": "
+            "{}\n}\n");
+  EXPECT_EQ(obs::prometheus_text(empty), "");
+  EXPECT_EQ(obs::chrome_trace_json({}), "{\"traceEvents\": [\n]}\n");
+}
+
+}  // namespace
