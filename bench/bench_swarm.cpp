@@ -106,6 +106,23 @@ void wallclock_sweep_and_emit() {
               "%.3f s (%.2fx, %u hardware threads)\n",
               serial_s, parallel_s, speedup,
               std::thread::hardware_concurrency());
+
+  // Transport health under loss: an 8-member fleet on a 10%-loss reliable
+  // channel, supervised. The report's loss/retransmission/backoff totals
+  // land in the JSON so the lossy trajectory is diffable across PRs.
+  Fleet lossy_fleet(8);
+  core::SwarmOptions lossy;
+  lossy.session.channel = net::ChannelParams::lab();
+  lossy.session.channel.loss_probability = 0.10;
+  lossy.session.reliable = true;
+  const auto lossy_report = core::attest_swarm(lossy_fleet.members, lossy);
+  std::printf("lossy fleet (8 @ 10%% loss, reliable): %zu attested, %zu "
+              "healed, %llu lost, %llu retransmitted, %.3f s backoff\n",
+              lossy_report.attested, lossy_report.healed,
+              static_cast<unsigned long long>(lossy_report.messages_lost),
+              static_cast<unsigned long long>(lossy_report.retransmissions),
+              sim::to_seconds(lossy_report.backoff_wait));
+
   benchutil::write_bench_json(
       "BENCH_swarm.json",
       {
@@ -124,6 +141,18 @@ void wallclock_sweep_and_emit() {
            static_cast<double>(serial.unshared_golden_model_bytes), "B"},
           {"bench_swarm", "retained_readback_bytes_16",
            static_cast<double>(serial.retained_readback_bytes), "B"},
+          {"bench_swarm", "lossy_attested_8",
+           static_cast<double>(lossy_report.attested), "sessions"},
+          {"bench_swarm", "lossy_healed_8",
+           static_cast<double>(lossy_report.healed), "sessions"},
+          {"bench_swarm", "lossy_quarantined_8",
+           static_cast<double>(lossy_report.quarantined), "sessions"},
+          {"bench_swarm", "lossy_messages_lost_8",
+           static_cast<double>(lossy_report.messages_lost), "messages"},
+          {"bench_swarm", "lossy_retransmissions_8",
+           static_cast<double>(lossy_report.retransmissions), "messages"},
+          {"bench_swarm", "lossy_backoff_wait_8",
+           sim::to_seconds(lossy_report.backoff_wait), "s"},
       });
 }
 

@@ -10,6 +10,7 @@
 
 #include "attacks/library.hpp"
 #include "core/signed_attest.hpp"
+#include "fault/injector.hpp"
 #include "obs/export.hpp"
 
 using namespace sacha;
@@ -23,6 +24,8 @@ struct CliOptions {
   std::uint64_t latency_us = 0;
   std::uint64_t jitter_us = 0;
   double loss = 0.0;
+  std::string fault_plan;          // fault::FaultPlan textual form
+  std::uint64_t deadline_ms = 0;   // session deadline (0 = unbounded)
   bool reliable = false;
   bool signed_mode = false;
   std::uint32_t frames_per_config = 1;
@@ -43,6 +46,12 @@ void print_help() {
       "  --latency-us N                    per-message channel latency\n"
       "  --jitter-us N                     uniform extra latency [0, N]\n"
       "  --loss P                          packet loss probability\n"
+      "  --fault-plan SPEC                 inject faults (plain/signed runs);\n"
+      "                                    SPEC is ';'-separated clauses:\n"
+      "                                    burst=enter:exit:loss corrupt=p\n"
+      "                                    crash=at[:reboot] stall=at:len\n"
+      "                                    spike=p:max_us seu=flips\n"
+      "  --deadline-ms N                   abort the session after N simulated ms\n"
       "  --reliable                        ack + retransmit on loss\n"
       "  --frames-per-config N             frames per ICAP_config command\n"
       "  --signed                          hash-based signature mode\n"
@@ -101,6 +110,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next("--loss");
       if (!v) return false;
       options.loss = std::strtod(v, nullptr);
+    } else if (arg == "--fault-plan") {
+      const char* v = next("--fault-plan");
+      if (!v) return false;
+      options.fault_plan = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next("--deadline-ms");
+      if (!v) return false;
+      options.deadline_ms = std::strtoull(v, nullptr, 10);
     } else if (arg == "--frames-per-config") {
       const char* v = next("--frames-per-config");
       if (!v) return false;
@@ -149,6 +166,7 @@ attacks::AttackEnv build_env(const CliOptions& options) {
   env.session_options.channel.jitter_max = options.jitter_us * sim::kMicrosecond;
   env.session_options.channel.loss_probability = options.loss;
   env.session_options.reliable = options.reliable;
+  env.session_options.deadline = options.deadline_ms * sim::kMillisecond;
   env.session_options.seed = options.seed;
   return env;
 }
@@ -169,6 +187,17 @@ void print_report(const core::AttestationReport& report) {
   std::printf("verdict            : %s (%s)\n",
               report.verdict.ok() ? "ATTESTED" : "FAILED",
               report.verdict.detail.c_str());
+  if (report.failure != core::FailureKind::kNone) {
+    std::printf("failure            : %s%s\n", core::to_string(report.failure),
+                report.deadline_hit ? " (deadline hit)" : "");
+  }
+  if (report.messages_lost > 0 || report.retransmissions > 0) {
+    std::printf("transport          : %llu lost, %llu retransmitted, "
+                "%.6f s in backoff\n",
+                static_cast<unsigned long long>(report.messages_lost),
+                static_cast<unsigned long long>(report.retransmissions),
+                sim::to_seconds(report.backoff_wait));
+  }
 }
 
 /// Telemetry emission for every path that ran a session.
@@ -210,6 +239,16 @@ int main(int argc, char** argv) {
   // Either telemetry flag turns the runtime toggle on for this process.
   if (options.metrics || !options.trace_out.empty()) obs::set_enabled(true);
 
+  fault::FaultPlan fault_plan;
+  if (!options.fault_plan.empty()) {
+    auto parsed = fault::FaultPlan::parse(options.fault_plan);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.message().c_str());
+      return 2;
+    }
+    fault_plan = std::move(parsed).take();
+  }
+
   attacks::AttackEnv env = build_env(options);
   std::printf("device=%s frames=%u order=%s latency=%lluus loss=%.3f%s%s\n",
               env.plan.device().name().c_str(), env.plan.device().total_frames(),
@@ -235,12 +274,20 @@ int main(int argc, char** argv) {
 
   auto verifier = env.make_verifier();
   auto prover = env.make_prover();
+  // Arm the fault plan on the honest session (attacks bring their own
+  // hooks; the plan composes with them only through build_env's channel).
+  fault::FaultInjector injector(fault_plan, options.seed);
+  core::SessionHooks hooks;
+  injector.arm(env.session_options, hooks);
+  if (!fault_plan.empty()) {
+    std::printf("fault plan         : %s\n", fault_plan.describe().c_str());
+  }
   if (options.signed_mode) {
     crypto::HashSigner signer(options.seed ^ 0x5160, 4);
     core::LeafPolicy policy;
     const auto report = core::run_signed_attestation(
         verifier, prover, signer, signer.root(), 4, policy,
-        env.session_options);
+        env.session_options, hooks);
     print_report(report.base);
     std::printf("signature          : %s (leaf %u)\n",
                 report.signature_ok && report.leaf_fresh ? "VALID" : "INVALID",
@@ -248,7 +295,8 @@ int main(int argc, char** argv) {
     emit_telemetry(options);
     return report.ok() ? 0 : 1;
   }
-  const auto report = core::run_attestation(verifier, prover, env.session_options);
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
   print_report(report);
   std::printf("trace id           : %s\n",
               obs::to_string(report.trace_id).c_str());

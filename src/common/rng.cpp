@@ -19,6 +19,22 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }
 }  // namespace
 
+std::uint64_t splitmix64_mix(std::uint64_t x) {
+  return splitmix64(x);  // the stateful step: advances and finalizes
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label,
+                          std::uint64_t lane) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64 over the label
+  for (char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  std::uint64_t x = seed ^ splitmix64(h);
+  x ^= splitmix64(lane);
+  return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed) {
   for (auto& s : s_) s = splitmix64(seed);
 }

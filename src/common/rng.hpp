@@ -15,6 +15,18 @@
 
 namespace sacha {
 
+/// One stateless splitmix64 step: mixes `x` through the full avalanche
+/// finalizer. Use this (not addition) to derive independent sub-seeds —
+/// `seed + index` schemes collide across adjacent base seeds, splitmix64
+/// output does not.
+std::uint64_t splitmix64_mix(std::uint64_t x);
+
+/// Derives an independent seed from a base seed and a string label (e.g. a
+/// fleet member id): FNV-1a over the label, then splitmix64-mixed with the
+/// base seed. Adjacent base seeds and similar labels land far apart.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label,
+                          std::uint64_t lane = 0);
+
 /// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
 class Rng {
  public:

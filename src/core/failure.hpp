@@ -1,0 +1,74 @@
+// Typed attestation-failure taxonomy.
+//
+// The paper's protocol has exactly one failure semantics: the verifier
+// rejects. A fleet verifier needs more — a stalled ICAP, a lossy uplink and
+// a tampered bitstream demand different operator responses (retry, reroute,
+// page security). FailureKind is the closed set of causes the session
+// driver and verifier can distinguish; AttestationReport and SwarmReport
+// carry it so the swarm supervisor can decide what is safe to retry and
+// the telemetry layer can count failures by cause.
+//
+// Ordering of blame when several things went wrong in one session: the
+// first *transport* failure observed wins (a session that timed out cannot
+// judge tampering), and only a transport-clean session reports a crypto
+// verdict (kMacMismatch / kMaskedCompareMismatch).
+#pragma once
+
+#include <cstdint>
+
+namespace sacha::core {
+
+enum class FailureKind : std::uint8_t {
+  kNone = 0,
+  /// H_Prv != H_Vrf: the device does not hold the key, or readback data was
+  /// modified in flight. Never retried into success — a fresh-nonce retry
+  /// re-runs the full protocol and an actual adversary fails it again.
+  kMacMismatch,
+  /// Msk(B_Prv) != Msk(B_Vrf) or a frame was never covered: the device is
+  /// not configured as intended (tamper, or an SEU a reconfiguration heals).
+  kMaskedCompareMismatch,
+  /// A command exhausted its retransmission budget (reliable mode), or a
+  /// response never arrived (fire-and-forget mode).
+  kTimeoutExhausted,
+  /// The device answered with an error response (ICAP error, rejected or
+  /// oversized command).
+  kDeviceError,
+  /// A delivered response failed to parse (corruption the transport did not
+  /// catch) or violated the protocol state machine.
+  kDecodeError,
+  /// The session blew through its simulated-time deadline and was aborted.
+  kDeadlineExceeded,
+};
+
+constexpr const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kMacMismatch:
+      return "mac_mismatch";
+    case FailureKind::kMaskedCompareMismatch:
+      return "masked_compare_mismatch";
+    case FailureKind::kTimeoutExhausted:
+      return "timeout_exhausted";
+    case FailureKind::kDeviceError:
+      return "device_error";
+    case FailureKind::kDecodeError:
+      return "decode_error";
+    case FailureKind::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+/// Transport-layer causes: the session never got a clean look at the
+/// device, so nothing can be said about its configuration. The swarm
+/// supervisor retries these without raising suspicion; crypto failures are
+/// also retried (a fresh nonce makes that safe) but keep their typed cause.
+constexpr bool is_transport_failure(FailureKind kind) {
+  return kind == FailureKind::kTimeoutExhausted ||
+         kind == FailureKind::kDeviceError ||
+         kind == FailureKind::kDecodeError ||
+         kind == FailureKind::kDeadlineExceeded;
+}
+
+}  // namespace sacha::core

@@ -29,7 +29,9 @@ SachaProver::SachaProver(SachaProver&& other) noexcept
       command_buffer_(std::move(other.command_buffer_)),
       mac_(std::move(other.mac_)),
       icap_clock_(std::move(other.icap_clock_)),
-      last_mac_(other.last_mac_) {
+      last_mac_(other.last_mac_),
+      fault_(other.fault_),
+      boot_image_(std::move(other.boot_image_)) {
   icap_.rebind(memory_);
 }
 
@@ -37,6 +39,51 @@ void SachaProver::boot(const bitstream::ConfigImage& static_image) {
   for (std::uint32_t i = 0; i < static_image.frames.size(); ++i) {
     memory_.write_frame(i, static_image.frames[i]);
   }
+  boot_image_ = static_image;
+}
+
+void SachaProver::inject_crash(std::uint32_t reboot_after_packets) {
+  static obs::Counter& crashes =
+      obs::MetricsRegistry::global().counter("sacha.prover.faults.crashes");
+  crashes.add(1);
+  fault_.crashed = true;
+  fault_.reboot_after = reboot_after_packets;
+  (log_debug() << "prover crash injected")
+      .kv("device", device_id_)
+      .kv("reboot_after", reboot_after_packets);
+}
+
+void SachaProver::inject_stall(std::uint32_t packets) {
+  static obs::Counter& stalls =
+      obs::MetricsRegistry::global().counter("sacha.prover.faults.stalls");
+  stalls.add(1);
+  fault_.stall_remaining += packets;
+  (log_debug() << "prover ICAP stall injected")
+      .kv("device", device_id_)
+      .kv("packets", packets);
+}
+
+void SachaProver::reboot() {
+  static obs::Counter& reboots =
+      obs::MetricsRegistry::global().counter("sacha.prover.faults.reboots");
+  reboots.add(1);
+  // Volatile configuration memory is gone; only BootMem survives the power
+  // cycle. Zero everything, then reload the static partition.
+  const bitstream::Frame zero(
+      std::vector<std::uint32_t>(memory_.words_per_frame(), 0));
+  for (std::uint32_t i = 0; i < memory_.total_frames(); ++i) {
+    memory_.write_frame(i, zero);
+  }
+  for (std::uint32_t i = 0; i < boot_image_.frames.size(); ++i) {
+    memory_.write_frame(i, boot_image_.frames[i]);
+  }
+  if (mac_.busy()) mac_.abort();
+  last_mac_.reset();
+  fault_.crashed = false;
+  fault_.reboot_after = 0;
+  fault_.stall_remaining = 0;
+  ++fault_.reboots;
+  (log_debug() << "prover rebooted from BootMem").kv("device", device_id_);
 }
 
 void SachaProver::set_key(const crypto::AesKey& key) { mac_.rekey(key); }
@@ -54,6 +101,34 @@ SachaProver::HandleResult SachaProver::error_result(ProverStatus status) {
 }
 
 SachaProver::HandleResult SachaProver::handle_packet(ByteSpan packet) {
+  // Fault gate: a crashed or stalled device never sees the packet — from
+  // the verifier's side this is indistinguishable from wire loss, which is
+  // exactly the point (only retry behaviour and typed failure reporting
+  // distinguish them at the fleet layer).
+  if (fault_.stall_remaining > 0) {
+    --fault_.stall_remaining;
+    ++fault_.packets_dropped;
+    static obs::Counter& dropped = obs::MetricsRegistry::global().counter(
+        "sacha.prover.faults.packets_dropped");
+    dropped.add(1);
+    HandleResult result;
+    result.dropped = true;
+    return result;
+  }
+  if (fault_.crashed) {
+    ++fault_.packets_dropped;
+    static obs::Counter& dropped = obs::MetricsRegistry::global().counter(
+        "sacha.prover.faults.packets_dropped");
+    dropped.add(1);
+    if (fault_.reboot_after > 0 && --fault_.reboot_after == 0) {
+      // The device powers back up after this packet is lost; the *next*
+      // packet reaches a freshly booted (application-less) device.
+      reboot();
+    }
+    HandleResult result;
+    result.dropped = true;
+    return result;
+  }
   auto decoded = Command::decode(packet);
   if (!decoded.ok()) return error_result(ProverStatus::kBadCommand);
   const Command& command = decoded.value();

@@ -41,6 +41,27 @@ struct ProverOptions {
   std::uint64_t command_buffer_bytes = 2 * 2'304;  // two 18-kbit BRAMs
 };
 
+/// Injectable device fault state, driven by the fault harness (fault::
+/// FaultInjector). Faults make the device unresponsive or lose volatile
+/// state — they never make it forge responses, so the security argument is
+/// untouched: a faulty device can only fail attestation, not pass wrongly.
+struct ProverFaultState {
+  /// Power loss: the device is unreachable and its volatile configuration
+  /// memory is gone. `reboot_after` counts incoming packets until the
+  /// device comes back up from BootMem (0 = stays down forever).
+  bool crashed = false;
+  std::uint32_t reboot_after = 0;
+  /// Busy ICAP: the next `stall_remaining` incoming packets are dropped at
+  /// the device (the RX FSM cannot stage them while the ICAP holds the
+  /// buffer). Clears on its own — the transient the retransmit path heals.
+  std::uint32_t stall_remaining = 0;
+  /// Lifetime counters for reports and tests.
+  std::uint64_t packets_dropped = 0;
+  std::uint32_t reboots = 0;
+
+  bool faulted() const { return crashed || stall_remaining > 0; }
+};
+
 class SachaProver {
  public:
   /// `device_id` names the device in the verifier's enrollment database.
@@ -64,6 +85,10 @@ class SachaProver {
     sim::SimDuration mac_init_time = 0;      // A5 (first readback only)
     sim::SimDuration mac_update_time = 0;    // A6
     sim::SimDuration mac_finalize_time = 0;  // A7
+    /// The device never processed the packet (crashed or stalled ICAP).
+    /// The session driver treats this exactly like wire loss: no response,
+    /// no dedup-cache entry, retransmission may still succeed later.
+    bool dropped = false;
   };
 
   /// Executes one decoded command.
@@ -76,6 +101,20 @@ class SachaProver {
   /// Rekeys the MAC engine (DynPart-PUF key rotation after the verifier
   /// ships a new PUF circuit; §5.2.1 option 2).
   void set_key(const crypto::AesKey& key);
+
+  // -- Fault injection (test/fault-harness surface) ------------------------
+
+  /// Crashes the device: unreachable, volatile state lost. It reboots from
+  /// BootMem after `reboot_after_packets` further incoming packets (0 =
+  /// stays down). A rebooted device has lost its DynMem configuration and
+  /// MAC state, so only a full fresh-nonce reconfiguration can attest it.
+  void inject_crash(std::uint32_t reboot_after_packets = 0);
+
+  /// Stalls the ICAP for the next `packets` incoming packets (dropped at
+  /// the device, as if lost on the wire).
+  void inject_stall(std::uint32_t packets);
+
+  const ProverFaultState& fault_state() const { return fault_; }
 
   /// H_Prv of the most recent MAC_checksum, kept in the attestation
   /// evidence register so the signature extension can sign it.
@@ -90,6 +129,9 @@ class SachaProver {
 
  private:
   HandleResult error_result(ProverStatus status);
+  /// Power-cycle recovery: zero the volatile configuration memory, reload
+  /// the BootMem image, reset the MAC engine.
+  void reboot();
 
   std::string device_id_;
   ProverOptions options_;
@@ -99,6 +141,10 @@ class SachaProver {
   MacEngine mac_;
   sim::ClockDomain icap_clock_;
   std::optional<crypto::Mac> last_mac_;
+  ProverFaultState fault_;
+  /// What boot() loaded — kept so a crash/reboot cycle can restore the
+  /// non-volatile BootMem content (the static partition only).
+  bitstream::ConfigImage boot_image_;
 };
 
 /// Derives the prover key from a PUF read using the enrollment helper data

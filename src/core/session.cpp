@@ -29,6 +29,29 @@ ActionKeys keys_for(CommandType type) {
   return {nullptr, nullptr, nullptr};
 }
 
+/// Backoff wait before retry `attempt` (1-based): exponential in the
+/// multiplier, capped, plus uniform jitter so fleet retries desynchronise.
+/// Only called when a retry actually happens, so fault-free sessions never
+/// draw from `rng` (seed-for-seed bit-identity with the pre-backoff code).
+sim::SimDuration backoff_wait(const SessionOptions& options,
+                              std::uint32_t attempt, Rng& rng) {
+  double wait = static_cast<double>(options.retransmit_timeout);
+  for (std::uint32_t i = 1; i < attempt; ++i) {
+    wait *= options.backoff_multiplier;
+    if (wait >= static_cast<double>(options.backoff_cap)) break;
+  }
+  auto capped = static_cast<sim::SimDuration>(wait);
+  if (options.backoff_cap > 0 && capped > options.backoff_cap) {
+    capped = options.backoff_cap;
+  }
+  if (options.backoff_jitter > 0.0 && capped > 0) {
+    const auto span = static_cast<sim::SimDuration>(
+        static_cast<double>(capped) * options.backoff_jitter);
+    if (span > 0) capped += rng.below(span + 1);
+  }
+  return capped;
+}
+
 }  // namespace
 
 AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
@@ -37,7 +60,20 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
   AttestationReport report;
   net::Channel channel(options.channel, options.seed);
   Rng churn_rng(options.seed ^ 0xfeedface12345678ULL);
+  // Drawn only when a retransmission happens, so fault-free sessions are
+  // bit-identical whatever the backoff settings.
+  Rng backoff_rng(options.seed ^ 0x5acab0ff5ac4a11eULL);
   const net::WireModel& wire = options.channel.wire;
+
+  // First transport failure observed wins (see FailureKind's contract);
+  // crypto verdicts only apply to transport-clean sessions.
+  FailureKind transport_failure = FailureKind::kNone;
+  const auto note_failure = [&transport_failure](FailureKind kind) {
+    if (transport_failure == FailureKind::kNone) transport_failure = kind;
+  };
+  const auto past_deadline = [&]() {
+    return options.deadline > 0 && report.total_time >= options.deadline;
+  };
 
   const auto host_start = std::chrono::steady_clock::now();
   verifier.begin();
@@ -78,6 +114,15 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     if (round_span.has_value()) {
       round_span->arg("frame", std::to_string(command.frame_nb));
     }
+    if (hooks.before_command) hooks.before_command(i, prover);
+
+    // Session deadline: the fleet verifier's port-occupancy bound. Abort
+    // before starting another round once simulated time is exhausted.
+    if (past_deadline()) {
+      report.deadline_hit = true;
+      note_failure(FailureKind::kDeadlineExceeded);
+      break;
+    }
 
     // Phase boundary: the whole DynMem is (over)written; the application
     // starts running (register churn) and the adversary gets its window.
@@ -97,8 +142,16 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
       if (attempt > 0) {
         ++report.retransmissions;
-        report.ledger.add(actions::kRetransmit, options.retransmit_timeout);
-        report.total_time += options.retransmit_timeout;
+        const sim::SimDuration wait =
+            backoff_wait(options, attempt, backoff_rng);
+        report.ledger.add(actions::kRetransmit, wait);
+        report.total_time += wait;
+        report.backoff_wait += wait;
+        if (past_deadline()) {
+          report.deadline_hit = true;
+          note_failure(FailureKind::kDeadlineExceeded);
+          break;
+        }
       }
       Bytes packet = command.encode();
       if (hooks.on_command && !hooks.on_command(packet)) {
@@ -131,6 +184,12 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
         }
       } else {
         result = prover.handle_packet(packet);
+        if (result.dropped) {
+          // Crashed or stalled device: the packet never reached the ICAP.
+          // No dedup-cache entry — a later retransmission must actually
+          // execute the command once the device recovers.
+          continue;
+        }
         device_handled = true;
         cached_device_response = result.response;
         if (result.icap_time > 0 && keys.device != nullptr) {
@@ -186,17 +245,33 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
         if (final_response->type == ResponseType::kAck) {
           final_response = std::nullopt;  // acks are transport-level only
         }
+      } else if (options.reliable) {
+        // Undecodable response: corruption the transport checksum would
+        // have caught on a real link. Treat it exactly like loss and
+        // retransmit — the dedup cache answers, so the prover MAC cannot
+        // double-step.
+        continue;
       } else {
+        note_failure(FailureKind::kDecodeError);
         final_response = std::nullopt;
+      }
+      if (final_response.has_value() &&
+          final_response->type == ResponseType::kError) {
+        note_failure(FailureKind::kDeviceError);
       }
       delivered_and_answered = true;
       break;
     }
 
+    if (report.deadline_hit) break;  // deadline tripped mid-retry loop
     if (delivered_and_answered || !options.reliable) {
       (void)verifier.on_response(i, std::move(final_response));
     } else {
       // Retries exhausted: record the absence so finish() reports it.
+      note_failure(FailureKind::kTimeoutExhausted);
+      static obs::Counter& exhausted = obs::MetricsRegistry::global().counter(
+          "sacha.session.retries_exhausted");
+      exhausted.add(1);
       (void)verifier.on_response(
           i, Response{.type = ResponseType::kError,
                       .status = ProverStatus::kBadCommand});
@@ -216,6 +291,15 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     report.verdict = verifier.finish();
   }
   report.verifier_retained_bytes = verifier.retained_readback_bytes();
+  report.messages_lost = channel.messages_lost();
+  // Typed cause: the first transport failure wins; a transport-clean
+  // session inherits the verifier's crypto classification.
+  report.failure = transport_failure != FailureKind::kNone
+                       ? transport_failure
+                       : report.verdict.kind;
+  if (report.failure != FailureKind::kNone) {
+    session_span.arg("failure", to_string(report.failure));
+  }
   session_span.end();
   report.host_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -235,14 +319,29 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
     commands.add(report.commands_sent);
     retransmissions.add(report.retransmissions);
     host_hist.observe(report.host_ns);
+    if (report.failure != FailureKind::kNone) {
+      // Per-cause counters so fleet dashboards can alert on tampering
+      // (mac_mismatch) separately from infrastructure rot (timeouts).
+      registry
+          .counter(std::string("sacha.session.failure.") +
+                   to_string(report.failure))
+          .add(1);
+    }
+    if (report.backoff_wait > 0) {
+      static obs::Histogram& backoff_hist =
+          registry.histogram("sacha.session.backoff_sim_ns");
+      backoff_hist.observe(report.backoff_wait);
+    }
   }
   (log_debug() << "attestation session finished")
       .kv("device", prover.device_id())
       .kv("nonce", verifier.nonce())
       .kv("trace", obs::to_string(report.trace_id))
       .kv("verdict", report.verdict.ok() ? "attested" : "failed")
+      .kv("failure", to_string(report.failure))
       .kv("commands", report.commands_sent)
       .kv("retransmissions", report.retransmissions)
+      .kv("messages_lost", report.messages_lost)
       .kv("host_ms", static_cast<double>(report.host_ns) / 1e6);
   return report;
 }

@@ -15,6 +15,7 @@
 
 #include <functional>
 
+#include "core/failure.hpp"
 #include "core/prover.hpp"
 #include "core/verifier.hpp"
 #include "net/channel.hpp"
@@ -30,7 +31,19 @@ struct SessionOptions {
   /// PoC, used by the lossy-network robustness tests).
   bool reliable = false;
   std::uint32_t max_retries = 5;
+  /// Initial retransmission timeout. Successive retries of the same command
+  /// back off exponentially: wait_n = min(backoff_cap, timeout *
+  /// backoff_multiplier^(n-1)), plus uniform jitter of up to
+  /// backoff_jitter * wait_n so a fleet's retries do not synchronise.
+  /// Sessions with no retries draw no backoff randomness (bit-identity).
   sim::SimDuration retransmit_timeout = 2 * sim::kMillisecond;
+  double backoff_multiplier = 2.0;
+  sim::SimDuration backoff_cap = 64 * sim::kMillisecond;
+  double backoff_jitter = 0.1;
+  /// Simulated-time budget for the whole session (0 = unbounded). A session
+  /// that exceeds it is aborted and reported as kDeadlineExceeded — a fleet
+  /// verifier must bound every member's port occupancy.
+  sim::SimDuration deadline = 0;
   /// Register churn applied once between the configuration and readback
   /// phases (the application "runs"); makes raw readback differ from the
   /// golden bitstream so only the masked compare can succeed.
@@ -45,6 +58,10 @@ struct SessionHooks {
   std::function<bool(Bytes&)> on_command;
   /// Intercepts the encoded response; return false to drop it.
   std::function<bool(Bytes&)> on_response;
+  /// Runs before each command round with the command index — the fault
+  /// harness's trigger point for protocol-progress-keyed device faults
+  /// (crash at command k, ICAP stall at command k).
+  std::function<void(std::size_t, SachaProver&)> before_command;
 };
 
 /// Ledger action keys (Table 3 rows).
@@ -66,6 +83,10 @@ inline constexpr const char* kAck = "acknowledgements (reliable mode)";
 
 struct AttestationReport {
   SachaVerifier::Verdict verdict;
+  /// Typed cause when the session did not attest (kNone on success). The
+  /// first transport failure observed wins over the crypto verdict: a
+  /// session that timed out cannot judge tampering.
+  FailureKind failure = FailureKind::kNone;
   sim::TimeLedger ledger;
   /// Sum of the A1-A10 buckets (Table 4's "theoretical duration").
   sim::SimDuration theoretical_time = 0;
@@ -73,6 +94,12 @@ struct AttestationReport {
   sim::SimDuration total_time = 0;
   std::uint64_t commands_sent = 0;
   std::uint64_t retransmissions = 0;
+  /// Messages the channel dropped (both directions, independent + burst).
+  std::uint64_t messages_lost = 0;
+  /// Total simulated time spent waiting in retransmission backoff.
+  sim::SimDuration backoff_wait = 0;
+  /// True when the session was cut short by SessionOptions::deadline.
+  bool deadline_hit = false;
   std::uint64_t bytes_to_prover = 0;
   std::uint64_t bytes_to_verifier = 0;
   /// Readback bytes the verifier still buffers after finish(): the full

@@ -103,6 +103,7 @@ void SachaVerifier::begin() {
   }
   received_mac_.reset();
   protocol_error_.reset();
+  protocol_failure_ = FailureKind::kNone;
 }
 
 std::size_t SachaVerifier::config_command_count() const {
@@ -263,11 +264,15 @@ void SachaVerifier::absorb_response(std::size_t step,
 Status SachaVerifier::on_response(std::size_t index,
                                   std::optional<Response> response) {
   const std::size_t configs = config_commands_;
+  const auto note = [this](FailureKind kind) {
+    if (protocol_failure_ == FailureKind::kNone) protocol_failure_ = kind;
+  };
   if (index < configs) {
     // Fire-and-forget; an error response means the device rejected a write.
     if (response.has_value() && response->type == ResponseType::kError) {
       protocol_error_ = "device rejected configuration command " +
                         std::to_string(index);
+      note(FailureKind::kDeviceError);
       return Status::error(*protocol_error_);
     }
     return Status();
@@ -277,12 +282,17 @@ Status SachaVerifier::on_response(std::size_t index,
     if (!response.has_value() || response->type != ResponseType::kFrameData) {
       protocol_error_ = "missing or bad readback response at step " +
                         std::to_string(step);
+      note(!response.has_value() ? FailureKind::kTimeoutExhausted
+           : response->type == ResponseType::kError
+               ? FailureKind::kDeviceError
+               : FailureKind::kDecodeError);
       return Status::error(*protocol_error_);
     }
     const std::uint32_t expected_words = steps_[step].second * words_per_frame_;
     if (response->frame_words.size() != expected_words) {
       protocol_error_ = "readback step " + std::to_string(step) +
                         " returned wrong word count";
+      note(FailureKind::kDecodeError);
       return Status::error(*protocol_error_);
     }
     if (options_.mode == VerifyMode::kRetained) {
@@ -293,6 +303,7 @@ Status SachaVerifier::on_response(std::size_t index,
     if (step_done_[step] || (!pending_.empty() && pending_.count(step) != 0)) {
       protocol_error_ =
           "duplicate readback response at step " + std::to_string(step);
+      note(FailureKind::kDecodeError);
       return Status::error(*protocol_error_);
     }
     absorb_response(step, std::move(response->frame_words));
@@ -300,6 +311,10 @@ Status SachaVerifier::on_response(std::size_t index,
   }
   if (!response.has_value() || response->type != ResponseType::kMacValue) {
     protocol_error_ = "missing or bad MAC response";
+    note(!response.has_value() ? FailureKind::kTimeoutExhausted
+         : response->type == ResponseType::kError
+             ? FailureKind::kDeviceError
+             : FailureKind::kDecodeError);
     return Status::error(*protocol_error_);
   }
   received_mac_ = response->mac;
@@ -346,12 +361,16 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
   Verdict verdict;
   if (protocol_error_.has_value()) {
     verdict.detail = *protocol_error_;
+    verdict.kind = protocol_failure_ != FailureKind::kNone
+                       ? protocol_failure_
+                       : FailureKind::kTimeoutExhausted;
     (log_debug() << "verifier verdict: protocol error")
         .kv("detail", *protocol_error_);
     return verdict;
   }
   if (!received_mac_.has_value()) {
     verdict.detail = "no MAC received";
+    verdict.kind = FailureKind::kTimeoutExhausted;
     return verdict;
   }
   const bool streaming = options_.mode == VerifyMode::kStreaming;
@@ -359,6 +378,7 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
     const bool have = streaming ? step_done_[s] != 0 : received_[s].has_value();
     if (!have) {
       verdict.detail = "no data for readback step " + std::to_string(s);
+      verdict.kind = FailureKind::kTimeoutExhausted;
       return verdict;
     }
   }
@@ -370,6 +390,7 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
       expected.has_value() && crypto::ct_equal(*expected, *received_mac_);
   if (!verdict.mac_ok) {
     verdict.detail = "MAC mismatch: device does not hold the key or data was modified";
+    verdict.kind = FailureKind::kMacMismatch;
   }
 
   // B_Prv == B_Vrf under Msk, every frame covered. Streaming mode already
@@ -424,6 +445,9 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
   }
   verdict.config_ok = config_ok;
   if (!config_ok && verdict.detail.empty()) verdict.detail = config_detail;
+  if (!config_ok && verdict.kind == FailureKind::kNone) {
+    verdict.kind = FailureKind::kMaskedCompareMismatch;
+  }
   if (verdict.ok()) verdict.detail = "attested";
   return verdict;
 }

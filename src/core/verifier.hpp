@@ -31,6 +31,7 @@
 
 #include "bitstream/bitgen.hpp"
 #include "bitstream/golden_model.hpp"
+#include "core/failure.hpp"
 #include "core/protocol.hpp"
 #include "crypto/prg.hpp"
 #include "fabric/partition.hpp"
@@ -112,6 +113,12 @@ class SachaVerifier {
     bool mac_ok = false;       // H_Prv == H_Vrf
     bool config_ok = false;    // Msk(B_Prv) == Msk(B_Vrf), full coverage
     std::string detail;        // first failure, for logs
+    /// Typed cause as far as the verifier can tell (kNone on success):
+    /// missing data maps to kTimeoutExhausted, error responses to
+    /// kDeviceError, malformed/duplicate responses to kDecodeError, then
+    /// the crypto checks to kMacMismatch / kMaskedCompareMismatch. The
+    /// session driver overrides this with transport causes it saw first.
+    FailureKind kind = FailureKind::kNone;
     bool ok() const { return protocol_ok && mac_ok && config_ok; }
   };
   Verdict finish() const;
@@ -224,6 +231,9 @@ class SachaVerifier {
 
   std::optional<crypto::Mac> received_mac_;
   std::optional<std::string> protocol_error_;
+  /// Typed classification of protocol_error_ (what kind of violation the
+  /// first bad response was).
+  FailureKind protocol_failure_ = FailureKind::kNone;
 };
 
 }  // namespace sacha::core

@@ -1,0 +1,95 @@
+#include "fault/injector.hpp"
+
+#include "common/log.hpp"
+#include "config/seu.hpp"
+#include "obs/metrics.hpp"
+
+namespace sacha::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(plan),
+      seed_(seed),
+      // The injector's own stream: wire corruption draws from here, so a
+      // plan without stochastic faults leaves the session streams alone.
+      rng_(derive_seed(seed, "fault.wire")) {}
+
+void FaultInjector::arm(core::SessionOptions& options,
+                        core::SessionHooks& hooks) {
+  ++stats_.sessions_armed;
+  crash_fired_ = false;
+  stall_fired_ = false;
+  seu_fired_ = false;
+  if (plan_.empty()) return;
+
+  if (plan_.burst.enabled()) {
+    options.channel.burst = plan_.burst;
+  }
+  if (plan_.spike_probability > 0.0) {
+    options.channel.spike_probability = plan_.spike_probability;
+    options.channel.spike_max = plan_.spike_max;
+  }
+
+  if (plan_.crash || plan_.stall) {
+    // Triggers are keyed on protocol progress (command index), the only
+    // clock a device fault can meaningfully reference; `>=` so a fault
+    // aimed past the last command of a short session still fires.
+    auto chained = hooks.before_command;
+    hooks.before_command = [this, chained](std::size_t index,
+                                           core::SachaProver& prover) {
+      if (chained) chained(index, prover);
+      if (plan_.stall && !stall_fired_ && index >= plan_.stall->at_command) {
+        stall_fired_ = true;
+        ++stats_.stalls_fired;
+        prover.inject_stall(plan_.stall->packets);
+      }
+      if (plan_.crash && !crash_fired_ && index >= plan_.crash->at_command) {
+        crash_fired_ = true;
+        ++stats_.crashes_fired;
+        prover.inject_crash(plan_.crash->reboot_after);
+      }
+    };
+  }
+
+  if (plan_.corrupt_probability > 0.0) {
+    auto chained = hooks.on_response;
+    hooks.on_response = [this, chained](Bytes& bytes) {
+      if (chained && !chained(bytes)) return false;
+      if (!bytes.empty() && rng_.chance(plan_.corrupt_probability)) {
+        ++stats_.responses_corrupted;
+        static obs::Counter& corrupted =
+            obs::MetricsRegistry::global().counter(
+                "sacha.fault.corrupted_responses");
+        corrupted.add(1);
+        const std::size_t byte = rng_.below(bytes.size());
+        bytes[byte] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+      }
+      return true;
+    };
+  }
+
+  if (plan_.seu_flips > 0) {
+    auto chained = hooks.after_config;
+    // One strike per armed session, after configuration (the readback then
+    // detects it, §2.1.3); seeded per session so retries see independent
+    // strike positions.
+    const std::uint64_t strike_seed =
+        derive_seed(seed_, "fault.seu", stats_.sessions_armed);
+    hooks.after_config = [this, chained,
+                          strike_seed](core::SachaProver& prover) {
+      if (chained) chained(prover);
+      if (seu_fired_) return;
+      seu_fired_ = true;
+      config::SeuInjector injector(strike_seed);
+      const auto hits =
+          injector.inject_config_bits(prover.memory(), plan_.seu_flips);
+      stats_.seu_flips += hits.size();
+      static obs::Counter& flips =
+          obs::MetricsRegistry::global().counter("sacha.fault.seu_flips");
+      flips.add(hits.size());
+    };
+  }
+
+  (log_debug() << "fault plan armed").kv("plan", plan_.describe());
+}
+
+}  // namespace sacha::fault

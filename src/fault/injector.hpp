@@ -1,0 +1,57 @@
+// Fault injector: arms a FaultPlan onto one attestation session.
+//
+// arm() translates the declarative plan into the session's existing
+// extension points — channel parameters for burst loss and latency
+// spikes, SessionHooks for wire corruption and the device-fault triggers
+// (crash / ICAP stall keyed on protocol progress), and the SEU injector
+// for post-configuration upsets. Existing hooks are chained, not
+// replaced, so an adversary and a fault plan compose.
+//
+// The injector owns the randomness for its faults (derived from its own
+// seed, independent of the session's channel stream) and the one-shot
+// trigger state, so it must outlive the session it is armed on. Re-arming
+// resets the triggers: each armed session experiences the plan afresh,
+// and the caller (e.g. a SwarmMember::configure callback) decides which
+// attempts are exposed. Arming an empty plan is a no-op by contract —
+// the session's randomness stream is untouched (bit-identity).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "fault/plan.hpp"
+
+namespace sacha::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultPlan plan, std::uint64_t seed);
+
+  /// Applies the plan to the session: channel faults into `options`,
+  /// device/wire faults chained onto `hooks`. Resets one-shot triggers.
+  void arm(core::SessionOptions& options, core::SessionHooks& hooks);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// What actually fired across all armed sessions.
+  struct Stats {
+    std::uint64_t sessions_armed = 0;
+    std::uint64_t responses_corrupted = 0;
+    std::uint64_t crashes_fired = 0;
+    std::uint64_t stalls_fired = 0;
+    std::uint64_t seu_flips = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t seed_;
+  Rng rng_;
+  Stats stats_;
+  bool crash_fired_ = false;
+  bool stall_fired_ = false;
+  bool seu_fired_ = false;
+};
+
+}  // namespace sacha::fault

@@ -1,0 +1,142 @@
+#include "fault/plan.hpp"
+
+#include <charconv>
+#include <sstream>
+#include <vector>
+
+namespace sacha::fault {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  while (!text.empty()) {
+    const std::size_t pos = text.find(sep);
+    parts.push_back(text.substr(0, pos));
+    if (pos == std::string_view::npos) break;
+    text.remove_prefix(pos + 1);
+  }
+  return parts;
+}
+
+bool parse_double(std::string_view text, double& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_u32(std::string_view text, std::uint32_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_probability(std::string_view text, double& out) {
+  return parse_double(text, out) && out >= 0.0 && out <= 1.0;
+}
+
+Result<FaultPlan> clause_error(std::string_view clause,
+                               std::string_view why) {
+  return Result<FaultPlan>::error("bad fault clause \"" +
+                                  std::string(clause) + "\": " +
+                                  std::string(why));
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const std::string_view clause : split(spec, ';')) {
+    if (clause.empty()) continue;
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos) {
+      return clause_error(clause, "expected key=value");
+    }
+    const std::string_view key = clause.substr(0, eq);
+    const std::vector<std::string_view> vals =
+        split(clause.substr(eq + 1), ':');
+    if (key == "burst") {
+      if (vals.size() != 3) return clause_error(clause, "want enter:exit:loss");
+      if (!parse_probability(vals[0], plan.burst.p_good_to_bad) ||
+          !parse_probability(vals[1], plan.burst.p_bad_to_good) ||
+          !parse_probability(vals[2], plan.burst.loss_bad)) {
+        return clause_error(clause, "probabilities must be in [0,1]");
+      }
+      if (plan.burst.p_good_to_bad > 0.0 && plan.burst.p_bad_to_good <= 0.0) {
+        return clause_error(clause, "exit probability must be > 0");
+      }
+    } else if (key == "corrupt") {
+      if (vals.size() != 1 ||
+          !parse_probability(vals[0], plan.corrupt_probability)) {
+        return clause_error(clause, "want a probability in [0,1]");
+      }
+    } else if (key == "crash") {
+      if (vals.empty() || vals.size() > 2) {
+        return clause_error(clause, "want at_command[:reboot_after]");
+      }
+      CrashFault crash;
+      if (!parse_u32(vals[0], crash.at_command) ||
+          (vals.size() == 2 && !parse_u32(vals[1], crash.reboot_after))) {
+        return clause_error(clause, "counts must be unsigned integers");
+      }
+      plan.crash = crash;
+    } else if (key == "stall") {
+      if (vals.size() != 2) return clause_error(clause, "want at_command:packets");
+      StallFault stall;
+      if (!parse_u32(vals[0], stall.at_command) ||
+          !parse_u32(vals[1], stall.packets) || stall.packets == 0) {
+        return clause_error(clause, "want unsigned integers, packets > 0");
+      }
+      plan.stall = stall;
+    } else if (key == "spike") {
+      if (vals.size() != 2) return clause_error(clause, "want p:max_us");
+      std::uint32_t max_us = 0;
+      if (!parse_probability(vals[0], plan.spike_probability) ||
+          !parse_u32(vals[1], max_us)) {
+        return clause_error(clause, "want probability:max_us");
+      }
+      plan.spike_max = static_cast<sim::SimDuration>(max_us) * sim::kMicrosecond;
+    } else if (key == "seu") {
+      if (vals.size() != 1 || !parse_u32(vals[0], plan.seu_flips)) {
+        return clause_error(clause, "want a flip count");
+      }
+    } else {
+      return clause_error(clause, "unknown fault kind");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (empty()) return "none";
+  std::ostringstream out;
+  const char* sep = "";
+  if (burst.enabled()) {
+    out << sep << "burst=" << burst.p_good_to_bad << ':' << burst.p_bad_to_good
+        << ':' << burst.loss_bad;
+    sep = ";";
+  }
+  if (corrupt_probability > 0.0) {
+    out << sep << "corrupt=" << corrupt_probability;
+    sep = ";";
+  }
+  if (crash) {
+    out << sep << "crash=" << crash->at_command << ':' << crash->reboot_after;
+    sep = ";";
+  }
+  if (stall) {
+    out << sep << "stall=" << stall->at_command << ':' << stall->packets;
+    sep = ";";
+  }
+  if (spike_probability > 0.0) {
+    out << sep << "spike=" << spike_probability << ':'
+        << spike_max / sim::kMicrosecond;
+    sep = ";";
+  }
+  if (seu_flips > 0) {
+    out << sep << "seu=" << seu_flips;
+  }
+  return out.str();
+}
+
+}  // namespace sacha::fault

@@ -1,0 +1,81 @@
+// Declarative fault plans.
+//
+// A FaultPlan names the faults one attestation session is exposed to:
+// Gilbert–Elliott burst loss and latency spikes on the channel, response
+// corruption on the wire, a device crash (power-cycle with optional
+// reboot), an ICAP stall window, and radiation upsets (SEUs) in the
+// configuration memory. Plans are data, not code — the same plan drives a
+// unit test, a bench fault-matrix cell, and the CLI's `--fault-plan` flag,
+// so every layer exercises the identical fault process.
+//
+// The textual form is a `;`-separated clause list:
+//
+//   burst=<p_enter>:<p_exit>:<loss_bad>   two-state burst loss
+//   corrupt=<p>                           per-response corruption prob.
+//   crash=<at_command>[:<reboot_after>]   crash at command k, reboot after
+//                                         n further packets (0 = stay dead)
+//   stall=<at_command>:<packets>          ICAP stall swallowing n packets
+//   spike=<p>:<max_us>                    latency spikes (slow member)
+//   seu=<flips>                           config-bit upsets after config
+//
+// e.g. "burst=0.05:0.4:1.0;crash=12:3;seu=2". An empty spec parses to the
+// empty plan, which by contract injects nothing and leaves the session's
+// randomness stream untouched (bit-identity with an un-faulted run).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "net/channel.hpp"
+#include "sim/time.hpp"
+
+namespace sacha::fault {
+
+/// Device crash: the prover drops everything from command `at_command`
+/// onward; after `reboot_after` further incoming packets it power-cycles
+/// (volatile configuration lost, static partition reloaded from BootMem).
+/// reboot_after = 0 keeps the device dead for the rest of the session.
+struct CrashFault {
+  std::uint32_t at_command = 0;
+  std::uint32_t reboot_after = 0;
+};
+
+/// ICAP stall: from command `at_command` the device silently swallows the
+/// next `packets` packets (configuration engine wedged), then recovers.
+struct StallFault {
+  std::uint32_t at_command = 0;
+  std::uint32_t packets = 1;
+};
+
+struct FaultPlan {
+  /// Burst loss on the channel (enabled when p_good_to_bad > 0).
+  net::BurstLossParams burst{};
+  /// Probability that a delivered response has one wire bit flipped.
+  double corrupt_probability = 0.0;
+  std::optional<CrashFault> crash;
+  std::optional<StallFault> stall;
+  /// Latency spikes: each transfer gains uniform(0, spike_max) extra
+  /// latency with this probability (the slow swarm member).
+  double spike_probability = 0.0;
+  sim::SimDuration spike_max = 0;
+  /// Configuration-bit upsets injected after the configuration phase.
+  std::uint32_t seu_flips = 0;
+
+  bool empty() const {
+    return !burst.enabled() && corrupt_probability <= 0.0 && !crash &&
+           !stall && spike_probability <= 0.0 && seu_flips == 0;
+  }
+
+  /// Human-readable clause list in the textual form above ("none" when
+  /// empty). parse(describe()) round-trips.
+  std::string describe() const;
+
+  /// Parses the textual form. Unknown clauses, malformed numbers and
+  /// out-of-range probabilities are errors, not silently ignored.
+  static Result<FaultPlan> parse(std::string_view spec);
+};
+
+}  // namespace sacha::fault

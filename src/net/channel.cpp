@@ -5,6 +5,14 @@
 
 namespace sacha::net {
 
+double BurstLossParams::mean_loss() const {
+  if (!enabled()) return loss_good;
+  // Stationary distribution of the two-state chain: P(bad) =
+  // p_enter / (p_enter + p_exit).
+  const double p_bad = p_good_to_bad / (p_good_to_bad + p_bad_to_good);
+  return (1.0 - p_bad) * loss_good + p_bad * loss_bad;
+}
+
 ChannelParams ChannelParams::ideal() { return ChannelParams{}; }
 
 ChannelParams ChannelParams::lab() {
@@ -42,9 +50,38 @@ std::optional<sim::SimDuration> Channel::transfer(std::size_t payload_bytes) {
     }
     return std::nullopt;
   }
+  // Gilbert–Elliott burst loss: advance the state chain per message, then
+  // apply the state's loss probability. Everything stays behind enabled()
+  // so a burst-free channel draws no extra randomness (seed-for-seed
+  // bit-identity with the pre-fault-harness behaviour).
+  if (params_.burst.enabled()) {
+    static obs::Counter& burst_lost =
+        registry.counter("sacha.net.burst_losses");
+    if (in_burst_) {
+      if (rng_.chance(params_.burst.p_bad_to_good)) in_burst_ = false;
+    } else if (rng_.chance(params_.burst.p_good_to_bad)) {
+      in_burst_ = true;
+    }
+    const double p = in_burst_ ? params_.burst.loss_bad
+                               : params_.burst.loss_good;
+    if (p > 0.0 && rng_.chance(p)) {
+      ++messages_lost_;
+      ++burst_losses_;
+      lost.add(1);
+      burst_lost.add(1);
+      return std::nullopt;
+    }
+  }
   sim::SimDuration t = nominal_time(payload_bytes);
   if (params_.jitter_max > 0) {
     t += rng_.below(params_.jitter_max + 1);
+  }
+  if (params_.spike_probability > 0.0 &&
+      rng_.chance(params_.spike_probability)) {
+    static obs::Counter& spikes = registry.counter("sacha.net.jitter_spikes");
+    ++jitter_spikes_;
+    spikes.add(1);
+    if (params_.spike_max > 0) t += rng_.below(params_.spike_max + 1);
   }
   latency.observe(t);
   return t;

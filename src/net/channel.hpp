@@ -18,11 +18,33 @@
 
 namespace sacha::net {
 
+/// Gilbert–Elliott two-state burst-loss model. Real links do not lose
+/// packets independently: a congested switch or a fading radio link drops
+/// them in bursts. The channel sits in a good or a bad state, transitions
+/// per message, and applies the state's loss probability — the fault
+/// harness drives this to exercise retransmission under correlated loss.
+struct BurstLossParams {
+  double p_good_to_bad = 0.0;  // per-message transition into the burst
+  double p_bad_to_good = 0.3;  // per-message recovery from the burst
+  double loss_good = 0.0;      // loss probability outside bursts
+  double loss_bad = 1.0;       // loss probability inside bursts
+  bool enabled() const { return p_good_to_bad > 0.0; }
+  /// Stationary mean loss rate of the two-state chain.
+  double mean_loss() const;
+};
+
 struct ChannelParams {
   WireModel wire{};
   sim::SimDuration per_command_latency = 0;  // host stack + propagation, per message
   sim::SimDuration jitter_max = 0;           // uniform extra [0, jitter_max]
-  double loss_probability = 0.0;             // per message
+  double loss_probability = 0.0;             // per message, independent
+  /// Correlated (bursty) loss on top of the independent loss model.
+  BurstLossParams burst{};
+  /// Slow-member jitter spikes: with this probability a message pays an
+  /// extra uniform [0, spike_max] delay (GC pause, queue build-up) on top
+  /// of the regular jitter.
+  double spike_probability = 0.0;
+  sim::SimDuration spike_max = 0;
 
   /// Ideal channel: wire time only (the paper's "theoretical duration").
   static ChannelParams ideal();
@@ -47,12 +69,20 @@ class Channel {
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_lost() const { return messages_lost_; }
+  /// Subset of messages_lost() dropped by the burst model (vs independent
+  /// loss), and spike count — the fault benches audit loss composition.
+  std::uint64_t burst_losses() const { return burst_losses_; }
+  std::uint64_t jitter_spikes() const { return jitter_spikes_; }
+  bool in_burst() const { return in_burst_; }
 
  private:
   ChannelParams params_;
   Rng rng_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
+  std::uint64_t burst_losses_ = 0;
+  std::uint64_t jitter_spikes_ = 0;
+  bool in_burst_ = false;  // Gilbert–Elliott channel state
 };
 
 }  // namespace sacha::net

@@ -1,0 +1,553 @@
+// Fault-tolerance tests: the fault-injection harness, the typed failure
+// taxonomy, and the self-healing swarm supervisor.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+#include "attacks/env.hpp"
+#include "common/rng.hpp"
+#include "core/swarm.hpp"
+#include "fault/injector.hpp"
+
+namespace sacha {
+namespace {
+
+using core::FailureKind;
+
+// ---- Seed derivation (the swarm's per-member streams) --------------------
+
+TEST(DeriveSeed, AdjacentFleetSeedsDoNotCollideAcrossMembers) {
+  // The old `seed + index` scheme made fleet seed s, member i+1 reuse the
+  // stream of fleet seed s+1, member i. The hash must not.
+  EXPECT_NE(derive_seed(1, "node-1", 0), derive_seed(2, "node-0", 0));
+  EXPECT_NE(derive_seed(1, "node-0", 0), derive_seed(1, "node-1", 0));
+  EXPECT_NE(derive_seed(1, "node-0", 0), derive_seed(1, "node-0", 1));
+  EXPECT_EQ(derive_seed(7, "node-3", 2), derive_seed(7, "node-3", 2));
+}
+
+TEST(DeriveSeed, SpreadsAcrossMembersAndAttempts) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    for (int m = 0; m < 8; ++m) {
+      for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+        seen.insert(derive_seed(seed, "node-" + std::to_string(m), attempt));
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 3u * 8u * 3u);
+}
+
+// ---- Fault plans ---------------------------------------------------------
+
+TEST(FaultPlan, ParsesFullSpecAndRoundTrips) {
+  const auto parsed = fault::FaultPlan::parse(
+      "burst=0.05:0.4:1;corrupt=0.1;crash=12:3;stall=4:2;spike=0.2:500;seu=2");
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const fault::FaultPlan& plan = parsed.value();
+  EXPECT_TRUE(plan.burst.enabled());
+  EXPECT_DOUBLE_EQ(plan.burst.p_good_to_bad, 0.05);
+  EXPECT_DOUBLE_EQ(plan.corrupt_probability, 0.1);
+  ASSERT_TRUE(plan.crash.has_value());
+  EXPECT_EQ(plan.crash->at_command, 12u);
+  EXPECT_EQ(plan.crash->reboot_after, 3u);
+  ASSERT_TRUE(plan.stall.has_value());
+  EXPECT_EQ(plan.stall->packets, 2u);
+  EXPECT_EQ(plan.spike_max, 500 * sim::kMicrosecond);
+  EXPECT_EQ(plan.seu_flips, 2u);
+
+  const auto again = fault::FaultPlan::parse(plan.describe());
+  ASSERT_TRUE(again.ok()) << again.message();
+  EXPECT_EQ(again.value().describe(), plan.describe());
+}
+
+TEST(FaultPlan, EmptySpecIsEmptyPlan) {
+  const auto parsed = fault::FaultPlan::parse("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+  EXPECT_EQ(parsed.value().describe(), "none");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_FALSE(fault::FaultPlan::parse("bogus=1").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("corrupt=1.5").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("burst=0.1:0.2").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("burst=0.1:0:1").ok());  // no exit
+  EXPECT_FALSE(fault::FaultPlan::parse("stall=3:0").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("crash").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("seu=x").ok());
+}
+
+// ---- Gilbert–Elliott burst loss ------------------------------------------
+
+TEST(BurstLoss, DropsInBurstsAndCountsThem) {
+  net::ChannelParams params;
+  params.burst = {0.2, 0.3, 0.0, 1.0};
+  net::Channel channel(params, 99);
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (channel.transfer(64).has_value()) ++delivered;
+  }
+  EXPECT_GT(channel.burst_losses(), 0u);
+  EXPECT_EQ(channel.messages_lost(), channel.burst_losses());
+  // Stationary loss ~ 0.4; allow wide slack, just not degenerate.
+  const double loss_rate = static_cast<double>(channel.messages_lost()) / 2000;
+  EXPECT_GT(loss_rate, 0.2);
+  EXPECT_LT(loss_rate, 0.6);
+  EXPECT_NEAR(params.burst.mean_loss(), 0.4, 1e-9);
+}
+
+TEST(BurstLoss, DisabledBurstIsBitIdenticalToPlainChannel) {
+  // Same seed, same transfer sequence: a channel whose burst model is
+  // disabled must produce the identical latency stream (no extra draws).
+  net::ChannelParams plain;
+  plain.jitter_max = 5'000;
+  net::ChannelParams with_model = plain;
+  with_model.burst = {};  // disabled
+  net::Channel a(plain, 7);
+  net::Channel b(with_model, 7);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.transfer(128), b.transfer(128)) << i;
+  }
+}
+
+// ---- Device faults (prover crash / stall) --------------------------------
+
+TEST(DeviceFaults, StalledDeviceRecoversViaRetransmission) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(11);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.reliable = true;
+  core::SessionHooks hooks;
+  hooks.before_command = [](std::size_t index, core::SachaProver& p) {
+    if (index == 3) p.inject_stall(2);
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_TRUE(report.verdict.ok()) << report.verdict.detail;
+  EXPECT_EQ(report.failure, FailureKind::kNone);
+  EXPECT_GE(report.retransmissions, 2u);
+  EXPECT_EQ(prover.fault_state().packets_dropped, 2u);
+}
+
+TEST(DeviceFaults, CrashLosesDynamicConfigurationUntilFreshSession) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(12);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.reliable = true;
+  core::SessionHooks hooks;
+  hooks.before_command = [](std::size_t index, core::SachaProver& p) {
+    if (index == 5 && p.fault_state().reboots == 0) p.inject_crash(2);
+  };
+  const auto crashed =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  // The rebooted device lost the frames configured before the crash: the
+  // session completes over the wire but cannot attest.
+  EXPECT_FALSE(crashed.verdict.ok());
+  EXPECT_EQ(prover.fault_state().reboots, 1u);
+
+  // A fresh full session (fresh nonce, full reconfiguration) heals it.
+  const auto healed =
+      core::run_attestation(verifier, prover, env.session_options);
+  EXPECT_TRUE(healed.verdict.ok()) << healed.verdict.detail;
+}
+
+TEST(DeviceFaults, CrashWithoutRebootExhaustsRetries) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(13);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.reliable = true;
+  env.session_options.max_retries = 2;
+  core::SessionHooks hooks;
+  hooks.before_command = [](std::size_t index, core::SachaProver& p) {
+    if (index == 2) p.inject_crash(0);  // stays dead
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kTimeoutExhausted);
+}
+
+// ---- Typed failure classification ----------------------------------------
+
+TEST(FailureTaxonomy, HonestSessionIsFailureFree) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(20);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  const auto report = core::run_attestation(verifier, prover, env.session_options);
+  EXPECT_TRUE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kNone);
+}
+
+TEST(FailureTaxonomy, DeadlineExceededWinsOverLaterVerdict) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(21);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.channel.per_command_latency = 200 * sim::kMicrosecond;
+  env.session_options.deadline = 2 * sim::kMillisecond;
+  const auto report = core::run_attestation(verifier, prover, env.session_options);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_TRUE(report.deadline_hit);
+  EXPECT_EQ(report.failure, FailureKind::kDeadlineExceeded);
+  EXPECT_LE(report.total_time,
+            env.session_options.deadline + 10 * sim::kMillisecond);
+}
+
+TEST(FailureTaxonomy, UndecodableResponseIsDecodeError) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(22);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  core::SessionHooks hooks;
+  hooks.on_response = [](Bytes& reply) {
+    reply[0] = 0xee;  // clobber the type tag: decode must fail
+    return true;
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kDecodeError);
+}
+
+TEST(FailureTaxonomy, ProverErrorResponseIsDeviceError) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(23);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  core::SessionHooks hooks;
+  hooks.on_command = [](Bytes& packet) {
+    packet[0] = 0x7f;  // unknown command type: the device rejects it
+    return true;
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kDeviceError);
+}
+
+TEST(FailureTaxonomy, TamperedReadbackIsMacMismatch) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(24);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  core::SessionHooks hooks;
+  hooks.on_response = [](Bytes& reply) {
+    // Flip one payload bit of frame-data responses; still decodable, so
+    // this is indistinguishable from on-device tampering and must land on
+    // the crypto checks, not the transport taxonomy.
+    if (reply.size() > 16 && reply[0] == 2) reply[8] ^= 0x01;
+    return true;
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kMacMismatch);
+}
+
+TEST(FailureTaxonomy, OnDeviceTamperIsMaskedCompareMismatch) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(25);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  core::SessionHooks hooks;
+  hooks.after_config = [](core::SachaProver& p) {
+    bitstream::Frame f = p.memory().config_frame(6);
+    f.flip_bit(1);
+    p.memory().write_frame(6, f);
+  };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kMaskedCompareMismatch);
+}
+
+TEST(FailureTaxonomy, RetriesExhaustedIsTimeoutExhausted) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(26);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.reliable = true;
+  env.session_options.max_retries = 3;
+  core::SessionHooks hooks;
+  // Black-hole every delivery of command 4 (first send and retries alike).
+  const std::size_t target = 4;
+  std::size_t current = 0;
+  hooks.before_command = [&current](std::size_t index, core::SachaProver&) {
+    current = index;
+  };
+  hooks.on_command = [&current, target](Bytes&) { return current != target; };
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kTimeoutExhausted);
+}
+
+// ---- FaultInjector wiring ------------------------------------------------
+
+TEST(FaultInjector, EmptyPlanLeavesSessionBitIdentical) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(30);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  const auto baseline =
+      core::run_attestation(verifier, prover, env.session_options);
+
+  attacks::AttackEnv env2 = attacks::AttackEnv::small(30);
+  auto verifier2 = env2.make_verifier();
+  auto prover2 = env2.make_prover();
+  fault::FaultInjector injector(fault::FaultPlan{}, 30);
+  core::SessionHooks hooks;
+  injector.arm(env2.session_options, hooks);
+  const auto armed =
+      core::run_attestation(verifier2, prover2, env2.session_options, hooks);
+
+  EXPECT_TRUE(baseline.verdict.ok());
+  EXPECT_TRUE(armed.verdict.ok());
+  EXPECT_EQ(baseline.total_time, armed.total_time);
+  EXPECT_EQ(baseline.theoretical_time, armed.theoretical_time);
+  ASSERT_TRUE(prover.last_mac().has_value());
+  ASSERT_TRUE(prover2.last_mac().has_value());
+  EXPECT_EQ(*prover.last_mac(), *prover2.last_mac());
+}
+
+TEST(FaultInjector, SeuStrikeIsDetectedAsMaskedCompareMismatch) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(31);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  auto plan = fault::FaultPlan::parse("seu=3");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(std::move(plan).take(), 31);
+  core::SessionHooks hooks;
+  injector.arm(env.session_options, hooks);
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  EXPECT_FALSE(report.verdict.ok());
+  EXPECT_EQ(report.failure, FailureKind::kMaskedCompareMismatch);
+  EXPECT_EQ(injector.stats().seu_flips, 3u);
+}
+
+TEST(FaultInjector, CorruptionHealsUnderReliableTransport) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(32);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  env.session_options.reliable = true;
+  env.session_options.max_retries = 10;
+  auto plan = fault::FaultPlan::parse("corrupt=0.2");
+  ASSERT_TRUE(plan.ok());
+  fault::FaultInjector injector(std::move(plan).take(), 32);
+  core::SessionHooks hooks;
+  injector.arm(env.session_options, hooks);
+  const auto report =
+      core::run_attestation(verifier, prover, env.session_options, hooks);
+  // Undecodable corruption is treated like loss and retried from the dedup
+  // cache; corruption that only grazes transport-level bytes (an ack's
+  // status) is harmless. With this seed no corrupt frame payload survives
+  // decoding, so the session converges without double-stepping the MAC.
+  EXPECT_TRUE(report.verdict.ok()) << report.verdict.detail;
+  EXPECT_GT(injector.stats().responses_corrupted, 0u);
+  EXPECT_GT(report.retransmissions, 0u);
+}
+
+// ---- Self-healing swarm supervisor ---------------------------------------
+
+/// Owns the fleet's verifiers/provers (SwarmMember holds raw pointers).
+struct Fleet {
+  explicit Fleet(std::size_t n, std::uint64_t base_seed = 700) {
+    for (std::size_t i = 0; i < n; ++i) {
+      envs.push_back(attacks::AttackEnv::small(base_seed + i));
+      verifiers.push_back(envs.back().make_verifier());
+      provers.push_back(envs.back().make_prover());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(core::SwarmMember{"node-" + std::to_string(i),
+                                          &verifiers[i], &provers[i], {}});
+    }
+  }
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<core::SwarmMember> members;
+};
+
+TEST(Supervisor, CrashedMemberHealsOnRetry) {
+  Fleet fleet(3);
+  fleet.members[1].configure = [](core::SessionOptions& options,
+                                  core::SessionHooks& hooks,
+                                  std::uint32_t attempt) {
+    options.reliable = true;
+    if (attempt == 0) {
+      hooks.before_command = [](std::size_t index, core::SachaProver& p) {
+        if (index == 4 && p.fault_state().reboots == 0) p.inject_crash(1);
+      };
+    }
+  };
+  core::SwarmOptions options;
+  options.session.reliable = true;
+  options.retry_budget = 2;
+  const auto report = core::attest_swarm(fleet.members, options);
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.healed, 1u);
+  EXPECT_EQ(report.reattempts, 1u);
+  EXPECT_EQ(report.members[1].attempts, 2u);
+  EXPECT_TRUE(report.members[1].healed);
+  EXPECT_EQ(report.members[1].failure, FailureKind::kNone);
+}
+
+TEST(Supervisor, PersistentTamperIsQuarantinedNeverAccepted) {
+  Fleet fleet(3);
+  // The tamper hook persists across attempts: genuine compromise, not a
+  // transient fault. The supervisor must spend its budget and quarantine,
+  // never accept.
+  fleet.members[2].hooks.on_response = [](Bytes& reply) {
+    if (reply.size() > 16 && reply[0] == 2) reply[8] ^= 0x01;
+    return true;
+  };
+  core::SwarmOptions options;
+  options.retry_budget = 3;
+  const auto report = core::attest_swarm(fleet.members, options);
+  EXPECT_FALSE(report.all_attested());
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.attested, 2u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.healed, 0u);
+  EXPECT_EQ(report.quarantined_ids(), std::vector<std::string>{"node-2"});
+  EXPECT_TRUE(report.members[2].quarantined);
+  EXPECT_EQ(report.members[2].attempts, 4u);  // budget fully spent
+  EXPECT_EQ(report.members[2].failure, FailureKind::kMacMismatch);
+}
+
+TEST(Supervisor, BurstLossConvergesWithReliableTransport) {
+  Fleet fleet(4);
+  auto plan = fault::FaultPlan::parse("burst=0.05:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  std::deque<fault::FaultInjector> injectors;
+  for (std::size_t i = 0; i < fleet.members.size(); ++i) {
+    injectors.emplace_back(plan.value(), 700 + i);
+    fault::FaultInjector& injector = injectors.back();
+    fleet.members[i].configure = [&injector](core::SessionOptions& options,
+                                             core::SessionHooks& hooks,
+                                             std::uint32_t) {
+      injector.arm(options, hooks);
+    };
+  }
+  core::SwarmOptions options;
+  options.session.reliable = true;
+  options.session.max_retries = 8;
+  options.retry_budget = 2;
+  const auto report = core::attest_swarm(fleet.members, options);
+  EXPECT_TRUE(report.converged());
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_GT(report.messages_lost, 0u);
+  EXPECT_GT(report.retransmissions, 0u);
+  EXPECT_GT(report.backoff_wait, 0u);
+}
+
+TEST(Supervisor, ZeroFaultSupervisedRunMatchesOneShotBitForBit) {
+  Fleet one_shot(5);
+  const auto legacy = core::attest_swarm(one_shot.members);
+
+  Fleet supervised(5);
+  core::SwarmOptions options;
+  options.retry_budget = 2;
+  const auto report = core::attest_swarm(supervised.members, options);
+
+  ASSERT_TRUE(legacy.all_attested());
+  ASSERT_TRUE(report.all_attested());
+  EXPECT_EQ(report.reattempts, 0u);
+  EXPECT_EQ(report.healed, 0u);
+  EXPECT_EQ(report.makespan, legacy.makespan);
+  EXPECT_EQ(report.total_work, legacy.total_work);
+  ASSERT_EQ(report.members.size(), legacy.members.size());
+  for (std::size_t i = 0; i < report.members.size(); ++i) {
+    EXPECT_EQ(report.members[i].duration, legacy.members[i].duration) << i;
+    ASSERT_TRUE(report.members[i].mac.has_value());
+    ASSERT_TRUE(legacy.members[i].mac.has_value());
+    EXPECT_EQ(*report.members[i].mac, *legacy.members[i].mac) << i;
+  }
+}
+
+TEST(Supervisor, FleetDeadlineStopsRetriesAndQuarantines) {
+  Fleet fleet(3);
+  fleet.members[0].hooks.after_config = [](core::SachaProver& p) {
+    bitstream::Frame f = p.memory().config_frame(5);
+    f.flip_bit(2);
+    p.memory().write_frame(5, f);
+  };
+  core::SwarmOptions options;
+  options.retry_budget = 5;
+  options.fleet_deadline_ns = 1;  // expires before any retry round
+  const auto report = core::attest_swarm(fleet.members, options);
+  EXPECT_TRUE(report.fleet_deadline_exceeded);
+  EXPECT_TRUE(report.converged());
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(report.reattempts, 0u);
+  EXPECT_EQ(report.members[0].attempts, 1u);
+  EXPECT_EQ(report.members[0].failure, FailureKind::kMaskedCompareMismatch);
+}
+
+TEST(Supervisor, RetriesUseFreshNonces) {
+  Fleet fleet(1);
+  std::vector<std::uint64_t> nonces;
+  fleet.members[0].configure = [&fleet, &nonces](core::SessionOptions&,
+                                                 core::SessionHooks& hooks,
+                                                 std::uint32_t attempt) {
+    // Record the nonce once the session has drawn it (first command).
+    core::SachaVerifier* verifier = &fleet.verifiers[0];
+    hooks.before_command = [verifier, &nonces](std::size_t index,
+                                               core::SachaProver&) {
+      if (index == 0) nonces.push_back(verifier->nonce());
+    };
+    if (attempt == 0) {
+      hooks.after_config = [](core::SachaProver& p) {
+        bitstream::Frame f = p.memory().config_frame(6);
+        f.flip_bit(3);
+        p.memory().write_frame(6, f);
+      };
+    }
+  };
+  core::SwarmOptions options;
+  options.retry_budget = 1;
+  const auto report = core::attest_swarm(fleet.members, options);
+  EXPECT_TRUE(report.all_attested());
+  EXPECT_EQ(report.healed, 1u);
+  ASSERT_EQ(nonces.size(), 2u);
+  EXPECT_NE(nonces[0], nonces[1]);  // fresh-nonce retry rule
+}
+
+// Acceptance: the recoverable fault matrix — burst loss x single crash x
+// single stall — converges: every member re-attests via fresh-nonce retry
+// or is quarantined with its typed cause.
+TEST(Supervisor, FaultMatrixConverges) {
+  for (const double burst_enter : {0.0, 0.03}) {
+    for (const bool crash : {false, true}) {
+      for (const bool stall : {false, true}) {
+        Fleet fleet(3);
+        std::deque<fault::FaultInjector> injectors;
+        for (std::size_t i = 0; i < fleet.members.size(); ++i) {
+          fault::FaultPlan plan;
+          if (burst_enter > 0.0) plan.burst = {burst_enter, 0.5, 0.0, 1.0};
+          if (crash && i == 1) plan.crash = fault::CrashFault{5, 2};
+          if (stall && i == 2) plan.stall = fault::StallFault{3, 2};
+          injectors.emplace_back(plan, 800 + i);
+          fault::FaultInjector& injector = injectors.back();
+          const bool device_fault = crash || stall;
+          fleet.members[i].configure =
+              [&injector, device_fault](core::SessionOptions& options,
+                                        core::SessionHooks& hooks,
+                                        std::uint32_t attempt) {
+                if (attempt == 0 || !device_fault) injector.arm(options, hooks);
+              };
+        }
+        core::SwarmOptions options;
+        options.session.reliable = true;
+        options.session.max_retries = 8;
+        options.retry_budget = 2;
+        const auto report = core::attest_swarm(fleet.members, options);
+        EXPECT_TRUE(report.converged())
+            << "burst=" << burst_enter << " crash=" << crash
+            << " stall=" << stall;
+        EXPECT_TRUE(report.all_attested())
+            << "burst=" << burst_enter << " crash=" << crash
+            << " stall=" << stall;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sacha

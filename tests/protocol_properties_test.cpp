@@ -111,6 +111,65 @@ TEST(CommandIdempotence, ReplayingConfigCommandIsHarmless) {
   EXPECT_EQ(prover.memory().config_frame(4), snapshot);
 }
 
+struct RetransmitCase {
+  std::uint32_t max_retries;
+  std::uint64_t seed;
+};
+
+class RetransmitDedup : public ::testing::TestWithParam<RetransmitCase> {};
+
+TEST_P(RetransmitDedup, LostResponsePlusRetryNeverDoubleStepsTheMac) {
+  // Drop the first delivery of every response — configuration acks,
+  // readback frames and the MAC checksum alike — so every command round
+  // retransmits at least once. The device's sequence-number dedup answers
+  // the retry from its response cache, so the ICAP executes each command
+  // exactly once and the running CMAC steps exactly once per readback.
+  // If a retry double-stepped the MAC, H_Prv would diverge from H_Vrf and
+  // the verdict would fail; attesting proves the property across all
+  // three command types for this retry budget.
+  const RetransmitCase& p = GetParam();
+  attacks::AttackEnv env = attacks::AttackEnv::small(p.seed);
+  env.session_options.reliable = true;
+  env.session_options.max_retries = p.max_retries;
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  SessionHooks hooks;
+  std::size_t responses_this_command = 0;
+  hooks.before_command = [&responses_this_command](std::size_t,
+                                                   SachaProver&) {
+    responses_this_command = 0;
+  };
+  hooks.on_response = [&responses_this_command](Bytes&) {
+    return responses_this_command++ > 0;  // swallow the first delivery
+  };
+  const AttestationReport report =
+      run_attestation(verifier, prover, env.session_options, hooks);
+  ASSERT_TRUE(report.verdict.ok()) << report.verdict.detail;
+  EXPECT_EQ(report.failure, FailureKind::kNone);
+  // One retry per command that expects a reply (readbacks + MAC) and per
+  // acked configuration command.
+  EXPECT_GE(report.retransmissions, report.commands_sent / 2);
+
+  // The reference MAC of an undisturbed run is identical: the retries were
+  // invisible to the crypto.
+  attacks::AttackEnv clean_env = attacks::AttackEnv::small(p.seed);
+  auto clean_verifier = clean_env.make_verifier();
+  auto clean_prover = clean_env.make_prover();
+  const AttestationReport clean =
+      run_attestation(clean_verifier, clean_prover, clean_env.session_options);
+  ASSERT_TRUE(clean.verdict.ok());
+  ASSERT_TRUE(prover.last_mac().has_value());
+  ASSERT_TRUE(clean_prover.last_mac().has_value());
+  EXPECT_EQ(*prover.last_mac(), *clean_prover.last_mac());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRetryBudgets, RetransmitDedup,
+                         ::testing::Values(RetransmitCase{1, 90},
+                                           RetransmitCase{2, 91},
+                                           RetransmitCase{3, 92},
+                                           RetransmitCase{5, 93},
+                                           RetransmitCase{8, 94}));
+
 TEST(StreamPadding, PaddedAndUnpaddedCommandsActIdentically) {
   attacks::AttackEnv env = attacks::AttackEnv::small(80);
   env.verifier_options.config_pad_words = 0;  // no padding at all

@@ -84,7 +84,8 @@ TEST(Swarm, ParallelMatchesSerialDeterministically) {
   // 16-member fleet, same base seeds: the threaded schedule must produce
   // the identical report — per-member verdicts, durations and MACs — as
   // the serial one. Sessions share no state and member seeds derive from
-  // the member index, so threading must not be observable in the results.
+  // (fleet seed, member id, attempt), never from scheduling, so threading
+  // must not be observable in the results.
   constexpr std::size_t kFleetSize = 16;
   Fleet serial_fleet(kFleetSize);
   Fleet parallel_fleet(kFleetSize);
