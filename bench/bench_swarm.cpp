@@ -40,9 +40,14 @@ void print_sweep() {
   benchutil::print_title("Swarm attestation: fleet-size sweep (lab channel)");
   core::SessionOptions options;
   options.channel = net::ChannelParams::lab();
-  std::printf("%8s %16s %16s %14s %8s %16s %12s\n", "devices",
-              "serial makespan", "parallel makespan", "total work", "models",
-              "model mem", "retained");
+  core::SwarmOptions mux_options;
+  mux_options.session = options;
+  mux_options.schedule = core::SwarmSchedule::kMultiplexed;
+  mux_options.engine.pool_size = 4;
+  mux_options.retry_budget = 0;
+  std::printf("%8s %16s %16s %15s %10s %14s %8s\n", "devices",
+              "serial makespan", "parallel makespan", "mux makespan (4)",
+              "overlap", "total work", "models");
   for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
     Fleet serial_fleet(n);
     const auto serial =
@@ -51,18 +56,23 @@ void print_sweep() {
     Fleet parallel_fleet(n);
     const auto parallel = core::attest_swarm(
         parallel_fleet.members, core::SwarmSchedule::kParallel, options);
-    std::printf("%8zu %14.3f s %14.3f s %12.3f s %8zu %14zu B %10zu B%s\n", n,
+    Fleet mux_fleet(n);
+    const auto mux = core::attest_swarm(mux_fleet.members, mux_options);
+    std::printf("%8zu %14.3f s %14.3f s %13.3f s %9.2fx %12.3f s %8zu%s\n", n,
                 sim::to_seconds(serial.makespan),
                 sim::to_seconds(parallel.makespan),
+                sim::to_seconds(mux.engine.makespan),
+                mux.engine.overlap_efficiency,
                 sim::to_seconds(serial.total_work),
-                serial.distinct_golden_models, serial.golden_model_bytes,
-                serial.retained_readback_bytes,
-                serial.all_attested() && parallel.all_attested()
+                serial.distinct_golden_models,
+                serial.all_attested() && parallel.all_attested() &&
+                        mux.all_attested()
                     ? ""
                     : "  [FAILURES]");
   }
-  std::printf("=> one golden model regardless of fleet size; streaming "
-              "verifiers retain no readback.\n");
+  std::printf("=> one golden model regardless of fleet size; the multiplexed "
+              "engine packs N sessions\n   onto 4 verify lanes and overlaps "
+              "channel latency with verify compute.\n");
 
   // Compromised-minority isolation.
   Fleet fleet(8);
@@ -82,9 +92,79 @@ void print_sweep() {
               "masks it.\n");
 }
 
+/// CI gate: at N=64 / pool=4 under lab latency the multiplexed engine must
+/// (a) produce member reports bit-identical to thread-per-member kParallel
+/// and (b) model a makespan at least 2x shorter than the thread-per-member
+/// baseline packed onto the same 4 lanes. A breach fails the bench binary
+/// (non-zero exit), which fails CI.
+bool multiplexed_gate(std::vector<benchutil::BenchRecord>& records) {
+  constexpr std::size_t kFleet = 64;
+  constexpr std::size_t kPool = 4;
+  core::SessionOptions session;
+  session.channel = net::ChannelParams::lab();
+
+  Fleet parallel_fleet(kFleet);
+  const auto parallel = core::attest_swarm(
+      parallel_fleet.members, core::SwarmSchedule::kParallel, session);
+
+  Fleet mux_fleet(kFleet);
+  core::SwarmOptions mux_options;
+  mux_options.session = session;
+  mux_options.schedule = core::SwarmSchedule::kMultiplexed;
+  mux_options.engine.pool_size = kPool;
+  mux_options.retry_budget = 0;
+  const auto mux = core::attest_swarm(mux_fleet.members, mux_options);
+
+  bool identical = parallel.members.size() == mux.members.size();
+  for (std::size_t i = 0; identical && i < parallel.members.size(); ++i) {
+    const auto& a = parallel.members[i];
+    const auto& b = mux.members[i];
+    identical = a.id == b.id && a.verdict.ok() == b.verdict.ok() &&
+                a.verdict.kind == b.verdict.kind && a.failure == b.failure &&
+                a.attempts == b.attempts && a.duration == b.duration &&
+                a.mac == b.mac && a.messages_lost == b.messages_lost &&
+                a.retransmissions == b.retransmissions &&
+                a.backoff_wait == b.backoff_wait;
+    if (!identical) {
+      std::printf("[gate] member %zu (%s) diverges between kParallel and "
+                  "kMultiplexed\n", i, a.id.c_str());
+    }
+  }
+  const double speedup =
+      mux.engine.makespan > 0
+          ? static_cast<double>(mux.engine.thread_per_member_makespan) /
+                static_cast<double>(mux.engine.makespan)
+          : 0.0;
+  const bool fast_enough = speedup >= 2.0;
+  std::printf("\n[gate] 64-member multiplexed fleet on %zu verify lanes: "
+              "makespan %.3f s vs thread-per-member %.3f s (%.2fx), "
+              "overlap %.2fx, reports %s\n",
+              kPool, sim::to_seconds(mux.engine.makespan),
+              sim::to_seconds(mux.engine.thread_per_member_makespan), speedup,
+              mux.engine.overlap_efficiency,
+              identical ? "bit-identical" : "DIVERGED");
+  if (!fast_enough) {
+    std::printf("[gate] FAIL: expected >= 2x makespan reduction\n");
+  }
+  records.push_back({"bench_swarm", "mux_makespan_64",
+                     sim::to_seconds(mux.engine.makespan), "s"});
+  records.push_back({"bench_swarm", "mux_thread_per_member_makespan_64",
+                     sim::to_seconds(mux.engine.thread_per_member_makespan),
+                     "s"});
+  records.push_back({"bench_swarm", "mux_speedup_64", speedup, "x"});
+  records.push_back({"bench_swarm", "mux_overlap_efficiency_64",
+                     mux.engine.overlap_efficiency, "x"});
+  records.push_back({"bench_swarm", "mux_pool_size",
+                     static_cast<double>(mux.engine.pool_size), "threads"});
+  records.push_back({"bench_swarm", "mux_bit_identical_64",
+                     identical ? 1.0 : 0.0, "bool"});
+  return identical && fast_enough;
+}
+
 /// Host wall-clock of a 16-member fleet under both schedules — the number
-/// the attest_swarm worker pool moves. Emits BENCH_swarm.json.
-void wallclock_sweep_and_emit() {
+/// the attest_swarm worker pool moves. Emits BENCH_swarm.json, with the
+/// gate's records appended.
+void wallclock_sweep_and_emit(std::vector<benchutil::BenchRecord> records) {
   using clock = std::chrono::steady_clock;
   constexpr std::size_t kFleetSize = 16;
 
@@ -123,9 +203,7 @@ void wallclock_sweep_and_emit() {
               static_cast<unsigned long long>(lossy_report.retransmissions),
               sim::to_seconds(lossy_report.backoff_wait));
 
-  benchutil::write_bench_json(
-      "BENCH_swarm.json",
-      {
+  const std::vector<benchutil::BenchRecord> wallclock_records = {
           {"bench_swarm", "serial_wallclock_16", serial_s, "s"},
           {"bench_swarm", "parallel_wallclock_16", parallel_s, "s"},
           {"bench_swarm", "parallel_speedup_16", speedup, "x"},
@@ -153,7 +231,10 @@ void wallclock_sweep_and_emit() {
            static_cast<double>(lossy_report.retransmissions), "messages"},
           {"bench_swarm", "lossy_backoff_wait_8",
            sim::to_seconds(lossy_report.backoff_wait), "s"},
-      });
+      };
+  records.insert(records.end(), wallclock_records.begin(),
+                 wallclock_records.end());
+  benchutil::write_bench_json("BENCH_swarm.json", records);
 }
 
 void BM_SwarmParallel(benchmark::State& state) {
@@ -171,7 +252,9 @@ BENCHMARK(BM_SwarmParallel)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMilliseco
 
 int main(int argc, char** argv) {
   print_sweep();
-  wallclock_sweep_and_emit();
+  std::vector<benchutil::BenchRecord> records;
+  const bool gate_ok = multiplexed_gate(records);
+  wallclock_sweep_and_emit(std::move(records));
   // With telemetry on (SACHA_OBS=1), export the merged fleet timeline of
   // everything above — per-member session spans on their worker-thread
   // lanes — as a Chrome trace_event file (chrome://tracing / Perfetto).
@@ -184,5 +267,5 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gate_ok ? 0 : 1;
 }

@@ -221,6 +221,63 @@ void fleet_memory_sweep() {
   std::printf("=> golden-model memory is per device type, not per member.\n");
 }
 
+/// Heterogeneous fleet: two device types (distinct application designs) in
+/// one multiplexed sweep. Members of a type intern one golden model, so
+/// model memory scales with the number of types, not the fleet size.
+void hetero_fleet_sweep() {
+  benchutil::print_title(
+      "Heterogeneous fleet: mixed device types under the multiplexed engine");
+  const bitstream::DesignSpec apps[2] = {
+      bitstream::DesignSpec{"intended-app-v1", 1},
+      bitstream::DesignSpec{"sensor-app-v2", 7}};
+  std::printf("%8s %8s %10s %18s %20s %10s\n", "devices", "types", "models",
+              "shared model mem", "unshared would be", "attested");
+  for (const std::size_t n : {2u, 8u, 16u, 32u}) {
+    std::deque<attacks::AttackEnv> envs;
+    std::deque<core::SachaVerifier> verifiers;
+    std::deque<core::SachaProver> provers;
+    std::vector<core::SwarmMember> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      envs.push_back(attacks::AttackEnv::small(5200 + i));
+      envs.back().app_spec = apps[i % 2];
+      verifiers.push_back(envs.back().make_verifier());
+      provers.push_back(envs.back().make_prover());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(core::SwarmMember{"node-" + std::to_string(i),
+                                          &verifiers[i], &provers[i], {}});
+    }
+    core::SwarmOptions options;
+    options.schedule = core::SwarmSchedule::kMultiplexed;
+    options.engine.pool_size = 4;
+    const core::SwarmReport report = core::attest_swarm(members, options);
+    std::printf("%8zu %8zu %10zu %16zu B %18zu B %7zu/%zu%s\n", n,
+                std::min<std::size_t>(n, 2), report.distinct_golden_models,
+                report.golden_model_bytes, report.unshared_golden_model_bytes,
+                report.attested, n,
+                report.all_attested() ? "" : "  [FAILURES]");
+    if (n == 16) {
+      g_records.push_back({"bench_verifier", "hetero16_distinct_models",
+                           static_cast<double>(report.distinct_golden_models),
+                           "models"});
+      g_records.push_back({"bench_verifier", "hetero16_shared_model_bytes",
+                           static_cast<double>(report.golden_model_bytes),
+                           "B"});
+      g_records.push_back({"bench_verifier", "hetero16_unshared_model_bytes",
+                           static_cast<double>(
+                               report.unshared_golden_model_bytes),
+                           "B"});
+      g_records.push_back({"bench_verifier", "hetero16_retained_readback_bytes",
+                           static_cast<double>(report.retained_readback_bytes),
+                           "B"});
+      g_records.push_back({"bench_verifier", "hetero16_attested",
+                           static_cast<double>(report.attested), "sessions"});
+    }
+  }
+  std::printf("=> model memory scales with device types (2 here), not fleet "
+              "size, and the engine multiplexes both types in one pool.\n");
+}
+
 /// google-benchmark micro: verifier-side replay per mode at test-device
 /// scale (16 frames), for the perf trajectory.
 void BM_VerifierReplay(benchmark::State& state) {
@@ -257,6 +314,7 @@ int main(int argc, char** argv) {
                        obs::enabled() ? 1.0 : 0.0, "bool"});
   virtex6_replay_headline();
   fleet_memory_sweep();
+  hetero_fleet_sweep();
   benchutil::write_bench_json("BENCH_verifier.json", g_records);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

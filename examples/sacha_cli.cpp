@@ -8,8 +8,12 @@
 #include <cstring>
 #include <string>
 
+#include <deque>
+
 #include "attacks/library.hpp"
+#include "bitstream/golden_model.hpp"
 #include "core/signed_attest.hpp"
+#include "core/swarm.hpp"
 #include "fault/injector.hpp"
 #include "obs/export.hpp"
 
@@ -29,6 +33,11 @@ struct CliOptions {
   bool reliable = false;
   bool signed_mode = false;
   std::uint32_t frames_per_config = 1;
+  std::uint32_t frames_per_readback = 1;
+  std::string model_cache;        // GoldenModel on-disk cache directory
+  std::uint64_t fleet = 0;        // members in a fleet run (0 = one session)
+  std::string schedule = "mux";   // serial | parallel | mux
+  std::uint64_t pool = 0;         // mux verify-pool size (0 = auto)
   std::uint64_t seed = 1;
   bool list_attacks = false;
   bool help = false;
@@ -54,6 +63,13 @@ void print_help() {
       "  --deadline-ms N                   abort the session after N simulated ms\n"
       "  --reliable                        ack + retransmit on loss\n"
       "  --frames-per-config N             frames per ICAP_config command\n"
+      "  --frames-per-readback N           frames per ICAP_readback command\n"
+      "                                    (N > 1 forces sequential order)\n"
+      "  --model-cache DIR                 warm-start the golden model from\n"
+      "                                    DIR (built + persisted on miss)\n"
+      "  --fleet N                         attest a fleet of N devices\n"
+      "  --schedule serial|parallel|mux    fleet schedule (default mux)\n"
+      "  --pool K                          mux verify-pool size (0 = auto)\n"
       "  --signed                          hash-based signature mode\n"
       "  --seed N                          session/provisioning seed\n"
       "  --metrics                         print telemetry counters/histograms (JSON)\n"
@@ -123,6 +139,27 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       if (!v) return false;
       options.frames_per_config =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--frames-per-readback") {
+      const char* v = next("--frames-per-readback");
+      if (!v) return false;
+      options.frames_per_readback =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--model-cache") {
+      const char* v = next("--model-cache");
+      if (!v) return false;
+      options.model_cache = v;
+    } else if (arg == "--fleet") {
+      const char* v = next("--fleet");
+      if (!v) return false;
+      options.fleet = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--schedule") {
+      const char* v = next("--schedule");
+      if (!v) return false;
+      options.schedule = v;
+    } else if (arg == "--pool") {
+      const char* v = next("--pool");
+      if (!v) return false;
+      options.pool = std::strtoull(v, nullptr, 10);
     } else if (arg == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
@@ -161,6 +198,7 @@ attacks::AttackEnv build_env(const CliOptions& options) {
     env.verifier_options.order = core::ReadbackOrder::kSequentialFromOffset;
   }
   env.verifier_options.frames_per_config = options.frames_per_config;
+  env.verifier_options.frames_per_readback = options.frames_per_readback;
   env.session_options.channel.per_command_latency =
       options.latency_us * sim::kMicrosecond;
   env.session_options.channel.jitter_max = options.jitter_us * sim::kMicrosecond;
@@ -250,6 +288,23 @@ int main(int argc, char** argv) {
   }
 
   attacks::AttackEnv env = build_env(options);
+
+  // Warm-start the golden model from the on-disk cache. shared_cached()
+  // populates the process intern cache, so every verifier built below
+  // (single session or fleet) picks this instance up instead of rebuilding.
+  std::shared_ptr<const bitstream::GoldenModel> warm_model;
+  if (!options.model_cache.empty()) {
+    auto source = bitstream::GoldenModel::CacheSource::kBuilt;
+    warm_model = bitstream::GoldenModel::shared_cached(
+        env.plan, env.static_spec, env.app_spec, options.model_cache, &source);
+    std::printf("model cache        : %s (%s)\n", options.model_cache.c_str(),
+                source == bitstream::GoldenModel::CacheSource::kInterned
+                    ? "interned hit"
+                : source == bitstream::GoldenModel::CacheSource::kLoaded
+                    ? "loaded from disk"
+                    : "built + persisted");
+  }
+
   std::printf("device=%s frames=%u order=%s latency=%lluus loss=%.3f%s%s\n",
               env.plan.device().name().c_str(), env.plan.device().total_frames(),
               options.order.c_str(),
@@ -270,6 +325,83 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown attack '%s' (see --list-attacks)\n",
                  options.attack.c_str());
     return 2;
+  }
+
+  if (options.fleet > 0) {
+    // Fleet mode: N independently provisioned devices attested under the
+    // chosen schedule. The supervisor derives per-member session seeds
+    // itself; the fault plan (if any) arms per member with its own stream.
+    std::deque<attacks::AttackEnv> envs;
+    std::deque<core::SachaVerifier> verifiers;
+    std::deque<core::SachaProver> provers;
+    std::deque<fault::FaultInjector> injectors;
+    std::vector<core::SwarmMember> members;
+    for (std::uint64_t i = 0; i < options.fleet; ++i) {
+      CliOptions member_cli = options;
+      member_cli.seed = options.seed + i;
+      envs.push_back(build_env(member_cli));
+      verifiers.push_back(envs.back().make_verifier());
+      provers.push_back(envs.back().make_prover());
+    }
+    for (std::uint64_t i = 0; i < options.fleet; ++i) {
+      core::SwarmMember member{"node-" + std::to_string(i), &verifiers[i],
+                               &provers[i], {}};
+      if (!fault_plan.empty()) {
+        injectors.emplace_back(fault_plan, options.seed + i);
+        fault::FaultInjector& injector = injectors.back();
+        member.configure = [&injector](core::SessionOptions& session,
+                                       core::SessionHooks& member_hooks,
+                                       std::uint32_t) {
+          injector.arm(session, member_hooks);
+        };
+      }
+      members.push_back(std::move(member));
+    }
+    core::SwarmOptions swarm;
+    swarm.session = env.session_options;
+    swarm.schedule = options.schedule == "serial"
+                         ? core::SwarmSchedule::kSerial
+                     : options.schedule == "parallel"
+                         ? core::SwarmSchedule::kParallel
+                         : core::SwarmSchedule::kMultiplexed;
+    swarm.engine.pool_size = static_cast<std::size_t>(options.pool);
+    if (!fault_plan.empty()) {
+      std::printf("fault plan         : %s\n", fault_plan.describe().c_str());
+    }
+    const core::SwarmReport report = core::attest_swarm(members, swarm);
+    std::printf("\nfleet              : %llu members, schedule=%s\n",
+                static_cast<unsigned long long>(options.fleet),
+                options.schedule.c_str());
+    std::printf("attested           : %zu/%zu (%zu healed, %zu quarantined)\n",
+                report.attested, members.size(), report.healed,
+                report.quarantined);
+    std::printf("makespan           : %.6f s (total work %.6f s)\n",
+                sim::to_seconds(report.makespan),
+                sim::to_seconds(report.total_work));
+    if (swarm.schedule == core::SwarmSchedule::kMultiplexed) {
+      std::printf("engine             : pool=%zu, thread-per-member would be "
+                  "%.6f s (overlap %.2fx)\n",
+                  report.engine.pool_size,
+                  sim::to_seconds(report.engine.thread_per_member_makespan),
+                  report.engine.overlap_efficiency);
+    }
+    std::printf("golden models      : %zu distinct, %zu B shared\n",
+                report.distinct_golden_models, report.golden_model_bytes);
+    if (report.messages_lost > 0 || report.retransmissions > 0) {
+      std::printf("transport          : %llu lost, %llu retransmitted, "
+                  "%.6f s in backoff\n",
+                  static_cast<unsigned long long>(report.messages_lost),
+                  static_cast<unsigned long long>(report.retransmissions),
+                  sim::to_seconds(report.backoff_wait));
+    }
+    for (const auto& member : report.members) {
+      if (!member.verdict.ok()) {
+        std::printf("  %-10s FAILED: %s\n", member.id.c_str(),
+                    member.verdict.detail.c_str());
+      }
+    }
+    emit_telemetry(options);
+    return report.all_attested() ? 0 : 1;
   }
 
   auto verifier = env.make_verifier();

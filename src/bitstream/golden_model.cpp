@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "crypto/sha256.hpp"
 
 namespace sacha::bitstream {
 
@@ -163,6 +168,282 @@ std::size_t GoldenModel::live_cache_entries() {
     if (!entry.expired()) ++live;
   }
   return live;
+}
+
+// ---- On-disk cache ---------------------------------------------------------
+
+namespace {
+
+// Versioned binary layout (host-endian; a local warm-start cache, not an
+// interchange format): magic, version, identity digest, geometry, specs,
+// region structure, region images, flat tables.
+constexpr char kMagic[8] = {'S', 'A', 'C', 'H', 'A', 'G', 'M', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+struct Writer {
+  std::ofstream out;
+  bool ok = true;
+
+  void raw(const void* data, std::size_t bytes) {
+    if (ok) ok = !!out.write(static_cast<const char*>(data),
+                             static_cast<std::streamsize>(bytes));
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void words(const std::vector<std::uint32_t>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void spec(const DesignSpec& s) {
+    str(s.name);
+    u64(s.seed);
+  }
+  void frame(const Frame& f) { words(f.words()); }
+  void image(const ConfigImage& img) {
+    u32(static_cast<std::uint32_t>(img.frames.size()));
+    for (const Frame& f : img.frames) frame(f);
+    u32(static_cast<std::uint32_t>(img.masks.size()));
+    for (const FrameMask& m : img.masks) frame(m);
+  }
+};
+
+struct Reader {
+  std::ifstream in;
+  bool ok = true;
+  /// Per-vector sanity cap: no table in a valid model exceeds this many
+  /// words, so a corrupt length field fails fast instead of allocating.
+  static constexpr std::uint64_t kMaxWords = 1u << 28;  // 1 GiB of words
+
+  void raw(void* data, std::size_t bytes) {
+    if (ok) ok = !!in.read(static_cast<char*>(data),
+                           static_cast<std::streamsize>(bytes));
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  std::vector<std::uint32_t> words() {
+    const std::uint64_t n = u64();
+    if (n > kMaxWords) {
+      ok = false;
+      return {};
+    }
+    std::vector<std::uint32_t> v(ok ? static_cast<std::size_t>(n) : 0);
+    raw(v.data(), v.size() * sizeof(std::uint32_t));
+    return v;
+  }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > kMaxWords) {
+      ok = false;
+      return {};
+    }
+    std::string s(ok ? static_cast<std::size_t>(n) : 0, '\0');
+    raw(s.data(), s.size());
+    return s;
+  }
+  DesignSpec spec() {
+    DesignSpec s;
+    s.name = str();
+    s.seed = u64();
+    return s;
+  }
+  Frame frame() { return Frame(words()); }
+  ConfigImage image() {
+    ConfigImage img;
+    const std::uint32_t frames = u32();
+    if (frames > kMaxWords) {
+      ok = false;
+      return img;
+    }
+    for (std::uint32_t i = 0; ok && i < frames; ++i) {
+      img.frames.push_back(frame());
+    }
+    const std::uint32_t masks = u32();
+    if (masks > kMaxWords) {
+      ok = false;
+      return img;
+    }
+    for (std::uint32_t i = 0; ok && i < masks; ++i) {
+      img.masks.push_back(frame());
+    }
+    return img;
+  }
+};
+
+}  // namespace
+
+std::string GoldenModel::cache_digest(const fabric::Floorplan& plan,
+                                      const DesignSpec& static_spec,
+                                      const DesignSpec& app_spec) {
+  const std::string key = cache_key(plan, static_spec, app_spec);
+  const crypto::Sha256Digest digest = crypto::Sha256::compute(
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+  std::string hex;
+  hex.reserve(digest.size() * 2);
+  for (const std::uint8_t byte : digest) {
+    char buf[3];
+    std::snprintf(buf, sizeof(buf), "%02x", byte);
+    hex += buf;
+  }
+  return hex;
+}
+
+bool GoldenModel::save(const std::string& path,
+                       const fabric::Floorplan& plan) const {
+  Writer w;
+  w.out.open(path, std::ios::binary | std::ios::trunc);
+  if (!w.out.is_open()) return false;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kFormatVersion);
+  w.str(cache_digest(plan, static_spec_, app_spec_));
+  w.u32(total_frames_);
+  w.u32(words_per_frame_);
+  w.u32(nonce_frame_);
+  w.u32(app_frame_total_);
+  w.spec(static_spec_);
+  w.spec(app_spec_);
+  w.u32(static_cast<std::uint32_t>(app_ranges_.size()));
+  for (const fabric::FrameRange& r : app_ranges_) {
+    w.u32(r.first);
+    w.u32(r.count);
+  }
+  w.u32(static_cast<std::uint32_t>(static_images_.size()));
+  for (const auto& [range, image] : static_images_) {
+    w.u32(range.first);
+    w.u32(range.count);
+    w.image(image);
+  }
+  w.u32(static_cast<std::uint32_t>(app_images_.size()));
+  for (const ConfigImage& image : app_images_) w.image(image);
+  w.words(mask_words_);
+  w.words(masked_golden_);
+  return w.ok && !!w.out.flush();
+}
+
+std::shared_ptr<const GoldenModel> GoldenModel::load(
+    const std::string& path, const fabric::Floorplan& plan,
+    const DesignSpec& static_spec, const DesignSpec& app_spec) {
+  Reader r;
+  r.in.open(path, std::ios::binary);
+  if (!r.in.is_open()) return nullptr;
+  char magic[sizeof(kMagic)] = {};
+  r.raw(magic, sizeof(magic));
+  if (!r.ok || !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+    return nullptr;
+  }
+  if (r.u32() != kFormatVersion) return nullptr;
+  // The identity digest seals device, partition layout and specs: a stale
+  // file for a different fleet configuration can never be mistaken for
+  // this one.
+  if (r.str() != cache_digest(plan, static_spec, app_spec)) return nullptr;
+
+  std::shared_ptr<GoldenModel> model(new GoldenModel());
+  model->total_frames_ = r.u32();
+  model->words_per_frame_ = r.u32();
+  model->nonce_frame_ = r.u32();
+  model->app_frame_total_ = r.u32();
+  model->static_spec_ = r.spec();
+  model->app_spec_ = r.spec();
+  const std::uint32_t ranges = r.u32();
+  for (std::uint32_t i = 0; r.ok && i < ranges; ++i) {
+    fabric::FrameRange range;
+    range.first = r.u32();
+    range.count = r.u32();
+    model->app_ranges_.push_back(range);
+  }
+  const std::uint32_t statics = r.u32();
+  for (std::uint32_t i = 0; r.ok && i < statics; ++i) {
+    fabric::FrameRange range;
+    range.first = r.u32();
+    range.count = r.u32();
+    model->static_images_.emplace_back(range, r.image());
+  }
+  const std::uint32_t apps = r.u32();
+  for (std::uint32_t i = 0; r.ok && i < apps; ++i) {
+    model->app_images_.push_back(r.image());
+  }
+  model->mask_words_ = r.words();
+  model->masked_golden_ = r.words();
+  if (!r.ok) return nullptr;
+
+  // Geometry sanity against the live floorplan and internal consistency
+  // (truncated or corrupted tables must not produce a quietly-wrong model).
+  const fabric::DeviceModel& device = plan.device();
+  if (model->total_frames_ != device.total_frames() ||
+      model->words_per_frame_ != device.geometry().words_per_frame()) {
+    return nullptr;
+  }
+  const std::size_t table_words =
+      static_cast<std::size_t>(model->total_frames_) *
+      model->words_per_frame_;
+  if (model->mask_words_.size() != table_words ||
+      model->masked_golden_.size() != table_words) {
+    return nullptr;
+  }
+  if (model->static_spec_ != static_spec || model->app_spec_ != app_spec) {
+    return nullptr;
+  }
+  model->zero_frame_ = Frame(model->words_per_frame_);
+  return model;
+}
+
+bool GoldenModel::operator==(const GoldenModel& other) const {
+  return static_spec_ == other.static_spec_ &&
+         app_spec_ == other.app_spec_ &&
+         total_frames_ == other.total_frames_ &&
+         words_per_frame_ == other.words_per_frame_ &&
+         nonce_frame_ == other.nonce_frame_ &&
+         app_frame_total_ == other.app_frame_total_ &&
+         app_ranges_ == other.app_ranges_ &&
+         static_images_ == other.static_images_ &&
+         app_images_ == other.app_images_ &&
+         mask_words_ == other.mask_words_ &&
+         masked_golden_ == other.masked_golden_;
+}
+
+std::shared_ptr<const GoldenModel> GoldenModel::shared_cached(
+    const fabric::Floorplan& plan, const DesignSpec& static_spec,
+    const DesignSpec& app_spec, const std::string& cache_dir,
+    CacheSource* source) {
+  ModelCache& cache = model_cache();
+  const std::string key = cache_key(plan, static_spec, app_spec);
+  std::lock_guard<std::mutex> lock(cache.mutex);
+  for (auto it = cache.entries.begin(); it != cache.entries.end();) {
+    it = it->second.expired() ? cache.entries.erase(it) : std::next(it);
+  }
+  if (auto it = cache.entries.find(key); it != cache.entries.end()) {
+    if (auto model = it->second.lock()) {
+      if (source != nullptr) *source = CacheSource::kInterned;
+      return model;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  const std::string path =
+      (std::filesystem::path(cache_dir) /
+       (cache_digest(plan, static_spec, app_spec) + ".sgm"))
+          .string();
+  if (auto model = load(path, plan, static_spec, app_spec)) {
+    cache.entries[key] = model;
+    if (source != nullptr) *source = CacheSource::kLoaded;
+    return model;
+  }
+  auto model = std::make_shared<const GoldenModel>(plan, static_spec, app_spec);
+  cache.entries[key] = model;
+  (void)model->save(path, plan);  // best-effort persist for the next start
+  if (source != nullptr) *source = CacheSource::kBuilt;
+  return model;
 }
 
 }  // namespace sacha::bitstream

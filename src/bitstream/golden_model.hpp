@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bitstream/bitgen.hpp"
@@ -52,6 +53,47 @@ class GoldenModel {
   /// Live entries in the intern cache (expired entries are swept on each
   /// shared() call). Exposed for the sharing tests and the fleet bench.
   static std::size_t live_cache_entries();
+
+  // -- On-disk cache --------------------------------------------------------
+  //
+  // The flat tables are deterministic per (device, partition layout, design
+  // specs), so a fleet-verifier restart can skip BitGen + mask precompile:
+  // models serialise to a versioned binary file named by the sha256 digest
+  // of the same identity key the intern cache uses. Host-endian — a local
+  // warm-start cache, not an interchange format.
+
+  /// Hex sha256 of the model identity key; names the cache file.
+  static std::string cache_digest(const fabric::Floorplan& plan,
+                                  const DesignSpec& static_spec,
+                                  const DesignSpec& app_spec);
+
+  /// Serialises the model (all region images + flat tables) to `path`.
+  /// `plan` must be the floorplan the model was built from — its digest is
+  /// sealed into the header. Returns false on I/O failure.
+  bool save(const std::string& path, const fabric::Floorplan& plan) const;
+
+  /// Deserialises a model previously save()d for the same (device, plan,
+  /// specs). Validates magic, version, identity digest and geometry;
+  /// returns nullptr on any mismatch or I/O/corruption error.
+  static std::shared_ptr<const GoldenModel> load(
+      const std::string& path, const fabric::Floorplan& plan,
+      const DesignSpec& static_spec, const DesignSpec& app_spec);
+
+  /// Where shared_cached() found the model (restart-cost accounting).
+  enum class CacheSource { kInterned, kLoaded, kBuilt };
+
+  /// Three-tier interned construction: process intern cache, then
+  /// `cache_dir/<digest>.sgm` on disk, then a fresh build (persisted to the
+  /// cache dir best-effort). Thread-safe; `source` (optional) reports which
+  /// tier hit.
+  static std::shared_ptr<const GoldenModel> shared_cached(
+      const fabric::Floorplan& plan, const DesignSpec& static_spec,
+      const DesignSpec& app_spec, const std::string& cache_dir,
+      CacheSource* source = nullptr);
+
+  /// Bit-identity over everything serialised (specs, geometry, region
+  /// images, flat tables) — what the round-trip test asserts.
+  bool operator==(const GoldenModel& other) const;
 
   // -- Region structure (what SachaVerifier previously derived itself) -----
 
@@ -126,6 +168,8 @@ class GoldenModel {
   const DesignSpec& app_spec() const { return app_spec_; }
 
  private:
+  GoldenModel() = default;  // load() fills the fields directly
+
   DesignSpec static_spec_;
   DesignSpec app_spec_;
   std::uint32_t total_frames_ = 0;

@@ -1,0 +1,384 @@
+#include "core/fleet_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <utility>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace sacha::core {
+
+namespace {
+
+/// A verify job in the simulated-makespan model: `ready` is the virtual
+/// time the round's response finished arriving at the verifier, `cost` the
+/// modelled verify-lane occupancy (words × verify_ns_per_word).
+struct VerifyRec {
+  sim::SimTime ready = 0;
+  sim::SimDuration cost = 0;
+};
+
+/// Per-member runtime. The drive strand (step slices) and the verify
+/// strand (deliver batches) never run concurrently *with themselves*; they
+/// may run concurrently with each other (SessionMachine's contract). All
+/// cross-strand hand-off goes through the engine mutex.
+struct MemberRt {
+  std::unique_ptr<SessionMachine> machine;
+  /// Rounds produced by the drive strand, not yet delivered.
+  std::deque<SessionMachine::Round> inbox;
+  std::vector<VerifyRec> verify_recs;
+  sim::SimTime vnow = 0;  // drive strand's virtual clock
+  bool drive_done = false;
+  bool verify_active = false;
+  bool queued_for_verify = false;
+  bool finished = false;
+};
+
+struct EngineState {
+  std::vector<FleetSessionJob>* jobs = nullptr;
+  const FleetEngineOptions* opts = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  /// Virtual-time park heap: (wake time, member) for sessions waiting out
+  /// their simulated channel transfers. Earliest virtual time drives next,
+  /// so fleet members interleave the way a real event loop would.
+  using Parked = std::pair<sim::SimTime, std::size_t>;
+  std::priority_queue<Parked, std::vector<Parked>, std::greater<Parked>>
+      parked;
+  /// Members with undelivered rounds (or pending finalisation), FIFO.
+  std::deque<std::size_t> verify_ready;
+  std::vector<MemberRt> members;
+  std::vector<AttestationReport> reports;
+  std::size_t unfinished = 0;
+  std::uint64_t drive_slices = 0;
+  std::uint64_t verify_batches = 0;
+  std::size_t peak_inbox = 0;
+};
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Runs one drive slice for member `m`: up to rounds_per_slice command
+/// rounds, advancing the member's virtual clock by each round's simulated
+/// elapsed time, then re-parks the session (or marks its drive done).
+/// Called with `lock` held; returns with it held.
+void drive_slice(EngineState& st, std::size_t m,
+                 std::unique_lock<std::mutex>& lock) {
+  MemberRt& rt = st.members[m];
+  FleetSessionJob& job = (*st.jobs)[m];
+  lock.unlock();
+  if (!rt.machine) {
+    // First scheduling: construct the machine (runs verifier->begin()).
+    // emit_spans = false — strands hop across pool threads and obs spans
+    // are thread-affine; the engine's slice spans cover the timeline.
+    rt.machine = std::make_unique<SessionMachine>(
+        *job.verifier, *job.prover, job.options, job.hooks, false);
+  }
+  std::vector<SessionMachine::Round> produced;
+  {
+    std::optional<obs::Span> span;
+    if (obs::enabled()) {
+      span.emplace("engine.drive", rt.machine->trace_id(), "engine");
+      span->arg("member", job.label);
+    }
+    for (std::uint32_t k = 0;
+         k < st.opts->rounds_per_slice && !rt.machine->done(); ++k) {
+      SessionMachine::Round round = rt.machine->step();
+      rt.vnow += round.elapsed;
+      const auto cost = static_cast<sim::SimDuration>(round.verify_words) *
+                        st.opts->verify_ns_per_word;
+      if (cost > 0) rt.verify_recs.push_back({rt.vnow, cost});
+      produced.push_back(std::move(round));
+    }
+    if (span.has_value()) {
+      span->arg("rounds", std::to_string(produced.size()));
+    }
+  }
+  lock.lock();
+  ++st.drive_slices;
+  for (SessionMachine::Round& round : produced) {
+    rt.inbox.push_back(std::move(round));
+  }
+  st.peak_inbox = std::max(st.peak_inbox, rt.inbox.size());
+  if (rt.machine->done()) {
+    rt.drive_done = true;
+  } else {
+    st.parked.push({rt.vnow, m});
+  }
+  // Hand the backlog to a verify strand — also when the inbox is already
+  // drained and the drive just ended, so the verify strand finalises.
+  if (!rt.verify_active && !rt.queued_for_verify &&
+      (!rt.inbox.empty() || rt.drive_done)) {
+    rt.queued_for_verify = true;
+    st.verify_ready.push_back(m);
+  }
+  st.cv.notify_all();
+}
+
+/// Drains member `m`'s inbox through the verifier (streaming CMAC absorb +
+/// masked compare per round) and finalises the session once its drive is
+/// done and the backlog empty. Called with `lock` held (and `m` already
+/// popped from verify_ready); returns with it held.
+void verify_batch(EngineState& st, std::size_t m,
+                  std::unique_lock<std::mutex>& lock) {
+  MemberRt& rt = st.members[m];
+  rt.verify_active = true;
+  std::deque<SessionMachine::Round> batch;
+  batch.swap(rt.inbox);
+  lock.unlock();
+  if (!batch.empty()) {
+    std::optional<obs::Span> span;
+    if (obs::enabled()) {
+      span.emplace("engine.verify", rt.machine->trace_id(), "engine");
+      span->arg("member", (*st.jobs)[m].label);
+      span->arg("rounds", std::to_string(batch.size()));
+    }
+    for (SessionMachine::Round& round : batch) {
+      rt.machine->deliver(std::move(round));
+    }
+  }
+  lock.lock();
+  if (!batch.empty()) ++st.verify_batches;
+  rt.verify_active = false;
+  if (!rt.inbox.empty()) {
+    // The drive strand appended more rounds while we were absorbing.
+    if (!rt.queued_for_verify) {
+      rt.queued_for_verify = true;
+      st.verify_ready.push_back(m);
+    }
+  } else if (rt.drive_done && !rt.finished) {
+    rt.finished = true;
+    lock.unlock();
+    AttestationReport report = rt.machine->finish();
+    rt.machine.reset();
+    lock.lock();
+    st.reports[m] = std::move(report);
+    --st.unfinished;
+  }
+  st.cv.notify_all();
+}
+
+void worker_loop(EngineState& st) {
+  std::unique_lock<std::mutex> lock(st.mu);
+  while (st.unfinished > 0) {
+    // Backpressure first: a member whose backlog crossed the high-water
+    // mark gets drained before anyone drives further, bounding per-member
+    // undelivered rounds (the streaming verifier stays O(1) memory).
+    std::size_t pick = kNone;
+    for (auto it = st.verify_ready.begin(); it != st.verify_ready.end();
+         ++it) {
+      if (st.members[*it].inbox.size() >= st.opts->inbox_high_water) {
+        pick = *it;
+        st.verify_ready.erase(it);
+        break;
+      }
+    }
+    if (pick != kNone) {
+      st.members[pick].queued_for_verify = false;
+      verify_batch(st, pick, lock);
+      continue;
+    }
+    if (!st.parked.empty()) {
+      const std::size_t m = st.parked.top().second;
+      st.parked.pop();
+      drive_slice(st, m, lock);
+      continue;
+    }
+    if (!st.verify_ready.empty()) {
+      const std::size_t m = st.verify_ready.front();
+      st.verify_ready.pop_front();
+      st.members[m].queued_for_verify = false;
+      verify_batch(st, m, lock);
+      continue;
+    }
+    // Nothing runnable: strands are in flight on other workers (or the
+    // fleet just finished). Wake on any hand-off.
+    st.cv.wait(lock);
+  }
+  st.cv.notify_all();
+}
+
+/// Simulated fleet makespan of the multiplexed schedule: every member's
+/// drive occupies only its own virtual timeline (sessions park through
+/// channel latency, so drives overlap freely), while verify jobs contend
+/// for `lanes` virtual verify lanes, FIFO by arrival time and in order
+/// within a member. Deterministic — it replays the recorded rounds, so
+/// serial and threaded runs report the same number.
+sim::SimDuration multiplexed_makespan(const std::vector<MemberRt>& members,
+                                      std::size_t lanes) {
+  struct Job {
+    sim::SimTime ready = 0;
+    std::size_t member = 0;
+    sim::SimDuration cost = 0;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    for (const VerifyRec& rec : members[m].verify_recs) {
+      jobs.push_back({rec.ready, m, rec.cost});
+    }
+  }
+  std::stable_sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.ready != b.ready) return a.ready < b.ready;
+    return a.member < b.member;
+  });
+  std::priority_queue<sim::SimTime, std::vector<sim::SimTime>,
+                      std::greater<sim::SimTime>>
+      lane_free;
+  for (std::size_t k = 0; k < lanes; ++k) lane_free.push(0);
+  std::vector<sim::SimTime> member_prev_end(members.size(), 0);
+  std::vector<sim::SimTime> member_done(members.size(), 0);
+  for (const Job& job : jobs) {
+    const sim::SimTime lane = lane_free.top();
+    lane_free.pop();
+    const sim::SimTime start =
+        std::max({job.ready, lane, member_prev_end[job.member]});
+    const sim::SimTime end = start + job.cost;
+    lane_free.push(end);
+    member_prev_end[job.member] = end;
+    member_done[job.member] = std::max(member_done[job.member], end);
+  }
+  sim::SimDuration makespan = 0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    makespan = std::max<sim::SimDuration>(
+        makespan, std::max<sim::SimTime>(members[m].vnow, member_done[m]));
+  }
+  return makespan;
+}
+
+/// Baseline the engine is gated against: thread-per-member with `lanes`
+/// verifier ports. Each session occupies a port for its whole duration
+/// (drive and verify serialised per member — a blocking driver cannot
+/// overlap its own latency); sessions pack FIFO onto the ports.
+sim::SimDuration thread_per_member_makespan(
+    const std::vector<MemberRt>& members,
+    const std::vector<AttestationReport>& reports, std::size_t lanes) {
+  std::priority_queue<sim::SimTime, std::vector<sim::SimTime>,
+                      std::greater<sim::SimTime>>
+      lane_free;
+  for (std::size_t k = 0; k < lanes; ++k) lane_free.push(0);
+  sim::SimDuration makespan = 0;
+  for (std::size_t m = 0; m < members.size(); ++m) {
+    sim::SimDuration verify_cost = 0;
+    for (const VerifyRec& rec : members[m].verify_recs) {
+      verify_cost += rec.cost;
+    }
+    const sim::SimTime start = lane_free.top();
+    lane_free.pop();
+    const sim::SimTime end = start + reports[m].total_time + verify_cost;
+    lane_free.push(end);
+    makespan = std::max<sim::SimDuration>(makespan, end);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+std::size_t default_fleet_pool() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+}
+
+FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
+                         const FleetEngineOptions& options,
+                         const obs::TraceId& fleet_trace) {
+  FleetEngineOptions opts = options;
+  if (opts.pool_size == 0) opts.pool_size = default_fleet_pool();
+  if (opts.rounds_per_slice == 0) opts.rounds_per_slice = 1;
+  if (opts.inbox_high_water == 0) opts.inbox_high_water = 1;
+
+  FleetRunResult out;
+  out.stats.pool_size = opts.pool_size;
+  if (jobs.empty()) return out;
+
+  const auto host_start = std::chrono::steady_clock::now();
+  obs::Span engine_span("fleet.engine", fleet_trace, "engine");
+  engine_span.arg("sessions", std::to_string(jobs.size()));
+  engine_span.arg("pool", std::to_string(opts.pool_size));
+
+  EngineState st;
+  st.jobs = &jobs;
+  st.opts = &opts;
+  st.members.resize(jobs.size());
+  st.reports.resize(jobs.size());
+  st.unfinished = jobs.size();
+  for (std::size_t m = 0; m < jobs.size(); ++m) st.parked.push({0, m});
+
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& sessions = registry.counter("sacha.engine.sessions");
+    sessions.add(jobs.size());
+  }
+
+  // Each member holds at most two concurrent strands, so more workers than
+  // 2N can never find work.
+  const std::size_t workers =
+      std::min<std::size_t>(opts.pool_size, jobs.size() * 2);
+  if (workers <= 1) {
+    worker_loop(st);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&st] { worker_loop(st); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  out.reports = std::move(st.reports);
+  FleetEngineStats& stats = out.stats;
+  stats.makespan = multiplexed_makespan(st.members, opts.pool_size);
+  stats.thread_per_member_makespan =
+      thread_per_member_makespan(st.members, out.reports, opts.pool_size);
+  for (std::size_t m = 0; m < out.reports.size(); ++m) {
+    stats.total_work += out.reports[m].total_time;
+    stats.channel_busy += out.reports[m].channel_time;
+    for (const VerifyRec& rec : st.members[m].verify_recs) {
+      stats.verify_busy += rec.cost;
+    }
+  }
+  stats.overlap_efficiency =
+      stats.makespan > 0 ? static_cast<double>(stats.total_work) /
+                               static_cast<double>(stats.makespan)
+                         : 0.0;
+  stats.drive_slices = st.drive_slices;
+  stats.verify_batches = st.verify_batches;
+  stats.peak_inbox_rounds = st.peak_inbox;
+  stats.host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start)
+          .count());
+
+  {
+    auto& registry = obs::MetricsRegistry::global();
+    static obs::Counter& slices = registry.counter("sacha.engine.slices");
+    static obs::Counter& batches =
+        registry.counter("sacha.engine.verify_batches");
+    slices.add(stats.drive_slices);
+    batches.add(stats.verify_batches);
+  }
+  engine_span.arg("makespan_ns", std::to_string(stats.makespan));
+  engine_span.arg("overlap", std::to_string(stats.overlap_efficiency));
+  engine_span.end();
+  (log_debug() << "fleet engine run finished")
+      .kv("sessions", jobs.size())
+      .kv("pool", stats.pool_size)
+      .kv("slices", stats.drive_slices)
+      .kv("verify_batches", stats.verify_batches)
+      .kv("makespan_s", sim::to_seconds(stats.makespan))
+      .kv("thread_per_member_s",
+          sim::to_seconds(stats.thread_per_member_makespan))
+      .kv("overlap", stats.overlap_efficiency)
+      .kv("host_ms", static_cast<double>(stats.host_ns) / 1e6);
+  return out;
+}
+
+}  // namespace sacha::core

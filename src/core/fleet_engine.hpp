@@ -1,0 +1,118 @@
+// Event-driven fleet attestation engine.
+//
+// attest_swarm(kParallel) burns one OS thread per member and lets each
+// thread idle through its member's simulated channel latency — fine for a
+// lab fleet, hopeless for N ≫ cores. This engine multiplexes N member
+// sessions on a fixed pool of workers: each session is a non-blocking
+// SessionMachine whose pending rounds park on a virtual-time heap (the
+// simulated channel transfer costs no host time, so "waiting on the wire"
+// is just a priority-queue reinsertion), while completed responses are
+// dispatched to the same pool as verify batches that fold the streaming
+// CMAC absorbs + masked compares. Member A's simulated configure/readback
+// latency therefore overlaps member B's verify compute, on both clocks:
+//
+//  - Host clock: a drive strand and a verify strand per member run
+//    concurrently on the pool (safe because SessionMachine::step() and
+//    deliver() touch disjoint verifier state — see session.hpp), so the
+//    host wall-clock of a fleet divides by the pool size without ever
+//    holding N threads.
+//  - Simulated clock: the engine replays the completed rounds through a
+//    deterministic K-lane schedule (verify cost modelled per absorbed
+//    word) to report the fleet makespan a K-worker verifier would achieve,
+//    next to the thread-per-member baseline (whole sessions packed FIFO
+//    onto K ports) that today's kParallel models.
+//
+// Reports are bit-identical to kSerial/kParallel: per-member results
+// derive only from the member's own seed-keyed state, never from
+// scheduling (host_ns excluded, as ever).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "obs/trace.hpp"
+
+namespace sacha::core {
+
+struct FleetEngineOptions {
+  /// Worker threads shared by drive and verify strands. 0 = default pool
+  /// (min(hardware_concurrency, 8)). The engine never spawns more threads
+  /// than this, whatever the fleet size.
+  std::size_t pool_size = 0;
+  /// Virtual verify-lane cost per absorbed readback word, for the
+  /// simulated-makespan model (the streaming absorb is ~1 cycle/byte on
+  /// AES-NI; 2 ns/word keeps the model honest without dominating).
+  std::uint64_t verify_ns_per_word = 2;
+  /// Command rounds a drive slice executes before re-parking the session
+  /// on the virtual-time heap. Larger slices amortise scheduling; smaller
+  /// slices interleave fleets more fairly.
+  std::uint32_t rounds_per_slice = 8;
+  /// Verify backpressure: once a member's undelivered-round inbox reaches
+  /// this many rounds, workers prefer draining it over driving further —
+  /// keeps the streaming verifier's O(1)-memory property at fleet scale.
+  std::size_t inbox_high_water = 64;
+};
+
+/// One member session to multiplex. The engine constructs the
+/// SessionMachine itself (calling verifier->begin()) when the session is
+/// first scheduled.
+struct FleetSessionJob {
+  SachaVerifier* verifier = nullptr;
+  SachaProver* prover = nullptr;
+  SessionOptions options{};
+  SessionHooks hooks{};
+  /// Display/trace label (member id).
+  std::string label;
+};
+
+struct FleetEngineStats {
+  std::size_t pool_size = 0;
+  /// Simulated fleet makespan of the multiplexed schedule: sessions park
+  /// through their channel latency while verify batches occupy pool_size
+  /// virtual verify lanes.
+  sim::SimDuration makespan = 0;
+  /// Baseline: the same sessions packed whole (drive + verify serialised
+  /// per member) FIFO onto pool_size lanes — what thread-per-member with
+  /// pool_size ports models.
+  sim::SimDuration thread_per_member_makespan = 0;
+  /// Sum of member session times (total simulated compute + wire).
+  sim::SimDuration total_work = 0;
+  /// Sum of modelled verify-lane occupancy across all members.
+  sim::SimDuration verify_busy = 0;
+  /// Sum of per-member channel transfer time — the latency the engine
+  /// parks instead of blocking a worker.
+  sim::SimDuration channel_busy = 0;
+  /// total_work / makespan: effective parallelism of the multiplexed
+  /// schedule (→ pool_size when the pool is saturated, > 1 whenever
+  /// latency hiding works).
+  double overlap_efficiency = 0.0;
+  std::uint64_t drive_slices = 0;
+  std::uint64_t verify_batches = 0;
+  /// Largest undelivered-round backlog any member accumulated (bounded by
+  /// inbox_high_water + rounds_per_slice under backpressure).
+  std::size_t peak_inbox_rounds = 0;
+  std::uint64_t host_ns = 0;
+};
+
+struct FleetRunResult {
+  /// Per-job reports, in job order — bit-identical to running
+  /// run_attestation on each job alone.
+  std::vector<AttestationReport> reports;
+  FleetEngineStats stats;
+};
+
+/// Default worker-pool size: min(hardware_concurrency, 8).
+std::size_t default_fleet_pool();
+
+/// Multiplexes all jobs on a pool of at most options.pool_size workers and
+/// returns their reports in job order. With telemetry enabled, emits
+/// "engine.drive" / "engine.verify" spans on the worker lanes under each
+/// session's trace id (and `fleet_trace` on the run-level span).
+FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
+                         const FleetEngineOptions& options = {},
+                         const obs::TraceId& fleet_trace = {});
+
+}  // namespace sacha::core

@@ -54,36 +54,37 @@ sim::SimDuration backoff_wait(const SessionOptions& options,
 
 }  // namespace
 
-AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
-                                  const SessionOptions& options,
-                                  const SessionHooks& hooks) {
-  AttestationReport report;
-  net::Channel channel(options.channel, options.seed);
-  Rng churn_rng(options.seed ^ 0xfeedface12345678ULL);
-  // Drawn only when a retransmission happens, so fault-free sessions are
-  // bit-identical whatever the backoff settings.
-  Rng backoff_rng(options.seed ^ 0x5acab0ff5ac4a11eULL);
-  const net::WireModel& wire = options.channel.wire;
-
+void SessionMachine::note_failure(FailureKind kind) {
   // First transport failure observed wins (see FailureKind's contract);
   // crypto verdicts only apply to transport-clean sessions.
-  FailureKind transport_failure = FailureKind::kNone;
-  const auto note_failure = [&transport_failure](FailureKind kind) {
-    if (transport_failure == FailureKind::kNone) transport_failure = kind;
-  };
-  const auto past_deadline = [&]() {
-    return options.deadline > 0 && report.total_time >= options.deadline;
-  };
+  if (transport_failure_ == FailureKind::kNone) transport_failure_ = kind;
+}
 
-  const auto host_start = std::chrono::steady_clock::now();
-  verifier.begin();
-  const std::size_t n = verifier.command_count();
+bool SessionMachine::past_deadline() const {
+  return options_.deadline > 0 && report_.total_time >= options_.deadline;
+}
+
+SessionMachine::SessionMachine(SachaVerifier& verifier, SachaProver& prover,
+                               const SessionOptions& options,
+                               const SessionHooks& hooks, bool emit_spans)
+    : verifier_(verifier),
+      prover_(prover),
+      options_(options),
+      hooks_(hooks),
+      emit_spans_(emit_spans),
+      channel_(options.channel, options.seed),
+      churn_rng_(options.seed ^ 0xfeedface12345678ULL),
+      // Drawn only when a retransmission happens, so fault-free sessions
+      // are bit-identical whatever the backoff settings.
+      backoff_rng_(options.seed ^ 0x5acab0ff5ac4a11eULL),
+      host_start_(std::chrono::steady_clock::now()) {
+  verifier_.begin();
+  commands_ = verifier_.command_count();
   // Command schedule: [0, configs-1) app configuration, configs-1 the nonce
   // frame, [configs, n-1) readback rounds, n-1 the MAC checksum.
-  const std::size_t configs = n - verifier.readback_steps().size() - 1;
-  bool config_phase_done = false;
+  configs_ = commands_ - verifier_.readback_steps().size() - 1;
 
-  report.trace_id = obs::make_trace_id(prover.device_id(), verifier.nonce());
+  report_.trace_id = obs::make_trace_id(prover_.device_id(), verifier_.nonce());
   static obs::Counter& sessions_started =
       obs::MetricsRegistry::global().counter("sacha.session.started");
   sessions_started.add(1);
@@ -91,219 +92,264 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
   // Session timeline: one top-level span, one child span per protocol phase
   // (the Table 4 steps), one grandchild per readback round. The phase spans
   // are contiguous, so the timeline covers the session wall-clock.
-  obs::Span session_span("session", report.trace_id);
-  session_span.arg("device", prover.device_id());
-  std::optional<obs::Span> phase_span;
+  if (emit_spans_) {
+    session_span_.emplace("session", report_.trace_id);
+    session_span_->arg("device", prover_.device_id());
+  }
+}
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i == 0 && configs > 1) {
-      phase_span.emplace("configure.stream_in", report.trace_id, "phase");
+SessionMachine::Round SessionMachine::step() {
+  const std::size_t i = next_;
+  Round out;
+  out.index = i;
+  const sim::SimDuration elapsed_before = report_.total_time;
+
+  if (emit_spans_) {
+    if (i == 0 && configs_ > 1) {
+      phase_span_.emplace("configure.stream_in", report_.trace_id, "phase");
     }
-    if (i + 1 == configs) {
-      phase_span.emplace("nonce.inject", report.trace_id, "phase");
-    } else if (i == configs) {
-      phase_span.emplace("readback.absorb", report.trace_id, "phase");
-    } else if (i + 1 == n) {
-      phase_span.emplace("cmac.finish", report.trace_id, "phase");
+    if (i + 1 == configs_) {
+      phase_span_.emplace("nonce.inject", report_.trace_id, "phase");
+    } else if (i == configs_) {
+      phase_span_.emplace("readback.absorb", report_.trace_id, "phase");
+    } else if (i + 1 == commands_) {
+      phase_span_.emplace("cmac.finish", report_.trace_id, "phase");
     }
-    std::optional<obs::Span> round_span;
-    if (obs::enabled() && i >= configs && i + 1 < n) {
-      round_span.emplace("readback.round", report.trace_id, "readback");
+    if (obs::enabled() && i >= configs_ && i + 1 < commands_) {
+      round_span_.emplace("readback.round", report_.trace_id, "readback");
     }
-    const Command command = verifier.command(i);
-    if (round_span.has_value()) {
-      round_span->arg("frame", std::to_string(command.frame_nb));
-    }
-    if (hooks.before_command) hooks.before_command(i, prover);
+  }
+  const Command command = verifier_.command(i);
+  if (round_span_.has_value()) {
+    round_span_->arg("frame", std::to_string(command.frame_nb));
+  }
+  if (hooks_.before_command) hooks_.before_command(i, prover_);
 
-    // Session deadline: the fleet verifier's port-occupancy bound. Abort
-    // before starting another round once simulated time is exhausted.
-    if (past_deadline()) {
-      report.deadline_hit = true;
-      note_failure(FailureKind::kDeadlineExceeded);
-      break;
-    }
+  // Session deadline: the fleet verifier's port-occupancy bound. Abort
+  // before starting another round once simulated time is exhausted.
+  if (past_deadline()) {
+    report_.deadline_hit = true;
+    note_failure(FailureKind::kDeadlineExceeded);
+    aborted_ = true;
+    out.last = true;
+    out.elapsed = report_.total_time - elapsed_before;
+    return out;
+  }
 
-    // Phase boundary: the whole DynMem is (over)written; the application
-    // starts running (register churn) and the adversary gets its window.
-    if (!config_phase_done && command.type != CommandType::kIcapConfig) {
-      config_phase_done = true;
-      if (hooks.after_config) hooks.after_config(prover);
-      prover.memory().tick_registers(churn_rng, options.register_flip_probability);
-    }
+  // Phase boundary: the whole DynMem is (over)written; the application
+  // starts running (register churn) and the adversary gets its window.
+  if (!config_phase_done_ && command.type != CommandType::kIcapConfig) {
+    config_phase_done_ = true;
+    if (hooks_.after_config) hooks_.after_config(prover_);
+    prover_.memory().tick_registers(churn_rng_,
+                                    options_.register_flip_probability);
+  }
 
-    const ActionKeys keys = keys_for(command.type);
-    std::optional<Response> final_response;
-    bool delivered_and_answered = false;
-    std::optional<Response> cached_device_response;  // dedup across retries
-    bool device_handled = false;
+  const ActionKeys keys = keys_for(command.type);
+  std::optional<Response> final_response;
+  bool delivered_and_answered = false;
+  std::optional<Response> cached_device_response;  // dedup across retries
+  bool device_handled = false;
+  const net::WireModel& wire = options_.channel.wire;
 
-    const std::uint32_t attempts = options.reliable ? options.max_retries + 1 : 1;
-    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
-      if (attempt > 0) {
-        ++report.retransmissions;
-        const sim::SimDuration wait =
-            backoff_wait(options, attempt, backoff_rng);
-        report.ledger.add(actions::kRetransmit, wait);
-        report.total_time += wait;
-        report.backoff_wait += wait;
-        if (past_deadline()) {
-          report.deadline_hit = true;
-          note_failure(FailureKind::kDeadlineExceeded);
-          break;
-        }
-      }
-      Bytes packet = command.encode();
-      if (hooks.on_command && !hooks.on_command(packet)) {
-        continue;  // dropped by the adversary-in-the-middle
-      }
-      ++report.commands_sent;
-      const auto uplink = channel.transfer(packet.size());
-      // Wire occupancy is charged even for lost packets (the sender still
-      // transmits); latency/jitter above the nominal wire time goes to the
-      // latency bucket.
-      const sim::SimDuration wire_up = wire.frame_time(packet.size());
-      report.ledger.add(keys.send, wire_up);
-      report.bytes_to_prover += wire.frame_bytes(packet.size());
-      report.total_time += wire_up;
-      if (!uplink.has_value()) continue;  // lost in transit
-      report.ledger.add(actions::kNetLatency, *uplink - wire_up);
-      report.total_time += *uplink - wire_up;
-
-      // Device side. Retransmitted commands the device already executed are
-      // answered from the response cache (sequence-number dedup in the RX
-      // FSM) so a lost *response* cannot double-step the MAC.
-      SachaProver::HandleResult result;
-      if (device_handled) {
-        // The cache must survive further retries, but the last permitted
-        // attempt can consume it instead of copying the frame payload.
-        if (attempt + 1 == attempts) {
-          result.response = std::move(cached_device_response);
-        } else {
-          result.response = cached_device_response;
-        }
-      } else {
-        result = prover.handle_packet(packet);
-        if (result.dropped) {
-          // Crashed or stalled device: the packet never reached the ICAP.
-          // No dedup-cache entry — a later retransmission must actually
-          // execute the command once the device recovers.
-          continue;
-        }
-        device_handled = true;
-        cached_device_response = result.response;
-        if (result.icap_time > 0 && keys.device != nullptr) {
-          report.ledger.add(keys.device, result.icap_time);
-          report.total_time += result.icap_time;
-        }
-        if (result.mac_init_time > 0) {
-          report.ledger.add(actions::kA5, result.mac_init_time);
-          report.total_time += result.mac_init_time;
-        }
-        if (result.mac_update_time > 0) {
-          report.ledger.add(actions::kA6, result.mac_update_time);
-          report.total_time += result.mac_update_time;
-        }
-        if (result.mac_finalize_time > 0) {
-          report.ledger.add(actions::kA7, result.mac_finalize_time);
-          report.total_time += result.mac_finalize_time;
-        }
-      }
-
-      // Response path (or a synthetic ack in reliable mode so the verifier
-      // can detect loss of fire-and-forget configuration commands).
-      std::optional<Response> response = std::move(result.response);
-      if (!response.has_value() && options.reliable) {
-        response = Response{.type = ResponseType::kAck, .status = ProverStatus::kOk};
-      }
-      if (!response.has_value()) {
-        final_response = std::nullopt;
-        delivered_and_answered = true;
+  const std::uint32_t attempts =
+      options_.reliable ? options_.max_retries + 1 : 1;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++report_.retransmissions;
+      const sim::SimDuration wait =
+          backoff_wait(options_, attempt, backoff_rng_);
+      report_.ledger.add(actions::kRetransmit, wait);
+      report_.total_time += wait;
+      report_.backoff_wait += wait;
+      if (past_deadline()) {
+        report_.deadline_hit = true;
+        note_failure(FailureKind::kDeadlineExceeded);
         break;
       }
-      Bytes reply = response->encode();
-      if (hooks.on_response && !hooks.on_response(reply)) {
-        continue;  // response suppressed
-      }
-      const auto downlink = channel.transfer(reply.size());
-      const sim::SimDuration wire_down = wire.frame_time(reply.size());
-      const char* reply_key = keys.reply;
-      if (response->type == ResponseType::kAck) reply_key = actions::kAck;
-      if (response->type == ResponseType::kError) reply_key = actions::kAck;
-      if (reply_key != nullptr) {
-        report.ledger.add(reply_key, wire_down);
-        report.total_time += wire_down;
-        report.bytes_to_verifier += wire.frame_bytes(reply.size());
-      }
-      if (!downlink.has_value()) continue;  // response lost
-      report.ledger.add(actions::kNetLatency, *downlink - wire_down);
-      report.total_time += *downlink - wire_down;
+    }
+    Bytes packet = command.encode();
+    if (hooks_.on_command && !hooks_.on_command(packet)) {
+      continue;  // dropped by the adversary-in-the-middle
+    }
+    ++report_.commands_sent;
+    const auto uplink = channel_.transfer(packet.size());
+    // Wire occupancy is charged even for lost packets (the sender still
+    // transmits); latency/jitter above the nominal wire time goes to the
+    // latency bucket.
+    const sim::SimDuration wire_up = wire.frame_time(packet.size());
+    report_.ledger.add(keys.send, wire_up);
+    report_.bytes_to_prover += wire.frame_bytes(packet.size());
+    report_.total_time += wire_up;
+    if (!uplink.has_value()) continue;  // lost in transit
+    report_.ledger.add(actions::kNetLatency, *uplink - wire_up);
+    report_.total_time += *uplink - wire_up;
 
-      auto decoded = Response::decode(reply);
-      if (decoded.ok()) {
-        final_response = std::move(decoded).take();
-        if (final_response->type == ResponseType::kAck) {
-          final_response = std::nullopt;  // acks are transport-level only
-        }
-      } else if (options.reliable) {
-        // Undecodable response: corruption the transport checksum would
-        // have caught on a real link. Treat it exactly like loss and
-        // retransmit — the dedup cache answers, so the prover MAC cannot
-        // double-step.
-        continue;
+    // Device side. Retransmitted commands the device already executed are
+    // answered from the response cache (sequence-number dedup in the RX
+    // FSM) so a lost *response* cannot double-step the MAC.
+    SachaProver::HandleResult result;
+    if (device_handled) {
+      // The cache must survive further retries, but the last permitted
+      // attempt can consume it instead of copying the frame payload.
+      if (attempt + 1 == attempts) {
+        result.response = std::move(cached_device_response);
       } else {
-        note_failure(FailureKind::kDecodeError);
-        final_response = std::nullopt;
+        result.response = cached_device_response;
       }
-      if (final_response.has_value() &&
-          final_response->type == ResponseType::kError) {
-        note_failure(FailureKind::kDeviceError);
+    } else {
+      result = prover_.handle_packet(packet);
+      if (result.dropped) {
+        // Crashed or stalled device: the packet never reached the ICAP.
+        // No dedup-cache entry — a later retransmission must actually
+        // execute the command once the device recovers.
+        continue;
       }
+      device_handled = true;
+      cached_device_response = result.response;
+      if (result.icap_time > 0 && keys.device != nullptr) {
+        report_.ledger.add(keys.device, result.icap_time);
+        report_.total_time += result.icap_time;
+      }
+      if (result.mac_init_time > 0) {
+        report_.ledger.add(actions::kA5, result.mac_init_time);
+        report_.total_time += result.mac_init_time;
+      }
+      if (result.mac_update_time > 0) {
+        report_.ledger.add(actions::kA6, result.mac_update_time);
+        report_.total_time += result.mac_update_time;
+      }
+      if (result.mac_finalize_time > 0) {
+        report_.ledger.add(actions::kA7, result.mac_finalize_time);
+        report_.total_time += result.mac_finalize_time;
+      }
+    }
+
+    // Response path (or a synthetic ack in reliable mode so the verifier
+    // can detect loss of fire-and-forget configuration commands).
+    std::optional<Response> response = std::move(result.response);
+    if (!response.has_value() && options_.reliable) {
+      response =
+          Response{.type = ResponseType::kAck, .status = ProverStatus::kOk};
+    }
+    if (!response.has_value()) {
+      final_response = std::nullopt;
       delivered_and_answered = true;
       break;
     }
-
-    if (report.deadline_hit) break;  // deadline tripped mid-retry loop
-    if (delivered_and_answered || !options.reliable) {
-      (void)verifier.on_response(i, std::move(final_response));
-    } else {
-      // Retries exhausted: record the absence so finish() reports it.
-      note_failure(FailureKind::kTimeoutExhausted);
-      static obs::Counter& exhausted = obs::MetricsRegistry::global().counter(
-          "sacha.session.retries_exhausted");
-      exhausted.add(1);
-      (void)verifier.on_response(
-          i, Response{.type = ResponseType::kError,
-                      .status = ProverStatus::kBadCommand});
+    Bytes reply = response->encode();
+    if (hooks_.on_response && !hooks_.on_response(reply)) {
+      continue;  // response suppressed
     }
+    const auto downlink = channel_.transfer(reply.size());
+    const sim::SimDuration wire_down = wire.frame_time(reply.size());
+    const char* reply_key = keys.reply;
+    if (response->type == ResponseType::kAck) reply_key = actions::kAck;
+    if (response->type == ResponseType::kError) reply_key = actions::kAck;
+    if (reply_key != nullptr) {
+      report_.ledger.add(reply_key, wire_down);
+      report_.total_time += wire_down;
+      report_.bytes_to_verifier += wire.frame_bytes(reply.size());
+    }
+    if (!downlink.has_value()) continue;  // response lost
+    report_.ledger.add(actions::kNetLatency, *downlink - wire_down);
+    report_.total_time += *downlink - wire_down;
+
+    auto decoded = Response::decode(reply);
+    if (decoded.ok()) {
+      final_response = std::move(decoded).take();
+      if (final_response->type == ResponseType::kAck) {
+        final_response = std::nullopt;  // acks are transport-level only
+      }
+    } else if (options_.reliable) {
+      // Undecodable response: corruption the transport checksum would
+      // have caught on a real link. Treat it exactly like loss and
+      // retransmit — the dedup cache answers, so the prover MAC cannot
+      // double-step.
+      continue;
+    } else {
+      note_failure(FailureKind::kDecodeError);
+      final_response = std::nullopt;
+    }
+    if (final_response.has_value() &&
+        final_response->type == ResponseType::kError) {
+      note_failure(FailureKind::kDeviceError);
+    }
+    delivered_and_answered = true;
+    break;
   }
 
-  for (const char* key : {actions::kA1, actions::kA2, actions::kA3, actions::kA4,
-                          actions::kA5, actions::kA6, actions::kA7, actions::kA8,
-                          actions::kA9, actions::kA10}) {
-    report.theoretical_time += report.ledger.total(key);
+  if (report_.deadline_hit) {  // deadline tripped mid-retry loop
+    aborted_ = true;
+    out.last = true;
+    out.elapsed = report_.total_time - elapsed_before;
+    return out;
   }
-  phase_span.reset();
+  if (delivered_and_answered || !options_.reliable) {
+    out.deliver = true;
+    out.response = std::move(final_response);
+  } else {
+    // Retries exhausted: record the absence so finish() reports it.
+    note_failure(FailureKind::kTimeoutExhausted);
+    static obs::Counter& exhausted = obs::MetricsRegistry::global().counter(
+        "sacha.session.retries_exhausted");
+    exhausted.add(1);
+    out.deliver = true;
+    out.response = Response{.type = ResponseType::kError,
+                            .status = ProverStatus::kBadCommand};
+  }
+  if (out.response.has_value() &&
+      out.response->type == ResponseType::kFrameData) {
+    out.verify_words = out.response->frame_words.size();
+  }
+  ++next_;
+  out.last = next_ >= commands_;
+  out.elapsed = report_.total_time - elapsed_before;
+  return out;
+}
+
+void SessionMachine::deliver(Round round) {
+  if (round.deliver) {
+    (void)verifier_.on_response(round.index, std::move(round.response));
+  }
+  // Close the round's readback span (a no-op for config rounds and in
+  // engine mode, where no spans are opened).
+  if (emit_spans_) round_span_.reset();
+}
+
+AttestationReport SessionMachine::finish() {
+  for (const char* key :
+       {actions::kA1, actions::kA2, actions::kA3, actions::kA4, actions::kA5,
+        actions::kA6, actions::kA7, actions::kA8, actions::kA9,
+        actions::kA10}) {
+    report_.theoretical_time += report_.ledger.total(key);
+  }
+  round_span_.reset();
+  phase_span_.reset();
   {
     // Streaming mode did its masked compares during readback.absorb; this
     // span is where the retained oracle does all of its comparing.
-    obs::Span verdict_span("compare.verdict", report.trace_id, "phase");
-    report.verdict = verifier.finish();
+    std::optional<obs::Span> verdict_span;
+    if (emit_spans_) {
+      verdict_span.emplace("compare.verdict", report_.trace_id, "phase");
+    }
+    report_.verdict = verifier_.finish();
   }
-  report.verifier_retained_bytes = verifier.retained_readback_bytes();
-  report.messages_lost = channel.messages_lost();
+  report_.verifier_retained_bytes = verifier_.retained_readback_bytes();
+  report_.messages_lost = channel_.messages_lost();
+  report_.channel_time = channel_.transfer_time();
   // Typed cause: the first transport failure wins; a transport-clean
   // session inherits the verifier's crypto classification.
-  report.failure = transport_failure != FailureKind::kNone
-                       ? transport_failure
-                       : report.verdict.kind;
-  if (report.failure != FailureKind::kNone) {
-    session_span.arg("failure", to_string(report.failure));
+  report_.failure = transport_failure_ != FailureKind::kNone
+                        ? transport_failure_
+                        : report_.verdict.kind;
+  if (report_.failure != FailureKind::kNone && session_span_.has_value()) {
+    session_span_->arg("failure", to_string(report_.failure));
   }
-  session_span.end();
-  report.host_ns = static_cast<std::uint64_t>(
+  session_span_.reset();
+  report_.host_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - host_start)
+          std::chrono::steady_clock::now() - host_start_)
           .count());
 
   {
@@ -315,35 +361,43 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
         registry.counter("sacha.session.retransmissions");
     static obs::Histogram& host_hist =
         registry.histogram("sacha.session.host_ns");
-    (report.verdict.ok() ? attested : failed).add(1);
-    commands.add(report.commands_sent);
-    retransmissions.add(report.retransmissions);
-    host_hist.observe(report.host_ns);
-    if (report.failure != FailureKind::kNone) {
+    (report_.verdict.ok() ? attested : failed).add(1);
+    commands.add(report_.commands_sent);
+    retransmissions.add(report_.retransmissions);
+    host_hist.observe(report_.host_ns);
+    if (report_.failure != FailureKind::kNone) {
       // Per-cause counters so fleet dashboards can alert on tampering
       // (mac_mismatch) separately from infrastructure rot (timeouts).
       registry
           .counter(std::string("sacha.session.failure.") +
-                   to_string(report.failure))
+                   to_string(report_.failure))
           .add(1);
     }
-    if (report.backoff_wait > 0) {
+    if (report_.backoff_wait > 0) {
       static obs::Histogram& backoff_hist =
           registry.histogram("sacha.session.backoff_sim_ns");
-      backoff_hist.observe(report.backoff_wait);
+      backoff_hist.observe(report_.backoff_wait);
     }
   }
   (log_debug() << "attestation session finished")
-      .kv("device", prover.device_id())
-      .kv("nonce", verifier.nonce())
-      .kv("trace", obs::to_string(report.trace_id))
-      .kv("verdict", report.verdict.ok() ? "attested" : "failed")
-      .kv("failure", to_string(report.failure))
-      .kv("commands", report.commands_sent)
-      .kv("retransmissions", report.retransmissions)
-      .kv("messages_lost", report.messages_lost)
-      .kv("host_ms", static_cast<double>(report.host_ns) / 1e6);
-  return report;
+      .kv("device", prover_.device_id())
+      .kv("nonce", verifier_.nonce())
+      .kv("trace", obs::to_string(report_.trace_id))
+      .kv("verdict", report_.verdict.ok() ? "attested" : "failed")
+      .kv("failure", to_string(report_.failure))
+      .kv("commands", report_.commands_sent)
+      .kv("retransmissions", report_.retransmissions)
+      .kv("messages_lost", report_.messages_lost)
+      .kv("host_ms", static_cast<double>(report_.host_ns) / 1e6);
+  return std::move(report_);
+}
+
+AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
+                                  const SessionOptions& options,
+                                  const SessionHooks& hooks) {
+  SessionMachine machine(verifier, prover, options, hooks);
+  while (!machine.done()) machine.deliver(machine.step());
+  return machine.finish();
 }
 
 }  // namespace sacha::core

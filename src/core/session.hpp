@@ -13,7 +13,9 @@
 // of the threat model).
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <optional>
 
 #include "core/failure.hpp"
 #include "core/prover.hpp"
@@ -106,12 +108,102 @@ struct AttestationReport {
   /// transcript in VerifyMode::kRetained, 0 in the streaming mode. The
   /// fleet benches aggregate this per member.
   std::uint64_t verifier_retained_bytes = 0;
+  /// Simulated time delivered messages occupied the channel (both
+  /// directions) — the share of total_time a blocking driver spends
+  /// waiting on the wire, i.e. what the fleet engine overlaps.
+  sim::SimDuration channel_time = 0;
   /// Timeline key of this session ((device id, nonce)-derived), valid even
   /// with telemetry disabled so audit entries always link to a would-be
   /// trace. With telemetry enabled, the global obs::Tracer holds the spans.
   obs::TraceId trace_id{};
   /// Host wall-clock of the whole session (not simulated time).
   std::uint64_t host_ns = 0;
+};
+
+/// Resumable form of the attestation session driver.
+///
+/// One SessionMachine runs exactly the protocol loop of run_attestation,
+/// but split at the channel boundary so a fleet engine can multiplex many
+/// sessions on a few workers: step() executes one full command round
+/// (encode, transfer, device, retries — everything except the verifier
+/// absorb) and returns the round's outcome; deliver() folds that outcome
+/// into the verifier (the streaming CMAC absorb + masked compare);
+/// finish() assembles the report. Driving `while (!done()) deliver(step())`
+/// then finish() is bit-identical to run_attestation — same RNG draw
+/// order, same ledger, same failure precedence — because the split only
+/// moves the on_response call, which the command schedule never depends
+/// on (it is frozen at begin()).
+///
+/// Concurrency contract (what the fleet engine relies on): step() and
+/// deliver() touch disjoint verifier state — command(i) reads the frozen
+/// schedule and the shared read-only GoldenModel, on_response writes the
+/// streaming absorb state — so ONE thread may run step() while ANOTHER
+/// runs deliver() for rounds already produced, provided each side is
+/// serialised (a drive strand and a verify strand). finish() requires both
+/// strands quiesced. With emit_spans = false the machine opens no obs
+/// spans, so strands may hop between pool threads (obs::Span is
+/// thread-affine); the engine emits its own per-slice worker-lane spans.
+class SessionMachine {
+ public:
+  /// Outcome of one command round, produced by step() and consumed by
+  /// deliver(). `response` is what the verifier absorbs (nullopt for
+  /// fire-and-forget config commands in unreliable mode); `verify_words`
+  /// is the frame-data payload size, the verify-side cost driver.
+  struct Round {
+    std::size_t index = 0;
+    /// False only when the round aborted on the session deadline — there
+    /// is nothing to absorb and the session is over.
+    bool deliver = false;
+    std::optional<Response> response;
+    /// Simulated time this round added to the session (wire + latency +
+    /// device + backoff).
+    sim::SimDuration elapsed = 0;
+    std::size_t verify_words = 0;
+    /// No further rounds follow (schedule exhausted or deadline abort).
+    bool last = false;
+  };
+
+  /// Calls verifier.begin() (fresh nonce, frozen schedule). With
+  /// emit_spans = false no obs spans are opened (see the concurrency
+  /// contract); counters still fire.
+  SessionMachine(SachaVerifier& verifier, SachaProver& prover,
+                 const SessionOptions& options = {},
+                 const SessionHooks& hooks = {}, bool emit_spans = true);
+
+  bool done() const { return aborted_ || next_ >= commands_; }
+  /// Executes the next command round. Precondition: !done().
+  Round step();
+  /// Absorbs a round produced by step(), in production order.
+  void deliver(Round round);
+  /// Finalises the verdict and returns the report. Call exactly once,
+  /// after done() and after every produced round was delivered.
+  AttestationReport finish();
+
+  const obs::TraceId& trace_id() const { return report_.trace_id; }
+
+ private:
+  void note_failure(FailureKind kind);
+  bool past_deadline() const;
+
+  SachaVerifier& verifier_;
+  SachaProver& prover_;
+  const SessionOptions options_;
+  const SessionHooks hooks_;
+  const bool emit_spans_;
+  AttestationReport report_;
+  net::Channel channel_;
+  Rng churn_rng_;
+  Rng backoff_rng_;
+  FailureKind transport_failure_ = FailureKind::kNone;
+  std::chrono::steady_clock::time_point host_start_;
+  std::size_t commands_ = 0;
+  std::size_t configs_ = 0;
+  std::size_t next_ = 0;
+  bool config_phase_done_ = false;
+  bool aborted_ = false;  // session deadline tripped; no further rounds
+  std::optional<obs::Span> session_span_;
+  std::optional<obs::Span> phase_span_;
+  std::optional<obs::Span> round_span_;
 };
 
 /// Runs one full attestation. The verifier's begin() is called internally.

@@ -13,6 +13,18 @@ namespace sacha::core {
 
 namespace {
 
+const char* schedule_name(SwarmSchedule schedule) {
+  switch (schedule) {
+    case SwarmSchedule::kSerial:
+      return "serial";
+    case SwarmSchedule::kParallel:
+      return "parallel";
+    case SwarmSchedule::kMultiplexed:
+      return "multiplexed";
+  }
+  return "unknown";
+}
+
 /// Runs member `i`'s session (attempt `attempt`). Seeds derive from the
 /// fleet seed, the member id and the attempt via splitmix64 — never from
 /// the member index or scheduling — so serial and parallel runs are
@@ -72,6 +84,55 @@ sim::SimDuration run_round(std::vector<SwarmMember>& fleet,
     merge_attempt(report.members[i], fleet[i], session, attempt);
     durations[k] = session.total_time;
   };
+
+  if (options.schedule == SwarmSchedule::kMultiplexed) {
+    // Event-driven engine round: build one job per pending member with the
+    // same derived seed and configure hook as run_attempt would use, then
+    // multiplex them on the engine's worker pool. Reports come back in job
+    // order, bit-identical to run_attestation per member.
+    std::vector<FleetSessionJob> jobs(indices.size());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      SwarmMember& member = fleet[i];
+      SessionOptions attempt_options = options.session;
+      attempt_options.seed =
+          derive_seed(options.session.seed, member.id, attempt);
+      SessionHooks attempt_hooks = member.hooks;
+      if (member.configure) {
+        member.configure(attempt_options, attempt_hooks, attempt);
+      }
+      jobs[k] = FleetSessionJob{member.verifier, member.prover,
+                                std::move(attempt_options),
+                                std::move(attempt_hooks), member.id};
+    }
+    FleetRunResult run = run_fleet(jobs, options.engine, fleet_trace);
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      const std::size_t i = indices[k];
+      merge_attempt(report.members[i], fleet[i], run.reports[k], attempt);
+      durations[k] = run.reports[k].total_time;
+      total_work += run.reports[k].total_time;
+    }
+    // Accumulate engine accounting across supervisor rounds; the overlap
+    // ratio is recomputed from the accumulated totals.
+    report.engine.pool_size = run.stats.pool_size;
+    report.engine.makespan += run.stats.makespan;
+    report.engine.thread_per_member_makespan +=
+        run.stats.thread_per_member_makespan;
+    report.engine.total_work += run.stats.total_work;
+    report.engine.verify_busy += run.stats.verify_busy;
+    report.engine.channel_busy += run.stats.channel_busy;
+    report.engine.drive_slices += run.stats.drive_slices;
+    report.engine.verify_batches += run.stats.verify_batches;
+    report.engine.peak_inbox_rounds = std::max(
+        report.engine.peak_inbox_rounds, run.stats.peak_inbox_rounds);
+    report.engine.host_ns += run.stats.host_ns;
+    report.engine.overlap_efficiency =
+        report.engine.makespan > 0
+            ? static_cast<double>(report.engine.total_work) /
+                  static_cast<double>(report.engine.makespan)
+            : 0.0;
+    return run.stats.makespan;
+  }
 
   if (options.schedule == SwarmSchedule::kParallel && indices.size() > 1) {
     // Worker pool: members are independent devices with independent
@@ -150,9 +211,7 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
   };
   obs::Span fleet_span("swarm", report.fleet_trace, "swarm");
   fleet_span.arg("members", std::to_string(fleet.size()));
-  fleet_span.arg("schedule", options.schedule == SwarmSchedule::kParallel
-                                 ? "parallel"
-                                 : "serial");
+  fleet_span.arg("schedule", schedule_name(options.schedule));
 
   // Round 0: every member, then supervisor rounds over the failed subset.
   // Each retry is a fresh full session — run_attestation re-runs begin()
@@ -251,9 +310,7 @@ SwarmReport attest_swarm(std::vector<SwarmMember>& fleet,
       .kv("healed", report.healed)
       .kv("quarantined", report.quarantined)
       .kv("reattempts", report.reattempts)
-      .kv("schedule", options.schedule == SwarmSchedule::kParallel
-                          ? "parallel"
-                          : "serial")
+      .kv("schedule", schedule_name(options.schedule))
       .kv("trace", obs::to_string(report.fleet_trace))
       .kv("host_ms", static_cast<double>(report.host_ns) / 1e6);
   return report;

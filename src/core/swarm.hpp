@@ -11,9 +11,12 @@
 // (fleet seed, member id, attempt) — never from its index or schedule —
 // and the report is merged in member order, so the result is bit-identical
 // to the serial schedule while the host wall-clock divides by the core
-// count. bench_swarm measures how fleet size scales on both schedules and
-// that a single compromised member is isolated, not hidden by the
-// aggregate.
+// count. kMultiplexed hands the round to the event-driven fleet engine
+// (fleet_engine.hpp): N member sessions multiplex on a fixed worker pool,
+// parking through their simulated channel latency instead of blocking a
+// thread — same bit-identical reports, N ≫ cores without N threads.
+// bench_swarm measures how fleet size scales on all schedules and that a
+// single compromised member is isolated, not hidden by the aggregate.
 //
 // The coordinator is also a self-healing supervisor: members whose session
 // fails are re-attested — a complete fresh session with a fresh nonce and
@@ -24,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet_engine.hpp"
 #include "core/session.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,8 +49,11 @@ struct SwarmMember {
 };
 
 enum class SwarmSchedule : std::uint8_t {
-  kSerial,    // one session at a time (single verifier port)
-  kParallel,  // all sessions concurrently; makespan = slowest member
+  kSerial,       // one session at a time (single verifier port)
+  kParallel,     // all sessions concurrently; makespan = slowest member
+  kMultiplexed,  // event-driven engine: N sessions on a fixed worker pool
+                 // (see fleet_engine.hpp); makespan from the engine's
+                 // K-lane virtual-time schedule
 };
 
 /// Supervisor policy for attest_swarm. Defaults preserve the pre-supervisor
@@ -64,6 +71,8 @@ struct SwarmOptions {
   /// unbounded). Once exceeded, no further retries are scheduled and the
   /// still-failing members are quarantined with their typed cause.
   std::uint64_t fleet_deadline_ns = 0;
+  /// Engine tuning for SwarmSchedule::kMultiplexed (ignored otherwise).
+  FleetEngineOptions engine{};
 };
 
 struct SwarmMemberResult {
@@ -132,6 +141,11 @@ struct SwarmReport {
   std::uint64_t messages_lost = 0;
   std::uint64_t retransmissions = 0;
   sim::SimDuration backoff_wait = 0;
+
+  /// Engine accounting under SwarmSchedule::kMultiplexed (zeroed
+  /// otherwise): makespan model, thread-per-member baseline, overlap
+  /// efficiency, slice/batch counts. Accumulated across supervisor rounds.
+  FleetEngineStats engine{};
 
   /// Host wall-clock of the whole attest_swarm call.
   std::uint64_t host_ns = 0;

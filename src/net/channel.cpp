@@ -84,6 +84,7 @@ std::optional<sim::SimDuration> Channel::transfer(std::size_t payload_bytes) {
     if (params_.spike_max > 0) t += rng_.below(params_.spike_max + 1);
   }
   latency.observe(t);
+  transfer_time_ += t;
   return t;
 }
 

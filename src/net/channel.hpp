@@ -69,6 +69,11 @@ class Channel {
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_lost() const { return messages_lost_; }
+  /// Cumulative simulated time delivered messages occupied the channel
+  /// (wire + latency + jitter, both directions). This is the time a
+  /// blocking session driver spends waiting on the wire — and the time the
+  /// fleet engine parks a session instead of occupying a worker.
+  sim::SimDuration transfer_time() const { return transfer_time_; }
   /// Subset of messages_lost() dropped by the burst model (vs independent
   /// loss), and spike count — the fault benches audit loss composition.
   std::uint64_t burst_losses() const { return burst_losses_; }
@@ -82,6 +87,7 @@ class Channel {
   std::uint64_t messages_lost_ = 0;
   std::uint64_t burst_losses_ = 0;
   std::uint64_t jitter_spikes_ = 0;
+  sim::SimDuration transfer_time_ = 0;
   bool in_burst_ = false;  // Gilbert–Elliott channel state
 };
 

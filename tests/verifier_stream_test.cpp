@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <filesystem>
 
 #include "attacks/library.hpp"
 #include "bitstream/golden_model.hpp"
@@ -103,6 +104,102 @@ TEST(GoldenModel, CacheEntriesDieWithTheirLastVerifier) {
   }
   EXPECT_EQ(bs::GoldenModel::live_cache_entries(), before)
       << "weak cache must not outlive the verifiers";
+}
+
+// ---- On-disk model cache -------------------------------------------------
+
+TEST(GoldenModelCache, SaveLoadRoundTripIsBitIdentical) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"roundtrip-probe", 7};
+  const bs::GoldenModel built(env.plan, env.static_spec, env.app_spec);
+  const std::string path = ::testing::TempDir() + "sacha_roundtrip.sgm";
+  ASSERT_TRUE(built.save(path, env.plan));
+  const auto loaded =
+      bs::GoldenModel::load(path, env.plan, env.static_spec, env.app_spec);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_TRUE(*loaded == built)
+      << "loaded model must be bit-identical to the built one";
+  EXPECT_EQ(loaded->footprint_bytes(), built.footprint_bytes());
+  std::filesystem::remove(path);
+}
+
+TEST(GoldenModelCache, LoadRejectsWrongIdentityAndCorruption) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"reject-probe", 9};
+  const bs::GoldenModel built(env.plan, env.static_spec, env.app_spec);
+  const std::string path = ::testing::TempDir() + "sacha_reject.sgm";
+  ASSERT_TRUE(built.save(path, env.plan));
+  // A file saved for one fleet configuration must never load for another.
+  const bs::DesignSpec other_app{"reject-probe-other", 9};
+  EXPECT_EQ(bs::GoldenModel::load(path, env.plan, env.static_spec, other_app),
+            nullptr);
+  // Truncation must fail cleanly, not produce a quietly-wrong model.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_EQ(bs::GoldenModel::load(path, env.plan, env.static_spec,
+                                  env.app_spec),
+            nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(GoldenModelCache, SharedCachedHitsInternedThenDiskThenBuild) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"three-tier-probe", 11};
+  const std::string dir = ::testing::TempDir() + "sacha_model_cache";
+  std::filesystem::remove_all(dir);
+
+  bs::GoldenModel::CacheSource source;
+  auto first = bs::GoldenModel::shared_cached(env.plan, env.static_spec,
+                                              env.app_spec, dir, &source);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(source, bs::GoldenModel::CacheSource::kBuilt);
+  const std::string file =
+      dir + "/" +
+      bs::GoldenModel::cache_digest(env.plan, env.static_spec, env.app_spec) +
+      ".sgm";
+  EXPECT_TRUE(std::filesystem::exists(file)) << "build must persist";
+
+  // Alive model: the process intern cache answers.
+  auto second = bs::GoldenModel::shared_cached(env.plan, env.static_spec,
+                                               env.app_spec, dir, &source);
+  EXPECT_EQ(source, bs::GoldenModel::CacheSource::kInterned);
+  EXPECT_EQ(second.get(), first.get());
+
+  // Simulated restart: drop every reference, the disk tier answers and the
+  // loaded model is bit-identical to the built one.
+  const bs::GoldenModel built_copy(env.plan, env.static_spec, env.app_spec);
+  first.reset();
+  second.reset();
+  auto reloaded = bs::GoldenModel::shared_cached(env.plan, env.static_spec,
+                                                 env.app_spec, dir, &source);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(source, bs::GoldenModel::CacheSource::kLoaded);
+  EXPECT_TRUE(*reloaded == built_copy);
+  reloaded.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(GoldenModelCache, WarmStartedVerifierAttests) {
+  // shared_cached pre-populates the intern cache, so a verifier provisioned
+  // afterwards reuses the loaded model — the warm-start path end-to-end.
+  attacks::AttackEnv env = attacks::AttackEnv::small(91);
+  const std::string dir = ::testing::TempDir() + "sacha_warm_start";
+  std::filesystem::remove_all(dir);
+  bs::GoldenModel::CacheSource source;
+  // Cold start persists; the simulated restart below loads it.
+  bs::GoldenModel::shared_cached(env.plan, env.static_spec, env.app_spec, dir,
+                                 &source)
+      .reset();
+  auto warm = bs::GoldenModel::shared_cached(env.plan, env.static_spec,
+                                             env.app_spec, dir, &source);
+  EXPECT_EQ(source, bs::GoldenModel::CacheSource::kLoaded);
+  core::SachaVerifier verifier = env.make_verifier();
+  EXPECT_EQ(verifier.golden_model().get(), warm.get())
+      << "verifier must intern the warm-started model";
+  core::SachaProver prover = env.make_prover();
+  const auto report = core::run_attestation(verifier, prover);
+  EXPECT_TRUE(report.verdict.ok());
+  std::filesystem::remove_all(dir);
 }
 
 // ---- Streaming == retained, across the attack library -------------------
@@ -334,6 +431,92 @@ TEST(SwarmGoldenModel, HomogeneousFleetSharesOneModel) {
             kFleet * report.golden_model_bytes);
   EXPECT_EQ(report.retained_readback_bytes, 0u)
       << "streaming fleet retains no readback";
+}
+
+// ---- Batched readback (§6.1 buffer-size trade-off) -----------------------
+
+struct BatchedRun {
+  core::AttestationReport report;
+  std::optional<crypto::Mac> mac;  // H_Vrf after finish()
+};
+
+BatchedRun run_batched(std::uint32_t per, core::VerifyMode mode,
+                       const core::SessionHooks& hooks = {},
+                       core::SessionOptions session = {}) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(321);
+  env.verifier_options.order = core::ReadbackOrder::kSequentialFromZero;
+  env.verifier_options.frames_per_readback = per;
+  env.verifier_options.mode = mode;
+  core::SachaVerifier verifier = env.make_verifier();
+  core::SachaProver prover = env.make_prover();
+  BatchedRun out;
+  out.report = core::run_attestation(verifier, prover, session, hooks);
+  out.mac = verifier.expected_mac();
+  return out;
+}
+
+TEST(BatchedReadback, MacIsInvariantAcrossBatchWidths) {
+  // The MAC absorbs raw frame words in readback order with no per-command
+  // framing, so coalescing k frames per ICAP_readback must not change
+  // H_Vrf (and the device's H_Prv, or mac_ok would flip).
+  const BatchedRun base = run_batched(1, core::VerifyMode::kStreaming);
+  ASSERT_TRUE(base.report.verdict.ok()) << base.report.verdict.detail;
+  ASSERT_TRUE(base.mac.has_value());
+  std::uint64_t prev_commands = base.report.commands_sent;
+  for (const std::uint32_t per : {2u, 4u, 8u}) {
+    const BatchedRun batched = run_batched(per, core::VerifyMode::kStreaming);
+    ASSERT_TRUE(batched.report.verdict.ok())
+        << "per=" << per << ": " << batched.report.verdict.detail;
+    ASSERT_TRUE(batched.mac.has_value()) << "per=" << per;
+    EXPECT_TRUE(*batched.mac == *base.mac)
+        << "per=" << per << ": batch width changed the transcript MAC";
+    EXPECT_LT(batched.report.commands_sent, prev_commands)
+        << "per=" << per << ": wider batches must need fewer commands";
+    prev_commands = batched.report.commands_sent;
+  }
+}
+
+TEST(BatchedReadback, StreamingMatchesRetainedWhenBatched) {
+  const BatchedRun streaming = run_batched(4, core::VerifyMode::kStreaming);
+  const BatchedRun retained = run_batched(4, core::VerifyMode::kRetained);
+  ASSERT_TRUE(streaming.report.verdict.ok()) << streaming.report.verdict.detail;
+  ASSERT_TRUE(retained.report.verdict.ok()) << retained.report.verdict.detail;
+  ASSERT_TRUE(streaming.mac.has_value());
+  ASSERT_TRUE(retained.mac.has_value());
+  EXPECT_TRUE(*streaming.mac == *retained.mac);
+  EXPECT_EQ(streaming.report.verifier_retained_bytes, 0u);
+  EXPECT_GT(retained.report.verifier_retained_bytes, 0u);
+}
+
+TEST(BatchedReadback, TamperIsDetectedAtEveryBatchWidth) {
+  core::SessionHooks hooks;
+  hooks.after_config = [](core::SachaProver& prover) {
+    bs::Frame frame = prover.memory().config_frame(7);
+    frame.flip_bit(40);
+    prover.memory().write_frame(7, frame);
+  };
+  for (const std::uint32_t per : {1u, 2u, 4u, 8u}) {
+    const BatchedRun run =
+        run_batched(per, core::VerifyMode::kStreaming, hooks);
+    EXPECT_FALSE(run.report.verdict.ok())
+        << "per=" << per << ": tampered frame slipped through a batch";
+    EXPECT_FALSE(run.report.verdict.config_ok) << "per=" << per;
+  }
+}
+
+TEST(BatchedReadback, LossyReliableChannelAttestsBatched) {
+  core::SessionOptions session;
+  session.channel.loss_probability = 0.2;
+  session.seed = 99;
+  session.reliable = true;
+  session.max_retries = 16;
+  session.retransmit_timeout = 50 * sim::kMicrosecond;
+  const BatchedRun run =
+      run_batched(4, core::VerifyMode::kStreaming, {}, session);
+  EXPECT_TRUE(run.report.verdict.ok()) << run.report.verdict.detail;
+  EXPECT_GT(run.report.messages_lost, 0u)
+      << "20% loss over a full session should drop something";
+  EXPECT_GT(run.report.retransmissions, 0u);
 }
 
 }  // namespace
