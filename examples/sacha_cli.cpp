@@ -38,6 +38,8 @@ struct CliOptions {
   std::uint64_t fleet = 0;        // members in a fleet run (0 = one session)
   std::string schedule = "mux";   // serial | parallel | mux
   std::uint64_t pool = 0;         // mux verify-pool size (0 = auto)
+  std::uint64_t verify_batch = 4; // members interleaved per verify batch
+  bool adaptive_slice = false;    // adapt rounds_per_slice to cost ratios
   std::uint64_t seed = 1;
   bool list_attacks = false;
   bool help = false;
@@ -70,6 +72,10 @@ void print_help() {
       "  --fleet N                         attest a fleet of N devices\n"
       "  --schedule serial|parallel|mux    fleet schedule (default mux)\n"
       "  --pool K                          mux verify-pool size (0 = auto)\n"
+      "  --verify-batch N                  members interleaved per verify\n"
+      "                                    batch, 1-8 (default 4; mux only)\n"
+      "  --adaptive-slice                  adapt mux drive-slice length to\n"
+      "                                    the observed verify/drive cost\n"
       "  --signed                          hash-based signature mode\n"
       "  --seed N                          session/provisioning seed\n"
       "  --metrics                         print telemetry counters/histograms (JSON)\n"
@@ -160,6 +166,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next("--pool");
       if (!v) return false;
       options.pool = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--verify-batch") {
+      const char* v = next("--verify-batch");
+      if (!v) return false;
+      options.verify_batch = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--adaptive-slice") {
+      options.adaptive_slice = true;
     } else if (arg == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
@@ -365,6 +377,9 @@ int main(int argc, char** argv) {
                          ? core::SwarmSchedule::kParallel
                          : core::SwarmSchedule::kMultiplexed;
     swarm.engine.pool_size = static_cast<std::size_t>(options.pool);
+    swarm.engine.verify_batch_width =
+        static_cast<std::size_t>(options.verify_batch);
+    swarm.engine.adaptive_slice = options.adaptive_slice;
     if (!fault_plan.empty()) {
       std::printf("fault plan         : %s\n", fault_plan.describe().c_str());
     }
@@ -384,6 +399,19 @@ int main(int argc, char** argv) {
                   report.engine.pool_size,
                   sim::to_seconds(report.engine.thread_per_member_makespan),
                   report.engine.overlap_efficiency);
+      const double occupancy =
+          report.engine.multi_absorb_calls > 0
+              ? static_cast<double>(report.engine.multi_absorb_streams) /
+                    static_cast<double>(report.engine.multi_absorb_calls)
+              : 0.0;
+      std::printf("verify batching    : width=%zu, occupancy %.2f "
+                  "(%llu absorbs), %llu steals, slice=%u%s\n",
+                  swarm.engine.verify_batch_width, occupancy,
+                  static_cast<unsigned long long>(
+                      report.engine.multi_absorb_calls),
+                  static_cast<unsigned long long>(report.engine.verify_steals),
+                  report.engine.rounds_per_slice_last,
+                  swarm.engine.adaptive_slice ? " (adaptive)" : "");
     }
     std::printf("golden models      : %zu distinct, %zu B shared\n",
                 report.distinct_golden_models, report.golden_model_bytes);

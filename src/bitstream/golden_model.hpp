@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bitstream/bitgen.hpp"
+#include "bitstream/masked_compare.hpp"
 #include "fabric/partition.hpp"
 
 namespace sacha::bitstream {
@@ -151,13 +152,7 @@ class GoldenModel {
                                 static_cast<std::size_t>(frame) * words_per_frame_;
     const std::uint32_t* golden =
         masked_golden_.data() + static_cast<std::size_t>(frame) * words_per_frame_;
-    // Branch-free OR-reduction: a whole frame is one pass, so accumulating
-    // the difference vectorizes where an early-exit compare would not.
-    std::uint32_t diff = 0;
-    for (std::uint32_t w = 0; w < words_per_frame_; ++w) {
-      diff |= (received[w] & mask[w]) ^ golden[w];
-    }
-    return diff == 0;
+    return masked_words_match(received.data(), mask, golden, words_per_frame_);
   }
 
   /// Heap footprint of the model (flat tables + region images), for the

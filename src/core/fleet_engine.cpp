@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <deque>
 #include <limits>
@@ -13,6 +14,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "crypto/cmac.hpp"
 #include "obs/metrics.hpp"
 
 namespace sacha::core {
@@ -55,17 +57,52 @@ struct EngineState {
   using Parked = std::pair<sim::SimTime, std::size_t>;
   std::priority_queue<Parked, std::vector<Parked>, std::greater<Parked>>
       parked;
-  /// Members with undelivered rounds (or pending finalisation), FIFO.
-  std::deque<std::size_t> verify_ready;
+  /// Per-worker verify lanes: members with undelivered rounds (or pending
+  /// finalisation), FIFO within a lane; member m homes on lane m % lanes.
+  /// A worker drains its own lane first and steals from the others when
+  /// idle — over-water inboxes before anything else.
+  std::vector<std::deque<std::size_t>> lanes;
   std::vector<MemberRt> members;
   std::vector<AttestationReport> reports;
   std::size_t unfinished = 0;
   std::uint64_t drive_slices = 0;
   std::uint64_t verify_batches = 0;
   std::size_t peak_inbox = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t multi_absorb_calls = 0;
+  std::uint64_t multi_absorb_streams = 0;
+
+  /// Adaptive-slice state (engine mutex): EWMA host cost per round of each
+  /// strand, and the slice length drive workers currently use.
+  double drive_ns_per_round = 0.0;
+  double verify_ns_per_round = 0.0;
+  std::uint32_t slice_rounds = 0;
 };
 
-constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+/// Folds an observed per-round host cost into the EWMA pair and, when
+/// adaptive slicing is on, re-derives the slice length: verify-bound fleets
+/// (folds cost more than drives) take longer slices — the verify lanes stay
+/// fed anyway and fewer scheduling points help — while drive-bound fleets
+/// shorten slices so the virtual-time interleave stays fair. sqrt keeps the
+/// response gentle; the clamp keeps backpressure meaningful. Called with
+/// the engine mutex held.
+void note_round_cost(EngineState& st, double ns_per_round, bool verify) {
+  constexpr double kAlpha = 0.2;
+  double& ewma = verify ? st.verify_ns_per_round : st.drive_ns_per_round;
+  ewma = ewma == 0.0 ? ns_per_round : ewma + kAlpha * (ns_per_round - ewma);
+  if (!st.opts->adaptive_slice) return;
+  if (st.drive_ns_per_round <= 0.0 || st.verify_ns_per_round <= 0.0) return;
+  const double scaled =
+      static_cast<double>(st.opts->rounds_per_slice) *
+      std::sqrt(st.verify_ns_per_round / st.drive_ns_per_round);
+  const auto cap = static_cast<std::uint32_t>(
+      std::min<std::size_t>(64, st.opts->inbox_high_water));
+  st.slice_rounds = std::clamp(static_cast<std::uint32_t>(std::lround(scaled)),
+                               std::uint32_t{1}, std::max(cap, 1u));
+  static obs::Gauge& slice_gauge =
+      obs::MetricsRegistry::global().gauge("sacha.engine.rounds_per_slice");
+  slice_gauge.set(st.slice_rounds);
+}
 
 /// Runs one drive slice for member `m`: up to rounds_per_slice command
 /// rounds, advancing the member's virtual clock by each round's simulated
@@ -75,6 +112,7 @@ void drive_slice(EngineState& st, std::size_t m,
                  std::unique_lock<std::mutex>& lock) {
   MemberRt& rt = st.members[m];
   FleetSessionJob& job = (*st.jobs)[m];
+  const std::uint32_t slice = st.slice_rounds;
   lock.unlock();
   if (!rt.machine) {
     // First scheduling: construct the machine (runs verifier->begin()).
@@ -84,14 +122,14 @@ void drive_slice(EngineState& st, std::size_t m,
         *job.verifier, *job.prover, job.options, job.hooks, false);
   }
   std::vector<SessionMachine::Round> produced;
+  const auto host_t0 = std::chrono::steady_clock::now();
   {
     std::optional<obs::Span> span;
     if (obs::enabled()) {
       span.emplace("engine.drive", rt.machine->trace_id(), "engine");
       span->arg("member", job.label);
     }
-    for (std::uint32_t k = 0;
-         k < st.opts->rounds_per_slice && !rt.machine->done(); ++k) {
+    for (std::uint32_t k = 0; k < slice && !rt.machine->done(); ++k) {
       SessionMachine::Round round = rt.machine->step();
       rt.vnow += round.elapsed;
       const auto cost = static_cast<sim::SimDuration>(round.verify_words) *
@@ -103,8 +141,16 @@ void drive_slice(EngineState& st, std::size_t m,
       span->arg("rounds", std::to_string(produced.size()));
     }
   }
+  const auto host_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_t0)
+          .count());
   lock.lock();
   ++st.drive_slices;
+  if (!produced.empty()) {
+    note_round_cost(st, host_ns / static_cast<double>(produced.size()),
+                    /*verify=*/false);
+  }
   for (SessionMachine::Round& round : produced) {
     rt.inbox.push_back(std::move(round));
   }
@@ -119,72 +165,165 @@ void drive_slice(EngineState& st, std::size_t m,
   if (!rt.verify_active && !rt.queued_for_verify &&
       (!rt.inbox.empty() || rt.drive_done)) {
     rt.queued_for_verify = true;
-    st.verify_ready.push_back(m);
+    st.lanes[m % st.lanes.size()].push_back(m);
   }
   st.cv.notify_all();
 }
 
-/// Drains member `m`'s inbox through the verifier (streaming CMAC absorb +
-/// masked compare per round) and finalises the session once its drive is
-/// done and the backlog empty. Called with `lock` held (and `m` already
-/// popped from verify_ready); returns with it held.
-void verify_batch(EngineState& st, std::size_t m,
-                  std::unique_lock<std::mutex>& lock) {
-  MemberRt& rt = st.members[m];
-  rt.verify_active = true;
-  std::deque<SessionMachine::Round> batch;
-  batch.swap(rt.inbox);
+/// Drains the inboxes of every member in `picks` through their verifiers
+/// (masked compare per round inline, CMAC folds queued on one CmacBatch so
+/// the members' AES chains interleave in a single multi-stream absorb) and
+/// finalises sessions whose drive is done and backlog empty. Called with
+/// `lock` held (members already off their lanes); returns with it held.
+void verify_batch_multi(EngineState& st, const std::vector<std::size_t>& picks,
+                        std::unique_lock<std::mutex>& lock) {
+  struct Drain {
+    std::size_t m = 0;
+    std::deque<SessionMachine::Round> rounds;
+  };
+  std::vector<Drain> drains;
+  drains.reserve(picks.size());
+  for (const std::size_t m : picks) {
+    MemberRt& rt = st.members[m];
+    rt.verify_active = true;
+    Drain d{m, {}};
+    d.rounds.swap(rt.inbox);
+    drains.push_back(std::move(d));
+  }
   lock.unlock();
-  if (!batch.empty()) {
+
+  const auto host_t0 = std::chrono::steady_clock::now();
+  crypto::CmacBatch cmac_batch(st.opts->verify_batch_width);
+  std::size_t delivered_rounds = 0;
+  std::uint64_t drained_members = 0;
+  for (Drain& d : drains) {
+    if (d.rounds.empty()) continue;
+    MemberRt& rt = st.members[d.m];
     std::optional<obs::Span> span;
     if (obs::enabled()) {
       span.emplace("engine.verify", rt.machine->trace_id(), "engine");
-      span->arg("member", (*st.jobs)[m].label);
-      span->arg("rounds", std::to_string(batch.size()));
+      span->arg("member", (*st.jobs)[d.m].label);
+      span->arg("rounds", std::to_string(d.rounds.size()));
     }
-    for (SessionMachine::Round& round : batch) {
+    rt.machine->set_absorb_sink(&cmac_batch);
+    for (SessionMachine::Round& round : d.rounds) {
       rt.machine->deliver(std::move(round));
     }
+    delivered_rounds += d.rounds.size();
+    ++drained_members;
   }
+  // One interleaved flush across every drained member's stream; sinks must
+  // detach before any finish() below closes a MAC.
+  cmac_batch.flush();
+  for (const Drain& d : drains) {
+    MemberRt& rt = st.members[d.m];
+    if (rt.machine) rt.machine->set_absorb_sink(nullptr);
+  }
+  const auto host_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_t0)
+          .count());
+  if (cmac_batch.absorb_calls() > 0) {
+    auto& registry = obs::MetricsRegistry::global();
+    static constexpr std::uint64_t kOccupancyBounds[] = {1, 2, 3, 4,
+                                                         5, 6, 7, 8};
+    static obs::Counter& absorbs =
+        registry.counter("sacha.engine.batch_absorbs");
+    static obs::Counter& streams =
+        registry.counter("sacha.engine.batch_streams");
+    static obs::Histogram& occupancy =
+        registry.histogram("sacha.engine.batch_occupancy", kOccupancyBounds);
+    absorbs.add(cmac_batch.absorb_calls());
+    streams.add(cmac_batch.absorbed_streams());
+    // Average streams in flight per absorb call of this drain — under-filled
+    // batches show up as mass in the low buckets.
+    occupancy.observe((cmac_batch.absorbed_streams() +
+                       cmac_batch.absorb_calls() / 2) /
+                      cmac_batch.absorb_calls());
+  }
+
   lock.lock();
-  if (!batch.empty()) ++st.verify_batches;
-  rt.verify_active = false;
-  if (!rt.inbox.empty()) {
-    // The drive strand appended more rounds while we were absorbing.
-    if (!rt.queued_for_verify) {
-      rt.queued_for_verify = true;
-      st.verify_ready.push_back(m);
+  st.verify_batches += drained_members;
+  st.multi_absorb_calls += cmac_batch.absorb_calls();
+  st.multi_absorb_streams += cmac_batch.absorbed_streams();
+  if (delivered_rounds > 0) {
+    note_round_cost(st, host_ns / static_cast<double>(delivered_rounds),
+                    /*verify=*/true);
+  }
+  std::vector<std::size_t> finish_list;
+  for (const Drain& d : drains) {
+    MemberRt& rt = st.members[d.m];
+    rt.verify_active = false;
+    if (!rt.inbox.empty()) {
+      // The drive strand appended more rounds while we were absorbing.
+      if (!rt.queued_for_verify) {
+        rt.queued_for_verify = true;
+        st.lanes[d.m % st.lanes.size()].push_back(d.m);
+      }
+    } else if (rt.drive_done && !rt.finished) {
+      rt.finished = true;
+      finish_list.push_back(d.m);
     }
-  } else if (rt.drive_done && !rt.finished) {
-    rt.finished = true;
+  }
+  if (!finish_list.empty()) {
     lock.unlock();
-    AttestationReport report = rt.machine->finish();
-    rt.machine.reset();
+    std::vector<std::pair<std::size_t, AttestationReport>> done;
+    done.reserve(finish_list.size());
+    for (const std::size_t m : finish_list) {
+      MemberRt& rt = st.members[m];
+      done.emplace_back(m, rt.machine->finish());
+      rt.machine.reset();
+    }
     lock.lock();
-    st.reports[m] = std::move(report);
-    --st.unfinished;
+    for (auto& [m, report] : done) {
+      st.reports[m] = std::move(report);
+      --st.unfinished;
+    }
   }
   st.cv.notify_all();
 }
 
-void worker_loop(EngineState& st) {
+void worker_loop(EngineState& st, std::size_t w) {
   std::unique_lock<std::mutex> lock(st.mu);
+  const std::size_t nlanes = st.lanes.size();
+  const std::size_t width = st.opts->verify_batch_width;
+  std::vector<std::size_t> picks;
+  const auto take = [&](std::deque<std::size_t>& lane_q,
+                        std::deque<std::size_t>::iterator it,
+                        bool stolen) {
+    if (stolen) ++st.steals;
+    st.members[*it].queued_for_verify = false;
+    picks.push_back(*it);
+    return lane_q.erase(it);
+  };
   while (st.unfinished > 0) {
-    // Backpressure first: a member whose backlog crossed the high-water
-    // mark gets drained before anyone drives further, bounding per-member
-    // undelivered rounds (the streaming verifier stays O(1) memory).
-    std::size_t pick = kNone;
-    for (auto it = st.verify_ready.begin(); it != st.verify_ready.end();
-         ++it) {
-      if (st.members[*it].inbox.size() >= st.opts->inbox_high_water) {
-        pick = *it;
-        st.verify_ready.erase(it);
-        break;
+    picks.clear();
+    // Backpressure first: members whose backlog crossed the high-water mark
+    // get drained before anyone drives further, bounding per-member
+    // undelivered rounds (the streaming verifier stays O(1) memory). Idle
+    // workers steal over-water members from any lane.
+    for (std::size_t l = 0; l < nlanes && picks.size() < width; ++l) {
+      const std::size_t lane = (w + l) % nlanes;
+      auto& q = st.lanes[lane];
+      for (auto it = q.begin(); it != q.end() && picks.size() < width;) {
+        if (st.members[*it].inbox.size() >= st.opts->inbox_high_water) {
+          it = take(q, it, lane != w);
+        } else {
+          ++it;
+        }
       }
     }
-    if (pick != kNone) {
-      st.members[pick].queued_for_verify = false;
-      verify_batch(st, pick, lock);
+    if (!picks.empty()) {
+      // Top up the batch with ordinary ready members so the interleave runs
+      // as full as the fleet allows.
+      for (std::size_t l = 0; l < nlanes && picks.size() < width; ++l) {
+        const std::size_t lane = (w + l) % nlanes;
+        auto& q = st.lanes[lane];
+        while (!q.empty() && picks.size() < width) {
+          take(q, q.begin(), lane != w);
+        }
+      }
+      verify_batch_multi(st, picks, lock);
       continue;
     }
     if (!st.parked.empty()) {
@@ -193,11 +332,16 @@ void worker_loop(EngineState& st) {
       drive_slice(st, m, lock);
       continue;
     }
-    if (!st.verify_ready.empty()) {
-      const std::size_t m = st.verify_ready.front();
-      st.verify_ready.pop_front();
-      st.members[m].queued_for_verify = false;
-      verify_batch(st, m, lock);
+    // FIFO verify: own lane first, then steal from the other lanes.
+    for (std::size_t l = 0; l < nlanes && picks.size() < width; ++l) {
+      const std::size_t lane = (w + l) % nlanes;
+      auto& q = st.lanes[lane];
+      while (!q.empty() && picks.size() < width) {
+        take(q, q.begin(), lane != w);
+      }
+    }
+    if (!picks.empty()) {
+      verify_batch_multi(st, picks, lock);
       continue;
     }
     // Nothing runnable: strands are in flight on other workers (or the
@@ -294,6 +438,8 @@ FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
   if (opts.pool_size == 0) opts.pool_size = default_fleet_pool();
   if (opts.rounds_per_slice == 0) opts.rounds_per_slice = 1;
   if (opts.inbox_high_water == 0) opts.inbox_high_water = 1;
+  opts.verify_batch_width = std::clamp<std::size_t>(opts.verify_batch_width,
+                                                    1, 8);
 
   FleetRunResult out;
   out.stats.pool_size = opts.pool_size;
@@ -310,6 +456,7 @@ FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
   st.members.resize(jobs.size());
   st.reports.resize(jobs.size());
   st.unfinished = jobs.size();
+  st.slice_rounds = opts.rounds_per_slice;
   for (std::size_t m = 0; m < jobs.size(); ++m) st.parked.push({0, m});
 
   {
@@ -322,13 +469,14 @@ FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
   // 2N can never find work.
   const std::size_t workers =
       std::min<std::size_t>(opts.pool_size, jobs.size() * 2);
+  st.lanes.resize(std::max<std::size_t>(workers, 1));
   if (workers <= 1) {
-    worker_loop(st);
+    worker_loop(st, 0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&st] { worker_loop(st); });
+      pool.emplace_back([&st, w] { worker_loop(st, w); });
     }
     for (std::thread& t : pool) t.join();
   }
@@ -352,6 +500,10 @@ FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
   stats.drive_slices = st.drive_slices;
   stats.verify_batches = st.verify_batches;
   stats.peak_inbox_rounds = st.peak_inbox;
+  stats.verify_steals = st.steals;
+  stats.multi_absorb_calls = st.multi_absorb_calls;
+  stats.multi_absorb_streams = st.multi_absorb_streams;
+  stats.rounds_per_slice_last = st.slice_rounds;
   stats.host_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - host_start)
@@ -362,8 +514,11 @@ FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,
     static obs::Counter& slices = registry.counter("sacha.engine.slices");
     static obs::Counter& batches =
         registry.counter("sacha.engine.verify_batches");
+    static obs::Counter& steals =
+        registry.counter("sacha.engine.verify_steals");
     slices.add(stats.drive_slices);
     batches.add(stats.verify_batches);
+    steals.add(stats.verify_steals);
   }
   engine_span.arg("makespan_ns", std::to_string(stats.makespan));
   engine_span.arg("overlap", std::to_string(stats.overlap_efficiency));

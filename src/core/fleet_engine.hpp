@@ -54,6 +54,17 @@ struct FleetEngineOptions {
   /// this many rounds, workers prefer draining it over driving further —
   /// keeps the streaming verifier's O(1)-memory property at fleet scale.
   std::size_t inbox_high_water = 64;
+  /// Members a verify worker drains per batch, with their CMAC folds
+  /// interleaved through one multi-stream absorb (crypto::CmacBatch) so
+  /// each member's AESENC chain hides in the others' latency shadow.
+  /// 1 restores the one-member-per-batch behaviour; clamped to [1, 8]
+  /// (the kernel's lane budget). Batch width never changes a report.
+  std::size_t verify_batch_width = 4;
+  /// Adapt rounds_per_slice at runtime from the observed host-cost ratio
+  /// of verify to drive rounds (verify-bound fleets take longer slices,
+  /// drive-bound fleets shorter ones); rounds_per_slice seeds the initial
+  /// value. Scheduling-only — reports stay bit-identical either way.
+  bool adaptive_slice = false;
 };
 
 /// One member session to multiplex. The engine constructs the
@@ -94,6 +105,17 @@ struct FleetEngineStats {
   /// Largest undelivered-round backlog any member accumulated (bounded by
   /// inbox_high_water + rounds_per_slice under backpressure).
   std::size_t peak_inbox_rounds = 0;
+  /// Members drained by a worker whose home lane was another worker's
+  /// (work stealing, over-water inboxes first).
+  std::uint64_t verify_steals = 0;
+  /// Interleaved multi-stream absorb calls and the total lanes they
+  /// carried: streams ÷ calls is the average batch occupancy, the measure
+  /// of how full the interleave actually ran.
+  std::uint64_t multi_absorb_calls = 0;
+  std::uint64_t multi_absorb_streams = 0;
+  /// rounds_per_slice when the run ended (== the option unless
+  /// adaptive_slice moved it).
+  std::uint32_t rounds_per_slice_last = 0;
   std::uint64_t host_ns = 0;
 };
 

@@ -181,6 +181,15 @@ class SessionMachine {
 
   const obs::TraceId& trace_id() const { return report_.trace_id; }
 
+  /// Routes the verifier's streaming CMAC folds to `sink` so the engine's
+  /// verify lanes can interleave several members' folds in one multi-stream
+  /// absorb (see SachaVerifier::set_absorb_sink for the ordering contract:
+  /// flush before finish(), detach when the batch closes). Belongs to the
+  /// verify strand of the concurrency contract above.
+  void set_absorb_sink(crypto::CmacBatch* sink) {
+    verifier_.set_absorb_sink(sink);
+  }
+
  private:
   void note_failure(FailureKind kind);
   bool past_deadline() const;

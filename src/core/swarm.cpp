@@ -125,6 +125,10 @@ sim::SimDuration run_round(std::vector<SwarmMember>& fleet,
     report.engine.verify_batches += run.stats.verify_batches;
     report.engine.peak_inbox_rounds = std::max(
         report.engine.peak_inbox_rounds, run.stats.peak_inbox_rounds);
+    report.engine.verify_steals += run.stats.verify_steals;
+    report.engine.multi_absorb_calls += run.stats.multi_absorb_calls;
+    report.engine.multi_absorb_streams += run.stats.multi_absorb_streams;
+    report.engine.rounds_per_slice_last = run.stats.rounds_per_slice_last;
     report.engine.host_ns += run.stats.host_ns;
     report.engine.overlap_efficiency =
         report.engine.makespan > 0

@@ -189,7 +189,7 @@ Command SachaVerifier::command(std::size_t index) const {
 }
 
 void SachaVerifier::absorb_in_order(std::size_t step,
-                                    std::span<const std::uint32_t> words) {
+                                    std::vector<std::uint32_t>&& words) {
   // Counters only on this path: it runs once per readback round (28k+ per
   // Virtex-6 session), so the per-event telemetry cost must stay at a
   // relaxed add behind the enable branch. Span-level timing lives one layer
@@ -199,32 +199,28 @@ void SachaVerifier::absorb_in_order(std::size_t step,
       registry.counter("sacha.verifier.frames_absorbed");
   static obs::Counter& words_absorbed =
       registry.counter("sacha.verifier.words_absorbed");
-  stream_cmac_.update(words);
   step_done_[step] = 1;
   const auto [first, count] = steps_[step];
   frames_absorbed.add(count);
   words_absorbed.add(words.size());
   const std::uint32_t wpf = model_->words_per_frame();
   const std::uint32_t nonce_frame = model_->nonce_frame();
+  const std::span<const std::uint32_t> wspan(words);
   for (std::uint32_t f = 0; f < count; ++f) {
     const std::uint32_t frame_index = first + f;
     // The compare stops at the first mismatch in step order, matching the
     // retained verdict's first-failure detail (the MAC still absorbs every
     // step — it is defined over the whole transcript).
-    if (mismatch_frame_.has_value()) return;
+    if (mismatch_frame_.has_value()) break;
     const std::span<const std::uint32_t> frame_words =
-        words.subspan(static_cast<std::size_t>(f) * wpf, wpf);
+        wspan.subspan(static_cast<std::size_t>(f) * wpf, wpf);
     bool match;
     if (frame_index == nonce_frame) {
-      const std::span<const std::uint32_t> mask =
-          model_->mask_words(nonce_frame);
-      match = true;
-      for (std::uint32_t w = 0; w < wpf; ++w) {
-        if ((frame_words[w] & mask[w]) != nonce_masked_[w]) {
-          match = false;
-          break;
-        }
-      }
+      // Same masked compare as the model rows, with the session overlay as
+      // the pre-masked golden.
+      match = bitstream::masked_words_match(
+          frame_words.data(), model_->mask_words(nonce_frame).data(),
+          nonce_masked_.data(), wpf);
     } else {
       match = model_->frame_matches(frame_index, frame_words);
     }
@@ -234,9 +230,17 @@ void SachaVerifier::absorb_in_order(std::size_t step,
               "sacha.verifier.mask_mismatches");
       mismatches.add(1);
       mismatch_frame_ = frame_index;
-      return;
+      break;
     }
     covered_[frame_index] = 1;
+  }
+  // MAC fold last (it is independent of the compare — disjoint state): with
+  // a sink attached the words queue for an interleaved multi-stream absorb,
+  // otherwise they fold immediately.
+  if (absorb_sink_ != nullptr) {
+    absorb_sink_->add(stream_cmac_, std::move(words));
+  } else {
+    stream_cmac_.update(wspan);
   }
 }
 
@@ -249,14 +253,16 @@ void SachaVerifier::absorb_response(std::size_t step,
     pending_.emplace(step, std::move(words));
     return;
   }
-  absorb_in_order(step, words);
+  absorb_in_order(step, std::move(words));
   ++next_stream_step_;
   while (!pending_.empty() && pending_.begin()->first == next_stream_step_) {
-    absorb_in_order(next_stream_step_, pending_.begin()->second);
-    pending_.erase(pending_.begin());
+    auto node = pending_.extract(pending_.begin());
+    absorb_in_order(next_stream_step_, std::move(node.mapped()));
     ++next_stream_step_;
   }
-  if (next_stream_step_ == steps_.size()) {
+  // With a sink attached the fold is still queued, so the finalize waits
+  // for the flush and happens lazily in expected_mac().
+  if (next_stream_step_ == steps_.size() && absorb_sink_ == nullptr) {
     streamed_mac_ = stream_cmac_.finalize();
   }
 }
@@ -334,7 +340,15 @@ bool SachaVerifier::verify_mac(ByteSpan data, const crypto::Mac& mac) const {
 }
 
 std::optional<crypto::Mac> SachaVerifier::expected_mac() const {
-  if (options_.mode == VerifyMode::kStreaming) return streamed_mac_;
+  if (options_.mode == VerifyMode::kStreaming) {
+    // Sink path: every step has been absorbed but the folds were queued on
+    // the batch; once the engine has flushed it the stream can close here.
+    if (!streamed_mac_.has_value() && !steps_.empty() &&
+        next_stream_step_ == steps_.size()) {
+      streamed_mac_ = stream_cmac_.finalize();
+    }
+    return streamed_mac_;
+  }
   for (const auto& step_words : received_) {
     if (!step_words.has_value()) return std::nullopt;
   }

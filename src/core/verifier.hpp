@@ -171,6 +171,16 @@ class SachaVerifier {
   /// gap). The fleet benches report this per member.
   std::size_t retained_readback_bytes() const;
 
+  /// Batched-verify hook: while a sink is attached, streaming-mode absorbs
+  /// queue their CMAC word-fold on the sink (masked compare and coverage
+  /// still run inline) so the fleet engine can interleave several members'
+  /// folds through one multi-stream absorb; the final MAC is then computed
+  /// lazily at the first expected_mac()/finish() after the queued folds
+  /// land. The caller owns ordering: flush the sink before finish() and
+  /// before detaching. nullptr restores immediate folding; retained mode
+  /// ignores the sink entirely.
+  void set_absorb_sink(crypto::CmacBatch* sink) { absorb_sink_ = sink; }
+
  private:
   std::size_t config_command_count() const;
   Command make_config_command(std::size_t slot) const;
@@ -182,8 +192,7 @@ class SachaVerifier {
   /// arrivals are buffered (moved, not copied) until their turn so the MAC
   /// sees readback order.
   void absorb_response(std::size_t step, std::vector<std::uint32_t>&& words);
-  void absorb_in_order(std::size_t step,
-                       std::span<const std::uint32_t> words);
+  void absorb_in_order(std::size_t step, std::vector<std::uint32_t>&& words);
 
   fabric::Floorplan plan_;
   bitstream::BitGen bitgen_;
@@ -212,8 +221,11 @@ class SachaVerifier {
   std::uint32_t words_per_frame_ = 0;
 
   // -- Streaming state (kStreaming) ----------------------------------------
-  crypto::Cmac stream_cmac_;
-  std::optional<crypto::Mac> streamed_mac_;  // set once all steps absorbed
+  // Both mutable for the sink path's lazy finalize: expected_mac() is const
+  // but must be able to close the stream after the sink has flushed.
+  mutable crypto::Cmac stream_cmac_;
+  mutable std::optional<crypto::Mac> streamed_mac_;  // set once all absorbed
+  crypto::CmacBatch* absorb_sink_ = nullptr;
   std::size_t next_stream_step_ = 0;
   /// Out-of-order arrivals parked (moved) until the in-order absorb reaches
   /// them. Empty for the session driver, which delivers in step order.

@@ -244,6 +244,95 @@ TEST(FleetEngine, MakespanModelOverlapsLatencyAcrossMembers) {
   EXPECT_GT(engine.verify_busy, 0u);
 }
 
+TEST(FleetEngine, BatchedVerifyBitIdenticalAcrossWidthsAndFleets) {
+  // The tentpole invariant: interleaving several members' CMAC folds through
+  // one multi-stream absorb (plus work stealing across verify lanes) never
+  // changes a single report bit. Swept across fleet sizes × batch widths
+  // under a lossy plan + reliable transport, against the kParallel oracle.
+  const auto plan = fault::FaultPlan::parse("burst=0.05:0.5:1");
+  ASSERT_TRUE(plan.ok());
+  const auto run = [&](std::size_t n, SwarmSchedule schedule,
+                       std::size_t width) {
+    Fleet fleet(n);
+    if (n >= 4) fleet.tamper({1, 3});
+    std::deque<fault::FaultInjector> injectors;
+    for (std::size_t i = 0; i < fleet.members.size(); ++i) {
+      injectors.emplace_back(plan.value(), 800 + i);
+      fault::FaultInjector& injector = injectors.back();
+      fleet.members[i].configure = [&injector](SessionOptions& options,
+                                               SessionHooks& hooks,
+                                               std::uint32_t) {
+        injector.arm(options, hooks);
+      };
+    }
+    SwarmOptions options;
+    options.schedule = schedule;
+    options.session.reliable = true;
+    options.session.max_retries = 8;
+    options.retry_budget = 1;
+    options.engine.verify_batch_width = width;
+    return attest_swarm(fleet.members, options);
+  };
+
+  for (const std::size_t n : {1u, 3u, 16u, 64u}) {
+    const SwarmReport parallel = run(n, SwarmSchedule::kParallel, 4);
+    for (const std::size_t width : {1u, 4u, 8u}) {
+      SCOPED_TRACE("fleet " + std::to_string(n) + " width " +
+                   std::to_string(width));
+      const SwarmReport mux = run(n, SwarmSchedule::kMultiplexed, width);
+      expect_bit_identical(mux, parallel);
+      EXPECT_GT(mux.engine.verify_batches, 0u);
+      if (width > 1) {
+        // Every absorb call carried at least one stream; multi-lane calls
+        // only exist when the batch actually interleaved.
+        EXPECT_GE(mux.engine.multi_absorb_streams,
+                  mux.engine.multi_absorb_calls);
+      }
+    }
+  }
+}
+
+TEST(FleetEngine, AdaptiveSliceStaysBitIdenticalAndReportsSlice) {
+  // Adaptive slicing is scheduling-only: reports match the fixed-slice
+  // serial oracle bit-for-bit, and the engine reports where the slice
+  // length landed (always within [1, min(64, high_water)]).
+  constexpr std::size_t kFleetSize = 12;
+  Fleet baseline_fleet(kFleetSize);
+  baseline_fleet.tamper({2, 9});
+  const SwarmReport baseline =
+      run_schedule(baseline_fleet, SwarmSchedule::kSerial);
+
+  Fleet fleet(kFleetSize);
+  fleet.tamper({2, 9});
+  SwarmOptions options;
+  options.schedule = SwarmSchedule::kMultiplexed;
+  options.retry_budget = 0;
+  options.engine.adaptive_slice = true;
+  options.engine.verify_batch_width = 8;
+  options.engine.rounds_per_slice = 8;
+  options.engine.inbox_high_water = 32;
+  const SwarmReport mux = attest_swarm(fleet.members, options);
+  expect_bit_identical(mux, baseline);
+  EXPECT_GE(mux.engine.rounds_per_slice_last, 1u);
+  EXPECT_LE(mux.engine.rounds_per_slice_last, 32u);
+  EXPECT_GT(mux.engine.multi_absorb_calls, 0u);
+}
+
+TEST(FleetEngine, BatchWidthOneRestoresSingleStreamAbsorbs) {
+  // Width 1 is the PR-5 behaviour: every absorb call carries exactly one
+  // stream, and the reports still match the oracle (covered above); here we
+  // pin the occupancy accounting itself.
+  Fleet fleet(6);
+  SwarmOptions options;
+  options.schedule = SwarmSchedule::kMultiplexed;
+  options.retry_budget = 0;
+  options.engine.verify_batch_width = 1;
+  const SwarmReport report = attest_swarm(fleet.members, options);
+  ASSERT_TRUE(report.all_attested());
+  EXPECT_EQ(report.engine.multi_absorb_streams,
+            report.engine.multi_absorb_calls);
+}
+
 TEST(FleetEngine, BackpressureBoundsInboxBacklog) {
   Fleet fleet(8);
   SwarmOptions options;
