@@ -1,0 +1,198 @@
+// bench_net — wallclock fleet benchmark over real loopback sockets.
+//
+// Two gates, both enforced by exit code so CI fails loudly:
+//   1. Bit-identity: a 16-member mixed fleet attested over TCP must match
+//      the in-process SwarmSchedule::kMultiplexed oracle verdict-for-
+//      verdict and MAC-for-MAC.
+//   2. Scale: the sweep must sustain >= 500 concurrent prover connections
+//      on loopback with every session completing.
+//
+// The sweep opens {64, 256, 512} connections at once against one attestd
+// and records attestations/sec plus p50/p99 session latency into
+// BENCH_net.json (bench_util schema, diffable across PRs).
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/swarm.hpp"
+#include "net/attest_client.hpp"
+#include "net/attest_server.hpp"
+#include "net/tcp.hpp"
+
+using namespace sacha;
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t at = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[at];
+}
+
+/// Gate 1: loopback verdicts and MACs bit-identical to the multiplexed
+/// in-process engine on a 16-member mixed fleet with two tampered members.
+bool run_identity_gate(net::AttestServer& server) {
+  net::FleetSpec spec;
+  spec.mixed = true;
+  constexpr std::size_t kMembers = 16;
+  const std::set<std::size_t> tampered = {1, 3};
+
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<core::SwarmMember> swarm;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    envs.push_back(
+        net::member_env(net::member_scale(spec, i), spec.base_seed + i));
+    verifiers.push_back(envs.back().make_verifier());
+    provers.push_back(envs.back().make_prover());
+  }
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    core::SwarmMember member{net::member_id(i), &verifiers[i], &provers[i],
+                             {}};
+    if (tampered.count(i) > 0) {
+      member.hooks.after_config = [](core::SachaProver& p) {
+        bitstream::Frame f = p.memory().config_frame(5);
+        f.flip_bit(7);
+        p.memory().write_frame(5, f);
+      };
+    }
+    swarm.push_back(std::move(member));
+  }
+  core::SwarmOptions options;
+  options.session = envs.front().session_options;
+  options.session.seed = spec.session_seed;
+  options.schedule = core::SwarmSchedule::kMultiplexed;
+  options.retry_budget = 0;
+  const core::SwarmReport oracle = core::attest_swarm(swarm, options);
+
+  net::LoadOptions load;
+  load.host = "127.0.0.1";
+  load.port = server.port();
+  load.fleet = spec;
+  load.members = kMembers;
+  load.tampered = tampered;
+  load.timeout_ms = 60000;
+  const net::LoadResult result = net::run_load(load);
+
+  if (!result.all_completed()) {
+    std::fprintf(stderr, "identity gate: only %zu/%zu completed\n",
+                 result.completed, result.members.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    const core::SwarmMemberResult& want = oracle.members[i];
+    const net::MemberOutcome& got = result.members[i];
+    const bool verdict_match =
+        got.report.protocol_ok == want.verdict.protocol_ok &&
+        got.report.mac_ok == want.verdict.mac_ok &&
+        got.report.config_ok == want.verdict.config_ok &&
+        got.report.failure == want.failure;
+    const bool mac_match = got.client_mac.has_value() &&
+                           want.mac.has_value() &&
+                           *got.client_mac == *want.mac;
+    if (!verdict_match || !mac_match) {
+      std::fprintf(stderr,
+                   "identity gate: member %zu diverged "
+                   "(verdict %s, mac %s)\n",
+                   i, verdict_match ? "ok" : "MISMATCH",
+                   mac_match ? "ok" : "MISMATCH");
+      return false;
+    }
+  }
+  std::printf("identity gate      : 16-member mixed fleet bit-identical to "
+              "kMultiplexed (%zu attested, 2 tampered caught)\n",
+              result.attested);
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  net::AttestServerOptions server_options;
+  server_options.session_timeout_ms = 120000;
+  net::AttestServer server(server_options);
+  Status started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_net: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("bench_net: attestd on 127.0.0.1:%u (%s), pool auto\n",
+              server.port(), server.using_epoll() ? "epoll" : "poll");
+
+  bool gates_ok = run_identity_gate(server);
+
+  std::vector<benchutil::BenchRecord> records;
+  std::size_t peak_seen = 0;
+  std::printf("\n%8s %12s %14s %12s %12s\n", "conns", "completed",
+              "attest/s", "p50 ms", "p99 ms");
+  for (const std::size_t conns : {std::size_t{64}, std::size_t{256},
+                                  std::size_t{512}}) {
+    net::LoadOptions load;
+    load.host = "127.0.0.1";
+    load.port = server.port();
+    load.members = conns;
+    load.concurrency = 0;  // all at once: the concurrent-connection sweep
+    load.timeout_ms = 120000;
+    const net::LoadResult result = net::run_load(load);
+
+    std::vector<double> latencies_ms;
+    for (const net::MemberOutcome& m : result.members) {
+      if (m.completed) {
+        latencies_ms.push_back(static_cast<double>(m.latency_ns) / 1e6);
+      }
+    }
+    const double seconds = static_cast<double>(result.wall_ns) / 1e9;
+    const double rate =
+        seconds > 0 ? static_cast<double>(result.completed) / seconds : 0;
+    const double p50 = percentile(latencies_ms, 0.50);
+    const double p99 = percentile(latencies_ms, 0.99);
+    peak_seen = std::max(peak_seen, result.peak_concurrent);
+    std::printf("%8zu %12zu %14.1f %12.3f %12.3f\n", conns, result.completed,
+                rate, p50, p99);
+
+    if (!result.all_completed()) {
+      std::fprintf(stderr, "scale gate: %zu/%zu completed at %zu conns\n",
+                   result.completed, result.members.size(), conns);
+      gates_ok = false;
+    }
+    const std::string tag = "net/" + std::to_string(conns) + "conns";
+    records.push_back({tag, "attestations_per_s", rate, "1/s"});
+    records.push_back({tag, "session_p50", p50, "ms"});
+    records.push_back({tag, "session_p99", p99, "ms"});
+    records.push_back({tag, "peak_concurrent",
+                       static_cast<double>(result.peak_concurrent), "conns"});
+  }
+
+  const net::AttestServerStats stats = server.stats();
+  records.push_back({"net/server", "verify_batches",
+                     static_cast<double>(stats.verify_batches), "count"});
+  records.push_back({"net/server", "verify_steals",
+                     static_cast<double>(stats.verify_steals), "count"});
+  records.push_back({"net/server", "peak_connections",
+                     static_cast<double>(stats.peak_connections), "conns"});
+  server.stop();
+
+  if (peak_seen < 500) {
+    std::fprintf(stderr,
+                 "scale gate: peak concurrent connections %zu < 500\n",
+                 peak_seen);
+    gates_ok = false;
+  } else {
+    std::printf("\nscale gate         : sustained %zu concurrent prover "
+                "connections\n",
+                peak_seen);
+  }
+
+  if (!benchutil::write_bench_json("BENCH_net.json", records)) {
+    std::fprintf(stderr, "bench_net: failed to write BENCH_net.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_net.json (%zu records)\n", records.size());
+  return gates_ok ? 0 : 1;
+}

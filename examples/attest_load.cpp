@@ -1,0 +1,167 @@
+// attest_load — fleet load generator for a running attestd.
+//
+// Replays an N-member provisioned fleet against the service from a single
+// event-loop process: every member is a real TCP connection running the
+// full wire protocol, with optional socket-level fault shims (drop or
+// delay responses, abrupt disconnects). Exits nonzero when any member
+// fails to complete, so it doubles as the loopback smoke check in CI.
+//
+//   ./attest_load --connect 127.0.0.1:7460 --members 64 --tamper 1,3
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/attest_client.hpp"
+#include "net/tcp.hpp"
+
+using namespace sacha;
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "usage: attest_load --connect HOST:PORT [options]\n"
+      "  --members N        fleet size (default 16)\n"
+      "  --concurrency N    connections in flight at once (default 0 = all)\n"
+      "  --device small|softcore|virtex6|mixed\n"
+      "                     member device scale (default small; mixed =\n"
+      "                     alternate small/softcore by parity)\n"
+      "  --seed N           provisioning base seed (default 42)\n"
+      "  --session-seed N   fleet session seed (default 1)\n"
+      "  --tamper LIST      comma-separated member indexes tampered\n"
+      "                     post-configuration\n"
+      "  --drop P           drop each response with probability P\n"
+      "  --delay-us N       hold each response N microseconds\n"
+      "  --disconnect I:K   member I closes abruptly after K responses\n"
+      "                     (repeatable)\n"
+      "  --timeout-ms N     per-member watchdog (default 30000)\n"
+      "  --poll             force the poll(2) fallback in the client loop\n"
+      "  --help             this text\n");
+}
+
+bool parse_scale(const std::string& v, net::FleetSpec& fleet) {
+  if (v == "small") {
+    fleet.scale = net::DeviceScale::kSmall;
+  } else if (v == "softcore") {
+    fleet.scale = net::DeviceScale::kSoftcore;
+  } else if (v == "virtex6") {
+    fleet.scale = net::DeviceScale::kVirtex6;
+  } else if (v == "mixed") {
+    fleet.mixed = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::LoadOptions options;
+  std::string connect_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      print_help();
+      return 0;
+    } else if (arg == "--connect") {
+      connect_spec = next("--connect");
+    } else if (arg == "--members") {
+      options.members = std::strtoull(next("--members"), nullptr, 10);
+    } else if (arg == "--concurrency") {
+      options.concurrency = std::strtoull(next("--concurrency"), nullptr, 10);
+    } else if (arg == "--device") {
+      if (!parse_scale(next("--device"), options.fleet)) {
+        std::fprintf(stderr, "bad --device (try --help)\n");
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      options.fleet.base_seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (arg == "--session-seed") {
+      options.fleet.session_seed =
+          std::strtoull(next("--session-seed"), nullptr, 10);
+    } else if (arg == "--tamper") {
+      std::string list = next("--tamper");
+      for (char* tok = std::strtok(list.data(), ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        options.tampered.insert(std::strtoull(tok, nullptr, 10));
+      }
+    } else if (arg == "--drop") {
+      options.drop_probability = std::strtod(next("--drop"), nullptr);
+    } else if (arg == "--delay-us") {
+      options.delay_us = std::strtoull(next("--delay-us"), nullptr, 10);
+    } else if (arg == "--disconnect") {
+      const std::string spec = next("--disconnect");
+      const auto colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--disconnect wants I:K\n");
+        return 2;
+      }
+      options.disconnect_after[std::strtoull(spec.c_str(), nullptr, 10)] =
+          std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+    } else if (arg == "--timeout-ms") {
+      options.timeout_ms = std::strtoull(next("--timeout-ms"), nullptr, 10);
+    } else if (arg == "--poll") {
+      options.prefer_epoll = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (connect_spec.empty()) {
+    std::fprintf(stderr, "attest_load: --connect HOST:PORT is required\n");
+    return 2;
+  }
+  auto hostport = net::parse_host_port(connect_spec);
+  if (!hostport.ok()) {
+    std::fprintf(stderr, "attest_load: %s\n", hostport.message().c_str());
+    return 2;
+  }
+  options.host = hostport.value().host;
+  options.port = hostport.value().port;
+
+  const net::LoadResult result = net::run_load(options);
+
+  std::size_t tampered_caught = 0;
+  for (const net::MemberOutcome& m : result.members) {
+    const bool expected_fail = options.tampered.count(m.index) > 0 ||
+                               options.disconnect_after.count(m.index) > 0;
+    if (m.completed && !m.report.attested() &&
+        options.tampered.count(m.index) > 0) {
+      ++tampered_caught;
+    }
+    if (!m.completed && !expected_fail) {
+      std::fprintf(stderr, "  member %zu incomplete: %s\n", m.index,
+                   m.error.c_str());
+    }
+  }
+  const double seconds = static_cast<double>(result.wall_ns) / 1e9;
+  std::printf(
+      "attest_load: %zu members, %zu completed, %zu attested "
+      "(%zu/%zu tampered caught), peak %zu concurrent, %.3f s "
+      "(%.1f attestations/s)\n",
+      result.members.size(), result.completed, result.attested,
+      tampered_caught, options.tampered.size(), result.peak_concurrent,
+      seconds, seconds > 0 ? static_cast<double>(result.completed) / seconds
+                           : 0.0);
+
+  // Members we deliberately cut off never complete; everyone else must.
+  const std::size_t expected_completed =
+      result.members.size() -
+      [&] {
+        std::size_t cut = 0;
+        for (const auto& [index, after] : options.disconnect_after) {
+          if (index < result.members.size()) ++cut;
+        }
+        return cut;
+      }();
+  return result.completed >= expected_completed ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// attestd — the standalone attestation service.
+//
+// Binds a real TCP port, multiplexes every prover connection on one epoll
+// loop, and verifies sessions on a fleet-engine-style worker pool. Serves
+// Prometheus metrics on the same port ("GET /metrics"). Runs until SIGINT
+// / SIGTERM / stdin EOF, then prints the service counters.
+//
+//   ./attestd --port 7460 &
+//   ./attest_load --connect 127.0.0.1:7460 --members 64
+//   curl http://127.0.0.1:7460/metrics
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "net/attest_server.hpp"
+#include "obs/export.hpp"
+
+using namespace sacha;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void print_help() {
+  std::printf(
+      "usage: attestd [options]\n"
+      "  --host ADDR        bind address (default 127.0.0.1)\n"
+      "  --port N           listen port (default 0 = ephemeral; printed)\n"
+      "  --pool K           verify workers (default 0 = auto)\n"
+      "  --batch-width N    members per CMAC batch drain, 1-8 (default 4)\n"
+      "  --window N         pipelined commands per session (default 32)\n"
+      "  --timeout-ms N     idle session cut-off (default 30000, 0 = never)\n"
+      "  --poll             force the poll(2) fallback instead of epoll\n"
+      "  --no-metrics       disable the GET /metrics endpoint\n"
+      "  --help             this text\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::AttestServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help") {
+      print_help();
+      return 0;
+    } else if (arg == "--host") {
+      options.host = next("--host");
+    } else if (arg == "--port") {
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(next("--port"), nullptr, 10));
+    } else if (arg == "--pool") {
+      options.pool_size = std::strtoull(next("--pool"), nullptr, 10);
+    } else if (arg == "--batch-width") {
+      options.verify_batch_width =
+          std::strtoull(next("--batch-width"), nullptr, 10);
+    } else if (arg == "--window") {
+      options.command_window = std::strtoull(next("--window"), nullptr, 10);
+    } else if (arg == "--timeout-ms") {
+      options.session_timeout_ms =
+          std::strtoull(next("--timeout-ms"), nullptr, 10);
+    } else if (arg == "--poll") {
+      options.prefer_epoll = false;
+    } else if (arg == "--no-metrics") {
+      options.metrics_endpoint = false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // The /metrics endpoint is only useful with the registry recording.
+  obs::set_enabled(true);
+
+  net::AttestServer server(options);
+  Status started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "attestd: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("attestd listening on %s:%u (%s)\n", options.host.c_str(),
+              server.port(), server.using_epoll() ? "epoll" : "poll");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Park until a signal arrives or stdin closes (the smoke test's shutdown
+  // handle: it pipes into attestd and closes the write end).
+  struct pollfd stdin_poll = {STDIN_FILENO, POLLIN, 0};
+  while (g_stop == 0) {
+    const int n = ::poll(&stdin_poll, 1, 500);
+    if (n < 0 && errno != EINTR) break;
+    if (n > 0 && (stdin_poll.revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[256];
+      const ssize_t got = ::read(STDIN_FILENO, buf, sizeof(buf));
+      if (got <= 0) break;  // EOF: shut down
+    }
+  }
+
+  const net::AttestServerStats stats = server.stats();
+  server.stop();
+  std::printf(
+      "attestd: %llu accepted, %llu completed (%llu attested, %llu failed), "
+      "%llu quarantined, %llu http, peak %llu connections, "
+      "%llu batches (%llu steals)\n",
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.sessions_completed),
+      static_cast<unsigned long long>(stats.sessions_attested),
+      static_cast<unsigned long long>(stats.sessions_failed),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(stats.http_requests),
+      static_cast<unsigned long long>(stats.peak_connections),
+      static_cast<unsigned long long>(stats.verify_batches),
+      static_cast<unsigned long long>(stats.verify_steals));
+  return 0;
+}

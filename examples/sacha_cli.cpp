@@ -10,11 +10,19 @@
 
 #include <deque>
 
+#include <csignal>
+
+#include <poll.h>
+#include <unistd.h>
+
 #include "attacks/library.hpp"
 #include "bitstream/golden_model.hpp"
 #include "core/signed_attest.hpp"
 #include "core/swarm.hpp"
 #include "fault/injector.hpp"
+#include "net/attest_client.hpp"
+#include "net/attest_server.hpp"
+#include "net/tcp.hpp"
 #include "obs/export.hpp"
 
 using namespace sacha;
@@ -41,6 +49,8 @@ struct CliOptions {
   std::uint64_t verify_batch = 4; // members interleaved per verify batch
   bool adaptive_slice = false;    // adapt rounds_per_slice to cost ratios
   std::uint64_t seed = 1;
+  std::string listen_spec;   // serve attestations on HOST:PORT
+  std::string connect_spec;  // attest against a remote attestd
   bool list_attacks = false;
   bool help = false;
   bool metrics = false;       // print the telemetry snapshot after the run
@@ -76,6 +86,13 @@ void print_help() {
       "                                    batch, 1-8 (default 4; mux only)\n"
       "  --adaptive-slice                  adapt mux drive-slice length to\n"
       "                                    the observed verify/drive cost\n"
+      "  --listen HOST:PORT                run as an attestation service\n"
+      "                                    (real sockets; --pool and\n"
+      "                                    --verify-batch shape the workers)\n"
+      "  --connect HOST:PORT               attest this device (or --fleet N\n"
+      "                                    members) against a remote attestd;\n"
+      "                                    --loss drops responses, --latency-us\n"
+      "                                    delays them\n"
       "  --signed                          hash-based signature mode\n"
       "  --seed N                          session/provisioning seed\n"
       "  --metrics                         print telemetry counters/histograms (JSON)\n"
@@ -172,6 +189,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.verify_batch = std::strtoull(v, nullptr, 10);
     } else if (arg == "--adaptive-slice") {
       options.adaptive_slice = true;
+    } else if (arg == "--listen") {
+      const char* v = next("--listen");
+      if (!v) return false;
+      options.listen_spec = v;
+    } else if (arg == "--connect") {
+      const char* v = next("--connect");
+      if (!v) return false;
+      options.connect_spec = v;
     } else if (arg == "--seed") {
       const char* v = next("--seed");
       if (!v) return false;
@@ -250,6 +275,97 @@ void print_report(const core::AttestationReport& report) {
   }
 }
 
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+/// --listen: serve attestations over real sockets until SIGINT/SIGTERM or
+/// stdin EOF.
+int run_listen_mode(const CliOptions& options) {
+  auto hostport = net::parse_host_port(options.listen_spec);
+  if (!hostport.ok()) {
+    std::fprintf(stderr, "--listen: %s\n", hostport.message().c_str());
+    return 2;
+  }
+  obs::set_enabled(true);  // the /metrics endpoint needs the registry live
+  net::AttestServerOptions server_options;
+  server_options.host = hostport.value().host;
+  server_options.port = hostport.value().port;
+  server_options.pool_size = static_cast<std::size_t>(options.pool);
+  server_options.verify_batch_width =
+      static_cast<std::size_t>(options.verify_batch);
+  net::AttestServer server(server_options);
+  Status started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "--listen: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u (%s); GET /metrics served; "
+              "ctrl-c or stdin EOF to stop\n",
+              server_options.host.c_str(), server.port(),
+              server.using_epoll() ? "epoll" : "poll");
+  std::fflush(stdout);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  struct pollfd stdin_poll = {STDIN_FILENO, POLLIN, 0};
+  while (g_stop == 0) {
+    const int n = ::poll(&stdin_poll, 1, 500);
+    if (n < 0 && errno != EINTR) break;
+    if (n > 0 && (stdin_poll.revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[256];
+      if (::read(STDIN_FILENO, buf, sizeof(buf)) <= 0) break;
+    }
+  }
+  const net::AttestServerStats stats = server.stats();
+  server.stop();
+  std::printf("served             : %llu sessions (%llu attested, "
+              "%llu quarantined)\n",
+              static_cast<unsigned long long>(stats.sessions_completed),
+              static_cast<unsigned long long>(stats.sessions_attested),
+              static_cast<unsigned long long>(stats.quarantined));
+  return 0;
+}
+
+/// --connect: run this device (or --fleet N members) as remote provers.
+/// --loss becomes the response-drop shim, --latency-us the delay shim.
+int run_connect_mode(const CliOptions& options) {
+  auto hostport = net::parse_host_port(options.connect_spec);
+  if (!hostport.ok()) {
+    std::fprintf(stderr, "--connect: %s\n", hostport.message().c_str());
+    return 2;
+  }
+  net::LoadOptions load;
+  load.host = hostport.value().host;
+  load.port = hostport.value().port;
+  load.members = options.fleet > 0 ? options.fleet : 1;
+  load.fleet.base_seed = options.seed;
+  load.fleet.session_seed = options.seed;
+  if (options.device == "softcore") {
+    load.fleet.scale = net::DeviceScale::kSoftcore;
+  } else if (options.device == "virtex6") {
+    load.fleet.scale = net::DeviceScale::kVirtex6;
+  } else {
+    load.fleet.scale = net::DeviceScale::kSmall;
+  }
+  load.drop_probability = options.loss;
+  load.delay_us = options.latency_us;
+  const net::LoadResult result = net::run_load(load);
+  for (const net::MemberOutcome& m : result.members) {
+    if (!m.completed) {
+      std::printf("  member %zu INCOMPLETE: %s\n", m.index, m.error.c_str());
+      continue;
+    }
+    std::printf("  member %zu %s (%s, %.3f ms)\n", m.index,
+                m.report.attested() ? "ATTESTED" : "FAILED",
+                core::to_string(m.report.failure),
+                static_cast<double>(m.latency_ns) / 1e6);
+  }
+  std::printf("remote attestation : %zu/%zu completed, %zu attested, "
+              "%.3f s wall\n",
+              result.completed, result.members.size(), result.attested,
+              static_cast<double>(result.wall_ns) / 1e9);
+  return result.all_completed() && result.attested == result.completed ? 0 : 1;
+}
+
 /// Telemetry emission for every path that ran a session.
 void emit_telemetry(const CliOptions& options) {
   if (!options.trace_out.empty()) {
@@ -288,6 +404,9 @@ int main(int argc, char** argv) {
 
   // Either telemetry flag turns the runtime toggle on for this process.
   if (options.metrics || !options.trace_out.empty()) obs::set_enabled(true);
+
+  if (!options.listen_spec.empty()) return run_listen_mode(options);
+  if (!options.connect_spec.empty()) return run_connect_mode(options);
 
   fault::FaultPlan fault_plan;
   if (!options.fault_plan.empty()) {

@@ -38,6 +38,10 @@ enum class FailureKind : std::uint8_t {
   kDecodeError,
   /// The session blew through its simulated-time deadline and was aborted.
   kDeadlineExceeded,
+  /// The remote peer vanished mid-session (TCP reset, abrupt close, or a
+  /// poisoned frame stream on the socket transport). Like a timeout, the
+  /// verifier never got a clean look at the device.
+  kPeerDisconnect,
 };
 
 constexpr const char* to_string(FailureKind kind) {
@@ -56,6 +60,8 @@ constexpr const char* to_string(FailureKind kind) {
       return "decode_error";
     case FailureKind::kDeadlineExceeded:
       return "deadline_exceeded";
+    case FailureKind::kPeerDisconnect:
+      return "peer_disconnect";
   }
   return "unknown";
 }
@@ -68,7 +74,8 @@ constexpr bool is_transport_failure(FailureKind kind) {
   return kind == FailureKind::kTimeoutExhausted ||
          kind == FailureKind::kDeviceError ||
          kind == FailureKind::kDecodeError ||
-         kind == FailureKind::kDeadlineExceeded;
+         kind == FailureKind::kDeadlineExceeded ||
+         kind == FailureKind::kPeerDisconnect;
 }
 
 }  // namespace sacha::core

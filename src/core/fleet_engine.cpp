@@ -223,24 +223,7 @@ void verify_batch_multi(EngineState& st, const std::vector<std::size_t>& picks,
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - host_t0)
           .count());
-  if (cmac_batch.absorb_calls() > 0) {
-    auto& registry = obs::MetricsRegistry::global();
-    static constexpr std::uint64_t kOccupancyBounds[] = {1, 2, 3, 4,
-                                                         5, 6, 7, 8};
-    static obs::Counter& absorbs =
-        registry.counter("sacha.engine.batch_absorbs");
-    static obs::Counter& streams =
-        registry.counter("sacha.engine.batch_streams");
-    static obs::Histogram& occupancy =
-        registry.histogram("sacha.engine.batch_occupancy", kOccupancyBounds);
-    absorbs.add(cmac_batch.absorb_calls());
-    streams.add(cmac_batch.absorbed_streams());
-    // Average streams in flight per absorb call of this drain — under-filled
-    // batches show up as mass in the low buckets.
-    occupancy.observe((cmac_batch.absorbed_streams() +
-                       cmac_batch.absorb_calls() / 2) /
-                      cmac_batch.absorb_calls());
-  }
+  note_batch_occupancy(cmac_batch);
 
   lock.lock();
   st.verify_batches += drained_members;
@@ -429,6 +412,24 @@ sim::SimDuration thread_per_member_makespan(
 std::size_t default_fleet_pool() {
   const unsigned hw = std::thread::hardware_concurrency();
   return std::min<std::size_t>(hw == 0 ? 1 : hw, 8);
+}
+
+void note_batch_occupancy(const crypto::CmacBatch& batch) {
+  if (batch.absorb_calls() == 0) return;
+  auto& registry = obs::MetricsRegistry::global();
+  static constexpr std::uint64_t kOccupancyBounds[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  static obs::Counter& absorbs =
+      registry.counter("sacha.engine.batch_absorbs");
+  static obs::Counter& streams =
+      registry.counter("sacha.engine.batch_streams");
+  static obs::Histogram& occupancy =
+      registry.histogram("sacha.engine.batch_occupancy", kOccupancyBounds);
+  absorbs.add(batch.absorb_calls());
+  streams.add(batch.absorbed_streams());
+  // Average streams in flight per absorb call of this drain — under-filled
+  // batches show up as mass in the low buckets.
+  occupancy.observe((batch.absorbed_streams() + batch.absorb_calls() / 2) /
+                    batch.absorb_calls());
 }
 
 FleetRunResult run_fleet(std::vector<FleetSessionJob>& jobs,

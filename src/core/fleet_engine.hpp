@@ -129,6 +129,13 @@ struct FleetRunResult {
 /// Default worker-pool size: min(hardware_concurrency, 8).
 std::size_t default_fleet_pool();
 
+/// Records one drained CmacBatch into the shared verify-lane occupancy
+/// metrics (sacha.engine.batch_absorbs / batch_streams / batch_occupancy).
+/// Used by the in-process engine and by attestd's socket verify lanes, so
+/// both transports report interleave fullness on the same dashboards.
+/// No-op for a batch that absorbed nothing.
+void note_batch_occupancy(const crypto::CmacBatch& batch);
+
 /// Multiplexes all jobs on a pool of at most options.pool_size workers and
 /// returns their reports in job order. With telemetry enabled, emits
 /// "engine.drive" / "engine.verify" spans on the worker lanes under each

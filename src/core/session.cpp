@@ -73,7 +73,7 @@ SessionMachine::SessionMachine(SachaVerifier& verifier, SachaProver& prover,
       hooks_(hooks),
       emit_spans_(emit_spans),
       channel_(options.channel, options.seed),
-      churn_rng_(options.seed ^ 0xfeedface12345678ULL),
+      churn_rng_(options.seed ^ kChurnSeedSalt),
       // Drawn only when a retransmission happens, so fault-free sessions
       // are bit-identical whatever the backoff settings.
       backoff_rng_(options.seed ^ 0x5acab0ff5ac4a11eULL),
@@ -398,6 +398,67 @@ AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
   SessionMachine machine(verifier, prover, options, hooks);
   while (!machine.done()) machine.deliver(machine.step());
   return machine.finish();
+}
+
+void apply_register_churn(SachaProver& prover, std::uint64_t session_seed,
+                          double flip_probability) {
+  Rng rng(session_seed ^ kChurnSeedSalt);
+  prover.memory().tick_registers(rng, flip_probability);
+}
+
+VerifierSession::VerifierSession(SachaVerifier& verifier)
+    : verifier_(verifier), host_start_(std::chrono::steady_clock::now()) {
+  verifier_.begin();
+  commands_ = verifier_.command_count();
+  static obs::Counter& sessions_started =
+      obs::MetricsRegistry::global().counter("sacha.session.started");
+  sessions_started.add(1);
+}
+
+std::optional<Bytes> VerifierSession::next_command_wire() {
+  if (issued_ >= commands_) return std::nullopt;
+  return verifier_.command(issued_++).encode();
+}
+
+void VerifierSession::on_response(std::optional<Response> response) {
+  if (delivered_ >= commands_) return;
+  if (response.has_value()) {
+    if (response->type == ResponseType::kAck) {
+      response = std::nullopt;  // acks are transport-level only
+    } else if (response->type == ResponseType::kError) {
+      note_failure(FailureKind::kDeviceError);
+    }
+  }
+  (void)verifier_.on_response(delivered_++, std::move(response));
+}
+
+void VerifierSession::note_failure(FailureKind kind) {
+  if (transport_failure_ == FailureKind::kNone) transport_failure_ = kind;
+}
+
+VerifierSession::Report VerifierSession::finish() {
+  Report report;
+  report.verdict = verifier_.finish();
+  report.failure = transport_failure_ != FailureKind::kNone
+                       ? transport_failure_
+                       : report.verdict.kind;
+  report.expected_mac = verifier_.expected_mac();
+  report.commands = delivered_;
+  report.host_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_start_)
+          .count());
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& attested = registry.counter("sacha.session.attested");
+  static obs::Counter& failed = registry.counter("sacha.session.failed");
+  (report.verdict.ok() ? attested : failed).add(1);
+  if (report.failure != FailureKind::kNone) {
+    registry
+        .counter(std::string("sacha.session.failure.") +
+                 to_string(report.failure))
+        .add(1);
+  }
+  return report;
 }
 
 }  // namespace sacha::core

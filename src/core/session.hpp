@@ -26,6 +26,12 @@
 
 namespace sacha::core {
 
+/// Seed salt for the phase-boundary register-churn RNG. Shared with the
+/// socket transport: the remote prover agent must replay the exact churn
+/// SessionMachine would apply locally (same salt, same session seed) for
+/// loopback runs to be bit-identical to the in-process engine.
+inline constexpr std::uint64_t kChurnSeedSalt = 0xfeedface12345678ULL;
+
 struct SessionOptions {
   net::ChannelParams channel = net::ChannelParams::ideal();
   std::uint64_t seed = 1;
@@ -219,5 +225,81 @@ class SessionMachine {
 AttestationReport run_attestation(SachaVerifier& verifier, SachaProver& prover,
                                   const SessionOptions& options = {},
                                   const SessionHooks& hooks = {});
+
+/// Applies the phase-boundary register churn exactly as SessionMachine
+/// does at the first non-config command: a fresh Rng seeded
+/// `session_seed ^ kChurnSeedSalt`, one tick_registers pass. The remote
+/// prover agent calls this so a device driven over a socket holds the same
+/// DynMem contents as one driven in-process with the same seed.
+void apply_register_churn(SachaProver& prover, std::uint64_t session_seed,
+                          double flip_probability);
+
+/// Verifier half of a *remote* attestation session (socket transport).
+///
+/// SessionMachine drives verifier and prover in one process over the
+/// simulated channel; on a real socket the prover lives in another process
+/// and the transport carries bytes, not simulated time. VerifierSession
+/// keeps only the verifier-side bookkeeping: the frozen command schedule
+/// feeds the wire (pipelined — a window of commands may be in flight),
+/// responses absorb in strict index order, and finish() applies the same
+/// response mapping and failure precedence as SessionMachine — kAck
+/// responses are transport-level only (absorbed as nullopt), a kError
+/// response notes kDeviceError but is still absorbed, and the first
+/// transport failure wins over the crypto verdict. Combined with the
+/// client replaying apply_register_churn under the same session seed, a
+/// loss-free loopback run is bit-identical (verdict + MAC) to the
+/// in-process engine.
+class VerifierSession {
+ public:
+  struct Report {
+    SachaVerifier::Verdict verdict;
+    FailureKind failure = FailureKind::kNone;
+    std::optional<crypto::Mac> expected_mac;
+    std::uint64_t commands = 0;
+    /// Host wall-clock from construction to finish() (nanoseconds).
+    std::uint64_t host_ns = 0;
+  };
+
+  /// Calls verifier.begin() (fresh nonce, frozen schedule).
+  explicit VerifierSession(SachaVerifier& verifier);
+
+  std::size_t command_count() const { return commands_; }
+  std::size_t issued() const { return issued_; }
+  std::size_t delivered() const { return delivered_; }
+  bool all_issued() const { return issued_ >= commands_; }
+  bool done() const { return delivered_ >= commands_; }
+
+  /// Encoded wire payload of the next command; nullopt once the schedule
+  /// is exhausted.
+  std::optional<Bytes> next_command_wire();
+
+  /// Absorbs the response to the next undelivered command. The transport
+  /// is an ordered byte stream, so responses arrive in command order;
+  /// nullopt means the command produced no response (fire-and-forget
+  /// configuration).
+  void on_response(std::optional<Response> response);
+
+  /// Records a transport-layer failure (peer disconnect, decode poison,
+  /// timeout); the first one observed wins.
+  void note_failure(FailureKind kind);
+
+  /// Finalises the verdict. Call once, after every response was delivered
+  /// or the session was abandoned to a transport failure.
+  Report finish();
+
+  /// Routes streaming CMAC folds into a verify-lane batch (same contract
+  /// as SessionMachine::set_absorb_sink).
+  void set_absorb_sink(crypto::CmacBatch* sink) {
+    verifier_.set_absorb_sink(sink);
+  }
+
+ private:
+  SachaVerifier& verifier_;
+  FailureKind transport_failure_ = FailureKind::kNone;
+  std::chrono::steady_clock::time_point host_start_;
+  std::size_t commands_ = 0;
+  std::size_t issued_ = 0;
+  std::size_t delivered_ = 0;
+};
 
 }  // namespace sacha::core

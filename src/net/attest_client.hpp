@@ -1,0 +1,114 @@
+// Prover-side socket client: per-member agent + fleet load generator.
+//
+// ProverAgent is the remote half of a session: it answers COMMAND frames
+// exactly as the in-process prover would — including the phase-boundary
+// register churn SessionMachine applies (core::apply_register_churn under
+// the HELLO's session seed), so a loopback run is bit-identical to the
+// in-process engine driving the same device.
+//
+// run_load replays an N-member fleet against one attestd: a single
+// event-loop thread multiplexes every connection (nonblocking connect,
+// pipelined command handling), which is what lets the bench hold 500+
+// concurrent provers from one process. Socket-level fault shims mirror
+// the FaultPlan vocabulary on a real transport: drop responses with a
+// seeded probability (the server's timeout path), delay responses, or
+// disconnect abruptly after K responses (the quarantine path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/prover.hpp"
+#include "net/provision.hpp"
+
+namespace sacha::net {
+
+/// Client-side session state for one fleet member.
+class ProverAgent {
+ public:
+  /// Provisions and boots the member's device from the HELLO parameters
+  /// (prover_for — the same construction the oracle fleet uses).
+  explicit ProverAgent(const HelloMsg& hello,
+                       std::function<void(core::SachaProver&)> after_config =
+                           nullptr);
+
+  /// Handles one COMMAND frame payload and returns the RESPONSE frame
+  /// payload (u8 has_response + optional Response::encode()). Applies the
+  /// tamper hook and the register churn at the configuration/readback
+  /// phase boundary, in SessionMachine's order.
+  Bytes handle_command(ByteSpan payload);
+
+  const core::SachaProver& prover() const { return prover_; }
+  const std::optional<crypto::Mac>& last_mac() const {
+    return prover_.last_mac();
+  }
+
+ private:
+  HelloMsg hello_;
+  std::function<void(core::SachaProver&)> after_config_;
+  core::SachaProver prover_;
+  bool config_phase_done_ = false;
+};
+
+/// The canonical post-configuration tamper (flip bit 7 of frame 5) used by
+/// the bit-identity tests on both the oracle fleet and the remote agents.
+std::function<void(core::SachaProver&)> standard_tamper();
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  FleetSpec fleet{};
+  std::size_t members = 16;
+  /// Connections in flight at once (0 = all members at once — the bench's
+  /// concurrent-connection sweep).
+  std::size_t concurrency = 0;
+  /// Members tampered post-configuration (standard_tamper).
+  std::set<std::size_t> tampered;
+  /// Socket-level fault shims.
+  double drop_probability = 0.0;  // silently drop outgoing responses
+  std::uint64_t delay_us = 0;     // hold each response this long
+  /// member index -> abrupt close after sending this many responses.
+  std::map<std::size_t, std::size_t> disconnect_after;
+  std::uint64_t shim_seed = 7;
+  /// Force the poll(2) fallback in the client's event loop.
+  bool prefer_epoll = true;
+  /// Abort members idle longer than this (ms; also the overall watchdog
+  /// granularity).
+  std::uint64_t timeout_ms = 30000;
+};
+
+struct MemberOutcome {
+  std::size_t index = 0;
+  /// A REPORT frame arrived (the session reached a server verdict).
+  bool completed = false;
+  ReportMsg report{};
+  /// H_Prv on the device after the run (equals report.mac iff mac_ok).
+  std::optional<crypto::Mac> client_mac;
+  /// Wall-clock from connect() start to REPORT (or teardown).
+  std::uint64_t latency_ns = 0;
+  /// Transport-level note when the session did not complete ("injected
+  /// disconnect", "server closed", "timeout", socket errors).
+  std::string error;
+};
+
+struct LoadResult {
+  std::vector<MemberOutcome> members;
+  std::size_t completed = 0;
+  std::size_t attested = 0;
+  /// Largest number of connections simultaneously open.
+  std::size_t peak_concurrent = 0;
+  std::uint64_t wall_ns = 0;
+
+  bool all_completed() const { return completed == members.size(); }
+};
+
+/// Replays the fleet against a running attestd, one event loop, all
+/// members multiplexed. Blocks until every member completed or failed.
+LoadResult run_load(const LoadOptions& options);
+
+}  // namespace sacha::net

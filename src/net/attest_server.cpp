@@ -1,0 +1,759 @@
+#include "net/attest_server.hpp"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "core/fleet_engine.hpp"
+#include "core/session.hpp"
+#include "crypto/cmac.hpp"
+#include "net/tcp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace sacha::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// RESPONSE frame payload: u8 has_response + optional Response::encode().
+Result<std::optional<core::Response>> parse_response_payload(ByteSpan payload) {
+  using Out = Result<std::optional<core::Response>>;
+  if (payload.empty()) return Out::error("empty RESPONSE payload");
+  if (payload[0] == 0) {
+    if (payload.size() != 1) return Out::error("trailing bytes after empty RESPONSE");
+    return Out(std::optional<core::Response>(std::nullopt));
+  }
+  auto decoded =
+      core::Response::decode(ByteSpan(payload.data() + 1, payload.size() - 1));
+  if (!decoded.ok()) return Out::error(decoded.message());
+  return Out(std::optional<core::Response>(std::move(decoded).take()));
+}
+
+Bytes error_frame_payload(core::FailureKind kind, std::string detail) {
+  ErrorMsg msg;
+  msg.failure = kind;
+  msg.detail = std::move(detail);
+  return msg.encode();
+}
+
+}  // namespace
+
+struct AttestServer::Impl {
+  /// One prover connection (or one HTTP scrape). Shared between the loop
+  /// thread (socket I/O, command issuance — the drive strand) and at most
+  /// one verify worker at a time (response absorption — the verify
+  /// strand); `mu` guards the fields both touch.
+  struct Conn {
+    std::uint64_t id = 0;
+    TcpChannel channel;
+    enum class State { kSniff, kRunning, kHttp } state = State::kSniff;
+    HelloMsg hello;
+    std::optional<core::SachaVerifier> verifier;
+    std::optional<core::VerifierSession> session;
+    std::size_t lane = 0;
+    Clock::time_point last_activity = Clock::now();
+    Clock::time_point session_start = Clock::now();
+    /// RESPONSE frames seen by the loop; bounds the pipelined window
+    /// (issued <= responses_seen + command_window).
+    std::size_t responses_seen = 0;
+    std::string http_request;  // bytes accumulated in HTTP mode
+
+    std::mutex mu;
+    std::deque<std::optional<core::Response>> inbox;
+    bool queued = false;         // sitting in a lane's ready queue
+    bool verify_active = false;  // a worker is draining this conn
+    bool finished = false;       // report produced (or quarantined)
+    bool want_close = false;     // close once the outgoing buffer drains
+    std::vector<Frame> outbox;   // worker-produced frames, loop-sent
+  };
+
+  explicit Impl(const AttestServerOptions& opts)
+      : opts(opts), loop(opts.prefer_epoll) {}
+
+  AttestServerOptions opts;
+  SocketListener listener;
+  EventLoop loop;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::thread loop_thread;
+  std::vector<std::thread> workers;
+  std::atomic<bool> stopping{false};
+
+  // Verify-lane scheduler (mirrors the fleet engine's lanes + stealing).
+  std::mutex sched_mu;
+  std::condition_variable sched_cv;
+  std::vector<std::deque<std::shared_ptr<Conn>>> lanes;
+
+  // Conns whose outbox a worker filled; serviced by the loop on wake.
+  std::mutex wake_mu;
+  std::vector<std::shared_ptr<Conn>> wake_list;
+
+  // Loop-thread-only connection table.
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 0;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> attested{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::atomic<std::uint64_t> quarantined{0};
+  std::atomic<std::uint64_t> http_requests{0};
+  std::atomic<std::uint64_t> peak{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> active{0};  // conns.size(), readable off-loop
+
+  void wake() {
+    const char byte = 1;
+    (void)!::write(wake_wr, &byte, 1);  // EAGAIN = already pending, fine
+  }
+
+  obs::Gauge& connections_gauge() {
+    static obs::Gauge& g =
+        obs::MetricsRegistry::global().gauge("sacha.attestd.connections");
+    return g;
+  }
+
+  // ---- loop thread ---------------------------------------------------------
+
+  void loop_main() {
+    std::vector<PollEvent> events;
+    while (!stopping.load(std::memory_order_relaxed)) {
+      (void)loop.wait(events, /*timeout_ms=*/100);
+      if (stopping.load(std::memory_order_relaxed)) break;
+      for (const PollEvent& ev : events) {
+        if (ev.fd == listener.fd()) {
+          accept_pending();
+        } else if (ev.fd == wake_rd) {
+          drain_wake_pipe();
+        } else {
+          auto it = conns.find(ev.fd);
+          if (it == conns.end()) continue;
+          std::shared_ptr<Conn> conn = it->second;
+          if (ev.writable || ev.error) on_writable(conn);
+          if ((ev.readable || ev.error) && conns.count(ev.fd)) {
+            on_readable(conn);
+          }
+        }
+      }
+      service_wake_list();
+      scan_timeouts();
+    }
+    // Shutdown: close everything so workers' shared_ptrs are the only
+    // remaining owners.
+    for (auto& [fd, conn] : conns) {
+      loop.remove(fd);
+      conn->channel.close();
+    }
+    conns.clear();
+    connections_gauge().set(0);
+  }
+
+  void accept_pending() {
+    for (;;) {
+      auto accepted_sock = listener.accept_one();
+      if (!accepted_sock.ok()) {
+        log_warn() << "attestd accept failed: " << accepted_sock.message();
+        return;
+      }
+      if (!accepted_sock.value().has_value()) return;  // drained
+      auto conn = std::make_shared<Conn>();
+      conn->id = next_conn_id++;
+      conn->channel = TcpChannel(*std::move(accepted_sock).take());
+      conn->lane = static_cast<std::size_t>(conn->id % lanes.size());
+      const int fd = conn->channel.fd();
+      conns.emplace(fd, conn);
+      (void)loop.add(fd, /*want_read=*/true, /*want_write=*/false);
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& accepted_ctr =
+          obs::MetricsRegistry::global().counter("sacha.attestd.accepted");
+      accepted_ctr.add(1);
+      active.store(conns.size(), std::memory_order_relaxed);
+      connections_gauge().set(static_cast<std::int64_t>(conns.size()));
+      std::uint64_t prev = peak.load(std::memory_order_relaxed);
+      while (conns.size() > prev &&
+             !peak.compare_exchange_weak(prev, conns.size())) {
+      }
+    }
+  }
+
+  void drain_wake_pipe() {
+    char buf[256];
+    while (::read(wake_rd, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void service_wake_list() {
+    std::vector<std::shared_ptr<Conn>> ready;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu);
+      ready.swap(wake_list);
+    }
+    for (const auto& conn : ready) {
+      if (!conn->channel.open()) continue;
+      std::vector<Frame> frames;
+      bool close_after = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        frames.swap(conn->outbox);
+        close_after = conn->want_close;
+      }
+      bool dead = false;
+      for (const Frame& frame : frames) {
+        if (!conn->channel.send_frame(frame).ok()) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        close_conn(conn, /*mid_session=*/false);
+        continue;
+      }
+      if (close_after && !conn->channel.want_write()) {
+        close_conn(conn, /*mid_session=*/false);
+      } else {
+        update_interest(conn);
+      }
+    }
+  }
+
+  void update_interest(const std::shared_ptr<Conn>& conn) {
+    if (!conn->channel.open()) return;
+    (void)loop.modify(conn->channel.fd(), /*want_read=*/true,
+                      conn->channel.want_write());
+  }
+
+  void on_writable(const std::shared_ptr<Conn>& conn) {
+    if (!conn->channel.open()) return;
+    if (!conn->channel.flush_some().ok()) {
+      close_conn(conn, mid_session(conn));
+      return;
+    }
+    bool close_after;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      close_after = conn->want_close;
+    }
+    if (close_after && !conn->channel.want_write()) {
+      close_conn(conn, /*mid_session=*/false);
+      return;
+    }
+    update_interest(conn);
+  }
+
+  bool mid_session(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    return conn->session.has_value() && !conn->finished;
+  }
+
+  void on_readable(const std::shared_ptr<Conn>& conn) {
+    conn->last_activity = Clock::now();
+    if (conn->state == Conn::State::kSniff && !sniff(conn)) return;
+    if (conn->state == Conn::State::kHttp) {
+      serve_http(conn);
+      return;
+    }
+    bool closed = false;
+    if (!conn->channel.read_some(&closed).ok()) {
+      close_conn(conn, mid_session(conn));
+      return;
+    }
+    for (;;) {
+      auto frame = conn->channel.next_frame();
+      if (!frame.ok()) {
+        // Undecodable stream: typed abort, then drop the connection.
+        (void)conn->channel.send(
+            FrameKind::kError,
+            error_frame_payload(core::FailureKind::kDecodeError,
+                                frame.message()));
+        close_conn(conn, mid_session(conn));
+        return;
+      }
+      if (!frame.value().has_value()) break;
+      if (!handle_frame(conn, *std::move(frame).take())) return;
+    }
+    if (closed) {
+      close_conn(conn, mid_session(conn));
+      return;
+    }
+    update_interest(conn);
+  }
+
+  /// First-byte dispatch: frames start 0x53 ('S' of the magic), HTTP
+  /// scrapes start 'G'. Returns false when the caller should stop (peer
+  /// already gone).
+  bool sniff(const std::shared_ptr<Conn>& conn) {
+    char c = 0;
+    const ssize_t n = ::recv(conn->channel.fd(), &c, 1, MSG_PEEK);
+    if (n == 0) {
+      close_conn(conn, /*mid_session=*/false);
+      return false;
+    }
+    if (n < 0) return false;  // EAGAIN: try again on next readiness
+    conn->state = (opts.metrics_endpoint && c == 'G') ? Conn::State::kHttp
+                                                      : Conn::State::kRunning;
+    return true;
+  }
+
+  void serve_http(const std::shared_ptr<Conn>& conn) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn->channel.fd(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->http_request.append(buf, static_cast<std::size_t>(n));
+        if (conn->http_request.size() > 16384) {
+          close_conn(conn, /*mid_session=*/false);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        close_conn(conn, /*mid_session=*/false);
+        return;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: check whether the request is complete
+    }
+    if (conn->http_request.find("\r\n\r\n") == std::string::npos) {
+      return;  // headers still in flight
+    }
+    http_requests.fetch_add(1, std::memory_order_relaxed);
+    const bool is_metrics =
+        conn->http_request.rfind("GET /metrics", 0) == 0;
+    std::string body;
+    std::string status;
+    if (is_metrics) {
+      status = "200 OK";
+      body = obs::prometheus_text(obs::MetricsRegistry::global().snapshot());
+    } else {
+      status = "404 Not Found";
+      body = "only GET /metrics is served\n";
+    }
+    std::string response = "HTTP/1.1 " + status +
+                           "\r\nContent-Type: text/plain; version=0.0.4"
+                           "\r\nContent-Length: " +
+                           std::to_string(body.size()) +
+                           "\r\nConnection: close\r\n\r\n" +
+                           body;
+    (void)conn->channel.send_raw(
+        ByteSpan(reinterpret_cast<const std::uint8_t*>(response.data()),
+                 response.size()));
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->want_close = true;
+      conn->finished = true;
+    }
+    if (!conn->channel.want_write()) {
+      close_conn(conn, /*mid_session=*/false);
+    } else {
+      update_interest(conn);
+    }
+  }
+
+  /// Returns false when the connection was torn down.
+  bool handle_frame(const std::shared_ptr<Conn>& conn, Frame frame) {
+    switch (frame.kind) {
+      case FrameKind::kHello:
+        return handle_hello(conn, frame.payload);
+      case FrameKind::kResponse:
+        return handle_response(conn, frame.payload);
+      case FrameKind::kError: {
+        auto msg = ErrorMsg::decode(frame.payload);
+        log_warn() << "attestd: peer aborted conn " << conn->id << ": "
+                   << (msg.ok() ? msg.value().detail : msg.message());
+        close_conn(conn, mid_session(conn));
+        return false;
+      }
+      default:
+        (void)conn->channel.send(
+            FrameKind::kError,
+            error_frame_payload(core::FailureKind::kDecodeError,
+                                "unexpected frame kind"));
+        close_conn(conn, mid_session(conn));
+        return false;
+    }
+  }
+
+  bool handle_hello(const std::shared_ptr<Conn>& conn, const Bytes& payload) {
+    if (conn->session.has_value()) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              "duplicate HELLO"));
+      close_conn(conn, /*mid_session=*/true);
+      return false;
+    }
+    auto hello = HelloMsg::decode(payload);
+    if (!hello.ok() || hello.value().proto != kWireVersion) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              hello.ok() ? "unsupported protocol version"
+                                         : hello.message()));
+      close_conn(conn, /*mid_session=*/false);
+      return false;
+    }
+    conn->hello = std::move(hello).take();
+    // Provision the member's verifier from the HELLO parameters alone —
+    // the same construction the in-process oracle uses (provision.hpp).
+    conn->verifier.emplace(verifier_for(conn->hello));
+    conn->session.emplace(*conn->verifier);
+    conn->session_start = Clock::now();
+    HelloAckMsg ack;
+    ack.command_count =
+        static_cast<std::uint32_t>(conn->session->command_count());
+    if (!conn->channel.send(FrameKind::kHelloAck, ack.encode()).ok()) {
+      close_conn(conn, /*mid_session=*/true);
+      return false;
+    }
+    issue_commands(conn);
+    update_interest(conn);
+    return true;
+  }
+
+  bool handle_response(const std::shared_ptr<Conn>& conn,
+                       const Bytes& payload) {
+    if (!conn->session.has_value()) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              "RESPONSE before HELLO"));
+      close_conn(conn, /*mid_session=*/false);
+      return false;
+    }
+    auto response = parse_response_payload(payload);
+    if (!response.ok()) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              response.message()));
+      close_conn(conn, /*mid_session=*/true);
+      return false;
+    }
+    ++conn->responses_seen;
+    issue_commands(conn);  // slide the window before handing off to verify
+    bool enqueue = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->inbox.push_back(std::move(response).take());
+      if (!conn->queued && !conn->verify_active) {
+        conn->queued = true;
+        enqueue = true;
+      }
+    }
+    if (enqueue) {
+      {
+        std::lock_guard<std::mutex> lock(sched_mu);
+        lanes[conn->lane].push_back(conn);
+      }
+      sched_cv.notify_one();
+    }
+    update_interest(conn);
+    return true;
+  }
+
+  /// Drive strand: keeps up to command_window commands in flight. Only the
+  /// loop thread calls this (next_command_wire reads the frozen schedule —
+  /// disjoint from the verify strand's absorb state).
+  void issue_commands(const std::shared_ptr<Conn>& conn) {
+    while (conn->session->issued() <
+           conn->responses_seen + opts.command_window) {
+      auto wire = conn->session->next_command_wire();
+      if (!wire.has_value()) return;
+      if (!conn->channel.send(FrameKind::kCommand, *std::move(wire)).ok()) {
+        close_conn(conn, /*mid_session=*/true);
+        return;
+      }
+    }
+  }
+
+  void scan_timeouts() {
+    if (opts.session_timeout_ms == 0) return;
+    const auto cutoff =
+        Clock::now() - std::chrono::milliseconds(opts.session_timeout_ms);
+    std::vector<std::shared_ptr<Conn>> stale;
+    for (const auto& [fd, conn] : conns) {
+      if (conn->last_activity < cutoff) stale.push_back(conn);
+    }
+    for (const auto& conn : stale) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kTimeoutExhausted,
+                              "session idle timeout"));
+      close_conn(conn, mid_session(conn));
+    }
+  }
+
+  /// Tears a connection down. `quarantine` marks a session the peer
+  /// abandoned mid-run: counted, typed, the slot reclaimed — the server
+  /// keeps serving every other connection.
+  void close_conn(const std::shared_ptr<Conn>& conn, bool quarantine) {
+    if (!conn->channel.open()) return;
+    const int fd = conn->channel.fd();
+    loop.remove(fd);
+    conns.erase(fd);
+    conn->channel.close();
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->want_close = true;
+      if (quarantine && !conn->finished) {
+        conn->finished = true;
+        if (conn->session.has_value()) {
+          conn->session->note_failure(core::FailureKind::kPeerDisconnect);
+        }
+      } else {
+        quarantine = false;
+      }
+    }
+    if (quarantine) {
+      quarantined.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& quarantine_ctr =
+          obs::MetricsRegistry::global().counter("sacha.attestd.quarantined");
+      quarantine_ctr.add(1);
+      (log_warn() << "attestd: peer disconnect mid-session, quarantined")
+          .kv("conn", conn->id)
+          .kv("member", conn->hello.device_id);
+    }
+    active.store(conns.size(), std::memory_order_relaxed);
+    connections_gauge().set(static_cast<std::int64_t>(conns.size()));
+  }
+
+  // ---- verify workers ------------------------------------------------------
+
+  void worker_main(std::size_t worker_index) {
+    const std::size_t width =
+        std::clamp<std::size_t>(opts.verify_batch_width, 1, 8);
+    std::vector<std::shared_ptr<Conn>> picks;
+    for (;;) {
+      picks.clear();
+      {
+        std::unique_lock<std::mutex> lock(sched_mu);
+        sched_cv.wait(lock, [&] {
+          if (stopping.load(std::memory_order_relaxed)) return true;
+          for (const auto& lane : lanes) {
+            if (!lane.empty()) return true;
+          }
+          return false;
+        });
+        if (stopping.load(std::memory_order_relaxed)) return;
+        // Home lane first, then steal from the longest backlog — the
+        // fleet engine's policy, driven by sockets instead of sim time.
+        auto& home = lanes[worker_index % lanes.size()];
+        while (!home.empty() && picks.size() < width) {
+          picks.push_back(std::move(home.front()));
+          home.pop_front();
+        }
+        while (picks.size() < width) {
+          std::size_t best = lanes.size();
+          std::size_t best_depth = 0;
+          for (std::size_t l = 0; l < lanes.size(); ++l) {
+            if (lanes[l].size() > best_depth) {
+              best = l;
+              best_depth = lanes[l].size();
+            }
+          }
+          if (best == lanes.size()) break;
+          picks.push_back(std::move(lanes[best].front()));
+          lanes[best].pop_front();
+          steals.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (picks.empty()) continue;
+      drain_batch(picks, width);
+    }
+  }
+
+  void drain_batch(const std::vector<std::shared_ptr<Conn>>& picks,
+                   std::size_t width) {
+    crypto::CmacBatch batch(width);
+    struct Work {
+      std::shared_ptr<Conn> conn;
+      std::deque<std::optional<core::Response>> rounds;
+    };
+    std::vector<Work> work;
+    work.reserve(picks.size());
+    for (const auto& conn : picks) {
+      Work w{conn, {}};
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->queued = false;
+        conn->verify_active = true;
+        w.rounds.swap(conn->inbox);
+      }
+      work.push_back(std::move(w));
+    }
+    for (Work& w : work) {
+      if (!w.conn->session.has_value()) continue;
+      w.conn->session->set_absorb_sink(&batch);
+      for (auto& response : w.rounds) {
+        w.conn->session->on_response(std::move(response));
+      }
+    }
+    // One interleaved flush across every drained member's stream; sinks
+    // detach before any finish() closes a MAC.
+    batch.flush();
+    for (Work& w : work) {
+      if (w.conn->session.has_value()) {
+        w.conn->session->set_absorb_sink(nullptr);
+      }
+    }
+    core::note_batch_occupancy(batch);
+    batches.fetch_add(work.size(), std::memory_order_relaxed);
+
+    bool woke = false;
+    for (Work& w : work) {
+      const auto& conn = w.conn;
+      bool run_finish = false;
+      bool requeue = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        conn->verify_active = false;
+        if (conn->session.has_value() && conn->session->done() &&
+            !conn->finished) {
+          conn->finished = true;
+          run_finish = true;
+        } else if (!conn->inbox.empty() && !conn->queued) {
+          conn->queued = true;
+          requeue = true;
+        }
+      }
+      if (run_finish) {
+        finish_session(conn);
+        {
+          std::lock_guard<std::mutex> lock(wake_mu);
+          wake_list.push_back(conn);
+        }
+        woke = true;
+      }
+      if (requeue) {
+        {
+          std::lock_guard<std::mutex> lock(sched_mu);
+          lanes[conn->lane].push_back(conn);
+        }
+        sched_cv.notify_one();
+      }
+    }
+    if (woke) wake();
+  }
+
+  /// Verify strand epilogue: both strands are quiesced (all responses
+  /// absorbed ⇒ nothing left to issue), so finish() is safe here.
+  void finish_session(const std::shared_ptr<Conn>& conn) {
+    core::VerifierSession::Report report = conn->session->finish();
+    ReportMsg msg;
+    msg.protocol_ok = report.verdict.protocol_ok;
+    msg.mac_ok = report.verdict.mac_ok;
+    msg.config_ok = report.verdict.config_ok;
+    msg.failure = report.failure;
+    if (report.expected_mac.has_value()) {
+      msg.mac_present = true;
+      msg.mac = *report.expected_mac;
+    }
+    msg.commands = report.commands;
+    msg.wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - conn->session_start)
+            .count());
+    msg.detail = report.verdict.detail;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->outbox.push_back(Frame{FrameKind::kReport, msg.encode()});
+      conn->want_close = true;
+    }
+    completed.fetch_add(1, std::memory_order_relaxed);
+    (msg.attested() ? attested : failed).fetch_add(1,
+                                                   std::memory_order_relaxed);
+    static obs::Histogram& session_hist =
+        obs::MetricsRegistry::global().histogram("sacha.attestd.session_ns");
+    session_hist.observe(msg.wall_ns);
+  }
+};
+
+AttestServer::AttestServer(const AttestServerOptions& options)
+    : options_(options) {}
+
+AttestServer::~AttestServer() { stop(); }
+
+Status AttestServer::start() {
+  if (impl_ != nullptr) return Status::error("server already started");
+  auto impl = std::make_unique<Impl>(options_);
+  auto listener = SocketListener::listen(options_.host, options_.port,
+                                         options_.listen_backlog);
+  if (!listener.ok()) return Status::error(listener.message());
+  impl->listener = std::move(listener).take();
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return Status::error("pipe2 failed");
+  }
+  impl->wake_rd = pipe_fds[0];
+  impl->wake_wr = pipe_fds[1];
+  const std::size_t pool = options_.pool_size == 0 ? core::default_fleet_pool()
+                                                   : options_.pool_size;
+  impl->lanes.resize(pool);
+  Status st = impl->loop.add(impl->listener.fd(), true, false);
+  if (!st.ok()) return st;
+  st = impl->loop.add(impl->wake_rd, true, false);
+  if (!st.ok()) return st;
+
+  port_ = impl->listener.bound_port();
+  using_epoll_ = impl->loop.using_epoll();
+  impl_ = impl.release();
+  impl_->loop_thread = std::thread([this] { impl_->loop_main(); });
+  impl_->workers.reserve(pool);
+  for (std::size_t w = 0; w < pool; ++w) {
+    impl_->workers.emplace_back([this, w] { impl_->worker_main(w); });
+  }
+  (log_info() << "attestd listening")
+      .kv("host", options_.host)
+      .kv("port", port_)
+      .kv("pool", pool)
+      .kv("epoll", using_epoll_);
+  return Status();
+}
+
+void AttestServer::stop() {
+  if (impl_ == nullptr) return;
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  impl_->wake();
+  impl_->sched_cv.notify_all();
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  for (std::thread& worker : impl_->workers) {
+    if (worker.joinable()) worker.join();
+  }
+  impl_->listener.close();
+  if (impl_->wake_rd >= 0) ::close(impl_->wake_rd);
+  if (impl_->wake_wr >= 0) ::close(impl_->wake_wr);
+  delete impl_;
+  impl_ = nullptr;
+}
+
+AttestServerStats AttestServer::stats() const {
+  AttestServerStats out;
+  if (impl_ == nullptr) return out;
+  out.accepted = impl_->accepted.load(std::memory_order_relaxed);
+  out.sessions_completed = impl_->completed.load(std::memory_order_relaxed);
+  out.sessions_attested = impl_->attested.load(std::memory_order_relaxed);
+  out.sessions_failed = impl_->failed.load(std::memory_order_relaxed);
+  out.quarantined = impl_->quarantined.load(std::memory_order_relaxed);
+  out.http_requests = impl_->http_requests.load(std::memory_order_relaxed);
+  out.active_connections = impl_->active.load(std::memory_order_relaxed);
+  out.peak_connections = impl_->peak.load(std::memory_order_relaxed);
+  out.verify_steals = impl_->steals.load(std::memory_order_relaxed);
+  out.verify_batches = impl_->batches.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sacha::net

@@ -1,0 +1,101 @@
+// attestd: the attestation service core.
+//
+// One event-loop thread owns every socket: it accepts provers off the
+// listener (epoll, poll fallback), assembles wire frames from nonblocking
+// reads, issues each session's pipelined command window, and writes
+// whatever the verify workers produced. A fixed worker pool mirrors the
+// fleet engine's verify lanes: each connection homes on `conn_id % lanes`,
+// workers drain their own lane first and steal from the longest backlog
+// otherwise, and every drain interleaves up to verify_batch_width
+// members' streaming CMAC folds through one crypto::CmacBatch — the same
+// multi-stream absorb, the same occupancy metrics
+// (core::note_batch_occupancy), readiness now coming from the kernel
+// instead of the virtual-time heap.
+//
+// The split follows SessionMachine's concurrency contract: the loop
+// thread is every session's drive strand (command(i) reads the frozen
+// schedule), the worker draining its lane is the verify strand
+// (on_response writes the absorb state); finish() runs on the worker only
+// after the last response was absorbed, when the loop has nothing left to
+// issue.
+//
+// A connection whose first bytes are "GET " is an HTTP scrape, answered
+// with the obs registry in Prometheus text format and closed. A prover
+// that vanishes mid-session is quarantined — counted, logged, its slot
+// reclaimed — never a crash or a leaked session.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "net/provision.hpp"
+
+namespace sacha::net {
+
+struct AttestServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = kernel-assigned ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Verify workers (= lanes). 0 = core::default_fleet_pool().
+  std::size_t pool_size = 0;
+  /// Members interleaved per CmacBatch drain (clamped to [1, 8]).
+  std::size_t verify_batch_width = 4;
+  /// Commands in flight per session before waiting for responses. The
+  /// schedule is frozen at HELLO, so pipelining is free; the window bounds
+  /// per-connection kernel buffer occupancy at fleet scale.
+  std::size_t command_window = 32;
+  /// Idle cut-off per connection: no bytes in either direction for this
+  /// long and the session is quarantined as kTimeoutExhausted (0 = never).
+  std::uint64_t session_timeout_ms = 30000;
+  int listen_backlog = 1024;
+  /// Force the poll(2) fallback even where epoll exists (tested in ctest).
+  bool prefer_epoll = true;
+  /// Serve "GET /metrics" scrapes on the same port.
+  bool metrics_endpoint = true;
+};
+
+struct AttestServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_attested = 0;
+  std::uint64_t sessions_failed = 0;
+  /// Sessions quarantined because the peer vanished or the stream broke
+  /// (disconnect, poisoned framing, idle timeout).
+  std::uint64_t quarantined = 0;
+  std::uint64_t http_requests = 0;
+  /// Connections open right now.
+  std::uint64_t active_connections = 0;
+  /// Largest concurrent-connection count observed.
+  std::uint64_t peak_connections = 0;
+  std::uint64_t verify_steals = 0;
+  std::uint64_t verify_batches = 0;
+};
+
+class AttestServer {
+ public:
+  explicit AttestServer(const AttestServerOptions& options = {});
+  ~AttestServer();
+  AttestServer(const AttestServer&) = delete;
+  AttestServer& operator=(const AttestServer&) = delete;
+
+  /// Binds, listens, and starts the loop + worker threads.
+  Status start();
+  /// Stops the threads and closes every connection. Idempotent.
+  void stop();
+
+  /// Bound port (valid after start(); the ephemeral-port answer).
+  std::uint16_t port() const { return port_; }
+  bool using_epoll() const { return using_epoll_; }
+  AttestServerStats stats() const;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+  AttestServerOptions options_;
+  std::uint16_t port_ = 0;
+  bool using_epoll_ = false;
+};
+
+}  // namespace sacha::net

@@ -1,0 +1,255 @@
+// Attestation-service tests: loopback smoke, verdict + MAC bit-identity
+// against the in-process SwarmSchedule::kMultiplexed oracle, the
+// quarantine path for abrupt disconnects, the Prometheus endpoint, and
+// the poll(2) fallback.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/swarm.hpp"
+#include "net/attest_client.hpp"
+#include "net/attest_server.hpp"
+#include "net/provision.hpp"
+#include "net/tcp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+using namespace sacha;
+
+namespace {
+
+/// The in-process oracle: the same fleet attested by the multiplexed
+/// engine, no sockets. The service must match this run verdict-for-verdict
+/// and MAC-for-MAC.
+core::SwarmReport oracle_run(const net::FleetSpec& spec, std::size_t members,
+                             const std::set<std::size_t>& tampered) {
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<core::SwarmMember> swarm;
+  for (std::size_t i = 0; i < members; ++i) {
+    envs.push_back(
+        net::member_env(net::member_scale(spec, i), spec.base_seed + i));
+    verifiers.push_back(envs.back().make_verifier());
+    provers.push_back(envs.back().make_prover());
+  }
+  for (std::size_t i = 0; i < members; ++i) {
+    core::SwarmMember member{net::member_id(i), &verifiers[i], &provers[i],
+                             {}};
+    if (tampered.count(i) > 0) {
+      member.hooks.after_config = [](core::SachaProver& p) {
+        bitstream::Frame f = p.memory().config_frame(5);
+        f.flip_bit(7);
+        p.memory().write_frame(5, f);
+      };
+    }
+    swarm.push_back(std::move(member));
+  }
+  core::SwarmOptions options;
+  options.session = envs.front().session_options;
+  options.session.seed = spec.session_seed;
+  options.schedule = core::SwarmSchedule::kMultiplexed;
+  options.retry_budget = 0;
+  return core::attest_swarm(swarm, options);
+}
+
+net::LoadOptions loopback_load(const net::AttestServer& server,
+                               const net::FleetSpec& spec,
+                               std::size_t members) {
+  net::LoadOptions load;
+  load.host = "127.0.0.1";
+  load.port = server.port();
+  load.fleet = spec;
+  load.members = members;
+  load.timeout_ms = 60000;
+  return load;
+}
+
+TEST(NetService, LoopbackSmoke) {
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  net::FleetSpec spec;
+  const net::LoadResult result = net::run_load(loopback_load(server, spec, 4));
+  EXPECT_EQ(result.completed, 4u);
+  EXPECT_EQ(result.attested, 4u);
+  const net::AttestServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_completed, 4u);
+  EXPECT_EQ(stats.sessions_attested, 4u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  server.stop();
+}
+
+TEST(NetService, MixedFleetBitIdenticalToMultiplexedOracle) {
+  net::FleetSpec spec;
+  spec.mixed = true;
+  const std::set<std::size_t> tampered = {1, 3};
+  constexpr std::size_t kMembers = 16;
+
+  const core::SwarmReport oracle = oracle_run(spec, kMembers, tampered);
+  ASSERT_EQ(oracle.members.size(), kMembers);
+  EXPECT_EQ(oracle.attested, kMembers - tampered.size());
+
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+  net::LoadOptions load = loopback_load(server, spec, kMembers);
+  load.tampered = tampered;
+  const net::LoadResult result = net::run_load(load);
+  server.stop();
+
+  ASSERT_TRUE(result.all_completed());
+  EXPECT_EQ(result.attested, oracle.attested);
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    const core::SwarmMemberResult& want = oracle.members[i];
+    const net::MemberOutcome& got = result.members[i];
+    SCOPED_TRACE("member " + std::to_string(i));
+    EXPECT_EQ(got.report.protocol_ok, want.verdict.protocol_ok);
+    EXPECT_EQ(got.report.mac_ok, want.verdict.mac_ok);
+    EXPECT_EQ(got.report.config_ok, want.verdict.config_ok);
+    EXPECT_EQ(got.report.failure, want.failure);
+    // MAC-for-MAC: the device evidence over the socket equals the
+    // in-process engine's evidence, bitwise.
+    ASSERT_TRUE(got.client_mac.has_value());
+    ASSERT_TRUE(want.mac.has_value());
+    EXPECT_EQ(*got.client_mac, *want.mac);
+    if (want.verdict.mac_ok) {
+      ASSERT_TRUE(got.report.mac_present);
+      EXPECT_EQ(got.report.mac, *want.mac);
+    }
+  }
+}
+
+TEST(NetService, AbruptDisconnectQuarantinesNotCrashes) {
+  net::AttestServerOptions options;
+  options.session_timeout_ms = 60000;
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 6);
+  load.disconnect_after[2] = 3;  // member 2 vanishes mid-session
+  const net::LoadResult result = net::run_load(load);
+
+  EXPECT_EQ(result.completed, 5u);
+  EXPECT_EQ(result.attested, 5u);
+  EXPECT_FALSE(result.members[2].completed);
+
+  // The server stays serviceable after the quarantine: run another fleet.
+  const net::LoadResult second = net::run_load(loopback_load(server, spec, 3));
+  EXPECT_EQ(second.completed, 3u);
+
+  const net::AttestServerStats stats = server.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.sessions_completed, 8u);
+  EXPECT_EQ(stats.active_connections, 0u);
+  server.stop();
+}
+
+TEST(NetService, MetricsEndpointServesPrometheusText) {
+  obs::set_enabled(true);
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  // One real session so the counters move.
+  net::FleetSpec spec;
+  ASSERT_TRUE(net::run_load(loopback_load(server, spec, 1)).all_completed());
+
+  // Plain blocking HTTP GET against the same port.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(server.stats().http_requests, 1u);
+  server.stop();
+  obs::set_enabled(false);
+
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  EXPECT_NE(reply.find("sacha_session_attested"), std::string::npos);
+  EXPECT_NE(reply.find("sacha_attestd_accepted"), std::string::npos);
+}
+
+TEST(NetService, PollFallbackServesSessions) {
+  net::AttestServerOptions options;
+  options.prefer_epoll = false;
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+  EXPECT_FALSE(server.using_epoll());
+
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 4);
+  load.prefer_epoll = false;  // both sides on the poll(2) path
+  const net::LoadResult result = net::run_load(load);
+  server.stop();
+  EXPECT_EQ(result.completed, 4u);
+  EXPECT_EQ(result.attested, 4u);
+}
+
+TEST(NetService, DroppedResponsesHitTheServerTimeout) {
+  net::AttestServerOptions options;
+  options.session_timeout_ms = 300;  // fast idle cut-off for the test
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 2);
+  load.drop_probability = 1.0;  // every response evaporates
+  load.timeout_ms = 5000;
+  const net::LoadResult result = net::run_load(load);
+  // The second quarantine can land a beat after the clients saw their
+  // ERROR frames; give the server loop a moment to finish the teardown.
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0; spin < 100 && stats.quarantined < 2; ++spin) {
+    ::usleep(10000);
+    stats = server.stats();
+  }
+  server.stop();
+
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(stats.quarantined, 2u);
+}
+
+TEST(NetService, RejectsBadHello) {
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  auto channel = net::TcpChannel::connect("127.0.0.1", server.port());
+  ASSERT_TRUE(channel.ok());
+  net::TcpChannel conn = std::move(channel).take();
+  // Garbage HELLO payload: the server answers ERROR and closes.
+  ASSERT_TRUE(conn.send_frame_blocking({net::FrameKind::kHello, Bytes{1, 2, 3}},
+                                       5000)
+                  .ok());
+  auto reply = conn.recv_frame_blocking(5000);
+  ASSERT_TRUE(reply.ok()) << reply.message();
+  EXPECT_EQ(reply.value().kind, net::FrameKind::kError);
+  auto error = net::ErrorMsg::decode(reply.value().payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error.value().failure, core::FailureKind::kDecodeError);
+  server.stop();
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Wire-codec tests: framing round-trips under arbitrary byte splits,
+// truncation semantics, malformed-header rejection (typed + poisoning),
+// and the HELLO/REPORT/ERROR message codecs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+#include "net/wire.hpp"
+
+using namespace sacha;
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameKind;
+
+namespace {
+
+/// Feeds `stream` into a fresh decoder in random chunks (sizes 1..max_chunk)
+/// and returns every decoded frame.
+std::vector<Frame> decode_split(const Bytes& stream, Rng& rng,
+                                std::size_t max_chunk) {
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  std::size_t at = 0;
+  while (at < stream.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(1 + rng.below(max_chunk), stream.size() - at);
+    decoder.feed(ByteSpan(stream.data() + at, n));
+    at += n;
+    for (;;) {
+      auto frame = decoder.next();
+      EXPECT_TRUE(frame.ok()) << frame.message();
+      if (!frame.ok() || !frame.value().has_value()) break;
+      frames.push_back(*std::move(frame).take());
+    }
+  }
+  return frames;
+}
+
+Bytes random_payload(Rng& rng, std::size_t max_len) {
+  Bytes payload(rng.below(max_len + 1));
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+  return payload;
+}
+
+TEST(WireFraming, RoundTripsEveryKindUnderRandomSplits) {
+  Rng rng(2026);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Frame> sent;
+    Bytes stream;
+    const std::size_t count = 1 + rng.below(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      Frame frame;
+      frame.kind = static_cast<FrameKind>(1 + rng.below(6));
+      frame.payload = random_payload(rng, 300);
+      append(stream, net::encode_frame(frame));
+      sent.push_back(std::move(frame));
+    }
+    // max_chunk 1 = strict byte-at-a-time on the first rounds.
+    const std::size_t max_chunk = round < 5 ? 1 : 1 + rng.below(64);
+    const std::vector<Frame> got = decode_split(stream, rng, max_chunk);
+    EXPECT_EQ(got, sent);
+  }
+}
+
+TEST(WireFraming, CoalescedBurstDecodesInOrder) {
+  Bytes stream;
+  std::vector<Frame> sent;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    Frame frame{FrameKind::kCommand, Bytes(i, i)};
+    append(stream, net::encode_frame(frame));
+    sent.push_back(std::move(frame));
+  }
+  FrameDecoder decoder;
+  decoder.feed(stream);  // one feed, ten frames
+  std::vector<Frame> got;
+  for (;;) {
+    auto frame = decoder.next();
+    ASSERT_TRUE(frame.ok());
+    if (!frame.value().has_value()) break;
+    got.push_back(*std::move(frame).take());
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(WireFraming, TruncatedFrameIsNotAnError) {
+  const Bytes stream =
+      net::encode_frame({FrameKind::kResponse, Bytes(100, 0xab)});
+  for (std::size_t cut = 0; cut < stream.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.feed(ByteSpan(stream.data(), cut));
+    auto frame = decoder.next();
+    ASSERT_TRUE(frame.ok()) << "cut at " << cut << ": " << frame.message();
+    EXPECT_FALSE(frame.value().has_value());
+    EXPECT_FALSE(decoder.poisoned());
+    // The rest of the bytes complete the frame.
+    decoder.feed(ByteSpan(stream.data() + cut, stream.size() - cut));
+    auto completed = decoder.next();
+    ASSERT_TRUE(completed.ok());
+    ASSERT_TRUE(completed.value().has_value());
+    EXPECT_EQ(completed.value()->payload.size(), 100u);
+  }
+}
+
+void expect_poisons(Bytes header_start) {
+  FrameDecoder decoder;
+  header_start.resize(net::kFrameHeaderBytes, 0);
+  decoder.feed(header_start);
+  auto frame = decoder.next();
+  EXPECT_FALSE(frame.ok());
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned is permanent: even a well-formed frame fails now.
+  decoder.feed(net::encode_frame({FrameKind::kHello, {}}));
+  EXPECT_FALSE(decoder.next().ok());
+}
+
+TEST(WireFraming, MalformedHeadersPoisonTheDecoder) {
+  expect_poisons({0xde, 0xad});                          // bad magic
+  expect_poisons({0x53, 0x41, 99, 1});                   // unknown version
+  expect_poisons({0x53, 0x41, net::kWireVersion, 0});    // kind below range
+  expect_poisons({0x53, 0x41, net::kWireVersion, 200});  // kind above range
+  expect_poisons({0x53, 0x41, net::kWireVersion, 3,      // oversize length
+                  0xff, 0xff, 0xff, 0xff});
+}
+
+TEST(WireFraming, CommandAndResponseSurviveFraming) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    core::Command command;
+    command.type = static_cast<core::CommandType>(1 + rng.below(3));
+    // frame_nb rides the wire only for readback commands.
+    if (command.type == core::CommandType::kIcapReadback) {
+      command.frame_nb = static_cast<std::uint32_t>(rng.below(1000));
+    }
+    command.stream.resize(rng.below(50));
+    for (auto& w : command.stream)
+      w = static_cast<std::uint32_t>(rng.next_u64());
+    core::Response response;
+    response.type = core::ResponseType::kFrameData;
+    response.frame_words.resize(rng.below(50));
+    for (auto& w : response.frame_words)
+      w = static_cast<std::uint32_t>(rng.next_u64());
+
+    Bytes stream;
+    append(stream, net::encode_frame({FrameKind::kCommand, command.encode()}));
+    append(stream,
+           net::encode_frame({FrameKind::kResponse, response.encode()}));
+    const std::vector<Frame> got = decode_split(stream, rng, 7);
+    ASSERT_EQ(got.size(), 2u);
+    auto command_back = core::Command::decode(got[0].payload);
+    ASSERT_TRUE(command_back.ok());
+    EXPECT_EQ(command_back.value(), command);
+    auto response_back = core::Response::decode(got[1].payload);
+    ASSERT_TRUE(response_back.ok());
+    EXPECT_EQ(response_back.value(), response);
+  }
+}
+
+TEST(WireMessages, HelloRoundTrip) {
+  net::HelloMsg hello;
+  hello.scale = net::DeviceScale::kSoftcore;
+  hello.member_index = 11;
+  hello.base_seed = 0x1122334455667788ULL;
+  hello.session_seed = 99;
+  hello.flip_probability = 0.625;
+  hello.device_id = "node-11";
+  auto back = net::HelloMsg::decode(hello.encode());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), hello);
+}
+
+TEST(WireMessages, HelloRejectsBadFields) {
+  net::HelloMsg hello;
+  Bytes wire = hello.encode();
+  // Trailing garbage.
+  Bytes trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(net::HelloMsg::decode(trailing).ok());
+  // Truncation at every length.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(net::HelloMsg::decode(ByteSpan(wire.data(), cut)).ok());
+  }
+  // Unknown device scale.
+  Bytes bad_scale = wire;
+  bad_scale[2] = 77;
+  EXPECT_FALSE(net::HelloMsg::decode(bad_scale).ok());
+}
+
+TEST(WireMessages, HelloAckRoundTrip) {
+  net::HelloAckMsg ack;
+  ack.command_count = 123456;
+  auto back = net::HelloAckMsg::decode(ack.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), ack);
+}
+
+TEST(WireMessages, ReportRoundTrip) {
+  net::ReportMsg report;
+  report.protocol_ok = true;
+  report.mac_ok = true;
+  report.config_ok = false;
+  report.failure = core::FailureKind::kMacMismatch;
+  report.mac_present = true;
+  for (std::size_t i = 0; i < report.mac.size(); ++i)
+    report.mac[i] = static_cast<std::uint8_t>(i * 7);
+  report.commands = 49;
+  report.wall_ns = 123456789;
+  report.detail = "config mismatch in frame 5";
+  auto back = net::ReportMsg::decode(report.encode());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), report);
+  EXPECT_FALSE(back.value().attested());
+
+  Bytes trailing = report.encode();
+  trailing.push_back(1);
+  EXPECT_FALSE(net::ReportMsg::decode(trailing).ok());
+}
+
+TEST(WireMessages, ErrorRoundTripAndBoundsCheck) {
+  net::ErrorMsg error;
+  error.failure = core::FailureKind::kPeerDisconnect;
+  error.detail = "peer went away";
+  auto back = net::ErrorMsg::decode(error.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), error);
+
+  Bytes bad = error.encode();
+  bad[0] = 250;  // failure kind beyond the taxonomy
+  EXPECT_FALSE(net::ErrorMsg::decode(bad).ok());
+}
+
+TEST(WireFraming, FuzzRandomBytesNeverCrash) {
+  Rng rng(0xf22);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    Bytes noise = random_payload(rng, 512);
+    decoder.feed(noise);
+    // Drain until error or exhaustion; must never crash or loop forever.
+    for (int steps = 0; steps < 1000; ++steps) {
+      auto frame = decoder.next();
+      if (!frame.ok() || !frame.value().has_value()) break;
+    }
+  }
+}
+
+}  // namespace
