@@ -1,11 +1,17 @@
 // bench_net — wallclock fleet benchmark over real loopback sockets.
 //
-// Two gates, both enforced by exit code so CI fails loudly:
+// Four gates, all enforced by exit code so CI fails loudly:
 //   1. Bit-identity: a 16-member mixed fleet attested over TCP must match
 //      the in-process SwarmSchedule::kMultiplexed oracle verdict-for-
-//      verdict and MAC-for-MAC.
-//   2. Scale: the sweep must sustain >= 500 concurrent prover connections
+//      verdict and MAC-for-MAC — with telemetry off AND with telemetry on
+//      at full sampling (trace fields must never perturb the MAC path).
+//   2. Merged timeline: a sampled session must yield one cross-process
+//      timeline — prover-side and verifier-side phase spans under one
+//      TraceId — exported to TRACE_net.json (chrome://tracing).
+//   3. Scale: the sweep must sustain >= 500 concurrent prover connections
 //      on loopback with every session completing.
+//   4. Overhead: 1% head sampling with counters on must keep 512-conn
+//      throughput within 2% of the telemetry-off baseline (best of 3 each).
 //
 // The sweep opens {64, 256, 512} connections at once against one attestd
 // and records attestations/sec plus p50/p99 session latency into
@@ -13,6 +19,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -21,6 +28,9 @@
 #include "net/attest_client.hpp"
 #include "net/attest_server.hpp"
 #include "net/tcp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sacha;
 
@@ -36,7 +46,10 @@ double percentile(std::vector<double> values, double p) {
 
 /// Gate 1: loopback verdicts and MACs bit-identical to the multiplexed
 /// in-process engine on a 16-member mixed fleet with two tampered members.
-bool run_identity_gate(net::AttestServer& server) {
+/// Run twice — telemetry off and telemetry on at full sampling — so a
+/// divergence introduced by the trace plumbing trips the same oracle.
+bool run_identity_gate(net::AttestServer& server, const char* label,
+                       double trace_sample) {
   net::FleetSpec spec;
   spec.mixed = true;
   constexpr std::size_t kMembers = 16;
@@ -78,11 +91,12 @@ bool run_identity_gate(net::AttestServer& server) {
   load.members = kMembers;
   load.tampered = tampered;
   load.timeout_ms = 60000;
+  load.trace_sample = trace_sample;
   const net::LoadResult result = net::run_load(load);
 
   if (!result.all_completed()) {
-    std::fprintf(stderr, "identity gate: only %zu/%zu completed\n",
-                 result.completed, result.members.size());
+    std::fprintf(stderr, "identity gate (%s): only %zu/%zu completed\n",
+                 label, result.completed, result.members.size());
     return false;
   }
   for (std::size_t i = 0; i < kMembers; ++i) {
@@ -98,17 +112,109 @@ bool run_identity_gate(net::AttestServer& server) {
                            *got.client_mac == *want.mac;
     if (!verdict_match || !mac_match) {
       std::fprintf(stderr,
-                   "identity gate: member %zu diverged "
+                   "identity gate (%s): member %zu diverged "
                    "(verdict %s, mac %s)\n",
-                   i, verdict_match ? "ok" : "MISMATCH",
+                   label, i, verdict_match ? "ok" : "MISMATCH",
                    mac_match ? "ok" : "MISMATCH");
       return false;
     }
   }
   std::printf("identity gate      : 16-member mixed fleet bit-identical to "
-              "kMultiplexed (%zu attested, 2 tampered caught)\n",
-              result.attested);
+              "kMultiplexed (%zu attested, 2 tampered caught, %s)\n",
+              result.attested, label);
   return true;
+}
+
+/// Gate 2: the spans drained after the full-sampling identity run must
+/// contain at least one trace id carrying phase spans from BOTH sides of
+/// the wire — the prover-side client and the verifier-side service — i.e.
+/// one merged cross-process timeline per attestation. Also writes the
+/// drained spans to TRACE_net.json for chrome://tracing.
+bool run_trace_merge_gate() {
+  const std::vector<obs::SpanRecord> records = obs::Tracer::global().drain();
+  struct Sides {
+    bool prover_phase = false;
+    bool verifier_phase = false;
+    bool prover_session = false;
+    bool verifier_session = false;
+  };
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Sides> by_trace;
+  for (const obs::SpanRecord& r : records) {
+    if (!r.trace.valid()) continue;
+    Sides& s = by_trace[{r.trace.hi, r.trace.lo}];
+    for (const auto& [key, value] : r.args) {
+      if (key != "side") continue;
+      const bool phase = r.category == "phase";
+      if (value == "prover") {
+        (phase ? s.prover_phase : s.prover_session) = true;
+      } else if (value == "verifier") {
+        (phase ? s.verifier_phase : s.verifier_session) = true;
+      }
+    }
+  }
+  std::size_t merged = 0;
+  for (const auto& [trace, sides] : by_trace) {
+    if (sides.prover_phase && sides.verifier_phase && sides.prover_session &&
+        sides.verifier_session) {
+      ++merged;
+    }
+  }
+  if (!obs::write_text_file("TRACE_net.json",
+                            obs::chrome_trace_json(records))) {
+    std::fprintf(stderr, "trace gate: failed to write TRACE_net.json\n");
+    return false;
+  }
+  if (merged == 0) {
+    std::fprintf(stderr,
+                 "trace gate: no merged timeline (%zu spans, %zu trace ids, "
+                 "none with phase spans from both sides)\n",
+                 records.size(), by_trace.size());
+    return false;
+  }
+  std::printf("trace gate         : %zu merged cross-process timelines "
+              "(%zu spans) -> TRACE_net.json\n",
+              merged, records.size());
+  return true;
+}
+
+struct SweepPoint {
+  std::size_t conns = 0;
+  std::size_t completed = 0;
+  bool all_completed = false;
+  double rate = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::size_t peak = 0;
+};
+
+SweepPoint run_sweep_point(net::AttestServer& server, std::size_t conns,
+                           double trace_sample) {
+  net::LoadOptions load;
+  load.host = "127.0.0.1";
+  load.port = server.port();
+  load.members = conns;
+  load.concurrency = 0;  // all at once: the concurrent-connection sweep
+  load.timeout_ms = 120000;
+  load.trace_sample = trace_sample;
+  const net::LoadResult result = net::run_load(load);
+
+  SweepPoint point;
+  point.conns = conns;
+  point.completed = result.completed;
+  point.all_completed = result.all_completed();
+  std::vector<double> latencies_ms;
+  for (const net::MemberOutcome& m : result.members) {
+    if (m.completed) {
+      latencies_ms.push_back(static_cast<double>(m.latency_ns) / 1e6);
+    }
+  }
+  const double seconds = static_cast<double>(result.wall_ns) / 1e9;
+  point.rate =
+      seconds > 0 ? static_cast<double>(result.completed) / seconds : 0;
+  point.p50_ms = percentile(latencies_ms, 0.50);
+  point.p99_ms = percentile(latencies_ms, 0.99);
+  point.peak = result.peak_concurrent;
+  return point;
 }
 
 }  // namespace
@@ -125,48 +231,81 @@ int main() {
   std::printf("bench_net: attestd on 127.0.0.1:%u (%s), pool auto\n",
               server.port(), server.using_epoll() ? "epoll" : "poll");
 
-  bool gates_ok = run_identity_gate(server);
+  bool gates_ok = run_identity_gate(server, "obs off", -1.0);
+
+  // Same fleet with telemetry on at full sampling: the verdicts and MACs
+  // must hit the same oracle, and the drained spans must merge into
+  // cross-process timelines.
+  obs::set_enabled(true);
+  obs::Tracer::global().clear();
+  gates_ok = run_identity_gate(server, "obs on, sample 1.0", 1.0) && gates_ok;
+  gates_ok = run_trace_merge_gate() && gates_ok;
+  obs::set_enabled(false);
 
   std::vector<benchutil::BenchRecord> records;
   std::size_t peak_seen = 0;
+  bool all_completed = true;
   std::printf("\n%8s %12s %14s %12s %12s\n", "conns", "completed",
               "attest/s", "p50 ms", "p99 ms");
-  for (const std::size_t conns : {std::size_t{64}, std::size_t{256},
-                                  std::size_t{512}}) {
-    net::LoadOptions load;
-    load.host = "127.0.0.1";
-    load.port = server.port();
-    load.members = conns;
-    load.concurrency = 0;  // all at once: the concurrent-connection sweep
-    load.timeout_ms = 120000;
-    const net::LoadResult result = net::run_load(load);
-
-    std::vector<double> latencies_ms;
-    for (const net::MemberOutcome& m : result.members) {
-      if (m.completed) {
-        latencies_ms.push_back(static_cast<double>(m.latency_ns) / 1e6);
-      }
-    }
-    const double seconds = static_cast<double>(result.wall_ns) / 1e9;
-    const double rate =
-        seconds > 0 ? static_cast<double>(result.completed) / seconds : 0;
-    const double p50 = percentile(latencies_ms, 0.50);
-    const double p99 = percentile(latencies_ms, 0.99);
-    peak_seen = std::max(peak_seen, result.peak_concurrent);
-    std::printf("%8zu %12zu %14.1f %12.3f %12.3f\n", conns, result.completed,
-                rate, p50, p99);
-
-    if (!result.all_completed()) {
+  const auto report_point = [&](const SweepPoint& point) {
+    peak_seen = std::max(peak_seen, point.peak);
+    all_completed = all_completed && point.all_completed;
+    std::printf("%8zu %12zu %14.1f %12.3f %12.3f\n", point.conns,
+                point.completed, point.rate, point.p50_ms, point.p99_ms);
+    if (!point.all_completed) {
       std::fprintf(stderr, "scale gate: %zu/%zu completed at %zu conns\n",
-                   result.completed, result.members.size(), conns);
+                   point.completed, point.conns, point.conns);
       gates_ok = false;
     }
-    const std::string tag = "net/" + std::to_string(conns) + "conns";
-    records.push_back({tag, "attestations_per_s", rate, "1/s"});
-    records.push_back({tag, "session_p50", p50, "ms"});
-    records.push_back({tag, "session_p99", p99, "ms"});
+    const std::string tag = "net/" + std::to_string(point.conns) + "conns";
+    records.push_back({tag, "attestations_per_s", point.rate, "1/s"});
+    records.push_back({tag, "session_p50", point.p50_ms, "ms"});
+    records.push_back({tag, "session_p99", point.p99_ms, "ms"});
     records.push_back({tag, "peak_concurrent",
-                       static_cast<double>(result.peak_concurrent), "conns"});
+                       static_cast<double>(point.peak), "conns"});
+  };
+  for (const std::size_t conns : {std::size_t{64}, std::size_t{256}}) {
+    report_point(run_sweep_point(server, conns, -1.0));
+  }
+
+  // 512 conns doubles as the overhead gate: best-of-3 with telemetry off
+  // vs best-of-3 with counters + 1% head sampling on. Best-of-N damps the
+  // loopback scheduler noise that a single pass would alias into the 2%
+  // budget.
+  SweepPoint best_off;
+  for (int pass = 0; pass < 3; ++pass) {
+    const SweepPoint point = run_sweep_point(server, 512, -1.0);
+    if (point.rate > best_off.rate || pass == 0) best_off = point;
+    all_completed = all_completed && point.all_completed;
+  }
+  report_point(best_off);
+
+  obs::set_enabled(true);
+  SweepPoint best_on;
+  for (int pass = 0; pass < 3; ++pass) {
+    const SweepPoint point = run_sweep_point(server, 512, 0.01);
+    if (point.rate > best_on.rate || pass == 0) best_on = point;
+    all_completed = all_completed && point.all_completed;
+  }
+  obs::set_enabled(false);
+
+  const double overhead_pct =
+      best_off.rate > 0
+          ? (best_off.rate - best_on.rate) / best_off.rate * 100.0
+          : 0.0;
+  records.push_back({"net/obs", "rate_obs_off", best_off.rate, "1/s"});
+  records.push_back({"net/obs", "rate_obs_on_1pct", best_on.rate, "1/s"});
+  records.push_back({"net/obs", "overhead_pct", overhead_pct, "%"});
+  if (!best_on.all_completed || overhead_pct > 2.0) {
+    std::fprintf(stderr,
+                 "overhead gate: 512 conns at 1%% sampling ran %.2f%% slower "
+                 "than obs-off (%.1f vs %.1f attest/s, budget 2%%)\n",
+                 overhead_pct, best_on.rate, best_off.rate);
+    gates_ok = false;
+  } else {
+    std::printf("overhead gate      : 1%% sampling costs %.2f%% at 512 conns "
+                "(%.1f vs %.1f attest/s, budget 2%%)\n",
+                overhead_pct, best_on.rate, best_off.rate);
   }
 
   const net::AttestServerStats stats = server.stats();

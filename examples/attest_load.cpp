@@ -14,6 +14,9 @@
 
 #include "net/attest_client.hpp"
 #include "net/tcp.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sacha;
 
@@ -37,6 +40,10 @@ void print_help() {
       "                     (repeatable)\n"
       "  --timeout-ms N     per-member watchdog (default 30000)\n"
       "  --poll             force the poll(2) fallback in the client loop\n"
+      "  --trace-sample R   head-sampling rate 0..1 (enables telemetry;\n"
+      "                     default: keep SACHA_OBS / SACHA_OBS_SAMPLE)\n"
+      "  --trace-out PATH   write the client-side spans as a Chrome trace\n"
+      "                     (chrome://tracing / Perfetto)\n"
       "  --help             this text\n");
 }
 
@@ -60,6 +67,7 @@ bool parse_scale(const std::string& v, net::FleetSpec& fleet) {
 int main(int argc, char** argv) {
   net::LoadOptions options;
   std::string connect_spec;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* name) -> const char* {
@@ -111,6 +119,12 @@ int main(int argc, char** argv) {
       options.timeout_ms = std::strtoull(next("--timeout-ms"), nullptr, 10);
     } else if (arg == "--poll") {
       options.prefer_epoll = false;
+    } else if (arg == "--trace-sample") {
+      options.trace_sample = std::strtod(next("--trace-sample"), nullptr);
+      obs::set_enabled(true);  // sampling a disabled tracer keeps nothing
+    } else if (arg == "--trace-out") {
+      trace_out = next("--trace-out");
+      obs::set_enabled(true);
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
       return 2;
@@ -152,6 +166,20 @@ int main(int argc, char** argv) {
       tampered_caught, options.tampered.size(), result.peak_concurrent,
       seconds, seconds > 0 ? static_cast<double>(result.completed) / seconds
                            : 0.0);
+
+  if (!trace_out.empty()) {
+    std::size_t sampled = 0;
+    for (const net::MemberOutcome& m : result.members) {
+      if (m.sampled) ++sampled;
+    }
+    if (obs::write_chrome_trace(trace_out)) {
+      std::printf("attest_load: %zu sampled timelines -> %s\n", sampled,
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "attest_load: failed to write %s\n",
+                   trace_out.c_str());
+    }
+  }
 
   // Members we deliberately cut off never complete; everyone else must.
   const std::size_t expected_completed =

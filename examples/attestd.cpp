@@ -37,8 +37,14 @@ void print_help() {
       "  --window N         pipelined commands per session (default 32)\n"
       "  --timeout-ms N     idle session cut-off (default 30000, 0 = never)\n"
       "  --poll             force the poll(2) fallback instead of epoll\n"
-      "  --no-metrics       disable the GET /metrics endpoint\n"
-      "  --help             this text\n");
+      "  --no-metrics       disable the HTTP endpoints\n"
+      "  --trace-sample R   head-sampling rate 0..1 (default: keep the\n"
+      "                     process rate from SACHA_OBS_SAMPLE)\n"
+      "  --slo-latency-ms N SLO latency objective (default 250, 0 = off)\n"
+      "  --slo-target P     SLO good-fraction target (default 0.999)\n"
+      "  --tracez N         sampled timelines kept for /tracez (default 32)\n"
+      "  --help             this text\n"
+      "HTTP (same port): /metrics /healthz /statusz /tracez\n");
 }
 
 }  // namespace
@@ -76,6 +82,15 @@ int main(int argc, char** argv) {
       options.prefer_epoll = false;
     } else if (arg == "--no-metrics") {
       options.metrics_endpoint = false;
+    } else if (arg == "--trace-sample") {
+      options.trace_sample = std::strtod(next("--trace-sample"), nullptr);
+    } else if (arg == "--slo-latency-ms") {
+      options.slo_latency_ms =
+          std::strtoull(next("--slo-latency-ms"), nullptr, 10);
+    } else if (arg == "--slo-target") {
+      options.slo_target = std::strtod(next("--slo-target"), nullptr);
+    } else if (arg == "--tracez") {
+      options.tracez_capacity = std::strtoull(next("--tracez"), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
       return 2;

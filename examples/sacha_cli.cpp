@@ -55,6 +55,7 @@ struct CliOptions {
   bool help = false;
   bool metrics = false;       // print the telemetry snapshot after the run
   std::string trace_out;      // write the session Chrome trace here
+  double trace_sample = -1.0; // wire-session head-sampling override
 };
 
 void print_help() {
@@ -98,6 +99,8 @@ void print_help() {
       "  --metrics                         print telemetry counters/histograms (JSON)\n"
       "  --trace-out FILE                  write the session timeline as a\n"
       "                                    Chrome trace_event JSON (chrome://tracing)\n"
+      "  --trace-sample R                  head-sampling rate 0..1 for wire\n"
+      "                                    sessions (default: SACHA_OBS_SAMPLE)\n"
       "  --help                            this text\n");
 }
 
@@ -125,6 +128,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next("--trace-out");
       if (!v) return false;
       options.trace_out = v;
+    } else if (arg == "--trace-sample") {
+      const char* v = next("--trace-sample");
+      if (!v) return false;
+      options.trace_sample = std::strtod(v, nullptr);
     } else if (arg == "--device") {
       const char* v = next("--device");
       if (!v) return false;
@@ -293,6 +300,7 @@ int run_listen_mode(const CliOptions& options) {
   server_options.pool_size = static_cast<std::size_t>(options.pool);
   server_options.verify_batch_width =
       static_cast<std::size_t>(options.verify_batch);
+  server_options.trace_sample = options.trace_sample;
   net::AttestServer server(server_options);
   Status started = server.start();
   if (!started.ok()) {
@@ -337,6 +345,7 @@ int run_connect_mode(const CliOptions& options) {
   load.host = hostport.value().host;
   load.port = hostport.value().port;
   load.members = options.fleet > 0 ? options.fleet : 1;
+  load.trace_sample = options.trace_sample;
   load.fleet.base_seed = options.seed;
   load.fleet.session_seed = options.seed;
   if (options.device == "softcore") {

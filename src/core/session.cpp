@@ -406,13 +406,60 @@ void apply_register_churn(SachaProver& prover, std::uint64_t session_seed,
   prover.memory().tick_registers(rng, flip_probability);
 }
 
+namespace {
+/// Lane-key salt for verifier-side span records: both halves of a
+/// cross-process timeline key their Chrome lane off the trace id (not the
+/// OS thread — verify strands hop threads), the verifier half offset so
+/// prover and verifier render as two adjacent lanes per session.
+constexpr std::uint64_t kVerifierLaneSalt = 0x5643;  // "VC"
+}  // namespace
+
 VerifierSession::VerifierSession(SachaVerifier& verifier)
     : verifier_(verifier), host_start_(std::chrono::steady_clock::now()) {
   verifier_.begin();
   commands_ = verifier_.command_count();
+  configs_ = commands_ - verifier_.readback_steps().size() - 1;
   static obs::Counter& sessions_started =
       obs::MetricsRegistry::global().counter("sacha.session.started");
   sessions_started.add(1);
+}
+
+void VerifierSession::set_trace(const obs::TraceId& trace, bool sampled) {
+  trace_ = trace;
+  sampled_ = sampled;
+  // The propagated flag is authoritative (it IS the client's deterministic
+  // decision); telemetry still has to be on locally for spans to exist.
+  tracing_ = sampled_ && trace_.valid() && obs::enabled();
+  if (tracing_) session_start_ns_ = obs::Tracer::global().now_ns();
+}
+
+void VerifierSession::emit_span(const char* name, const char* category,
+                                std::uint64_t start, std::uint64_t end,
+                                std::uint32_t depth) {
+  obs::SpanRecord r;
+  r.name = name;
+  r.category = category;
+  r.trace = trace_;
+  r.thread_id = trace_.lo ^ kVerifierLaneSalt;
+  r.start_ns = start;
+  r.duration_ns = end > start ? end - start : 0;
+  r.depth = depth;
+  r.args.emplace_back("side", "verifier");
+  if (std::string_view(category) == "phase") {
+    obs::observe_phase_duration(r.name, r.duration_ns);
+  }
+  timeline_.push_back(r);
+  obs::Tracer::global().record(std::move(r));
+}
+
+void VerifierSession::begin_phase(const char* name) {
+  if (!tracing_) return;
+  const std::uint64_t now = obs::Tracer::global().now_ns();
+  if (phase_name_ != nullptr) {
+    emit_span(phase_name_, "phase", phase_start_ns_, now, 1);
+  }
+  phase_name_ = name;
+  phase_start_ns_ = now;
 }
 
 std::optional<Bytes> VerifierSession::next_command_wire() {
@@ -422,6 +469,19 @@ std::optional<Bytes> VerifierSession::next_command_wire() {
 
 void VerifierSession::on_response(std::optional<Response> response) {
   if (delivered_ >= commands_) return;
+  // Phase boundaries mirror SessionMachine::step(): [0, configs-1) app
+  // configuration, configs-1 the nonce frame, [configs, n-1) readback,
+  // n-1 the MAC checksum. Measured between response deliveries — the
+  // verifier-side view of where the session's wall-clock went.
+  const std::size_t i = delivered_;
+  if (i == 0 && configs_ > 1) begin_phase("configure.stream_in");
+  if (i + 1 == configs_) {
+    begin_phase("nonce.inject");
+  } else if (i == configs_) {
+    begin_phase("readback.absorb");
+  } else if (i + 1 == commands_) {
+    begin_phase("cmac.finish");
+  }
   if (response.has_value()) {
     if (response->type == ResponseType::kAck) {
       response = std::nullopt;  // acks are transport-level only
@@ -438,7 +498,15 @@ void VerifierSession::note_failure(FailureKind kind) {
 
 VerifierSession::Report VerifierSession::finish() {
   Report report;
+  begin_phase("compare.verdict");
   report.verdict = verifier_.finish();
+  begin_phase(nullptr);  // close compare.verdict
+  if (tracing_) {
+    // Top-level verifier-side session span, parent of the phases above.
+    emit_span("session", "session", session_start_ns_,
+              obs::Tracer::global().now_ns(), 0);
+    tracing_ = false;
+  }
   report.failure = transport_failure_ != FailureKind::kNone
                        ? transport_failure_
                        : report.verdict.kind;

@@ -263,6 +263,23 @@ class VerifierSession {
   /// Calls verifier.begin() (fresh nonce, frozen schedule).
   explicit VerifierSession(SachaVerifier& verifier);
 
+  /// Adopts the trace context propagated in the HELLO frame. When
+  /// `sampled` is set (the client's deterministic head-sampling decision)
+  /// and telemetry is enabled, the session emits verifier-side phase spans
+  /// (Table-4 names, category "phase", arg side=verifier) under the
+  /// client's TraceId — the other half of the cross-process timeline. The
+  /// spans are assembled manually (Tracer::record) rather than via the
+  /// RAII Span because verify strands hop between worker threads; their
+  /// lane key derives from the trace id, not the OS thread, so one
+  /// session's two halves sit adjacent in the merged Chrome trace.
+  void set_trace(const obs::TraceId& trace, bool sampled);
+
+  const obs::TraceId& trace() const { return trace_; }
+  bool sampled() const { return sampled_; }
+  /// Copy of the verifier-side span records this session emitted (session
+  /// + phases), for endpoints that show recent timelines (/tracez).
+  const std::vector<obs::SpanRecord>& timeline() const { return timeline_; }
+
   std::size_t command_count() const { return commands_; }
   std::size_t issued() const { return issued_; }
   std::size_t delivered() const { return delivered_; }
@@ -294,12 +311,26 @@ class VerifierSession {
   }
 
  private:
+  /// Closes the running phase (if any) and opens `name`; nullptr closes
+  /// without opening. No-op unless this session is traced.
+  void begin_phase(const char* name);
+  void emit_span(const char* name, const char* category, std::uint64_t start,
+                 std::uint64_t end, std::uint32_t depth);
+
   SachaVerifier& verifier_;
   FailureKind transport_failure_ = FailureKind::kNone;
   std::chrono::steady_clock::time_point host_start_;
   std::size_t commands_ = 0;
+  std::size_t configs_ = 0;
   std::size_t issued_ = 0;
   std::size_t delivered_ = 0;
+  obs::TraceId trace_{};
+  bool sampled_ = false;
+  bool tracing_ = false;
+  const char* phase_name_ = nullptr;
+  std::uint64_t phase_start_ns_ = 0;
+  std::uint64_t session_start_ns_ = 0;
+  std::vector<obs::SpanRecord> timeline_;
 };
 
 }  // namespace sacha::core

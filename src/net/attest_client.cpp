@@ -78,7 +78,46 @@ struct Member {
   /// Delay-shim queue: responses held until their due time.
   std::deque<std::pair<Clock::time_point, Bytes>> delayed;
   MemberOutcome outcome;
+  /// Prover-side span assembly for head-sampled sessions. All members
+  /// multiplex on one loop thread, so spans are recorded manually with the
+  /// trace id as the lane key (the RAII Span's thread-local nesting would
+  /// interleave members).
+  bool traced = false;
+  const char* phase = nullptr;
+  std::uint64_t phase_start_ns = 0;
+  std::uint64_t session_start_ns = 0;
 };
+
+/// Appends one prover-side span record under the member's trace id.
+void emit_prover_span(const Member& m, const char* name, const char* category,
+                      std::uint64_t start, std::uint64_t end,
+                      std::uint32_t depth) {
+  obs::SpanRecord r;
+  r.name = name;
+  r.category = category;
+  r.trace = m.hello.trace;
+  r.thread_id = m.hello.trace.lo;  // prover lane of this session's timeline
+  r.start_ns = start;
+  r.duration_ns = end > start ? end - start : 0;
+  r.depth = depth;
+  r.args.emplace_back("side", "prover");
+  if (std::string_view(category) == "phase") {
+    obs::observe_phase_duration(r.name, r.duration_ns);
+  }
+  obs::Tracer::global().record(std::move(r));
+}
+
+/// Closes the member's running phase (if different) and opens `name`;
+/// nullptr closes without opening.
+void note_phase(Member& m, const char* name) {
+  if (!m.traced || m.phase == name) return;
+  const std::uint64_t now = obs::Tracer::global().now_ns();
+  if (m.phase != nullptr) {
+    emit_prover_span(m, m.phase, "phase", m.phase_start_ns, now, 1);
+  }
+  m.phase = name;
+  m.phase_start_ns = now;
+}
 
 class LoadRunner {
  public:
@@ -87,6 +126,9 @@ class LoadRunner {
 
   LoadResult run() {
     const auto wall_start = Clock::now();
+    if (opts_.trace_sample >= 0.0) {
+      obs::Sampler::global().set_rate(opts_.trace_sample);
+    }
     result_.members.resize(opts_.members);
     for (std::size_t i = 0; i < opts_.members; ++i) {
       result_.members[i].index = i;
@@ -146,6 +188,12 @@ class LoadRunner {
     member->index = index;
     member->outcome.index = index;
     member->hello = member_hello(opts_.fleet, index);
+    // Head-sampling decision, made once at the edge and propagated in the
+    // HELLO so the server records the matching half of the timeline.
+    member->hello.sampled = obs::should_trace(member->hello.trace);
+    member->traced = member->hello.sampled;
+    member->outcome.trace = member->hello.trace;
+    member->outcome.sampled = member->hello.sampled;
     std::function<void(core::SachaProver&)> tamper;
     if (opts_.tampered.count(index) > 0) tamper = standard_tamper();
     member->agent =
@@ -160,6 +208,9 @@ class LoadRunner {
     member->channel = std::move(channel).take();
     member->start = Clock::now();
     member->last_activity = member->start;
+    if (member->traced) {
+      member->session_start_ns = obs::Tracer::global().now_ns();
+    }
     active_.emplace(member->channel.fd(), member);
     // Wait for writability = connect completion.
     (void)loop_.add(member->channel.fd(), /*want_read=*/true,
@@ -172,6 +223,13 @@ class LoadRunner {
     if (!error.empty() && member->outcome.error.empty() &&
         !member->outcome.completed) {
       member->outcome.error = std::move(error);
+    }
+    if (member->traced) {
+      note_phase(*member, nullptr);  // close the running phase span
+      emit_prover_span(*member, "session", "session",
+                       member->session_start_ns,
+                       obs::Tracer::global().now_ns(), 0);
+      member->traced = false;
     }
     member->outcome.latency_ns = ns_since(member->start);
     member->outcome.client_mac = member->agent->last_mac();
@@ -260,6 +318,25 @@ class LoadRunner {
 
   bool handle_command(const std::shared_ptr<Member>& member,
                       const Bytes& payload) {
+    // Prover-side phase tracking (sampled sessions only, so the decode is
+    // off the unsampled hot path): command-type transitions mark the
+    // Table-4 phase boundaries as the device sees them.
+    if (member->traced) {
+      auto command = core::Command::decode(payload);
+      if (command.ok()) {
+        switch (command.value().type) {
+          case core::CommandType::kIcapConfig:
+            note_phase(*member, "configure.stream_in");
+            break;
+          case core::CommandType::kIcapReadback:
+            note_phase(*member, "readback.respond");
+            break;
+          case core::CommandType::kMacChecksum:
+            note_phase(*member, "mac.sendback");
+            break;
+        }
+      }
+    }
     Bytes response = member->agent->handle_command(payload);
     ++member->responses_sent;
     // Injected abrupt disconnect: close without a goodbye, mid-window —

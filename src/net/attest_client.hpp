@@ -80,6 +80,10 @@ struct LoadOptions {
   /// Abort members idle longer than this (ms; also the overall watchdog
   /// granularity).
   std::uint64_t timeout_ms = 30000;
+  /// Head-sampling rate override: >= 0 sets obs::Sampler::global() before
+  /// the run (0 = trace nothing, 1 = everything); negative leaves the
+  /// process-wide rate (SACHA_OBS_SAMPLE / --trace-sample) untouched.
+  double trace_sample = -1.0;
 };
 
 struct MemberOutcome {
@@ -94,6 +98,10 @@ struct MemberOutcome {
   /// Transport-level note when the session did not complete ("injected
   /// disconnect", "server closed", "timeout", socket errors).
   std::string error;
+  /// Timeline key this member's HELLO carried, and whether the session was
+  /// head-sampled (client-minted decision, propagated to the server).
+  obs::TraceId trace{};
+  bool sampled = false;
 };
 
 struct LoadResult {

@@ -10,6 +10,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -17,16 +18,36 @@
 #include "common/log.hpp"
 #include "core/fleet_engine.hpp"
 #include "core/session.hpp"
+#include "crypto/aes.hpp"
 #include "crypto/cmac.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 
 namespace sacha::net {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+std::uint64_t ms_since(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+std::string json_str(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
 
 /// RESPONSE frame payload: u8 has_response + optional Response::encode().
 Result<std::optional<core::Response>> parse_response_payload(ByteSpan payload) {
@@ -81,11 +102,41 @@ struct AttestServer::Impl {
   };
 
   explicit Impl(const AttestServerOptions& opts)
-      : opts(opts), loop(opts.prefer_epoll) {}
+      : opts(opts),
+        loop(opts.prefer_epoll),
+        slo({.latency_objective_ns = opts.slo_latency_ms * 1'000'000,
+             .target = opts.slo_target}) {}
 
   AttestServerOptions opts;
   SocketListener listener;
   EventLoop loop;
+  obs::SloTracker slo;
+  Clock::time_point start_time = Clock::now();
+  /// Loop-liveness heartbeat for /healthz: stamped every loop iteration.
+  std::atomic<std::uint64_t> last_tick_ms{0};
+
+  /// One /statusz quarantine-table entry. Written and read on the loop
+  /// thread only (close_conn and serve_http both run there) — no lock.
+  struct QuarantineEntry {
+    std::uint64_t conn_id = 0;
+    std::string device;
+    std::string trace;
+    std::uint64_t at_ms = 0;  // ms since server start
+  };
+  std::deque<QuarantineEntry> recent_quarantines;  // loop-thread-only
+
+  /// /tracez ring: the most recent sampled cross-process timelines
+  /// (verifier-side spans; the prover half lives in the client process).
+  /// finish_session runs on verify workers, so this one takes a mutex.
+  struct TracezEntry {
+    std::string device;
+    obs::TraceId trace{};
+    std::uint64_t wall_ns = 0;
+    bool attested = false;
+    std::vector<obs::SpanRecord> spans;
+  };
+  std::mutex tracez_mu;
+  std::deque<TracezEntry> tracez;
   int wake_rd = -1;
   int wake_wr = -1;
   std::thread loop_thread;
@@ -132,6 +183,7 @@ struct AttestServer::Impl {
   void loop_main() {
     std::vector<PollEvent> events;
     while (!stopping.load(std::memory_order_relaxed)) {
+      last_tick_ms.store(ms_since(start_time), std::memory_order_relaxed);
       (void)loop.wait(events, /*timeout_ms=*/100);
       if (stopping.load(std::memory_order_relaxed)) break;
       for (const PollEvent& ev : events) {
@@ -292,9 +344,9 @@ struct AttestServer::Impl {
     update_interest(conn);
   }
 
-  /// First-byte dispatch: frames start 0x53 ('S' of the magic), HTTP
-  /// scrapes start 'G'. Returns false when the caller should stop (peer
-  /// already gone).
+  /// First-byte dispatch: frames start 0x53 ('S' of the magic); HTTP
+  /// requests start 'G' (GET) or 'H' (HEAD). Returns false when the caller
+  /// should stop (peer already gone).
   bool sniff(const std::shared_ptr<Conn>& conn) {
     char c = 0;
     const ssize_t n = ::recv(conn->channel.fd(), &c, 1, MSG_PEEK);
@@ -303,8 +355,9 @@ struct AttestServer::Impl {
       return false;
     }
     if (n < 0) return false;  // EAGAIN: try again on next readiness
-    conn->state = (opts.metrics_endpoint && c == 'G') ? Conn::State::kHttp
-                                                      : Conn::State::kRunning;
+    conn->state = (opts.metrics_endpoint && (c == 'G' || c == 'H'))
+                      ? Conn::State::kHttp
+                      : Conn::State::kRunning;
     return true;
   }
 
@@ -331,23 +384,41 @@ struct AttestServer::Impl {
       return;  // headers still in flight
     }
     http_requests.fetch_add(1, std::memory_order_relaxed);
-    const bool is_metrics =
-        conn->http_request.rfind("GET /metrics", 0) == 0;
+    // Request line: METHOD SP PATH SP VERSION. Only GET and HEAD are
+    // served; HEAD gets the same status and headers, no body.
+    std::istringstream request_line(
+        conn->http_request.substr(0, conn->http_request.find("\r\n")));
+    std::string method, target;
+    request_line >> method >> target;
+    const std::string path = target.substr(0, target.find('?'));
+    std::string status = "200 OK";
+    std::string content_type = "text/plain; charset=utf-8";
     std::string body;
-    std::string status;
-    if (is_metrics) {
-      status = "200 OK";
+    if (method != "GET" && method != "HEAD") {
+      status = "405 Method Not Allowed";
+      body = "only GET and HEAD are served\n";
+    } else if (path == "/metrics") {
+      content_type = "text/plain; version=0.0.4";
       body = obs::prometheus_text(obs::MetricsRegistry::global().snapshot());
+    } else if (path == "/healthz") {
+      body = healthz_json(&status);
+      content_type = "application/json";
+    } else if (path == "/statusz") {
+      body = statusz_json();
+      content_type = "application/json";
+    } else if (path == "/tracez") {
+      body = tracez_json();
+      content_type = "application/json";
     } else {
       status = "404 Not Found";
-      body = "only GET /metrics is served\n";
+      body = "not found: served paths are /metrics /healthz /statusz "
+             "/tracez\n";
     }
-    std::string response = "HTTP/1.1 " + status +
-                           "\r\nContent-Type: text/plain; version=0.0.4"
-                           "\r\nContent-Length: " +
+    std::string response = "HTTP/1.1 " + status + "\r\nContent-Type: " +
+                           content_type + "\r\nContent-Length: " +
                            std::to_string(body.size()) +
-                           "\r\nConnection: close\r\n\r\n" +
-                           body;
+                           "\r\nConnection: close\r\n\r\n";
+    if (method != "HEAD") response += body;
     (void)conn->channel.send_raw(
         ByteSpan(reinterpret_cast<const std::uint8_t*>(response.data()),
                  response.size()));
@@ -361,6 +432,139 @@ struct AttestServer::Impl {
     } else {
       update_interest(conn);
     }
+  }
+
+  // ---- operability endpoints (all built on the loop thread) ----------------
+
+  /// /healthz: loop liveness plus per-lane verify queue depths. Serving it
+  /// at all proves the loop is turning (serve_http runs on the loop thread);
+  /// the tick-age field is for sidecar probes that read the body and alert
+  /// on staleness rather than on connect failures.
+  std::string healthz_json(std::string* status) {
+    const std::uint64_t now_ms = ms_since(start_time);
+    const std::uint64_t tick = last_tick_ms.load(std::memory_order_relaxed);
+    const std::uint64_t age_ms = now_ms > tick ? now_ms - tick : 0;
+    const bool live = age_ms <= 5000;
+    if (!live) *status = "503 Service Unavailable";
+    std::ostringstream out;
+    out << "{\"status\":" << (live ? "\"ok\"" : "\"stale\"")
+        << ",\"loop_tick_age_ms\":" << age_ms << ",\"uptime_ms\":" << now_ms
+        << ",\"lane_depths\":[";
+    {
+      std::lock_guard<std::mutex> lock(sched_mu);
+      for (std::size_t l = 0; l < lanes.size(); ++l) {
+        if (l != 0) out << ',';
+        out << lanes[l].size();
+      }
+    }
+    out << "]}\n";
+    return out.str();
+  }
+
+  /// /statusz: uptime + build info, session counters, SLO state, session
+  /// latency quantiles, the live connection table, and recent quarantines.
+  /// Runs on the loop thread, so `conns` and `recent_quarantines` are read
+  /// lock-free; the per-conn fields shown are loop-owned (issued comes from
+  /// the drive strand, never the verify strand's absorb state).
+  std::string statusz_json() {
+    std::ostringstream out;
+    out << "{\"uptime_ms\":" << ms_since(start_time)
+        << ",\"build\":{\"aes_tier\":"
+        << json_str(crypto::to_string(
+               crypto::Aes128::resolve(crypto::AesImpl::kAuto)))
+        << ",\"wire_version\":" << static_cast<unsigned>(kWireVersion)
+        << ",\"epoll\":" << (loop.using_epoll() ? "true" : "false")
+        << ",\"pool\":" << lanes.size() << "}"
+        << ",\"sessions\":{\"accepted\":"
+        << accepted.load(std::memory_order_relaxed)
+        << ",\"completed\":" << completed.load(std::memory_order_relaxed)
+        << ",\"attested\":" << attested.load(std::memory_order_relaxed)
+        << ",\"failed\":" << failed.load(std::memory_order_relaxed)
+        << ",\"quarantined\":" << quarantined.load(std::memory_order_relaxed)
+        << ",\"http_requests\":"
+        << http_requests.load(std::memory_order_relaxed) << "}"
+        << ",\"slo\":{\"latency_objective_ms\":" << opts.slo_latency_ms
+        << ",\"target\":" << opts.slo_target << ",\"total\":" << slo.total()
+        << ",\"good\":" << slo.good()
+        << ",\"budget_remaining_ppm\":" << slo.budget_remaining_ppm()
+        << ",\"burn_rate_milli\":" << slo.burn_rate_milli() << "}";
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    for (const auto& hist : snap.histograms) {
+      if (hist.name != "sacha.attestd.session_ns") continue;
+      out << ",\"session_latency_ns\":{\"count\":" << hist.count << ",\"p50\":"
+          << static_cast<std::uint64_t>(obs::quantile_from_sample(hist, 0.50))
+          << ",\"p90\":"
+          << static_cast<std::uint64_t>(obs::quantile_from_sample(hist, 0.90))
+          << ",\"p99\":"
+          << static_cast<std::uint64_t>(obs::quantile_from_sample(hist, 0.99))
+          << ",\"p999\":"
+          << static_cast<std::uint64_t>(obs::quantile_from_sample(hist, 0.999))
+          << "}";
+    }
+    out << ",\"connections\":[";
+    bool first = true;
+    for (const auto& [fd, conn] : conns) {
+      if (!first) out << ',';
+      first = false;
+      const char* state = conn->state == Conn::State::kSniff    ? "sniff"
+                          : conn->state == Conn::State::kHttp   ? "http"
+                                                                : "running";
+      out << "{\"id\":" << conn->id << ",\"state\":" << json_str(state)
+          << ",\"device\":" << json_str(conn->hello.device_id)
+          << ",\"trace\":" << json_str(obs::to_string(conn->hello.trace))
+          << ",\"sampled\":" << (conn->hello.sampled ? "true" : "false")
+          << ",\"issued\":"
+          << (conn->session.has_value() ? conn->session->issued() : 0)
+          << ",\"responses_seen\":" << conn->responses_seen << ",\"idle_ms\":"
+          << std::chrono::duration_cast<std::chrono::milliseconds>(
+                 Clock::now() - conn->last_activity)
+                 .count()
+          << "}";
+    }
+    out << "],\"recent_quarantines\":[";
+    first = true;
+    for (const auto& q : recent_quarantines) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"conn\":" << q.conn_id << ",\"device\":" << json_str(q.device)
+          << ",\"trace\":" << json_str(q.trace) << ",\"at_ms\":" << q.at_ms
+          << "}";
+    }
+    out << "]}\n";
+    return out.str();
+  }
+
+  /// /tracez: the most recent sampled verifier-side timelines, newest last.
+  /// Span times are tracer-epoch-relative ns — the same time base the Chrome
+  /// trace export uses, so an entry here can be matched against the client's
+  /// exported half by trace id.
+  std::string tracez_json() {
+    std::ostringstream out;
+    out << "{\"capacity\":" << opts.tracez_capacity << ",\"timelines\":[";
+    std::lock_guard<std::mutex> lock(tracez_mu);
+    bool first_entry = true;
+    for (const auto& entry : tracez) {
+      if (!first_entry) out << ',';
+      first_entry = false;
+      out << "{\"device\":" << json_str(entry.device)
+          << ",\"trace\":" << json_str(obs::to_string(entry.trace))
+          << ",\"wall_ns\":" << entry.wall_ns
+          << ",\"attested\":" << (entry.attested ? "true" : "false")
+          << ",\"spans\":[";
+      bool first_span = true;
+      for (const auto& span : entry.spans) {
+        if (!first_span) out << ',';
+        first_span = false;
+        out << "{\"name\":" << json_str(span.name)
+            << ",\"category\":" << json_str(span.category)
+            << ",\"start_ns\":" << span.start_ns
+            << ",\"duration_ns\":" << span.duration_ns
+            << ",\"depth\":" << span.depth << "}";
+      }
+      out << "]}";
+    }
+    out << "]}\n";
+    return out.str();
   }
 
   /// Returns false when the connection was torn down.
@@ -396,8 +600,14 @@ struct AttestServer::Impl {
       close_conn(conn, /*mid_session=*/true);
       return false;
     }
+    static obs::Counter& hello_accepted =
+        obs::MetricsRegistry::global().counter("sacha.attestd.hello_accepted");
+    static obs::Counter& hello_rejected =
+        obs::MetricsRegistry::global().counter("sacha.attestd.hello_rejected");
     auto hello = HelloMsg::decode(payload);
-    if (!hello.ok() || hello.value().proto != kWireVersion) {
+    if (!hello.ok() || hello.value().proto < kWireVersionMin ||
+        hello.value().proto > kWireVersion) {
+      hello_rejected.add(1);
       (void)conn->channel.send(
           FrameKind::kError,
           error_frame_payload(core::FailureKind::kDecodeError,
@@ -406,11 +616,16 @@ struct AttestServer::Impl {
       close_conn(conn, /*mid_session=*/false);
       return false;
     }
+    hello_accepted.add(1);
     conn->hello = std::move(hello).take();
     // Provision the member's verifier from the HELLO parameters alone —
     // the same construction the in-process oracle uses (provision.hpp).
     conn->verifier.emplace(verifier_for(conn->hello));
     conn->session.emplace(*conn->verifier);
+    // The client's head-sampling decision arrived in the HELLO; honouring
+    // it (rather than re-deciding) is what makes the two processes' span
+    // sets land under one trace id.
+    conn->session->set_trace(conn->hello.trace, conn->hello.sampled);
     conn->session_start = Clock::now();
     HelloAckMsg ack;
     ack.command_count =
@@ -523,9 +738,21 @@ struct AttestServer::Impl {
       static obs::Counter& quarantine_ctr =
           obs::MetricsRegistry::global().counter("sacha.attestd.quarantined");
       quarantine_ctr.add(1);
+      // A vanished prover is an SLO miss: the operator's contract counts
+      // every accepted session, not just the ones that reached a verdict.
+      slo.record(static_cast<std::uint64_t>(
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now() - conn->session_start)
+                         .count()),
+                 /*ok=*/false);
+      recent_quarantines.push_back({conn->id, conn->hello.device_id,
+                                    obs::to_string(conn->hello.trace),
+                                    ms_since(start_time)});
+      while (recent_quarantines.size() > 32) recent_quarantines.pop_front();
       (log_warn() << "attestd: peer disconnect mid-session, quarantined")
           .kv("conn", conn->id)
-          .kv("member", conn->hello.device_id);
+          .kv("member", conn->hello.device_id)
+          .kv("trace", obs::to_string(conn->hello.trace));
     }
     active.store(conns.size(), std::memory_order_relaxed);
     connections_gauge().set(static_cast<std::int64_t>(conns.size()));
@@ -668,6 +895,10 @@ struct AttestServer::Impl {
             Clock::now() - conn->session_start)
             .count());
     msg.detail = report.verdict.detail;
+    // Echo the timeline key so the client can stitch its spans to ours even
+    // when its own HELLO record was lost (e.g. a replayed capture).
+    msg.trace = conn->hello.trace;
+    msg.sampled = conn->hello.sampled;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->outbox.push_back(Frame{FrameKind::kReport, msg.encode()});
@@ -677,8 +908,32 @@ struct AttestServer::Impl {
     (msg.attested() ? attested : failed).fetch_add(1,
                                                    std::memory_order_relaxed);
     static obs::Histogram& session_hist =
-        obs::MetricsRegistry::global().histogram("sacha.attestd.session_ns");
+        obs::MetricsRegistry::global().quantile_histogram(
+            "sacha.attestd.session_ns");
     session_hist.observe(msg.wall_ns);
+    slo.record(msg.wall_ns, msg.attested());
+    // One structured line per finished session — the access log.
+    (log_info() << "attestd session")
+        .kv("conn", conn->id)
+        .kv("device", conn->hello.device_id)
+        .kv("outcome", msg.attested() ? "attested" : "failed")
+        .kv("failure", core::to_string(msg.failure))
+        .kv("latency_ms", msg.wall_ns / 1'000'000)
+        .kv("trace", obs::to_string(conn->hello.trace))
+        .kv("sampled", conn->hello.sampled);
+    if (!conn->session->timeline().empty()) {
+      TracezEntry entry;
+      entry.device = conn->hello.device_id;
+      entry.trace = conn->hello.trace;
+      entry.wall_ns = msg.wall_ns;
+      entry.attested = msg.attested();
+      entry.spans = conn->session->timeline();
+      std::lock_guard<std::mutex> lock(tracez_mu);
+      tracez.push_back(std::move(entry));
+      while (tracez.size() > std::max<std::size_t>(opts.tracez_capacity, 1)) {
+        tracez.pop_front();
+      }
+    }
   }
 };
 
@@ -689,6 +944,9 @@ AttestServer::~AttestServer() { stop(); }
 
 Status AttestServer::start() {
   if (impl_ != nullptr) return Status::error("server already started");
+  if (options_.trace_sample >= 0.0) {
+    obs::Sampler::global().set_rate(options_.trace_sample);
+  }
   auto impl = std::make_unique<Impl>(options_);
   auto listener = SocketListener::listen(options_.host, options_.port,
                                          options_.listen_backlog);

@@ -19,10 +19,15 @@
 // after the last response was absorbed, when the loop has nothing left to
 // issue.
 //
-// A connection whose first bytes are "GET " is an HTTP scrape, answered
-// with the obs registry in Prometheus text format and closed. A prover
-// that vanishes mid-session is quarantined — counted, logged, its slot
-// reclaimed — never a crash or a leaked session.
+// A connection whose first byte is 'G' or 'H' (GET/HEAD) is an HTTP
+// request, served on the loop thread and closed: /metrics (Prometheus
+// text), /healthz (event-loop liveness + lane queue depths), /statusz
+// (per-connection state table, recent quarantines, uptime and tier info
+// as JSON), /tracez (ring of the most recent sampled cross-process
+// timelines). A prover that vanishes mid-session is quarantined —
+// counted, logged, its slot reclaimed — never a crash or a leaked
+// session. Every finished session writes one structured access-log line
+// and feeds the SLO tracker (latency objective + error-budget gauges).
 #pragma once
 
 #include <atomic>
@@ -52,8 +57,21 @@ struct AttestServerOptions {
   int listen_backlog = 1024;
   /// Force the poll(2) fallback even where epoll exists (tested in ctest).
   bool prefer_epoll = true;
-  /// Serve "GET /metrics" scrapes on the same port.
+  /// Serve HTTP (GET/HEAD /metrics /healthz /statusz /tracez) on the same
+  /// port.
   bool metrics_endpoint = true;
+  /// Head-sampling rate override: >= 0 sets obs::Sampler::global() at
+  /// start() (0 = trace nothing, 1 = everything); negative leaves the
+  /// process-wide rate (SACHA_OBS_SAMPLE) untouched. The client's HELLO
+  /// decision still wins per session; this knob covers server-initiated
+  /// tooling and keeps the two processes' flags settable from one place.
+  double trace_sample = -1.0;
+  /// SLO: sessions slower than this (or failed) burn error budget.
+  std::uint64_t slo_latency_ms = 250;
+  /// SLO: target good fraction (error budget = 1 - target).
+  double slo_target = 0.999;
+  /// Sampled cross-process timelines retained for /tracez.
+  std::size_t tracez_capacity = 32;
 };
 
 struct AttestServerStats {

@@ -48,6 +48,11 @@ HelloMsg member_hello(const FleetSpec& spec, std::size_t index) {
   hello.session_seed = member_session_seed(spec, index);
   hello.flip_probability = spec.flip_probability;
   hello.device_id = member_id(index);
+  // Wire sessions key their timeline on (device id, session seed) — the
+  // nonce lives server-side and is not known at HELLO time. Minted here so
+  // every layer (client spans, server spans, audit entries) agrees on the
+  // id; the sampling decision is stamped by the sender.
+  hello.trace = obs::make_trace_id(hello.device_id, hello.session_seed);
   return hello;
 }
 

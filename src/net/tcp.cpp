@@ -16,6 +16,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace sacha::net {
 
 namespace {
@@ -198,6 +200,9 @@ Status TcpChannel::flush_some() {
         ::send(socket_.fd(), out_.data() + out_consumed_,
                out_.size() - out_consumed_, MSG_NOSIGNAL);
     if (n > 0) {
+      static obs::Counter& bytes_tx =
+          obs::MetricsRegistry::global().counter("sacha.net.bytes_tx");
+      bytes_tx.add(static_cast<std::uint64_t>(n));
       out_consumed_ += static_cast<std::size_t>(n);
       continue;
     }
@@ -218,6 +223,9 @@ Status TcpChannel::read_some(bool* closed) {
   for (;;) {
     const ssize_t n = ::recv(socket_.fd(), buf, sizeof(buf), 0);
     if (n > 0) {
+      static obs::Counter& bytes_rx =
+          obs::MetricsRegistry::global().counter("sacha.net.bytes_rx");
+      bytes_rx.add(static_cast<std::uint64_t>(n));
       decoder_.feed(ByteSpan(buf, static_cast<std::size_t>(n)));
       if (static_cast<std::size_t>(n) < sizeof(buf)) return Status();
       continue;  // buffer-filling read: more may be pending

@@ -3,9 +3,36 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace sacha::net {
 
 namespace {
+
+/// Trace-context tail shared by HELLO and REPORT (proto >= 2):
+/// [trace.hi u64][trace.lo u64][flags u8], flags bit 0 = sampled.
+constexpr std::size_t kTraceTailBytes = 8 + 8 + 1;
+
+void put_trace_tail(Bytes& out, const obs::TraceId& trace, bool sampled) {
+  put_u64be(out, trace.hi);
+  put_u64be(out, trace.lo);
+  out.push_back(sampled ? 1 : 0);
+}
+
+void get_trace_tail(ByteSpan in, std::size_t offset, obs::TraceId& trace,
+                    bool& sampled) {
+  trace.hi = get_u64be(in, offset);
+  trace.lo = get_u64be(in, offset + 8);
+  sampled = (in[offset + 16] & 1) != 0;
+}
+
+/// One central place for the decode-error counter so every malformed-input
+/// path is counted, whether or not it also poisons a stream.
+void count_decode_error() {
+  static obs::Counter& errors =
+      obs::MetricsRegistry::global().counter("sacha.net.decode_errors");
+  errors.add(1);
+}
 
 /// Bounded defensive string read: [u16 length][bytes]. Advances `offset`.
 Result<std::string> get_string(ByteSpan in, std::size_t& offset,
@@ -39,7 +66,7 @@ Bytes encode_frame(const Frame& frame) {
   Bytes out;
   out.reserve(kFrameHeaderBytes + frame.payload.size());
   put_u16be(out, kWireMagic);
-  out.push_back(kWireVersion);
+  out.push_back(frame.version);
   out.push_back(static_cast<std::uint8_t>(frame.kind));
   put_u32be(out, static_cast<std::uint32_t>(frame.payload.size()));
   append(out, frame.payload);
@@ -63,33 +90,40 @@ Result<std::optional<Frame>> FrameDecoder::next() {
   if (poisoned_) {
     return Out::error("frame stream poisoned by earlier decode error");
   }
+  // Poisoning is terminal for the stream, so count the transition exactly
+  // once per connection; individual malformed inputs count separately.
+  const auto poison = [this](std::string message) {
+    poisoned_ = true;
+    count_decode_error();
+    static obs::Counter& poisoned_conns =
+        obs::MetricsRegistry::global().counter("sacha.net.poisoned_conns");
+    poisoned_conns.add(1);
+    return Out::error(std::move(message));
+  };
   const std::size_t available = buffer_.size() - consumed_;
   if (available < kFrameHeaderBytes) return Out(std::nullopt);
   const ByteSpan in(buffer_.data() + consumed_, available);
   const std::uint16_t magic = get_u16be(in, 0);
   if (magic != kWireMagic) {
-    poisoned_ = true;
-    return Out::error("bad frame magic");
+    return poison("bad frame magic");
   }
   const std::uint8_t version = in[2];
-  if (version != kWireVersion) {
-    poisoned_ = true;
-    return Out::error("unsupported wire version " + std::to_string(version));
+  if (version < kWireVersionMin || version > kWireVersion) {
+    return poison("unsupported wire version " + std::to_string(version));
   }
   const std::uint8_t kind = in[3];
   if (!frame_kind_valid(kind)) {
-    poisoned_ = true;
-    return Out::error("unknown frame kind " + std::to_string(kind));
+    return poison("unknown frame kind " + std::to_string(kind));
   }
   const std::uint32_t length = get_u32be(in, 4);
   if (length > kMaxFramePayload) {
-    poisoned_ = true;
-    return Out::error("frame payload length " + std::to_string(length) +
-                      " exceeds bound");
+    return poison("frame payload length " + std::to_string(length) +
+                  " exceeds bound");
   }
   if (available < kFrameHeaderBytes + length) return Out(std::nullopt);
   Frame frame;
   frame.kind = static_cast<FrameKind>(kind);
+  frame.version = version;
   frame.payload.assign(in.begin() + kFrameHeaderBytes,
                        in.begin() + kFrameHeaderBytes + length);
   consumed_ += kFrameHeaderBytes + length;
@@ -108,6 +142,7 @@ Bytes HelloMsg::encode() const {
   put_u64be(out, session_seed);
   put_u64be(out, std::bit_cast<std::uint64_t>(flip_probability));
   put_string(out, device_id);
+  if (proto >= 2) put_trace_tail(out, trace, sampled);
   return out;
 }
 
@@ -135,6 +170,15 @@ Result<HelloMsg> HelloMsg::decode(ByteSpan payload) {
   auto id = get_string(payload, offset, 256, "device id");
   if (!id.ok()) return Result<HelloMsg>::error(id.message());
   msg.device_id = std::move(id).take();
+  // Version handling keys on the message's own proto field: a v1 HELLO
+  // ends at the device id; v2 requires the trace-context tail.
+  if (msg.proto >= 2) {
+    if (payload.size() - offset < kTraceTailBytes) {
+      return Result<HelloMsg>::error("truncated HELLO trace context");
+    }
+    get_trace_tail(payload, offset, msg.trace, msg.sampled);
+    offset += kTraceTailBytes;
+  }
   if (offset != payload.size()) {
     return Result<HelloMsg>::error("trailing bytes after HELLO");
   }
@@ -171,6 +215,7 @@ Bytes ReportMsg::encode() const {
   put_u64be(out, commands);
   put_u64be(out, wall_ns);
   put_string(out, detail);
+  put_trace_tail(out, trace, sampled);
   return out;
 }
 
@@ -196,7 +241,14 @@ Result<ReportMsg> ReportMsg::decode(ByteSpan payload) {
   auto detail = get_string(payload, offset, 1024, "report detail");
   if (!detail.ok()) return Result<ReportMsg>::error(detail.message());
   msg.detail = std::move(detail).take();
-  if (offset != payload.size()) {
+  // REPORT has no proto field of its own; presence of the trace-context
+  // tail is keyed on the remaining byte count — 0 from a v1 sender, the
+  // exact tail size from v2, anything else is malformed.
+  const std::size_t remaining = payload.size() - offset;
+  if (remaining == kTraceTailBytes) {
+    get_trace_tail(payload, offset, msg.trace, msg.sampled);
+    offset += kTraceTailBytes;
+  } else if (remaining != 0) {
     return Result<ReportMsg>::error("trailing bytes after REPORT");
   }
   return msg;

@@ -36,11 +36,18 @@
 #include "core/failure.hpp"
 #include "core/protocol.hpp"
 #include "crypto/cmac.hpp"
+#include "obs/trace.hpp"
 
 namespace sacha::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x5341;  // "SA"
-inline constexpr std::uint8_t kWireVersion = 1;
+/// Version 2 added the optional trace-context tail (TraceId + sampling
+/// flag) to HELLO and REPORT. Decoders accept every version in
+/// [kWireVersionMin, kWireVersion]: a v1 peer simply runs without
+/// cross-process trace propagation, nothing else changes — the trace
+/// fields are observability-only and never feed the MAC path.
+inline constexpr std::uint8_t kWireVersion = 2;
+inline constexpr std::uint8_t kWireVersionMin = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Upper bound on a frame payload. The largest legitimate frame is a
 /// batched-readback FrameData response (frames_per_readback * words_per
@@ -66,6 +73,9 @@ constexpr bool frame_kind_valid(std::uint8_t kind) {
 struct Frame {
   FrameKind kind = FrameKind::kError;
   Bytes payload;
+  /// Header version this frame was (or will be) framed with. The decoder
+  /// fills it from the stream; encoders default to the current version.
+  std::uint8_t version = kWireVersion;
 
   bool operator==(const Frame&) const = default;
 };
@@ -130,6 +140,11 @@ struct HelloMsg {
   std::uint64_t session_seed = 0;  // per-session seed (churn RNG derivation)
   double flip_probability = 0.25;  // register churn at the phase boundary
   std::string device_id;
+  /// Trace context (proto >= 2): the client-minted 128-bit timeline key and
+  /// its deterministic head-sampling decision, propagated so both processes
+  /// record spans under one id. {0,0} / false when absent or from a v1 peer.
+  obs::TraceId trace{};
+  bool sampled = false;
 
   Bytes encode() const;
   static Result<HelloMsg> decode(ByteSpan payload);
@@ -160,6 +175,10 @@ struct ReportMsg {
   std::uint64_t commands = 0;
   std::uint64_t wall_ns = 0;  // server-side session wall-clock
   std::string detail;
+  /// Trace context echoed back from the HELLO (v2 tail; absent from v1
+  /// peers). Lets the client assert both sides agreed on the timeline key.
+  obs::TraceId trace{};
+  bool sampled = false;
 
   bool attested() const { return protocol_ok && mac_ok && config_ok; }
 

@@ -20,15 +20,58 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+}  // namespace
+
 std::string prometheus_name(std::string_view name) {
   std::string out;
-  out.reserve(name.size());
+  out.reserve(name.size() + 1);
   for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     out.push_back(ok ? c : '_');
   }
+  // Metric names must not start with a digit ([a-zA-Z_:] first).
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
   return out;
+}
+
+std::string prometheus_label_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// HELP text: backslash and newline must be escaped (quotes are fine).
+std::string prometheus_help_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void prometheus_header(std::ostringstream& out, const std::string& name,
+                       std::string_view dotted, std::string_view type) {
+  out << "# HELP " << name << " SACHa " << type << " "
+      << prometheus_help_escape(dotted) << "\n";
+  out << "# TYPE " << name << " " << type << "\n";
 }
 
 }  // namespace
@@ -70,20 +113,23 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   for (const CounterSample& c : snapshot.counters) {
     const std::string name = prometheus_name(c.name);
-    out << "# TYPE " << name << " counter\n" << name << " " << c.value << "\n";
+    prometheus_header(out, name, c.name, "counter");
+    out << name << " " << c.value << "\n";
   }
   for (const GaugeSample& g : snapshot.gauges) {
     const std::string name = prometheus_name(g.name);
-    out << "# TYPE " << name << " gauge\n" << name << " " << g.value << "\n";
+    prometheus_header(out, name, g.name, "gauge");
+    out << name << " " << g.value << "\n";
   }
   for (const HistogramSample& h : snapshot.histograms) {
     const std::string name = prometheus_name(h.name);
-    out << "# TYPE " << name << " histogram\n";
+    prometheus_header(out, name, h.name, "histogram");
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < h.upper_bounds.size(); ++b) {
       cumulative += h.bucket_counts[b];
-      out << name << "_bucket{le=\"" << h.upper_bounds[b] << "\"} "
-          << cumulative << "\n";
+      out << name << "_bucket{le=\""
+          << prometheus_label_escape(std::to_string(h.upper_bounds[b]))
+          << "\"} " << cumulative << "\n";
     }
     out << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
     out << name << "_sum " << h.sum << "\n";

@@ -24,6 +24,14 @@ std::string metrics_json(const MetricsSnapshot& snapshot);
 std::string prometheus_text(const MetricsSnapshot& snapshot);
 std::string chrome_trace_json(const std::vector<SpanRecord>& records);
 
+/// Sanitizes a dotted metric name to the exposition-format charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid chars map to '_', a leading digit
+/// gets a '_' prefix.
+std::string prometheus_name(std::string_view name);
+/// Escapes a label value per the text exposition format (backslash,
+/// double-quote, newline).
+std::string prometheus_label_escape(std::string_view value);
+
 /// Writes `content` to `path`; false on I/O error.
 bool write_text_file(const std::string& path, const std::string& content);
 

@@ -40,6 +40,21 @@ std::span<const std::uint64_t> default_latency_buckets_ns() {
   return kBuckets;
 }
 
+std::span<const std::uint64_t> log_latency_buckets_ns() {
+  // Ratio 10^(1/5) ~ 1.585, five buckets per decade, 250 ns .. 30 s.
+  static const std::vector<std::uint64_t> kBuckets = [] {
+    std::vector<std::uint64_t> out;
+    double bound = 250.0;
+    while (bound < 30e9) {
+      out.push_back(static_cast<std::uint64_t>(bound + 0.5));
+      bound *= 1.58489319246;  // 10^(1/5)
+    }
+    out.push_back(30'000'000'000ULL);
+    return out;
+  }();
+  return kBuckets;
+}
+
 Histogram::Histogram(std::span<const std::uint64_t> upper_bounds)
     : bounds_(upper_bounds.begin(), upper_bounds.end()),
       buckets_(bounds_.size() + 1) {
@@ -68,6 +83,46 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Shared interpolation core: rank q*count located in the cumulative bucket
+/// walk, then linear interpolation inside the bucket's [lower, upper] edge
+/// span. Overflow-bucket ranks clamp to the last bound (there is no upper
+/// edge to interpolate toward).
+double quantile_impl(const std::vector<std::uint64_t>& bounds,
+                     const std::vector<std::uint64_t>& counts,
+                     std::uint64_t total, double q) {
+  if (total == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0) {
+      if (i >= bounds.size()) {  // overflow bucket: clamp
+        return static_cast<double>(bounds.back());
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double frac = (rank - cumulative) / in_bucket;
+      return lower + frac * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(bounds.back());
+}
+
+}  // namespace
+
+double QuantileHistogram::quantile(double q) const {
+  return quantile_impl(upper_bounds(), bucket_counts(), count(), q);
+}
+
+double quantile_from_sample(const HistogramSample& sample, double q) {
+  return quantile_impl(sample.upper_bounds, sample.bucket_counts, sample.count,
+                       q);
 }
 
 std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {

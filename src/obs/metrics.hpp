@@ -64,6 +64,13 @@ class Gauge {
 /// latencies and simulated channel transfer times (both in ns).
 std::span<const std::uint64_t> default_latency_buckets_ns();
 
+/// Log-spaced series (ratio ~1.58, ~5 buckets per decade) from 250 ns to
+/// 30 s. Tighter than the 1-2-5 series where quantile extraction needs the
+/// resolution: the relative error of an interpolated quantile is bounded by
+/// the bucket ratio, so ~1.58 keeps p99/p999 within a few tens of percent
+/// across the whole range without ballooning the bucket count.
+std::span<const std::uint64_t> log_latency_buckets_ns();
+
 /// Fixed-bucket histogram with Prometheus `le` (cumulative-at-export,
 /// per-bucket stored) semantics: observation v lands in the first bucket
 /// whose upper bound satisfies v <= bound, or the overflow bucket.
@@ -92,6 +99,21 @@ class Histogram {
   std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Histogram tuned for quantile extraction: log-spaced buckets so a rank
+/// interpolated inside one bucket lands within the bucket ratio of the true
+/// value at any latency scale. Exported to Prometheus as ordinary `le`
+/// buckets (still conformant); p50/p90/p99/p999 are derived at export time
+/// by quantile()/quantile_from_sample(), never stored.
+class QuantileHistogram : public Histogram {
+ public:
+  QuantileHistogram() : Histogram(log_latency_buckets_ns()) {}
+
+  /// Interpolated quantile in the observation's unit (ns here), q in [0,1].
+  /// Returns 0 with no observations; observations past the last bound clamp
+  /// to it.
+  double quantile(double q) const;
 };
 
 // ---- Snapshot ------------------------------------------------------------
@@ -128,6 +150,11 @@ struct MetricsSnapshot {
   std::uint64_t counter_value(std::string_view name) const;
 };
 
+/// Interpolated quantile over a snapshot sample — the offline counterpart
+/// of QuantileHistogram::quantile() for exporters that only hold a
+/// MetricsSnapshot.
+double quantile_from_sample(const HistogramSample& sample, double q);
+
 // ---- Registry ------------------------------------------------------------
 
 class MetricsRegistry {
@@ -142,6 +169,11 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name,
                        std::span<const std::uint64_t> upper_bounds = {});
+  /// Histogram on the log-spaced quantile buckets — the shape every
+  /// latency-quantile metric (per-phase, per-session) shares.
+  Histogram& quantile_histogram(std::string_view name) {
+    return histogram(name, log_latency_buckets_ns());
+  }
 
   MetricsSnapshot snapshot() const;
 

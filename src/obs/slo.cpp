@@ -1,0 +1,59 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+namespace sacha::obs {
+
+SloTracker::SloTracker(Options options)
+    : options_(options),
+      g_total_(MetricsRegistry::global().gauge("sacha.slo.sessions_total")),
+      g_good_(MetricsRegistry::global().gauge("sacha.slo.sessions_good")),
+      g_budget_ppm_(MetricsRegistry::global().gauge(
+          "sacha.slo.error_budget_remaining_ppm")),
+      g_burn_milli_(
+          MetricsRegistry::global().gauge("sacha.slo.burn_rate_milli")),
+      g_objective_ms_(MetricsRegistry::global().gauge(
+          "sacha.slo.latency_objective_ms")),
+      g_target_ppm_(MetricsRegistry::global().gauge("sacha.slo.target_ppm")) {
+  options_.target = std::clamp(options_.target, 0.0, 0.999999);
+  g_objective_ms_.set(
+      static_cast<std::int64_t>(options_.latency_objective_ns / 1'000'000));
+  g_target_ppm_.set(static_cast<std::int64_t>(options_.target * 1e6));
+}
+
+void SloTracker::record(std::uint64_t latency_ns, bool ok) {
+  const bool within = options_.latency_objective_ns == 0 ||
+                      latency_ns <= options_.latency_objective_ns;
+  total_.add(1);
+  if (ok && within) good_.add(1);
+  publish();
+}
+
+std::int64_t SloTracker::budget_remaining_ppm() const {
+  const std::uint64_t n = total_.value();
+  if (n == 0) return 1'000'000;
+  const double allowed = (1.0 - options_.target) * static_cast<double>(n);
+  const double bad = static_cast<double>(n - good_.value());
+  if (allowed <= 0.0) return bad > 0.0 ? 0 : 1'000'000;
+  const double remaining = std::max(0.0, 1.0 - bad / allowed);
+  return static_cast<std::int64_t>(remaining * 1e6);
+}
+
+std::int64_t SloTracker::burn_rate_milli() const {
+  const std::uint64_t n = total_.value();
+  if (n == 0) return 0;
+  const double allowed_frac = 1.0 - options_.target;
+  const double bad_frac =
+      static_cast<double>(n - good_.value()) / static_cast<double>(n);
+  if (allowed_frac <= 0.0) return bad_frac > 0.0 ? 1'000'000'000 : 0;
+  return static_cast<std::int64_t>(bad_frac / allowed_frac * 1000.0);
+}
+
+void SloTracker::publish() {
+  g_total_.set(static_cast<std::int64_t>(total_.value()));
+  g_good_.set(static_cast<std::int64_t>(good_.value()));
+  g_budget_ppm_.set(budget_remaining_ppm());
+  g_burn_milli_.set(burn_rate_milli());
+}
+
+}  // namespace sacha::obs

@@ -1,0 +1,70 @@
+// Service-level objective tracking for the attestation service.
+//
+// The operator's contract is "P% of attestations finish under T ms and
+// succeed". An SloTracker folds every finished session into that contract:
+// a session is *good* when it attested within the latency objective, *bad*
+// otherwise (slow, failed, or quarantined — the prover's view of the fleet
+// does not distinguish why it waited). From the good/total split the
+// tracker derives the error budget (the (1-P) fraction of sessions the
+// objective allows to be bad) and the burn rate (how fast that budget is
+// being consumed relative to plan: burn 1.0 = exactly on budget, > 1.0 =
+// burning faster than the objective tolerates).
+//
+// Everything is exported as gauges under `sacha.slo.*`, so the numbers ride
+// the existing /metrics endpoint and Prometheus alert rules can threshold
+// on the burn rate directly (the standard multi-window burn-rate alert
+// needs nothing else from the service).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace sacha::obs {
+
+class SloTracker {
+ public:
+  struct Options {
+    /// Latency objective: a session slower than this is an SLO miss even
+    /// when it attested. 0 disables the latency clause (only failures burn
+    /// budget).
+    std::uint64_t latency_objective_ns = 250'000'000;  // 250 ms
+    /// Target good fraction in [0,1); the error budget is 1 - target.
+    double target = 0.999;
+  };
+
+  SloTracker() : SloTracker(Options{}) {}
+  explicit SloTracker(Options options);
+
+  /// Folds one finished session into the objective. `ok` is "the session
+  /// attested"; latency is wall-clock from accept to verdict.
+  void record(std::uint64_t latency_ns, bool ok);
+
+  std::uint64_t total() const { return total_.value(); }
+  std::uint64_t good() const { return good_.value(); }
+
+  /// Remaining error budget as parts-per-million of total sessions seen:
+  /// 1e6 means untouched, 0 means exhausted (clamped).
+  std::int64_t budget_remaining_ppm() const;
+
+  /// Bad-fraction / allowed-bad-fraction, in milli-units (1000 = burning
+  /// exactly at the allowed rate). 0 until the first session.
+  std::int64_t burn_rate_milli() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  void publish();
+
+  Options options_;
+  Counter total_;
+  Counter good_;
+  Gauge& g_total_;
+  Gauge& g_good_;
+  Gauge& g_budget_ppm_;
+  Gauge& g_burn_milli_;
+  Gauge& g_objective_ms_;
+  Gauge& g_target_ppm_;
+};
+
+}  // namespace sacha::obs

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
+#include <unordered_map>
 
 namespace sacha::obs {
 
@@ -30,6 +32,52 @@ std::uint64_t fnv1a(std::uint64_t seed, const void* data, std::size_t len) {
 }
 
 }  // namespace
+
+Sampler& Sampler::global() {
+  static Sampler* sampler = new Sampler([] {
+    if (const char* env = std::getenv("SACHA_OBS_SAMPLE")) {
+      char* end = nullptr;
+      const double rate = std::strtod(env, &end);
+      if (end != env) return rate;
+    }
+    return 1.0;  // full tracing: the pre-sampling behaviour
+  }());
+  return *sampler;
+}
+
+double Sampler::rate() const {
+  const std::uint64_t t = threshold_.load(std::memory_order_relaxed);
+  if (t == ~0ULL) return 1.0;
+  return static_cast<double>(t) / 18446744073709551616.0;  // 2^64
+}
+
+void Sampler::set_rate(double rate) {
+  std::uint64_t t;
+  if (rate >= 1.0) {
+    t = ~0ULL;
+  } else if (rate <= 0.0) {
+    t = 0;
+  } else {
+    t = static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+  }
+  threshold_.store(t, std::memory_order_relaxed);
+}
+
+bool Sampler::should_sample(const TraceId& id) const {
+  if (!id.valid()) return false;
+  const std::uint64_t t = threshold_.load(std::memory_order_relaxed);
+  if (t == ~0ULL) return true;
+  // Re-mix rather than use id.lo directly: wire trace ids arrive already
+  // FNV-mixed, but re-hashing under a distinct seed decorrelates the keep
+  // set from anything else keyed on the raw id bits.
+  std::uint64_t h = fnv1a(0x53414d504c455230ULL,  // "SAMPLER0"
+                          &id, sizeof(id));
+  return h < t;
+}
+
+bool should_trace(const TraceId& id) {
+  return enabled() && Sampler::global().should_sample(id);
+}
 
 TraceId make_trace_id(std::string_view device_id, std::uint64_t nonce) {
   TraceId id;
@@ -60,6 +108,28 @@ std::uint64_t Tracer::now_ns() const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - epoch_)
           .count());
+}
+
+void observe_phase_duration(const std::string& phase,
+                            std::uint64_t duration_ns) {
+  if (!enabled()) return;
+  // Same hot-path treatment as any instrument call site: the registry
+  // lookup (name concat + mutex + map walk) happens once per phase name
+  // per thread, then a thread-local cache serves the pointer. Deliberately
+  // NOT wired into Tracer::append — the in-process engines close
+  // microsecond-scale RAII phase spans back-to-back, and even a cached
+  // lookup between two of those reads as a timeline gap on a loaded host
+  // (the 95%-coverage acceptance test catches exactly that). The
+  // wire-session emitters call this explicitly; their phases are
+  // milliseconds.
+  thread_local std::unordered_map<std::string, Histogram*> t_phase_hist;
+  auto it = t_phase_hist.find(phase);
+  if (it == t_phase_hist.end()) {
+    Histogram& hist = MetricsRegistry::global().quantile_histogram(
+        "sacha.phase." + phase + "_ns");
+    it = t_phase_hist.emplace(phase, &hist).first;
+  }
+  it->second->observe(duration_ns);
 }
 
 void Tracer::append(SpanRecord&& record) {

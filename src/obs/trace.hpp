@@ -38,6 +38,49 @@ struct TraceId {
 TraceId make_trace_id(std::string_view device_id, std::uint64_t nonce);
 std::string to_string(const TraceId& id);
 
+/// Deterministic head sampler: the keep/drop decision is a pure function of
+/// (TraceId, rate), so every process that sees the same trace id — the
+/// prover-side client, the verifier-side service, an offline replay —
+/// reaches the same decision without coordination. That is what lets a
+/// 512-connection fleet keep tracing enabled at a 1% rate and still end up
+/// with *complete* cross-process timelines for the sampled sessions.
+/// Counters and histograms are always-on regardless of sampling; only span
+/// records are gated.
+class Sampler {
+ public:
+  /// rate clamped to [0, 1]; 1 keeps everything, 0 keeps nothing.
+  explicit Sampler(double rate = 1.0) { set_rate(rate); }
+
+  /// Process-wide sampler. Initial rate comes from SACHA_OBS_SAMPLE when
+  /// set (a double, e.g. "0.01"), else 1.0 — full tracing, the pre-sampling
+  /// behaviour.
+  static Sampler& global();
+
+  double rate() const;
+  void set_rate(double rate);
+
+  /// Pure function of (id, rate): hashes the trace id and compares against
+  /// the rate threshold. Invalid ids are never sampled.
+  bool should_sample(const TraceId& id) const;
+
+ private:
+  /// Keep threshold on the hashed id; rate is threshold / 2^64.
+  std::atomic<std::uint64_t> threshold_{~0ULL};
+};
+
+/// True when telemetry is enabled AND the global sampler keeps this id —
+/// the one predicate every span-opening call site checks.
+bool should_trace(const TraceId& id);
+
+/// Feeds one Table-4 phase duration into the per-phase quantile histogram
+/// `sacha.phase.<phase>_ns` (log buckets; p50/p90/p99/p999 derived at
+/// export). Called by the wire-session span emitters on both sides of the
+/// socket, so the feed follows head sampling — which is deterministic on
+/// the trace id and independent of latency, so the quantiles stay unbiased
+/// at low rates (just thinner).
+void observe_phase_duration(const std::string& phase,
+                            std::uint64_t duration_ns);
+
 /// One closed span. `start_ns` is relative to the tracer's epoch (first
 /// use), so timelines from different threads share one time base.
 struct SpanRecord {
@@ -64,6 +107,14 @@ class Tracer {
   std::vector<SpanRecord> drain();
   void clear();
   std::size_t size() const;
+
+  /// Appends a manually assembled span. The RAII Span is thread-affine
+  /// (its depth counter is thread-local), which does not fit executors
+  /// that migrate one session across worker threads — the attestd verify
+  /// lanes and the multiplexed client loop both do. Those call sites
+  /// stamp start/duration/depth/thread_id themselves and hand the record
+  /// straight in. Callers are expected to have checked should_trace().
+  void record(SpanRecord&& r) { append(std::move(r)); }
 
  private:
   friend class Span;

@@ -4,9 +4,11 @@
 // the poll(2) fallback.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <deque>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -59,6 +61,39 @@ core::SwarmReport oracle_run(const net::FleetSpec& spec, std::size_t members,
   options.schedule = core::SwarmSchedule::kMultiplexed;
   options.retry_budget = 0;
   return core::attest_swarm(swarm, options);
+}
+
+/// One blocking HTTP exchange against the server's port: sends `request`
+/// verbatim, reads to EOF (the server closes after each response).
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return {};
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    reply.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string http_get(std::uint16_t port, const std::string& path) {
+  return http_exchange(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
 }
 
 net::LoadOptions loopback_load(const net::AttestServer& server,
@@ -147,7 +182,15 @@ TEST(NetService, AbruptDisconnectQuarantinesNotCrashes) {
   const net::LoadResult second = net::run_load(loopback_load(server, spec, 3));
   EXPECT_EQ(second.completed, 3u);
 
-  const net::AttestServerStats stats = server.stats();
+  // The loop can notice the dead socket a beat after the clients finished;
+  // wait for the teardown to land before asserting the final counters.
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0;
+       spin < 200 && (stats.quarantined < 1 || stats.active_connections > 0);
+       ++spin) {
+    ::usleep(10000);
+    stats = server.stats();
+  }
   EXPECT_EQ(stats.quarantined, 1u);
   EXPECT_EQ(stats.sessions_completed, 8u);
   EXPECT_EQ(stats.active_connections, 0u);
@@ -190,6 +233,137 @@ TEST(NetService, MetricsEndpointServesPrometheusText) {
   EXPECT_NE(reply.find("200 OK"), std::string::npos);
   EXPECT_NE(reply.find("sacha_session_attested"), std::string::npos);
   EXPECT_NE(reply.find("sacha_attestd_accepted"), std::string::npos);
+}
+
+TEST(NetService, MetricsContentTypeAndHelpLines) {
+  obs::set_enabled(true);
+  // Instruments are process-global: zero them so the exact-value assertions
+  // below do not depend on which tests ran earlier in this binary.
+  obs::MetricsRegistry::global().reset_values();
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+  net::FleetSpec spec;
+  ASSERT_TRUE(net::run_load(loopback_load(server, spec, 1)).all_completed());
+  const std::string reply = http_get(server.port(), "/metrics");
+  server.stop();
+  obs::set_enabled(false);
+  EXPECT_NE(reply.find("200 OK"), std::string::npos);
+  // The Prometheus text exposition content type, version pinned.
+  EXPECT_NE(reply.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(reply.find("# HELP sacha_attestd_accepted "), std::string::npos);
+  EXPECT_NE(reply.find("# TYPE sacha_attestd_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(reply.find("sacha_attestd_hello_accepted 1"), std::string::npos);
+  EXPECT_NE(reply.find("sacha_net_bytes_rx"), std::string::npos);
+  EXPECT_NE(reply.find("sacha_net_bytes_tx"), std::string::npos);
+  // The session latency histogram moved to the quantile bucket layout.
+  EXPECT_NE(reply.find("sacha_attestd_session_ns_bucket{le=\""),
+            std::string::npos);
+}
+
+TEST(NetService, OperabilityEndpointsServeJson) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset_values();
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+  net::FleetSpec spec;
+  ASSERT_TRUE(net::run_load(loopback_load(server, spec, 2)).all_completed());
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"loop_tick_age_ms\":"), std::string::npos);
+  EXPECT_NE(health.find("\"lane_depths\":["), std::string::npos);
+
+  const std::string status = http_get(server.port(), "/statusz");
+  EXPECT_NE(status.find("200 OK"), std::string::npos);
+  EXPECT_NE(status.find("\"wire_version\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"completed\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"attested\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"slo\":{\"latency_objective_ms\":250"),
+            std::string::npos);
+  EXPECT_NE(status.find("\"budget_remaining_ppm\":"), std::string::npos);
+  EXPECT_NE(status.find("\"session_latency_ns\":{\"count\":2"),
+            std::string::npos);
+  EXPECT_NE(status.find("\"connections\":["), std::string::npos);
+  EXPECT_NE(status.find("\"recent_quarantines\":[]"), std::string::npos);
+
+  // Full tracing by default in tests: both sessions' timelines are kept.
+  const std::string trace = http_get(server.port(), "/tracez");
+  server.stop();
+  obs::set_enabled(false);
+  EXPECT_NE(trace.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("\"capacity\":32"), std::string::npos);
+  EXPECT_NE(trace.find("\"timelines\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"attested\":true"), std::string::npos);
+  EXPECT_NE(trace.find("cmac.finish"), std::string::npos);
+}
+
+TEST(NetService, HttpHygieneNotFoundHeadAndBadMethod) {
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("served paths are /metrics /healthz /statusz"),
+            std::string::npos);
+
+  // HEAD gets the same status line and headers, no body.
+  const std::string head = http_exchange(
+      server.port(), "HEAD /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(head.find("200 OK"), std::string::npos);
+  EXPECT_NE(head.find("text/plain; version=0.0.4"), std::string::npos);
+  const auto header_end = head.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_EQ(head.size(), header_end + 4) << "HEAD reply must omit the body";
+
+  // Unknown method ("G..." so the sniffer still routes it to HTTP): 405.
+  const std::string bad_method = http_exchange(
+      server.port(), "GRAB /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(bad_method.find("405 Method Not Allowed"), std::string::npos);
+  server.stop();
+}
+
+TEST(NetService, ConcurrentScrapesDuringFleetLoad) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset_values();
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  net::FleetSpec spec;
+  spec.mixed = true;
+  net::LoadOptions load = loopback_load(server, spec, 16);
+  load.tampered = {1, 3};
+
+  // Scrape /metrics and /healthz continuously while the mixed fleet runs:
+  // the endpoints share the event loop with the wire sessions, so every
+  // scrape must come back 200 with no effect on the fleet's verdicts.
+  std::atomic<bool> done{false};
+  net::LoadResult result;
+  std::thread fleet([&] {
+    result = net::run_load(load);
+    done.store(true);
+  });
+  std::size_t scrapes = 0;
+  std::size_t good = 0;
+  while (!done.load()) {
+    for (const char* path : {"/metrics", "/healthz"}) {
+      const std::string reply = http_get(server.port(), path);
+      ++scrapes;
+      if (reply.find("200 OK") != std::string::npos) ++good;
+    }
+  }
+  fleet.join();
+  const std::string after = http_get(server.port(), "/metrics");
+  server.stop();
+  obs::set_enabled(false);
+
+  EXPECT_TRUE(result.all_completed());
+  EXPECT_EQ(result.attested, 14u) << "scrapes must not disturb verdicts";
+  EXPECT_EQ(good, scrapes) << "every mid-load scrape must succeed";
+  EXPECT_NE(after.find("sacha_attestd_hello_accepted 16"), std::string::npos);
 }
 
 TEST(NetService, PollFallbackServesSessions) {

@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 using namespace sacha;
 using net::Frame;
@@ -189,6 +191,44 @@ TEST(WireMessages, HelloRejectsBadFields) {
   EXPECT_FALSE(net::HelloMsg::decode(bad_scale).ok());
 }
 
+TEST(WireMessages, HelloCarriesTraceContext) {
+  net::HelloMsg hello;
+  hello.device_id = "traced-device";
+  hello.trace = obs::make_trace_id("traced-device", 77);
+  hello.sampled = true;
+  ASSERT_TRUE(hello.trace.valid());
+  auto back = net::HelloMsg::decode(hello.encode());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), hello);
+  EXPECT_EQ(back.value().trace, hello.trace);
+  EXPECT_TRUE(back.value().sampled);
+}
+
+TEST(WireMessages, VersionOneHelloDecodesWithoutTraceFields) {
+  // A v1 peer's HELLO ends at the device id: no trace-context tail. The
+  // decoder keys on the message's own proto field and must accept it —
+  // trace fields stay at their "no trace" defaults.
+  net::HelloMsg v1;
+  v1.proto = 1;
+  v1.device_id = "legacy-node";
+  // Even if a trace id is set locally, a v1 encode omits the tail.
+  v1.trace = obs::make_trace_id("legacy-node", 1);
+  v1.sampled = true;
+  const Bytes wire = v1.encode();
+  auto back = net::HelloMsg::decode(wire);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value().proto, 1u);
+  EXPECT_EQ(back.value().device_id, "legacy-node");
+  EXPECT_FALSE(back.value().trace.valid());
+  EXPECT_FALSE(back.value().sampled);
+  // A v2 HELLO missing its trace tail is malformed, not silently v1.
+  net::HelloMsg v2;
+  v2.device_id = "modern-node";
+  Bytes truncated = v2.encode();
+  truncated.resize(truncated.size() - 17);  // strip [hi u64][lo u64][flags u8]
+  EXPECT_FALSE(net::HelloMsg::decode(truncated).ok());
+}
+
 TEST(WireMessages, HelloAckRoundTrip) {
   net::HelloAckMsg ack;
   ack.command_count = 123456;
@@ -219,6 +259,55 @@ TEST(WireMessages, ReportRoundTrip) {
   EXPECT_FALSE(net::ReportMsg::decode(trailing).ok());
 }
 
+TEST(WireMessages, ReportCarriesTraceContextAndToleratesV1Tail) {
+  net::ReportMsg report;
+  report.protocol_ok = true;
+  report.mac_ok = true;
+  report.config_ok = true;
+  report.commands = 12;
+  report.wall_ns = 3'000'000;
+  report.detail = "ok";
+  report.trace = obs::make_trace_id("echo-device", 5);
+  report.sampled = true;
+  auto back = net::ReportMsg::decode(report.encode());
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), report);
+
+  // A v1 REPORT simply lacks the 17-byte trace tail: still valid, trace
+  // fields default. Any other trailing length stays malformed.
+  Bytes v1_wire = report.encode();
+  v1_wire.resize(v1_wire.size() - 17);
+  auto v1_back = net::ReportMsg::decode(v1_wire);
+  ASSERT_TRUE(v1_back.ok()) << v1_back.message();
+  EXPECT_FALSE(v1_back.value().trace.valid());
+  EXPECT_FALSE(v1_back.value().sampled);
+  EXPECT_TRUE(v1_back.value().attested());
+  Bytes partial = report.encode();
+  partial.resize(partial.size() - 1);
+  EXPECT_FALSE(net::ReportMsg::decode(partial).ok());
+}
+
+TEST(WireFraming, VersionOneFrameHeaderStillDecodes) {
+  // kWireVersionMin..kWireVersion are all accepted on the wire; the decoder
+  // surfaces which version framed each frame so sessions can adapt.
+  Frame v1{FrameKind::kHello, Bytes{1, 2, 3}, 1};
+  FrameDecoder decoder;
+  decoder.feed(net::encode_frame(v1));
+  auto got = decoder.next();
+  ASSERT_TRUE(got.ok()) << got.message();
+  ASSERT_TRUE(got.value().has_value());
+  EXPECT_EQ(got.value()->version, 1u);
+  EXPECT_EQ(got.value()->payload, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(decoder.poisoned());
+  // Below the floor (version 0) poisons like any unknown version.
+  FrameDecoder reject;
+  Bytes zero = net::encode_frame(v1);
+  zero[2] = 0;
+  reject.feed(zero);
+  EXPECT_FALSE(reject.next().ok());
+  EXPECT_TRUE(reject.poisoned());
+}
+
 TEST(WireMessages, ErrorRoundTripAndBoundsCheck) {
   net::ErrorMsg error;
   error.failure = core::FailureKind::kPeerDisconnect;
@@ -230,6 +319,25 @@ TEST(WireMessages, ErrorRoundTripAndBoundsCheck) {
   Bytes bad = error.encode();
   bad[0] = 250;  // failure kind beyond the taxonomy
   EXPECT_FALSE(net::ErrorMsg::decode(bad).ok());
+}
+
+TEST(WireFraming, DecodeErrorsAndPoisonedConnsAreCounted) {
+  obs::set_enabled(true);
+  auto& registry = obs::MetricsRegistry::global();
+  const std::uint64_t errors0 =
+      registry.counter("sacha.net.decode_errors").value();
+  const std::uint64_t poisoned0 =
+      registry.counter("sacha.net.poisoned_conns").value();
+  FrameDecoder decoder;
+  decoder.feed(Bytes(net::kFrameHeaderBytes, 0));  // bad magic
+  EXPECT_FALSE(decoder.next().ok());
+  EXPECT_EQ(registry.counter("sacha.net.decode_errors").value(), errors0 + 1);
+  EXPECT_EQ(registry.counter("sacha.net.poisoned_conns").value(),
+            poisoned0 + 1);
+  // Draining an already-poisoned stream is not a fresh decode error.
+  EXPECT_FALSE(decoder.next().ok());
+  EXPECT_EQ(registry.counter("sacha.net.decode_errors").value(), errors0 + 1);
+  obs::set_enabled(false);
 }
 
 TEST(WireFraming, FuzzRandomBytesNeverCrash) {
