@@ -51,6 +51,10 @@ struct Cell {
   double burst_enter;  // 0 = no burst loss
   bool crash;          // member 1 crashes mid-session (first attempt)
   bool stall;          // member 2's ICAP stalls (first attempt)
+  /// Every member shares ONE Gilbert–Elliott uplink chain (fault-plan
+  /// `uplink=` clause): co-located members burst together instead of
+  /// independently.
+  bool correlated_uplink = false;
 };
 
 struct CellOutcome {
@@ -60,12 +64,17 @@ struct CellOutcome {
 };
 
 CellOutcome run_cell(const Cell& cell) {
+  // Cell isolation: each cell's uplink groups get fresh shared chains.
+  fault::reset_uplink_bursts();
   Fleet fleet;
   std::deque<fault::FaultInjector> injectors;
   for (std::size_t i = 0; i < kFleetSize; ++i) {
     fault::FaultPlan plan;
     if (cell.burst_enter > 0.0) {
       plan.burst = {cell.burst_enter, 0.5, 0.0, 1.0};
+    }
+    if (cell.correlated_uplink) {
+      plan.uplink = fault::UplinkFault{7, {0.05, 0.5, 0.0, 1.0}};
     }
     if (cell.crash && i == 1) plan.crash = fault::CrashFault{6, 2};
     if (cell.stall && i == 2) plan.stall = fault::StallFault{4, 3};
@@ -138,6 +147,8 @@ bool fault_matrix_and_emit() {
       {"burst_stall", 0.03, false, true},
       {"crash_stall", 0.0, true, true},
       {"burst_crash_stall", 0.03, true, true},
+      {"uplink_correlated", 0.0, false, false, true},
+      {"uplink_crash", 0.0, true, false, true},
   };
   std::printf("%20s %9s %7s %12s %6s %13s %8s\n", "cell", "attested",
               "healed", "quarantined", "lost", "retransmitted", "status");

@@ -12,11 +12,14 @@
 #include <cstring>
 #include <string>
 
+#include "crypto/merkle.hpp"
+#include "core/signed_attest.hpp"
 #include "net/attest_client.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "update/manifest.hpp"
 
 using namespace sacha;
 
@@ -44,6 +47,10 @@ void print_help() {
       "                     default: keep SACHA_OBS / SACHA_OBS_SAMPLE)\n"
       "  --trace-out PATH   write the client-side spans as a Chrome trace\n"
       "                     (chrome://tracing / Perfetto)\n"
+      "  --update-signer-seed N\n"
+      "                     trust OTA offers signed by this operator\n"
+      "                     identity (attestd's --update-signer-seed);\n"
+      "                     offers are refused without it\n"
       "  --help             this text\n");
 }
 
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
   net::LoadOptions options;
   std::string connect_spec;
   std::string trace_out;
+  std::uint64_t update_signer_seed = 0;
+  bool trust_updates = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* name) -> const char* {
@@ -125,6 +134,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--trace-out") {
       trace_out = next("--trace-out");
       obs::set_enabled(true);
+    } else if (arg == "--update-signer-seed") {
+      update_signer_seed =
+          std::strtoull(next("--update-signer-seed"), nullptr, 10);
+      trust_updates = true;
     } else {
       std::fprintf(stderr, "unknown option '%s' (try --help)\n", arg.c_str());
       return 2;
@@ -141,6 +154,32 @@ int main(int argc, char** argv) {
   }
   options.host = hostport.value().host;
   options.port = hostport.value().port;
+
+  if (trust_updates) {
+    // Each member plays an independent device trusting the same operator
+    // root, so the one-time-leaf policy is fresh per offer: every device
+    // verifying the same signed artifact sees its leaf for the first time.
+    crypto::HashSigner trust(update_signer_seed, /*height=*/4);
+    const crypto::Sha256Digest root = trust.root();
+    options.on_update_offer =
+        [root](const net::UpdateOfferMsg& offer) -> net::UpdateStatusMsg {
+      net::UpdateStatusMsg status;
+      status.version = offer.version;
+      auto signed_manifest = update::SignedManifest::decode(offer.manifest);
+      if (!signed_manifest.ok()) {
+        status.state = "Idle";
+        status.detail = "manifest decode: " + signed_manifest.message();
+        return status;
+      }
+      core::LeafPolicy device_policy;
+      const update::ManifestCheck check = update::verify_manifest(
+          signed_manifest.value(), root, device_policy, /*device_type=*/"");
+      status.accepted = check.ok();
+      status.state = check.ok() ? "Staged" : "Idle";
+      status.detail = check.ok() ? "manifest verified" : check.detail;
+      return status;
+    };
+  }
 
   const net::LoadResult result = net::run_load(options);
 
@@ -166,6 +205,10 @@ int main(int argc, char** argv) {
       tampered_caught, options.tampered.size(), result.peak_concurrent,
       seconds, seconds > 0 ? static_cast<double>(result.completed) / seconds
                            : 0.0);
+  if (result.updates_offered > 0) {
+    std::printf("attest_load: %zu update offers, %zu accepted\n",
+                result.updates_offered, result.updates_accepted);
+  }
 
   if (!trace_out.empty()) {
     std::size_t sampled = 0;

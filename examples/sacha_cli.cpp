@@ -24,6 +24,7 @@
 #include "net/attest_server.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
+#include "update/pipeline.hpp"
 
 using namespace sacha;
 
@@ -37,6 +38,7 @@ struct CliOptions {
   std::uint64_t jitter_us = 0;
   double loss = 0.0;
   std::string fault_plan;          // fault::FaultPlan textual form
+  std::string update_manifest;     // OTA: "version=<v>;app=<name>:<seed>"
   std::uint64_t deadline_ms = 0;   // session deadline (0 = unbounded)
   bool reliable = false;
   bool signed_mode = false;
@@ -73,6 +75,13 @@ void print_help() {
       "                                    burst=enter:exit:loss corrupt=p\n"
       "                                    crash=at[:reboot] stall=at:len\n"
       "                                    spike=p:max_us seu=flips\n"
+      "  --update-manifest SPEC            run the attestation-gated OTA\n"
+      "                                    pipeline: stage, sign, pre-attest,\n"
+      "                                    activate, post-attest, commit (or\n"
+      "                                    roll back); SPEC is\n"
+      "                                    \"version=<v>;app=<name>:<seed>\"\n"
+      "                                    (faults from --fault-plan arm in\n"
+      "                                    every phase session)\n"
       "  --deadline-ms N                   abort the session after N simulated ms\n"
       "  --reliable                        ack + retransmit on loss\n"
       "  --frames-per-config N             frames per ICAP_config command\n"
@@ -160,6 +169,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       const char* v = next("--fault-plan");
       if (!v) return false;
       options.fault_plan = v;
+    } else if (arg == "--update-manifest") {
+      const char* v = next("--update-manifest");
+      if (!v) return false;
+      options.update_manifest = v;
     } else if (arg == "--deadline-ms") {
       const char* v = next("--deadline-ms");
       if (!v) return false;
@@ -451,6 +464,79 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(options.latency_us), options.loss,
               options.reliable ? " reliable" : "",
               options.signed_mode ? " signed" : "");
+
+  if (!options.update_manifest.empty()) {
+    auto parsed = update::UpdateManifest::parse(options.update_manifest);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--update-manifest: %s\n",
+                   parsed.message().c_str());
+      return 2;
+    }
+    update::UpdateManifest manifest = std::move(parsed).take();
+    // The stager's half: device type and payload digest come from a golden
+    // model of the staged design on this device (what an OTA pipeline
+    // computes before signing the artifact).
+    attacks::AttackEnv staged = env;
+    staged.app_spec = manifest.app;
+    const core::SachaVerifier stager = staged.make_verifier();
+    if (manifest.device_type.empty()) {
+      manifest.device_type = stager.floorplan().device().name();
+    }
+    manifest.payload = update::payload_digest(*stager.golden_model());
+    manifest.payload_bytes =
+        update::payload_frame_bytes(*stager.golden_model());
+
+    crypto::HashSigner signer(options.seed ^ 0x5157, 4);
+    auto signed_manifest = update::sign_manifest(manifest, signer);
+    if (!signed_manifest.ok()) {
+      std::fprintf(stderr, "signing manifest: %s\n",
+                   signed_manifest.message().c_str());
+      return 2;
+    }
+    std::printf("manifest           : %s\n", manifest.describe().c_str());
+
+    auto verifier = env.make_verifier();
+    auto prover = env.make_prover();
+    core::LeafPolicy policy;
+    update::UpdateRunOptions run;
+    run.session = env.session_options;
+    run.session.seed = options.seed;
+    std::deque<fault::FaultInjector> injectors;
+    if (!fault_plan.empty()) {
+      std::printf("fault plan         : %s\n", fault_plan.describe().c_str());
+      run.configure = [&](core::SessionOptions& session,
+                          core::SessionHooks& hooks, std::string_view phase,
+                          std::uint32_t attempt) {
+        injectors.emplace_back(fault_plan,
+                               session.seed ^ (phase.size() + attempt));
+        injectors.back().arm(session, hooks);
+      };
+    }
+    const update::UpdateReport report = update::run_update(
+        verifier, prover, signed_manifest.value(), signer.root(), policy,
+        run);
+    std::string trail;
+    for (const auto& transition : report.trail) {
+      if (trail.empty()) trail = update::to_string(transition.from);
+      trail += std::string(" -> ") + update::to_string(transition.to);
+    }
+    std::printf("gate trail         : %s\n", trail.c_str());
+    for (const auto& phase : report.phases) {
+      std::printf("  %-16s %s (%u attempt%s)\n", phase.phase.c_str(),
+                  phase.report.verdict.ok() ? "attested" : "FAILED",
+                  phase.attempts, phase.attempts == 1 ? "" : "s");
+    }
+    std::printf("update             : %s v%llu%s\n",
+                update::to_string(report.final_state),
+                static_cast<unsigned long long>(report.version),
+                report.final_state == update::UpdateState::kRolledBack
+                    ? (report.old_image_attested
+                           ? " (old image re-attested)"
+                           : " (old image NOT attested)")
+                    : "");
+    emit_telemetry(options);
+    return report.committed() ? 0 : 1;
+  }
 
   if (!options.attack.empty()) {
     for (const auto& attack : attacks::standard_suite()) {

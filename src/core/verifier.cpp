@@ -71,7 +71,23 @@ void SachaVerifier::begin() {
   const std::uint32_t total = plan_.device().total_frames();
   steps_.clear();
   const std::uint32_t per_step = std::max(1u, options_.frames_per_readback);
-  if (per_step > 1 || options_.order == ReadbackOrder::kSequentialFromZero) {
+  if (options_.refresh_only && options_.probe_coverage < 1.0 &&
+      options_.probe_coverage > 0.0) {
+    // Probe schedule: the nonce frame plus a fresh random sample of the
+    // memory, in random order. The sample is drawn from the session PRG, so
+    // an adversary cannot predict which frames the next probe inspects.
+    const auto target = static_cast<std::uint32_t>(std::max(
+        1.0, options_.probe_coverage * static_cast<double>(total) + 0.5));
+    Rng probe_rng(prg.next_u64());
+    std::vector<std::uint32_t> perm = probe_rng.permutation(total);
+    perm.resize(std::min<std::size_t>(target, perm.size()));
+    const std::uint32_t nonce_frame = model_->nonce_frame();
+    if (std::find(perm.begin(), perm.end(), nonce_frame) == perm.end()) {
+      perm.back() = nonce_frame;  // freshness: the nonce is always probed
+    }
+    for (std::uint32_t f : perm) steps_.emplace_back(f, 1);
+  } else if (per_step > 1 ||
+             options_.order == ReadbackOrder::kSequentialFromZero) {
     for (std::uint32_t f = 0; f < total; f += per_step) {
       steps_.emplace_back(f, std::min(per_step, total - f));
     }
@@ -84,6 +100,10 @@ void SachaVerifier::begin() {
   } else {
     Rng rng(prg.next_u64());
     for (std::uint32_t f : rng.permutation(total)) steps_.emplace_back(f, 1);
+  }
+  scheduled_.assign(total, 0);
+  for (const auto& [first, count] : steps_) {
+    for (std::uint32_t f = 0; f < count; ++f) scheduled_[first + f] = 1;
   }
 
   config_commands_ = config_command_count();
@@ -418,8 +438,10 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
       config_detail = "configuration mismatch at frame " +
                       std::to_string(*mismatch_frame_);
     } else {
+      // Coverage is required for every *scheduled* frame: the whole memory
+      // in a full or refresh session, only the sample in a probe session.
       for (std::uint32_t f = 0; f < covered_.size(); ++f) {
-        if (!covered_[f]) {
+        if (scheduled_[f] && !covered_[f]) {
           config_ok = false;
           config_detail = "frame " + std::to_string(f) + " never read back";
           break;
@@ -449,7 +471,7 @@ SachaVerifier::Verdict SachaVerifier::finish() const {
     }
     if (config_ok) {
       for (std::uint32_t f = 0; f < covered.size(); ++f) {
-        if (!covered[f]) {
+        if (scheduled_[f] && !covered[f]) {
           config_ok = false;
           config_detail = "frame " + std::to_string(f) + " never read back";
           break;

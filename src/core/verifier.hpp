@@ -68,6 +68,15 @@ struct VerifierOptions {
   /// Requires that a full session previously installed the application;
   /// the full-memory readback still proves the entire configuration.
   bool refresh_only = false;
+  /// Probe sessions (epoch scheduler): with refresh_only set and a coverage
+  /// in (0,1), begin() samples only that fraction of the memory for
+  /// readback (nonce frame always included), in a fresh random order per
+  /// session. The verdict then proves only the *probed* frames — a tamper
+  /// outside the sample is invisible to the probe — so a probe pass must
+  /// never substitute for a full attestation (the epoch scheduler treats a
+  /// probe pass as "no new evidence of staleness", nothing more). 1.0 keeps
+  /// the full-memory refresh readback.
+  double probe_coverage = 1.0;
   VerifyMode mode = VerifyMode::kStreaming;
 };
 
@@ -136,6 +145,17 @@ class SachaVerifier {
   /// subsequent begin() calls (typical lifecycle: one full install, then
   /// periodic cheap refreshes).
   void set_refresh_only(bool refresh) { options_.refresh_only = refresh; }
+  /// Sets the probe sample fraction for subsequent refresh-only begin()
+  /// calls (see VerifierOptions::probe_coverage). Clamped to (0, 1].
+  void set_probe_coverage(double coverage) {
+    options_.probe_coverage =
+        coverage < 1.0 ? (coverage > 0.0 ? coverage : 1.0) : 1.0;
+  }
+  /// True when the current schedule (frozen at begin()) is a sampled probe:
+  /// its verdict covers only the probed subset of frames.
+  bool probe_session() const {
+    return options_.refresh_only && options_.probe_coverage < 1.0;
+  }
   const bitstream::DesignSpec& app_spec() const { return model_->app_spec(); }
 
   /// Replaces the intended application (secure code update: the next
@@ -214,6 +234,10 @@ class SachaVerifier {
   std::uint64_t session_counter_ = 0;
 
   std::vector<std::pair<std::uint32_t, std::uint32_t>> steps_;
+  /// Frames the frozen schedule reads back (all of them outside probe
+  /// sessions). finish()'s coverage check requires exactly these — a probe
+  /// verdict is scoped to its sample by construction.
+  std::vector<char> scheduled_;
   /// config_command_count() and words-per-frame, frozen at begin():
   /// on_response runs once per response (28k+ times on a Virtex-6 session),
   /// so the region walk and geometry chasing move out of the hot path.

@@ -1,10 +1,39 @@
 #include "fault/injector.hpp"
 
+#include <map>
+#include <mutex>
+
 #include "common/log.hpp"
 #include "config/seu.hpp"
 #include "obs/metrics.hpp"
 
 namespace sacha::fault {
+
+namespace {
+
+std::mutex g_uplink_mu;
+std::map<std::uint32_t, std::shared_ptr<net::SharedBurstState>>& uplinks() {
+  static std::map<std::uint32_t, std::shared_ptr<net::SharedBurstState>> map;
+  return map;
+}
+
+}  // namespace
+
+std::shared_ptr<net::SharedBurstState> uplink_burst(
+    std::uint32_t group, const net::BurstLossParams& params) {
+  std::lock_guard<std::mutex> lock(g_uplink_mu);
+  auto& chain = uplinks()[group];
+  if (!chain) {
+    chain = std::make_shared<net::SharedBurstState>(
+        params, derive_seed(0x5ac4au, "fault.uplink", group));
+  }
+  return chain;
+}
+
+void reset_uplink_bursts() {
+  std::lock_guard<std::mutex> lock(g_uplink_mu);
+  uplinks().clear();
+}
 
 FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
     : plan_(plan),
@@ -23,6 +52,10 @@ void FaultInjector::arm(core::SessionOptions& options,
 
   if (plan_.burst.enabled()) {
     options.channel.burst = plan_.burst;
+  }
+  if (plan_.uplink) {
+    options.channel.shared_burst =
+        uplink_burst(plan_.uplink->group, plan_.uplink->burst);
   }
   if (plan_.spike_probability > 0.0) {
     options.channel.spike_probability = plan_.spike_probability;

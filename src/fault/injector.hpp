@@ -17,12 +17,27 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.hpp"
 #include "core/session.hpp"
 #include "fault/plan.hpp"
 
 namespace sacha::fault {
+
+/// Process-wide registry of shared uplink chains. Every injector arming a
+/// plan with `uplink=<group>:...` attaches the same net::SharedBurstState
+/// for that group, so co-located members burst together. The chain is
+/// created on first use with the first caller's parameters and its seed is
+/// derived from the group id alone — each member's own session streams are
+/// untouched. The first parameters win; later callers with a different
+/// BurstLossParams for the same group share the existing chain.
+std::shared_ptr<net::SharedBurstState> uplink_burst(
+    std::uint32_t group, const net::BurstLossParams& params);
+
+/// Drops every registered uplink chain (test / bench-cell isolation: each
+/// cell should start with fresh chain state).
+void reset_uplink_bursts();
 
 class FaultInjector {
  public:

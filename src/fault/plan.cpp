@@ -65,6 +65,24 @@ Result<FaultPlan> FaultPlan::parse(std::string_view spec) {
       if (plan.burst.p_good_to_bad > 0.0 && plan.burst.p_bad_to_good <= 0.0) {
         return clause_error(clause, "exit probability must be > 0");
       }
+    } else if (key == "uplink") {
+      if (vals.size() != 4) {
+        return clause_error(clause, "want group:enter:exit:loss");
+      }
+      UplinkFault uplink;
+      if (!parse_u32(vals[0], uplink.group)) {
+        return clause_error(clause, "group must be an unsigned integer");
+      }
+      if (!parse_probability(vals[1], uplink.burst.p_good_to_bad) ||
+          !parse_probability(vals[2], uplink.burst.p_bad_to_good) ||
+          !parse_probability(vals[3], uplink.burst.loss_bad)) {
+        return clause_error(clause, "probabilities must be in [0,1]");
+      }
+      if (uplink.burst.p_good_to_bad > 0.0 &&
+          uplink.burst.p_bad_to_good <= 0.0) {
+        return clause_error(clause, "exit probability must be > 0");
+      }
+      plan.uplink = uplink;
     } else if (key == "corrupt") {
       if (vals.size() != 1 ||
           !parse_probability(vals[0], plan.corrupt_probability)) {
@@ -114,6 +132,12 @@ std::string FaultPlan::describe() const {
   if (burst.enabled()) {
     out << sep << "burst=" << burst.p_good_to_bad << ':' << burst.p_bad_to_good
         << ':' << burst.loss_bad;
+    sep = ";";
+  }
+  if (uplink) {
+    out << sep << "uplink=" << uplink->group << ':'
+        << uplink->burst.p_good_to_bad << ':' << uplink->burst.p_bad_to_good
+        << ':' << uplink->burst.loss_bad;
     sep = ";";
   }
   if (corrupt_probability > 0.0) {

@@ -11,6 +11,10 @@
 // The textual form is a `;`-separated clause list:
 //
 //   burst=<p_enter>:<p_exit>:<loss_bad>   two-state burst loss
+//   uplink=<group>:<p_enter>:<p_exit>:<loss_bad>
+//                                         correlated burst loss: members
+//                                         armed with the same group share
+//                                         ONE chain (co-located uplink)
 //   corrupt=<p>                           per-response corruption prob.
 //   crash=<at_command>[:<reboot_after>]   crash at command k, reboot after
 //                                         n further packets (0 = stay dead)
@@ -50,9 +54,19 @@ struct StallFault {
   std::uint32_t packets = 1;
 };
 
+/// Correlated uplink loss: every member whose plan names the same group id
+/// is attached to one shared Gilbert–Elliott chain (net::SharedBurstState),
+/// so co-located members see correlated bursts instead of independent ones.
+struct UplinkFault {
+  std::uint32_t group = 0;
+  net::BurstLossParams burst{};
+};
+
 struct FaultPlan {
   /// Burst loss on the channel (enabled when p_good_to_bad > 0).
   net::BurstLossParams burst{};
+  /// Correlated fleet-wide burst loss keyed by uplink group.
+  std::optional<UplinkFault> uplink;
   /// Probability that a delivered response has one wire bit flipped.
   double corrupt_probability = 0.0;
   std::optional<CrashFault> crash;
@@ -65,8 +79,8 @@ struct FaultPlan {
   std::uint32_t seu_flips = 0;
 
   bool empty() const {
-    return !burst.enabled() && corrupt_probability <= 0.0 && !crash &&
-           !stall && spike_probability <= 0.0 && seu_flips == 0;
+    return !burst.enabled() && !uplink && corrupt_probability <= 0.0 &&
+           !crash && !stall && spike_probability <= 0.0 && seu_flips == 0;
   }
 
   /// Human-readable clause list in the textual form above ("none" when

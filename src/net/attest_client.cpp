@@ -177,6 +177,10 @@ class LoadRunner {
         ++result_.completed;
         if (outcome.report.attested()) ++result_.attested;
       }
+      if (outcome.update_offered) {
+        ++result_.updates_offered;
+        if (outcome.update_status.accepted) ++result_.updates_accepted;
+      }
     }
     result_.wall_ns = ns_since(wall_start);
     return std::move(result_);
@@ -231,7 +235,9 @@ class LoadRunner {
                        obs::Tracer::global().now_ns(), 0);
       member->traced = false;
     }
-    member->outcome.latency_ns = ns_since(member->start);
+    if (member->outcome.latency_ns == 0) {
+      member->outcome.latency_ns = ns_since(member->start);
+    }
     member->outcome.client_mac = member->agent->last_mac();
     result_.members[member->index] = member->outcome;
     loop_.remove(member->channel.fd());
@@ -301,8 +307,36 @@ class LoadRunner {
         }
         member->outcome.completed = true;
         member->outcome.report = std::move(report).take();
-        finish_member(member, "");
-        return false;
+        // Session latency ends at the verdict, not at teardown: a v3
+        // server may keep the connection open for one UPDATE_OFFER /
+        // UPDATE_STATUS exchange after the REPORT, and closes it either
+        // way once done (the close is what finishes the member).
+        member->outcome.latency_ns = ns_since(member->start);
+        return true;
+      }
+      case FrameKind::kUpdateOffer: {
+        auto offer = UpdateOfferMsg::decode(frame.payload);
+        if (!offer.ok()) {
+          finish_member(member, "bad UPDATE_OFFER: " + offer.message());
+          return false;
+        }
+        UpdateStatusMsg status;
+        status.version = offer.value().version;
+        if (opts_.on_update_offer) {
+          status = opts_.on_update_offer(offer.value());
+        } else {
+          status.accepted = false;
+          status.state = "Idle";
+          status.detail = "no update handler";
+        }
+        member->outcome.update_offered = true;
+        member->outcome.update_status = status;
+        if (!member->channel.send(FrameKind::kUpdateStatus, status.encode())
+                 .ok()) {
+          finish_member(member, "UPDATE_STATUS send failed");
+          return false;
+        }
+        return true;
       }
       case FrameKind::kError: {
         auto msg = ErrorMsg::decode(frame.payload);

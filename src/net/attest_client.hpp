@@ -84,6 +84,15 @@ struct LoadOptions {
   /// the run (0 = trace nothing, 1 = everything); negative leaves the
   /// process-wide rate (SACHA_OBS_SAMPLE / --trace-sample) untouched.
   double trace_sample = -1.0;
+  /// OTA offer handler (wire v3): invoked when the server follows a
+  /// passing session's REPORT with an UPDATE_OFFER; returns the
+  /// UPDATE_STATUS reply (accepted + gate state + refusal detail). Null =
+  /// refuse every offer ("no update handler"). The verification logic
+  /// lives with the caller on purpose: sacha_net sits below sacha_update,
+  /// so attest_load and the service tests link the update library and
+  /// pass a closure that checks the manifest signature against their own
+  /// provisioned trusted root before accepting.
+  std::function<UpdateStatusMsg(const UpdateOfferMsg&)> on_update_offer;
 };
 
 struct MemberOutcome {
@@ -102,6 +111,10 @@ struct MemberOutcome {
   /// head-sampled (client-minted decision, propagated to the server).
   obs::TraceId trace{};
   bool sampled = false;
+  /// OTA: the server offered a staged manifest after the verdict, and
+  /// this is the UPDATE_STATUS this member answered with.
+  bool update_offered = false;
+  UpdateStatusMsg update_status{};
 };
 
 struct LoadResult {
@@ -110,6 +123,9 @@ struct LoadResult {
   std::size_t attested = 0;
   /// Largest number of connections simultaneously open.
   std::size_t peak_concurrent = 0;
+  /// OTA offers received / accepted across the fleet.
+  std::size_t updates_offered = 0;
+  std::size_t updates_accepted = 0;
   std::uint64_t wall_ns = 0;
 
   bool all_completed() const { return completed == members.size(); }

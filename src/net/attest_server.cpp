@@ -98,6 +98,9 @@ struct AttestServer::Impl {
     bool verify_active = false;  // a worker is draining this conn
     bool finished = false;       // report produced (or quarantined)
     bool want_close = false;     // close once the outgoing buffer drains
+    /// UPDATE_OFFER followed the REPORT; the connection stays open for
+    /// exactly one UPDATE_STATUS answer (or the idle timeout).
+    bool offer_pending = false;
     std::vector<Frame> outbox;   // worker-produced frames, loop-sent
   };
 
@@ -142,6 +145,11 @@ struct AttestServer::Impl {
   std::thread loop_thread;
   std::vector<std::thread> workers;
   std::atomic<bool> stopping{false};
+  /// Graceful-shutdown state: once draining, new HELLOs are refused and
+  /// in-flight sessions run out; past the deadline (ms since start_time,
+  /// 0 = none) stragglers are closed and quarantined.
+  std::atomic<bool> draining{false};
+  std::atomic<std::uint64_t> drain_deadline_ms{0};
 
   // Verify-lane scheduler (mirrors the fleet engine's lanes + stealing).
   std::mutex sched_mu;
@@ -166,6 +174,10 @@ struct AttestServer::Impl {
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> batches{0};
   std::atomic<std::uint64_t> active{0};  // conns.size(), readable off-loop
+  std::atomic<std::uint64_t> updates_offered{0};
+  std::atomic<std::uint64_t> updates_accepted{0};
+  std::atomic<std::uint64_t> updates_rejected{0};
+  std::atomic<std::uint64_t> drain_refusals{0};
 
   void wake() {
     const char byte = 1;
@@ -203,6 +215,7 @@ struct AttestServer::Impl {
       }
       service_wake_list();
       scan_timeouts();
+      scan_drain();
     }
     // Shutdown: close everything so workers' shared_ptrs are the only
     // remaining owners.
@@ -446,9 +459,16 @@ struct AttestServer::Impl {
     const std::uint64_t age_ms = now_ms > tick ? now_ms - tick : 0;
     const bool live = age_ms <= 5000;
     if (!live) *status = "503 Service Unavailable";
+    // Draining is healthy-but-leaving: 200 so sidecars don't page, status
+    // "draining" so load balancers stop routing new provers here.
+    const char* state = !live ? "\"stale\""
+                              : (draining.load(std::memory_order_relaxed)
+                                     ? "\"draining\""
+                                     : "\"ok\"");
     std::ostringstream out;
-    out << "{\"status\":" << (live ? "\"ok\"" : "\"stale\"")
-        << ",\"loop_tick_age_ms\":" << age_ms << ",\"uptime_ms\":" << now_ms
+    out << "{\"status\":" << state << ",\"loop_tick_age_ms\":" << age_ms
+        << ",\"uptime_ms\":" << now_ms
+        << ",\"active_sessions\":" << active.load(std::memory_order_relaxed)
         << ",\"lane_depths\":[";
     {
       std::lock_guard<std::mutex> lock(sched_mu);
@@ -574,6 +594,8 @@ struct AttestServer::Impl {
         return handle_hello(conn, frame.payload);
       case FrameKind::kResponse:
         return handle_response(conn, frame.payload);
+      case FrameKind::kUpdateStatus:
+        return handle_update_status(conn, frame.payload);
       case FrameKind::kError: {
         auto msg = ErrorMsg::decode(frame.payload);
         log_warn() << "attestd: peer aborted conn " << conn->id << ": "
@@ -613,6 +635,19 @@ struct AttestServer::Impl {
           error_frame_payload(core::FailureKind::kDecodeError,
                               hello.ok() ? "unsupported protocol version"
                                          : hello.message()));
+      close_conn(conn, /*mid_session=*/false);
+      return false;
+    }
+    if (draining.load(std::memory_order_relaxed)) {
+      // Phase one of graceful shutdown: no new sessions. The typed refusal
+      // lets a load balancer (or the fleet client) fail over immediately
+      // instead of burning its retry budget here.
+      hello_rejected.add(1);
+      drain_refusals.fetch_add(1, std::memory_order_relaxed);
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDeviceError,
+                              "server draining, not accepting sessions"));
       close_conn(conn, /*mid_session=*/false);
       return false;
     }
@@ -680,6 +715,49 @@ struct AttestServer::Impl {
     return true;
   }
 
+  /// The prover's answer to the UPDATE_OFFER that followed its REPORT.
+  /// Pure accounting: the attestation verdict is already sealed, and the
+  /// device's gate decision (verified signature, staged or refused) is the
+  /// fleet-rollout signal the operator watches.
+  bool handle_update_status(const std::shared_ptr<Conn>& conn,
+                            const Bytes& payload) {
+    if (!conn->offer_pending) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              "UPDATE_STATUS without a pending offer"));
+      close_conn(conn, mid_session(conn));
+      return false;
+    }
+    auto status = UpdateStatusMsg::decode(payload);
+    if (!status.ok()) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kDecodeError,
+                              status.message()));
+      close_conn(conn, /*mid_session=*/false);
+      return false;
+    }
+    conn->offer_pending = false;
+    const UpdateStatusMsg& msg = status.value();
+    (msg.accepted ? updates_accepted : updates_rejected)
+        .fetch_add(1, std::memory_order_relaxed);
+    static obs::Counter& accepted_ctr = obs::MetricsRegistry::global().counter(
+        "sacha.attestd.updates_accepted");
+    static obs::Counter& rejected_ctr = obs::MetricsRegistry::global().counter(
+        "sacha.attestd.updates_rejected");
+    (msg.accepted ? accepted_ctr : rejected_ctr).add(1);
+    (log_info() << "attestd update status")
+        .kv("conn", conn->id)
+        .kv("device", conn->hello.device_id)
+        .kv("version", msg.version)
+        .kv("accepted", msg.accepted)
+        .kv("state", msg.state)
+        .kv("detail", msg.detail);
+    close_conn(conn, /*mid_session=*/false);
+    return false;
+  }
+
   /// Drive strand: keeps up to command_window commands in flight. Only the
   /// loop thread calls this (next_command_wire reads the frozen schedule —
   /// disjoint from the verify strand's absorb state).
@@ -708,6 +786,26 @@ struct AttestServer::Impl {
           FrameKind::kError,
           error_frame_payload(core::FailureKind::kTimeoutExhausted,
                               "session idle timeout"));
+      close_conn(conn, mid_session(conn));
+    }
+  }
+
+  /// Drain phase two: past the deadline, in-flight sessions have had their
+  /// chance — close and quarantine the stragglers so stop() finds an empty
+  /// table. (HELLO refusal — phase one — lives in handle_hello.)
+  void scan_drain() {
+    if (!draining.load(std::memory_order_relaxed)) return;
+    const std::uint64_t deadline =
+        drain_deadline_ms.load(std::memory_order_relaxed);
+    if (deadline == 0 || ms_since(start_time) < deadline) return;
+    std::vector<std::shared_ptr<Conn>> laggards;
+    laggards.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) laggards.push_back(conn);
+    for (const auto& conn : laggards) {
+      (void)conn->channel.send(
+          FrameKind::kError,
+          error_frame_payload(core::FailureKind::kTimeoutExhausted,
+                              "server drained before session completed"));
       close_conn(conn, mid_session(conn));
     }
   }
@@ -899,10 +997,32 @@ struct AttestServer::Impl {
     // when its own HELLO record was lost (e.g. a replayed capture).
     msg.trace = conn->hello.trace;
     msg.sampled = conn->hello.sampled;
+    // A staged OTA rides on attestation health: only a device that just
+    // proved its configuration gets the offer (an unattested device first
+    // needs escalation, not new firmware), and only over wire v3+.
+    const bool offer = !opts.update_offer.empty() && msg.attested() &&
+                       conn->hello.proto >= 3;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->outbox.push_back(Frame{FrameKind::kReport, msg.encode()});
-      conn->want_close = true;
+      if (offer) {
+        UpdateOfferMsg offer_msg;
+        offer_msg.version = opts.update_version;
+        offer_msg.manifest = opts.update_offer;
+        conn->outbox.push_back(
+            Frame{FrameKind::kUpdateOffer, offer_msg.encode()});
+        conn->offer_pending = true;
+        conn->want_close = false;
+      } else {
+        conn->want_close = true;
+      }
+    }
+    if (offer) {
+      updates_offered.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& offered_ctr =
+          obs::MetricsRegistry::global().counter(
+              "sacha.attestd.updates_offered");
+      offered_ctr.add(1);
     }
     completed.fetch_add(1, std::memory_order_relaxed);
     (msg.attested() ? attested : failed).fetch_add(1,
@@ -1011,7 +1131,37 @@ AttestServerStats AttestServer::stats() const {
   out.peak_connections = impl_->peak.load(std::memory_order_relaxed);
   out.verify_steals = impl_->steals.load(std::memory_order_relaxed);
   out.verify_batches = impl_->batches.load(std::memory_order_relaxed);
+  out.updates_offered = impl_->updates_offered.load(std::memory_order_relaxed);
+  out.updates_accepted =
+      impl_->updates_accepted.load(std::memory_order_relaxed);
+  out.updates_rejected =
+      impl_->updates_rejected.load(std::memory_order_relaxed);
+  out.drain_refusals = impl_->drain_refusals.load(std::memory_order_relaxed);
+  out.draining = impl_->draining.load(std::memory_order_relaxed);
   return out;
+}
+
+void AttestServer::begin_drain(std::uint64_t drain_ms) {
+  if (impl_ == nullptr) return;
+  if (drain_ms != 0) {
+    impl_->drain_deadline_ms.store(ms_since(impl_->start_time) + drain_ms,
+                                   std::memory_order_relaxed);
+  }
+  impl_->draining.store(true, std::memory_order_relaxed);
+  impl_->wake();
+  (log_info() << "attestd draining")
+      .kv("drain_ms", drain_ms)
+      .kv("active", impl_->active.load(std::memory_order_relaxed));
+}
+
+bool AttestServer::draining() const {
+  return impl_ != nullptr && impl_->draining.load(std::memory_order_relaxed);
+}
+
+bool AttestServer::drained() const {
+  return impl_ != nullptr &&
+         impl_->draining.load(std::memory_order_relaxed) &&
+         impl_->active.load(std::memory_order_relaxed) == 0;
 }
 
 }  // namespace sacha::net

@@ -72,6 +72,14 @@ struct AttestServerOptions {
   double slo_target = 0.999;
   /// Sampled cross-process timelines retained for /tracez.
   std::size_t tracez_capacity = 32;
+  /// Staged OTA offer: an update::SignedManifest::encode() blob, offered
+  /// (UPDATE_OFFER) after every PASSING session to peers that spoke wire
+  /// v3+. Empty = no update staged. Opaque here: sacha_net sits below
+  /// sacha_update, so the server ships bytes and counts answers; the
+  /// receiving client verifies the signature against its own trusted root.
+  Bytes update_offer{};
+  /// Manifest version advertised with the offer (for logs and refusals).
+  std::uint64_t update_version = 0;
 };
 
 struct AttestServerStats {
@@ -89,6 +97,13 @@ struct AttestServerStats {
   std::uint64_t peak_connections = 0;
   std::uint64_t verify_steals = 0;
   std::uint64_t verify_batches = 0;
+  /// OTA offer accounting (update_offer staged in the options).
+  std::uint64_t updates_offered = 0;
+  std::uint64_t updates_accepted = 0;
+  std::uint64_t updates_rejected = 0;
+  /// HELLOs refused because the server was draining.
+  std::uint64_t drain_refusals = 0;
+  bool draining = false;
 };
 
 class AttestServer {
@@ -102,6 +117,16 @@ class AttestServer {
   Status start();
   /// Stops the threads and closes every connection. Idempotent.
   void stop();
+
+  /// Graceful shutdown, phase one: refuse new HELLOs (typed ERROR,
+  /// kDeviceError "draining"), keep serving HTTP (healthz reports
+  /// "draining"), and let in-flight sessions run to completion — bounded
+  /// by `drain_ms` (0 = unbounded), after which stragglers are closed and
+  /// quarantined. Non-blocking; poll drained() then call stop().
+  void begin_drain(std::uint64_t drain_ms);
+  bool draining() const;
+  /// True once draining and no session connections remain.
+  bool drained() const;
 
   /// Bound port (valid after start(); the ephemeral-port answer).
   std::uint16_t port() const { return port_; }

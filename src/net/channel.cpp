@@ -13,6 +13,41 @@ double BurstLossParams::mean_loss() const {
   return (1.0 - p_bad) * loss_good + p_bad * loss_bad;
 }
 
+SharedBurstState::SharedBurstState(BurstLossParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+bool SharedBurstState::drop_message() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++messages_;
+  if (!params_.enabled()) return false;
+  if (in_burst_) {
+    if (rng_.chance(params_.p_bad_to_good)) in_burst_ = false;
+  } else if (rng_.chance(params_.p_good_to_bad)) {
+    in_burst_ = true;
+  }
+  const double p = in_burst_ ? params_.loss_bad : params_.loss_good;
+  if (p > 0.0 && rng_.chance(p)) {
+    ++losses_;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t SharedBurstState::messages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_;
+}
+
+std::uint64_t SharedBurstState::losses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return losses_;
+}
+
+bool SharedBurstState::in_burst() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_burst_;
+}
+
 ChannelParams ChannelParams::ideal() { return ChannelParams{}; }
 
 ChannelParams ChannelParams::lab() {
@@ -48,6 +83,19 @@ std::optional<sim::SimDuration> Channel::transfer(std::size_t payload_bytes) {
           .kv("payload_bytes", payload_bytes)
           .kv("lost_total", messages_lost_);
     }
+    return std::nullopt;
+  }
+  // Correlated uplink loss: members sharing this chain advance it together,
+  // so one uplink burst takes all of them out at once. The chain owns its
+  // randomness — the per-channel stream is untouched (bit-identity when no
+  // uplink is attached).
+  if (params_.shared_burst && params_.shared_burst->drop_message()) {
+    static obs::Counter& uplink_lost =
+        registry.counter("sacha.net.uplink_losses");
+    ++messages_lost_;
+    ++burst_losses_;
+    lost.add(1);
+    uplink_lost.add(1);
     return std::nullopt;
   }
   // Gilbert–Elliott burst loss: advance the state chain per message, then

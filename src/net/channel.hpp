@@ -9,6 +9,8 @@
 // exercise retransmission.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/bytes.hpp"
@@ -33,6 +35,36 @@ struct BurstLossParams {
   double mean_loss() const;
 };
 
+/// One Gilbert–Elliott chain *shared* by several channels: co-located fleet
+/// members behind one congested uplink do not fade independently — when the
+/// uplink enters a burst, every member's traffic drops together. Channels
+/// holding the same SharedBurstState advance one common chain (one state
+/// transition per message crossing the uplink, any member), so their losses
+/// correlate in time. Thread-safe; the chain's randomness is its own (seeded
+/// at construction), so attaching it never perturbs a member's session
+/// streams. Cross-member loss *placement* depends on message interleaving
+/// and is therefore only reproducible under serialised schedules.
+class SharedBurstState {
+ public:
+  SharedBurstState(BurstLossParams params, std::uint64_t seed);
+
+  /// Advances the chain one message; true when the uplink dropped it.
+  bool drop_message();
+
+  const BurstLossParams& params() const { return params_; }
+  std::uint64_t messages() const;
+  std::uint64_t losses() const;
+  bool in_burst() const;
+
+ private:
+  mutable std::mutex mu_;
+  BurstLossParams params_;
+  Rng rng_;
+  bool in_burst_ = false;
+  std::uint64_t messages_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
 struct ChannelParams {
   WireModel wire{};
   sim::SimDuration per_command_latency = 0;  // host stack + propagation, per message
@@ -40,6 +72,10 @@ struct ChannelParams {
   double loss_probability = 0.0;             // per message, independent
   /// Correlated (bursty) loss on top of the independent loss model.
   BurstLossParams burst{};
+  /// Fleet-correlated loss: when set, every transfer also crosses this
+  /// shared uplink chain (fault harness `uplink=` clause). Members of one
+  /// uplink group hold the same object, so they burst together.
+  std::shared_ptr<SharedBurstState> shared_burst{};
   /// Slow-member jitter spikes: with this probability a message pays an
   /// extra uniform [0, spike_max] delay (GC pause, queue build-up) on top
   /// of the regular jitter.

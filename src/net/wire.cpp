@@ -256,6 +256,59 @@ Result<ReportMsg> ReportMsg::decode(ByteSpan payload) {
 
 // -- ERROR ------------------------------------------------------------------
 
+// -- UPDATE (v3) ------------------------------------------------------------
+
+Bytes UpdateOfferMsg::encode() const {
+  Bytes out;
+  put_u64be(out, version);
+  put_u32be(out, static_cast<std::uint32_t>(manifest.size()));
+  append(out, manifest);
+  return out;
+}
+
+Result<UpdateOfferMsg> UpdateOfferMsg::decode(ByteSpan payload) {
+  if (payload.size() < 12) {
+    return Result<UpdateOfferMsg>::error("truncated UPDATE_OFFER");
+  }
+  UpdateOfferMsg msg;
+  msg.version = get_u64be(payload, 0);
+  const std::size_t len = get_u32be(payload, 8);
+  if (len > kMaxFramePayload || 12 + len != payload.size()) {
+    return Result<UpdateOfferMsg>::error("bad UPDATE_OFFER manifest length");
+  }
+  msg.manifest.assign(payload.begin() + 12, payload.begin() + 12 + len);
+  return msg;
+}
+
+Bytes UpdateStatusMsg::encode() const {
+  Bytes out;
+  put_u64be(out, version);
+  out.push_back(accepted ? 1 : 0);
+  put_string(out, state);
+  put_string(out, detail);
+  return out;
+}
+
+Result<UpdateStatusMsg> UpdateStatusMsg::decode(ByteSpan payload) {
+  if (payload.size() < 8 + 1 + 2 + 2) {
+    return Result<UpdateStatusMsg>::error("truncated UPDATE_STATUS");
+  }
+  UpdateStatusMsg msg;
+  msg.version = get_u64be(payload, 0);
+  msg.accepted = (payload[8] & 1) != 0;
+  std::size_t offset = 9;
+  auto state = get_string(payload, offset, 64, "update status state");
+  if (!state.ok()) return Result<UpdateStatusMsg>::error(state.message());
+  msg.state = std::move(state).take();
+  auto detail = get_string(payload, offset, 1024, "update status detail");
+  if (!detail.ok()) return Result<UpdateStatusMsg>::error(detail.message());
+  msg.detail = std::move(detail).take();
+  if (offset != payload.size()) {
+    return Result<UpdateStatusMsg>::error("trailing bytes after UPDATE_STATUS");
+  }
+  return msg;
+}
+
 Bytes ErrorMsg::encode() const {
   Bytes out;
   out.push_back(static_cast<std::uint8_t>(failure));

@@ -42,11 +42,13 @@ namespace sacha::net {
 
 inline constexpr std::uint16_t kWireMagic = 0x5341;  // "SA"
 /// Version 2 added the optional trace-context tail (TraceId + sampling
-/// flag) to HELLO and REPORT. Decoders accept every version in
+/// flag) to HELLO and REPORT. Version 3 added the OTA frames
+/// (UPDATE_OFFER / UPDATE_STATUS). Decoders accept every version in
 /// [kWireVersionMin, kWireVersion]: a v1 peer simply runs without
-/// cross-process trace propagation, nothing else changes — the trace
-/// fields are observability-only and never feed the MAC path.
-inline constexpr std::uint8_t kWireVersion = 2;
+/// cross-process trace propagation, a v2 peer is never sent an update
+/// offer (attestd checks the HELLO's proto before offering) — the added
+/// fields/frames are side channels and never feed the MAC path.
+inline constexpr std::uint8_t kWireVersion = 3;
 inline constexpr std::uint8_t kWireVersionMin = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Upper bound on a frame payload. The largest legitimate frame is a
@@ -62,12 +64,16 @@ enum class FrameKind : std::uint8_t {
   kResponse = 4,  // prover -> verifier: optional Response::encode() packet
   kReport = 5,    // verifier -> prover: end-of-session verdict
   kError = 6,     // either direction: typed abort, connection closes
+  // v3 OTA frames. The verifier offers a staged signed manifest only after
+  // a PASSING session's REPORT; the prover answers with its gate decision.
+  kUpdateOffer = 7,   // verifier -> prover: signed manifest, opaque bytes
+  kUpdateStatus = 8,  // prover -> verifier: accept/reject + gate state
 };
 
 /// True when `kind` is a value this protocol version defines.
 constexpr bool frame_kind_valid(std::uint8_t kind) {
   return kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
-         kind <= static_cast<std::uint8_t>(FrameKind::kError);
+         kind <= static_cast<std::uint8_t>(FrameKind::kUpdateStatus);
 }
 
 struct Frame {
@@ -185,6 +191,36 @@ struct ReportMsg {
   Bytes encode() const;
   static Result<ReportMsg> decode(ByteSpan payload);
   bool operator==(const ReportMsg&) const = default;
+};
+
+// -- UPDATE (v3) ------------------------------------------------------------
+
+/// A staged signed update, offered after a passing session. The manifest
+/// bytes are an update::SignedManifest::encode() blob — opaque at this
+/// layer (sacha_net sits below sacha_update), verified by the receiver
+/// against its provisioned trusted root before any gate transition.
+struct UpdateOfferMsg {
+  std::uint64_t version = 0;  // manifest version, for logging/refusal
+  Bytes manifest;             // update::SignedManifest::encode()
+
+  Bytes encode() const;
+  static Result<UpdateOfferMsg> decode(ByteSpan payload);
+  bool operator==(const UpdateOfferMsg&) const = default;
+};
+
+/// The prover's answer to an UPDATE_OFFER: whether its manifest check and
+/// update gate accepted the offer, and the gate state it landed in
+/// ("Staged", "RolledBack", ...). The server counts these per fleet; a
+/// refusal never affects the attestation verdict already reported.
+struct UpdateStatusMsg {
+  std::uint64_t version = 0;
+  bool accepted = false;
+  std::string state;   // update::to_string(UpdateState) at the device
+  std::string detail;  // refusal reason / manifest-check detail
+
+  Bytes encode() const;
+  static Result<UpdateStatusMsg> decode(ByteSpan payload);
+  bool operator==(const UpdateStatusMsg&) const = default;
 };
 
 // -- ERROR ------------------------------------------------------------------

@@ -1,20 +1,24 @@
 #include "obs/slo.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace sacha::obs {
 
 SloTracker::SloTracker(Options options)
-    : options_(options),
-      g_total_(MetricsRegistry::global().gauge("sacha.slo.sessions_total")),
-      g_good_(MetricsRegistry::global().gauge("sacha.slo.sessions_good")),
+    : options_(std::move(options)),
+      g_total_(MetricsRegistry::global().gauge(options_.metric_prefix +
+                                               ".sessions_total")),
+      g_good_(MetricsRegistry::global().gauge(options_.metric_prefix +
+                                              ".sessions_good")),
       g_budget_ppm_(MetricsRegistry::global().gauge(
-          "sacha.slo.error_budget_remaining_ppm")),
-      g_burn_milli_(
-          MetricsRegistry::global().gauge("sacha.slo.burn_rate_milli")),
+          options_.metric_prefix + ".error_budget_remaining_ppm")),
+      g_burn_milli_(MetricsRegistry::global().gauge(options_.metric_prefix +
+                                                    ".burn_rate_milli")),
       g_objective_ms_(MetricsRegistry::global().gauge(
-          "sacha.slo.latency_objective_ms")),
-      g_target_ppm_(MetricsRegistry::global().gauge("sacha.slo.target_ppm")) {
+          options_.metric_prefix + ".latency_objective_ms")),
+      g_target_ppm_(MetricsRegistry::global().gauge(options_.metric_prefix +
+                                                    ".target_ppm")) {
   options_.target = std::clamp(options_.target, 0.0, 0.999999);
   g_objective_ms_.set(
       static_cast<std::int64_t>(options_.latency_objective_ns / 1'000'000));

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "obs/metrics.hpp"
 
@@ -31,6 +32,10 @@ class SloTracker {
     std::uint64_t latency_objective_ns = 250'000'000;  // 250 ms
     /// Target good fraction in [0,1); the error budget is 1 - target.
     double target = 0.999;
+    /// Gauge name prefix. Two trackers in one process (e.g. attestd's
+    /// session SLO and the epoch scheduler's freshness SLO) must use
+    /// distinct prefixes or they clobber each other's gauges.
+    std::string metric_prefix = "sacha.slo";
   };
 
   SloTracker() : SloTracker(Options{}) {}

@@ -1,0 +1,326 @@
+#include "update/epoch.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace sacha::update {
+
+namespace {
+
+obs::SloTracker::Options freshness_slo_options(const EpochOptions& options) {
+  obs::SloTracker::Options slo;
+  slo.latency_objective_ns = 0;  // freshness is a pass/fail objective
+  slo.target = options.slo_target;
+  slo.metric_prefix = "sacha.epoch.freshness";
+  return slo;
+}
+
+}  // namespace
+
+EpochScheduler::EpochScheduler(std::vector<EpochMember> members,
+                               EpochOptions options)
+    : members_(std::move(members)),
+      options_(std::move(options)),
+      slo_(freshness_slo_options(options_)),
+      g_fresh_(obs::MetricsRegistry::global().gauge(
+          "sacha.epoch.freshness_fresh")),
+      g_stale_(obs::MetricsRegistry::global().gauge(
+          "sacha.epoch.freshness_stale")),
+      g_quarantined_(obs::MetricsRegistry::global().gauge(
+          "sacha.epoch.freshness_quarantined")),
+      g_within_ppm_(obs::MetricsRegistry::global().gauge(
+          "sacha.epoch.freshness_within_window_ppm")),
+      g_oldest_age_(obs::MetricsRegistry::global().gauge(
+          "sacha.epoch.freshness_oldest_age_epochs")),
+      g_epoch_(obs::MetricsRegistry::global().gauge("sacha.epoch.current")) {
+  states_.reserve(members_.size());
+  for (const EpochMember& member : members_) {
+    EpochMemberState state;
+    state.id = member.id;
+    states_.push_back(std::move(state));
+  }
+}
+
+Status EpochScheduler::stage_update(const SignedManifest& manifest,
+                                    const crypto::Sha256Digest& trusted_root) {
+  // Coordinator-side check: signature, device type, and the operator-level
+  // one-time leaf (a re-signed manifest reusing a leaf is refused here,
+  // before it reaches any device).
+  std::string device_type;
+  if (!members_.empty() && members_.front().verifier != nullptr) {
+    device_type = members_.front().verifier->floorplan().device().name();
+  }
+  const ManifestCheck check =
+      verify_manifest(manifest, trusted_root, coordinator_policy_, device_type);
+  if (!check.ok()) {
+    return Status::error("stage_update: " + check.detail);
+  }
+  staged_ = StagedUpdate{manifest, trusted_root};
+  for (EpochMemberState& state : states_) {
+    state.update_attempts = 0;
+    state.update_committed = false;
+  }
+  (log_info() << "update staged for fleet")
+      .kv("manifest", manifest.manifest.describe())
+      .kv("members", members_.size());
+  return Status();
+}
+
+core::SwarmReport EpochScheduler::run_swarm(
+    const std::vector<std::size_t>& indices, std::string_view label,
+    std::uint32_t retry_budget) {
+  std::vector<core::SwarmMember> fleet;
+  fleet.reserve(indices.size());
+  for (std::size_t i : indices) {
+    core::SwarmMember member;
+    member.id = members_[i].id;
+    member.verifier = members_[i].verifier;
+    member.prover = members_[i].prover;
+    member.configure = members_[i].configure;
+    fleet.push_back(std::move(member));
+  }
+  core::SwarmOptions swarm;
+  swarm.session = options_.session;
+  swarm.session.seed = derive_seed(options_.session.seed, label, epoch_);
+  swarm.schedule = options_.schedule;
+  swarm.retry_budget = retry_budget;
+  swarm.engine = options_.engine;
+  return core::attest_swarm(fleet, swarm);
+}
+
+void EpochScheduler::run_full(const std::vector<std::size_t>& indices,
+                              bool escalation, EpochTickReport& report) {
+  if (indices.empty()) return;
+  for (std::size_t i : indices) {
+    members_[i].verifier->set_refresh_only(false);
+    members_[i].verifier->set_probe_coverage(1.0);
+  }
+  const core::SwarmReport swarm = run_swarm(
+      indices, escalation ? "epoch.escalate" : "epoch.full",
+      options_.retry_budget);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    EpochMemberState& state = states_[indices[k]];
+    const core::SwarmMemberResult& result = swarm.members[k];
+    ++state.full_attests;
+    if (result.verdict.ok()) {
+      state.last_full_epoch = epoch_;
+      state.health = Freshness::kFresh;
+      state.last_failure = core::FailureKind::kNone;
+      ++report.full_attested;
+      if (escalation) {
+        ++state.healed;
+        ++report.healed;
+      }
+    } else {
+      // A full fresh-nonce re-attestation (with supervisor retries) failed:
+      // the member cannot prove its configuration — quarantine with the
+      // typed cause. Probe passes can never undo this.
+      state.last_failure = result.failure;
+      state.health = Freshness::kQuarantined;
+      ++report.newly_quarantined;
+    }
+  }
+}
+
+EpochTickReport EpochScheduler::tick() {
+  EpochTickReport report;
+  report.epoch = ++epoch_;
+
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].health != Freshness::kQuarantined) active.push_back(i);
+  }
+  std::vector<char> busy(states_.size(), 0);
+
+  // -- Update wave: run the gated pipeline on the next batch --------------
+  if (staged_.has_value()) {
+    std::vector<std::size_t> wave;
+    for (std::size_t i : active) {
+      if (states_[i].update_committed ||
+          states_[i].update_attempts >= options_.update_attempt_budget) {
+        continue;
+      }
+      wave.push_back(i);
+      if (wave.size() >= options_.update_wave) break;
+    }
+    for (std::size_t i : wave) {
+      busy[i] = 1;
+      EpochMemberState& state = states_[i];
+      ++state.update_attempts;
+      UpdateRunOptions run;
+      run.session = options_.session;
+      run.session.seed =
+          derive_seed(options_.session.seed, members_[i].id, epoch_);
+      run.attest_retry_budget = options_.retry_budget;
+      if (members_[i].configure) {
+        run.configure = [cfg = members_[i].configure](
+                            core::SessionOptions& session,
+                            core::SessionHooks& hooks, std::string_view,
+                            std::uint32_t attempt) {
+          cfg(session, hooks, attempt);
+        };
+      }
+      // Each device re-checks the staged manifest itself; a fresh policy
+      // per run models the device re-verifying the same signed artifact
+      // after a rollback (operator-level leaf reuse is enforced once, at
+      // stage_update).
+      core::LeafPolicy device_policy;
+      UpdateReport result =
+          run_update(*members_[i].verifier, *members_[i].prover,
+                     staged_->manifest, staged_->trusted_root, device_policy,
+                     run);
+      ++report.updates_run;
+      if (result.committed()) {
+        state.update_committed = true;
+        state.last_full_epoch = epoch_;
+        state.health = Freshness::kFresh;
+        state.last_failure = core::FailureKind::kNone;
+        ++state.full_attests;
+        ++report.updates_committed;
+      } else {
+        if (result.final_state == UpdateState::kRolledBack) {
+          ++report.updates_rolled_back;
+        }
+        state.last_failure = result.failure;
+        if (result.old_image_attested) {
+          // Rolled back onto an attested old image: still fresh, retries
+          // next epoch until the attempt budget runs out.
+          state.last_full_epoch = epoch_;
+          state.health = Freshness::kFresh;
+          ++state.full_attests;
+        } else {
+          state.health = Freshness::kQuarantined;
+          ++report.newly_quarantined;
+        }
+        if (state.health != Freshness::kQuarantined &&
+            state.update_attempts >= options_.update_attempt_budget) {
+          // Healthy but persistently un-updatable — operator attention.
+          state.health = Freshness::kQuarantined;
+          ++report.newly_quarantined;
+        }
+      }
+      update_reports_.push_back(std::move(result));
+    }
+  }
+
+  // -- Budgeted full re-attestations: oldest members first ----------------
+  std::vector<std::size_t> due;
+  for (std::size_t i : active) {
+    if (busy[i]) continue;
+    if (epoch_ - states_[i].last_full_epoch >= options_.freshness_window) {
+      due.push_back(i);
+    }
+  }
+  std::sort(due.begin(), due.end(), [this](std::size_t a, std::size_t b) {
+    return states_[a].last_full_epoch != states_[b].last_full_epoch
+               ? states_[a].last_full_epoch < states_[b].last_full_epoch
+               : a < b;
+  });
+  const auto budget = static_cast<std::size_t>(std::max(
+      due.empty() ? 0.0 : 1.0,
+      options_.full_budget_fraction * static_cast<double>(active.size())));
+  if (due.size() > budget) due.resize(budget);
+  for (std::size_t i : due) busy[i] = 1;
+  run_full(due, /*escalation=*/false, report);
+
+  // -- Probes: sampled refresh sessions for everyone else -----------------
+  std::vector<std::size_t> probing;
+  for (std::size_t i : active) {
+    if (!busy[i] && states_[i].health != Freshness::kQuarantined) {
+      probing.push_back(i);
+    }
+  }
+  std::vector<std::size_t> escalate;
+  if (!probing.empty()) {
+    for (std::size_t i : probing) {
+      members_[i].verifier->set_refresh_only(true);
+      members_[i].verifier->set_probe_coverage(options_.probe_coverage);
+    }
+    const core::SwarmReport probes =
+        run_swarm(probing, "epoch.probe", /*retry_budget=*/0);
+    for (std::size_t k = 0; k < probing.size(); ++k) {
+      const std::size_t i = probing[k];
+      EpochMemberState& state = states_[i];
+      ++state.probes;
+      ++report.probed;
+      const core::SwarmMemberResult& result = probes.members[k];
+      if (result.verdict.ok()) {
+        // A probe pass is NOT a full attestation: last_full_epoch stays —
+        // the sample proves only the probed frames.
+        ++report.probe_passed;
+      } else {
+        ++state.probe_failures;
+        state.last_failure = result.failure;
+        escalate.push_back(i);
+      }
+    }
+    for (std::size_t i : probing) {
+      members_[i].verifier->set_refresh_only(false);
+      members_[i].verifier->set_probe_coverage(1.0);
+    }
+  }
+
+  // -- Escalation: probe mismatch / transport exhaustion → fresh full -----
+  for (std::size_t i : escalate) ++states_[i].escalations;
+  report.escalated = escalate.size();
+  run_full(escalate, /*escalation=*/true, report);
+
+  // -- Health + freshness SLO ---------------------------------------------
+  std::size_t within = 0;
+  std::size_t active_now = 0;
+  for (EpochMemberState& state : states_) {
+    if (state.health == Freshness::kQuarantined) {
+      ++report.quarantined;
+      slo_.record(0, false);
+      continue;
+    }
+    ++active_now;
+    const std::uint64_t age = epoch_ - state.last_full_epoch;
+    report.oldest_age_epochs = std::max(report.oldest_age_epochs, age);
+    const bool in_window = age <= options_.freshness_window;
+    state.health = in_window ? Freshness::kFresh : Freshness::kStale;
+    if (in_window) {
+      ++within;
+      ++report.fresh;
+    } else {
+      ++report.stale;
+    }
+    slo_.record(0, in_window);
+  }
+  report.within_window_ppm =
+      active_now == 0
+          ? 0
+          : static_cast<std::int64_t>(1e6 * static_cast<double>(within) /
+                                      static_cast<double>(active_now));
+  // The SLO judges the whole fleet: a quarantined member is a member the
+  // operator cannot trust, so it burns budget like a stale one.
+  report.slo_met = states_.empty() ||
+                   static_cast<double>(within) >=
+                       options_.slo_target *
+                           static_cast<double>(states_.size());
+  publish(report);
+  return report;
+}
+
+bool EpochScheduler::update_complete() const {
+  if (!staged_.has_value()) return true;
+  for (const EpochMemberState& state : states_) {
+    if (state.health == Freshness::kQuarantined) continue;
+    if (!state.update_committed) return false;
+  }
+  return true;
+}
+
+void EpochScheduler::publish(const EpochTickReport& report) {
+  g_fresh_.set(static_cast<std::int64_t>(report.fresh));
+  g_stale_.set(static_cast<std::int64_t>(report.stale));
+  g_quarantined_.set(static_cast<std::int64_t>(report.quarantined));
+  g_within_ppm_.set(report.within_window_ppm);
+  g_oldest_age_.set(static_cast<std::int64_t>(report.oldest_age_epochs));
+  g_epoch_.set(static_cast<std::int64_t>(report.epoch));
+}
+
+}  // namespace sacha::update

@@ -1,0 +1,127 @@
+#include "update/gate.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace sacha::update {
+
+Status UpdateGate::move_to(UpdateState next, std::string reason) {
+  static obs::Counter& transitions =
+      obs::MetricsRegistry::global().counter("sacha.update.gate_transitions");
+  transitions.add(1);
+  (log_debug() << "update gate transition")
+      .kv("from", to_string(state_))
+      .kv("to", to_string(next))
+      .kv("reason", reason);
+  trail_.push_back(Transition{state_, next, std::move(reason)});
+  state_ = next;
+  return Status();
+}
+
+Status UpdateGate::refuse(std::string_view why) const {
+  return Status::error("update gate (" + std::string(to_string(state_)) +
+                       "): " + std::string(why));
+}
+
+void UpdateGate::note_failure(core::FailureKind failure) {
+  if (failure_ == core::FailureKind::kNone &&
+      failure != core::FailureKind::kNone) {
+    failure_ = failure;
+  }
+}
+
+Status UpdateGate::stage(const ManifestCheck& check, std::uint64_t version) {
+  if (state_ != UpdateState::kIdle) {
+    return refuse("only an Idle gate can stage a manifest");
+  }
+  if (!check.ok()) {
+    return refuse("manifest rejected: " + check.detail);
+  }
+  staged_version_ = version;
+  return move_to(UpdateState::kStaged, "manifest verified: " + check.detail);
+}
+
+Status UpdateGate::begin_pre_attest() {
+  if (state_ != UpdateState::kStaged) {
+    return refuse("pre-attestation requires a staged manifest");
+  }
+  return move_to(UpdateState::kPreAttest,
+                 "attesting current image before activation");
+}
+
+Status UpdateGate::on_pre_attest(bool attested, core::FailureKind failure) {
+  if (state_ != UpdateState::kPreAttest) {
+    return refuse("no pre-attestation in flight");
+  }
+  if (!attested) {
+    note_failure(failure);
+    return move_to(UpdateState::kRolledBack,
+                   "pre-attestation failed: " +
+                       std::string(core::to_string(failure)));
+  }
+  pre_attested_ = true;
+  return move_to(UpdateState::kActivating, "current image attested");
+}
+
+Status UpdateGate::on_activation(bool installed, core::FailureKind failure) {
+  if (state_ != UpdateState::kActivating) {
+    return refuse("no activation in flight");
+  }
+  if (!installed) {
+    note_failure(failure);
+    return move_to(UpdateState::kRolledBack,
+                   "activation failed: " +
+                       std::string(core::to_string(failure)));
+  }
+  return move_to(UpdateState::kPostAttest, "new image installed");
+}
+
+Status UpdateGate::on_post_attest(bool attested, core::FailureKind failure) {
+  if (state_ != UpdateState::kPostAttest) {
+    return refuse("no post-attestation in flight");
+  }
+  if (!attested) {
+    note_failure(failure);
+    return move_to(UpdateState::kRolledBack,
+                   "post-attestation failed: " +
+                       std::string(core::to_string(failure)));
+  }
+  post_attested_ = true;
+  // Structural form of the pipeline invariant: both flags, not caller
+  // discipline, gate the commit.
+  if (!pre_attested_) {
+    note_failure(core::FailureKind::kMaskedCompareMismatch);
+    return move_to(UpdateState::kRolledBack,
+                   "commit refused: pre-attestation missing");
+  }
+  return move_to(UpdateState::kCommitted, "new image attested");
+}
+
+Status UpdateGate::on_rollback_attest(bool attested,
+                                      core::FailureKind failure) {
+  if (state_ != UpdateState::kRolledBack) {
+    return refuse("rollback attestation only annotates a RolledBack gate");
+  }
+  old_image_attested_ = attested;
+  if (!attested) note_failure(failure);
+  trail_.push_back(Transition{
+      state_, state_,
+      attested ? "old image re-attested after rollback"
+               : "old image failed recovery attestation: " +
+                     std::string(core::to_string(failure))});
+  return Status();
+}
+
+std::string UpdateGate::describe_trail() const {
+  std::ostringstream out;
+  out << to_string(UpdateState::kIdle);
+  for (const Transition& t : trail_) {
+    if (t.from == t.to) continue;  // annotations, not transitions
+    out << " -> " << to_string(t.to);
+  }
+  return out.str();
+}
+
+}  // namespace sacha::update

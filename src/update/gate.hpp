@@ -1,0 +1,139 @@
+// UpdateGate — the attestation-gated activation state machine.
+//
+//   Idle → Staged → PreAttest → Activating → PostAttest → Committed
+//                        |            |            |
+//                        +------------+------------+--→ RolledBack
+//
+// The gate is the explicit, testable core of the secure update pipeline
+// (the alternative — activation decisions scattered through retry logic —
+// is exactly what the motivation warns against). It is a pure event-driven
+// machine: callers feed it manifest checks and attestation outcomes, it
+// enforces the transition relation and the pipeline's central invariant:
+//
+//   Committed is unreachable without BOTH a passing pre-activation
+//   attestation of the running image AND a passing post-activation
+//   attestation of the new image.
+//
+// That invariant is structural (checked on every transition, not by caller
+// discipline), so a driver bug cannot commit an unattested image — at worst
+// it rolls back. Every transition is recorded in an audit trail with its
+// reason; benches and the fault-matrix gate assert over the trail.
+//
+// Crash-during-activation rule: a device that loses power while Activating
+// reboots from BootMem holding only the old *static* image — the dynamic
+// application is gone. The driver therefore maps any crash/timeout in
+// Activating to RolledBack, reinstalls the old application with a full
+// fresh-nonce session, and re-attests it (UpdateReport::old_image_attested).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/failure.hpp"
+#include "update/manifest.hpp"
+
+namespace sacha::update {
+
+enum class UpdateState : std::uint8_t {
+  kIdle = 0,
+  kStaged = 1,
+  kPreAttest = 2,
+  kActivating = 3,
+  kPostAttest = 4,
+  kCommitted = 5,
+  kRolledBack = 6,
+};
+
+constexpr const char* to_string(UpdateState state) {
+  switch (state) {
+    case UpdateState::kIdle:
+      return "Idle";
+    case UpdateState::kStaged:
+      return "Staged";
+    case UpdateState::kPreAttest:
+      return "PreAttest";
+    case UpdateState::kActivating:
+      return "Activating";
+    case UpdateState::kPostAttest:
+      return "PostAttest";
+    case UpdateState::kCommitted:
+      return "Committed";
+    case UpdateState::kRolledBack:
+      return "RolledBack";
+  }
+  return "unknown";
+}
+
+class UpdateGate {
+ public:
+  struct Transition {
+    UpdateState from = UpdateState::kIdle;
+    UpdateState to = UpdateState::kIdle;
+    std::string reason;
+  };
+
+  /// Idle → Staged. Refused (state unchanged) unless the manifest check
+  /// passed — an unverified manifest never enters the pipeline.
+  Status stage(const ManifestCheck& check, std::uint64_t version);
+
+  /// Staged → PreAttest (the pre-activation session is running).
+  Status begin_pre_attest();
+
+  /// PreAttest → Activating on a passing full attestation of the *current*
+  /// image; PreAttest → RolledBack otherwise (a device that cannot prove
+  /// what it runs must not be handed new configuration).
+  Status on_pre_attest(bool attested, core::FailureKind failure);
+
+  /// Activating → PostAttest when the new image installed cleanly;
+  /// Activating → RolledBack on failure, crash, or timeout.
+  Status on_activation(bool installed, core::FailureKind failure);
+
+  /// PostAttest → Committed on a passing full attestation of the *new*
+  /// image; PostAttest → RolledBack otherwise. Committed additionally
+  /// requires the structural two-attestation invariant.
+  Status on_post_attest(bool attested, core::FailureKind failure);
+
+  /// Annotates a RolledBack gate with the outcome of the old-image
+  /// recovery attestation (no state change; RolledBack is terminal).
+  Status on_rollback_attest(bool attested, core::FailureKind failure);
+
+  UpdateState state() const { return state_; }
+  bool terminal() const {
+    return state_ == UpdateState::kCommitted ||
+           state_ == UpdateState::kRolledBack;
+  }
+  bool pre_attested() const { return pre_attested_; }
+  bool post_attested() const { return post_attested_; }
+  bool old_image_attested() const { return old_image_attested_; }
+  std::uint64_t staged_version() const { return staged_version_; }
+  /// First failure that drove the gate off the happy path (kNone when
+  /// Committed).
+  core::FailureKind failure() const { return failure_; }
+
+  /// Audit invariant: a Committed gate passed both attestations. False is
+  /// a driver bug; the bench fault-matrix asserts this over every cell.
+  bool commit_invariant_ok() const {
+    return state_ != UpdateState::kCommitted ||
+           (pre_attested_ && post_attested_);
+  }
+
+  const std::vector<Transition>& trail() const { return trail_; }
+  std::string describe_trail() const;
+
+ private:
+  Status move_to(UpdateState next, std::string reason);
+  Status refuse(std::string_view why) const;
+  void note_failure(core::FailureKind failure);
+
+  UpdateState state_ = UpdateState::kIdle;
+  bool pre_attested_ = false;
+  bool post_attested_ = false;
+  bool old_image_attested_ = false;
+  std::uint64_t staged_version_ = 0;
+  core::FailureKind failure_ = core::FailureKind::kNone;
+  std::vector<Transition> trail_;
+};
+
+}  // namespace sacha::update

@@ -1,0 +1,111 @@
+// Signed update manifests — the trust anchor of the OTA pipeline.
+//
+// An UpdateManifest names a staged application bitstream: the version it
+// carries, the device type its frames were generated for, the digest of the
+// staged payload (the golden application frames, region by region) and its
+// size. The manifest is authenticated exactly like attestation evidence
+// (signed_attest machinery): the operator's hash-based signing identity — a
+// Merkle tree of Lamport one-time keys — signs
+//
+//     digest = SHA-256("sacha-update-manifest" || manifest.encode())
+//
+// with its next one-time leaf, and a device-side verifier checks the
+// signature against the trusted root it was provisioned with, enforcing the
+// one-time property through the same LeafPolicy. A manifest that fails any
+// check never reaches the UpdateGate: staging is the first transition the
+// gate refuses without a verified signature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bitstream/bitgen.hpp"
+#include "bitstream/golden_model.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "core/signed_attest.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sacha::update {
+
+/// Digest of a staged payload: SHA-256 over the application's golden frames
+/// (big-endian words, app regions in ascending order). Computed from the
+/// same golden model the verifier attests against, so a payload that does
+/// not match its manifest is caught *before* activation.
+crypto::Sha256Digest payload_digest(const bitstream::GoldenModel& model);
+
+/// Total bytes of the application's golden frames (the staged artifact
+/// size the manifest advertises).
+std::uint64_t payload_frame_bytes(const bitstream::GoldenModel& model);
+
+struct UpdateManifest {
+  /// Monotonically increasing release version; the gate refuses version 0.
+  std::uint64_t version = 0;
+  /// Device type the payload's frames were generated for (DeviceModel
+  /// name); a manifest for the wrong silicon must never activate.
+  std::string device_type;
+  /// The staged application design (what set_app_spec installs).
+  bitstream::DesignSpec app;
+  /// Digest + size of the staged bitstream payload.
+  crypto::Sha256Digest payload{};
+  std::uint64_t payload_bytes = 0;
+
+  Bytes encode() const;
+  static Result<UpdateManifest> decode(ByteSpan data);
+
+  /// The digest the signing identity covers:
+  /// SHA-256("sacha-update-manifest" || encode()).
+  crypto::Sha256Digest digest() const;
+
+  std::string describe() const;
+
+  /// Textual form for CLI staging: "version=<v>;app=<name>:<build_seed>"
+  /// with optional ";device=<type>". Payload digest/size are computed by
+  /// the stager, not parsed.
+  static Result<UpdateManifest> parse(std::string_view spec);
+
+  bool operator==(const UpdateManifest&) const = default;
+};
+
+/// Manifest plus its Merkle/Lamport signature, as staged on a device or
+/// shipped in an UPDATE_OFFER wire frame.
+struct SignedManifest {
+  UpdateManifest manifest;
+  std::uint32_t tree_height = 0;
+  crypto::MerkleSignature signature;
+
+  Bytes encode() const;
+  static Result<SignedManifest> decode(ByteSpan data);
+};
+
+/// Signs with the operator identity's next one-time leaf. Returns an error
+/// when the identity is exhausted.
+Result<SignedManifest> sign_manifest(const UpdateManifest& manifest,
+                                     crypto::HashSigner& signer);
+
+/// Outcome of the device-side manifest check.
+struct ManifestCheck {
+  bool signature_ok = false;  // OTS + Merkle path chain to the trusted root
+  bool leaf_fresh = false;    // one-time property respected
+  bool device_ok = false;     // payload targets this device type
+  bool version_ok = false;    // version > 0
+  std::string detail;
+
+  bool ok() const {
+    return signature_ok && leaf_fresh && device_ok && version_ok;
+  }
+};
+
+/// Verifies a staged manifest against the trusted root learned at
+/// provisioning. `policy` persists across manifests to enforce one-time
+/// leaves; a leaf is only consumed when the signature itself verifies.
+/// `device_type` is the accepting device's type (empty skips the check —
+/// an operator-side lint that has no device in hand).
+ManifestCheck verify_manifest(const SignedManifest& signed_manifest,
+                              const crypto::Sha256Digest& trusted_root,
+                              core::LeafPolicy& policy,
+                              std::string_view device_type);
+
+}  // namespace sacha::update

@@ -1,0 +1,163 @@
+#include "update/pipeline.hpp"
+
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
+namespace sacha::update {
+
+namespace {
+
+core::FailureKind failure_of(const core::AttestationReport& report) {
+  return report.failure != core::FailureKind::kNone ? report.failure
+                                                    : report.verdict.kind;
+}
+
+}  // namespace
+
+UpdateReport run_update(core::SachaVerifier& verifier,
+                        core::SachaProver& prover,
+                        const SignedManifest& manifest,
+                        const crypto::Sha256Digest& trusted_root,
+                        core::LeafPolicy& policy,
+                        const UpdateRunOptions& options) {
+  auto& registry = obs::MetricsRegistry::global();
+  static obs::Counter& runs = registry.counter("sacha.update.runs");
+  static obs::Counter& committed = registry.counter("sacha.update.committed");
+  static obs::Counter& rolled_back =
+      registry.counter("sacha.update.rolled_back");
+  static obs::Counter& rejected =
+      registry.counter("sacha.update.manifests_rejected");
+  runs.add(1);
+
+  UpdateReport report;
+  report.version = manifest.manifest.version;
+  UpdateGate gate;
+
+  // The pipeline speaks full sessions only; a probe/refresh mode left on
+  // the verifier by an epoch scheduler must not weaken the gate.
+  verifier.set_refresh_only(false);
+  verifier.set_probe_coverage(1.0);
+
+  // One complete phase with fresh-nonce transport retries. Crypto verdict
+  // failures are terminal for the phase: a MAC or masked-compare mismatch
+  // is evidence, not noise.
+  const auto attest_phase =
+      [&](std::string_view phase) -> core::AttestationReport {
+    UpdatePhaseOutcome outcome;
+    outcome.phase = std::string(phase);
+    core::AttestationReport last;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      core::SessionOptions session = options.session;
+      session.seed = derive_seed(options.session.seed, phase, attempt);
+      core::SessionHooks hooks;
+      if (options.configure) {
+        options.configure(session, hooks, phase, attempt);
+      }
+      last = core::run_attestation(verifier, prover, session, hooks);
+      outcome.attempts = attempt + 1;
+      report.total_time += last.total_time;
+      if (last.verdict.ok() ||
+          !core::is_transport_failure(failure_of(last)) ||
+          attempt >= options.attest_retry_budget) {
+        break;
+      }
+    }
+    outcome.report = last;
+    report.phases.push_back(std::move(outcome));
+    return last;
+  };
+
+  const auto seal = [&]() {
+    report.final_state = gate.state();
+    report.pre_attested = gate.pre_attested();
+    report.post_attested = gate.post_attested();
+    report.old_image_attested = gate.old_image_attested();
+    report.invariant_ok = gate.commit_invariant_ok();
+    report.failure = gate.failure();
+    report.trail = gate.trail();
+    if (report.detail.empty() && !report.trail.empty()) {
+      report.detail = report.trail.back().reason;
+    }
+    if (report.committed()) {
+      committed.add(1);
+    } else if (report.final_state == UpdateState::kRolledBack) {
+      rolled_back.add(1);
+    }
+    return report;
+  };
+
+  // Rollback recovery: reinstall + re-attest the previous application with
+  // one full session. A crashed device rebooted from BootMem onto the old
+  // static image alone; this session restores the old dynamic design.
+  const auto recover_old_image = [&](const bitstream::DesignSpec& old_spec) {
+    verifier.set_app_spec(old_spec);
+    const core::AttestationReport recovery =
+        attest_phase(phases::kRollback);
+    gate.on_rollback_attest(recovery.verdict.ok(), failure_of(recovery));
+  };
+
+  // -- Stage: manifest signature, target device, one-time leaf ------------
+  const ManifestCheck check =
+      verify_manifest(manifest, trusted_root, policy,
+                      verifier.floorplan().device().name());
+  report.manifest_ok = check.ok();
+  if (!gate.stage(check, manifest.manifest.version).ok()) {
+    rejected.add(1);
+    report.detail = check.detail;
+    return seal();
+  }
+
+  // -- PreAttest: prove the image the device runs now ---------------------
+  gate.begin_pre_attest();
+  const core::AttestationReport pre = attest_phase(phases::kPre);
+  gate.on_pre_attest(pre.verdict.ok(), failure_of(pre));
+  if (gate.state() == UpdateState::kRolledBack) {
+    // The staged image was never touched: the device still holds the old
+    // design, it just failed to prove it. Nothing to reinstall; the caller
+    // (epoch scheduler / operator) escalates or quarantines.
+    return seal();
+  }
+
+  // -- Activating: install the staged design, attested in the same session
+  const bitstream::DesignSpec old_spec = verifier.app_spec();
+  verifier.set_app_spec(manifest.manifest.app);
+  if (options.verify_payload) {
+    const crypto::Sha256Digest staged =
+        payload_digest(*verifier.golden_model());
+    if (staged != manifest.manifest.payload) {
+      // The artifact does not match what was signed — refuse before any
+      // frame reaches the device. The old image is intact and was just
+      // attested by the pre-attest session.
+      gate.on_activation(false, core::FailureKind::kDecodeError);
+      verifier.set_app_spec(old_spec);
+      gate.on_rollback_attest(true, core::FailureKind::kNone);
+      report.detail = "staged payload digest does not match manifest";
+      return seal();
+    }
+  }
+  const core::AttestationReport activate = attest_phase(phases::kActivate);
+  gate.on_activation(activate.verdict.ok(), failure_of(activate));
+  if (gate.state() == UpdateState::kRolledBack) {
+    recover_old_image(old_spec);
+    return seal();
+  }
+
+  // -- PostAttest: independent fresh-nonce session over the new image -----
+  const core::AttestationReport post = attest_phase(phases::kPost);
+  gate.on_post_attest(post.verdict.ok(), failure_of(post));
+  if (gate.state() == UpdateState::kRolledBack) {
+    recover_old_image(old_spec);
+    return seal();
+  }
+
+  (log_info() << "update committed")
+      .kv("version", manifest.manifest.version)
+      .kv("app", manifest.manifest.app.name)
+      .kv("trail", gate.describe_trail());
+  return seal();
+}
+
+}  // namespace sacha::update

@@ -1,0 +1,97 @@
+// run_update — binds the UpdateGate to a real verifier/prover pair.
+//
+// The pipeline maps the gate's phases onto SACHa sessions:
+//
+//   PreAttest   one full fresh-nonce session attesting the image the
+//               device runs *now* (an unattestable device gets nothing);
+//   Activating  set_app_spec(new) + one full session — in SACHa the
+//               protocol itself ships the configuration, so activation IS
+//               an install-and-attest session of the staged design;
+//   PostAttest  a second, independent fresh-nonce full session over the
+//               new image (fresh nonce, fresh readback order);
+//   rollback    on any failure past PreAttest: set_app_spec(old) + one
+//               full session that reinstalls and re-attests the previous
+//               application. A device that crashed mid-activation reboots
+//               from BootMem holding only the old static image — this
+//               session is what brings it back up attested on the old
+//               design (the crash-during-Activating rule).
+//
+// Transport failures within a phase are retried with complete fresh-nonce
+// sessions (never a mid-stream resume), bounded by attest_retry_budget;
+// crypto verdict failures (MAC / masked-compare mismatch) are never
+// retried — retrying cannot help and must not mask tamper.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/session.hpp"
+#include "update/gate.hpp"
+#include "update/manifest.hpp"
+
+namespace sacha::update {
+
+/// Phase labels used for per-phase seed derivation and fault arming.
+namespace phases {
+inline constexpr std::string_view kPre = "update.pre";
+inline constexpr std::string_view kActivate = "update.activate";
+inline constexpr std::string_view kPost = "update.post";
+inline constexpr std::string_view kRollback = "update.rollback";
+}  // namespace phases
+
+struct UpdateRunOptions {
+  core::SessionOptions session{};
+  /// Extra complete fresh-nonce sessions granted per phase when the phase
+  /// failed with a *transport* cause (loss/timeout). 0 = one shot.
+  std::uint32_t attest_retry_budget = 1;
+  /// Per-phase session customisation, run after the phase seed is derived:
+  /// the fault harness arms phase-targeted faults here (burst during
+  /// activation, crash at command k of the post-attest, ...).
+  std::function<void(core::SessionOptions&, core::SessionHooks&,
+                     std::string_view phase, std::uint32_t attempt)>
+      configure;
+  /// Refuse activation when the staged payload digest does not match the
+  /// manifest (on: the OTA artifact is checked against what was signed).
+  bool verify_payload = true;
+};
+
+struct UpdatePhaseOutcome {
+  std::string phase;
+  std::uint32_t attempts = 1;
+  core::AttestationReport report;
+};
+
+struct UpdateReport {
+  UpdateState final_state = UpdateState::kIdle;
+  std::uint64_t version = 0;
+  bool manifest_ok = false;
+  bool pre_attested = false;
+  bool post_attested = false;
+  /// After a rollback: the recovery session re-attested the old image.
+  bool old_image_attested = false;
+  /// Gate invariant audit (Committed ⇒ both attestations). False is a
+  /// pipeline bug; the bench fault matrix gates on it.
+  bool invariant_ok = true;
+  core::FailureKind failure = core::FailureKind::kNone;
+  std::vector<UpdateGate::Transition> trail;
+  std::vector<UpdatePhaseOutcome> phases;
+  sim::SimDuration total_time = 0;
+  std::string detail;
+
+  bool committed() const { return final_state == UpdateState::kCommitted; }
+};
+
+/// Runs the full attestation-gated update pipeline on one device. The
+/// verifier is forced into full-session mode (refresh/probe modes off) for
+/// the duration; on commit it holds the new app spec, on rollback the old
+/// one — matching what the device runs either way.
+UpdateReport run_update(core::SachaVerifier& verifier,
+                        core::SachaProver& prover,
+                        const SignedManifest& manifest,
+                        const crypto::Sha256Digest& trusted_root,
+                        core::LeafPolicy& policy,
+                        const UpdateRunOptions& options = {});
+
+}  // namespace sacha::update

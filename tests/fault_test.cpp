@@ -78,6 +78,71 @@ TEST(FaultPlan, RejectsMalformedSpecs) {
   EXPECT_FALSE(fault::FaultPlan::parse("seu=x").ok());
 }
 
+TEST(FaultPlan, ParsesUplinkClauseAndRoundTrips) {
+  const auto parsed = fault::FaultPlan::parse("uplink=7:0.05:0.5:1");
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  const fault::FaultPlan& plan = parsed.value();
+  ASSERT_TRUE(plan.uplink.has_value());
+  EXPECT_EQ(plan.uplink->group, 7u);
+  EXPECT_DOUBLE_EQ(plan.uplink->burst.p_good_to_bad, 0.05);
+  EXPECT_DOUBLE_EQ(plan.uplink->burst.p_bad_to_good, 0.5);
+  EXPECT_DOUBLE_EQ(plan.uplink->burst.loss_bad, 1.0);
+
+  const auto again = fault::FaultPlan::parse(plan.describe());
+  ASSERT_TRUE(again.ok()) << again.message();
+  EXPECT_EQ(again.value().describe(), plan.describe());
+
+  EXPECT_FALSE(fault::FaultPlan::parse("uplink=7:0.05").ok());
+  EXPECT_FALSE(fault::FaultPlan::parse("uplink=7:0.1:0:1").ok());  // no exit
+  EXPECT_FALSE(fault::FaultPlan::parse("uplink=x:0.1:0.5:1").ok());
+}
+
+TEST(FaultPlan, UplinkGroupsShareOneChainUntilReset) {
+  fault::reset_uplink_bursts();
+  const auto plan_a = fault::FaultPlan::parse("uplink=3:0.05:0.5:1");
+  const auto plan_other = fault::FaultPlan::parse("uplink=4:0.05:0.5:1");
+  ASSERT_TRUE(plan_a.ok() && plan_other.ok());
+
+  core::SessionOptions first, second, third;
+  core::SessionHooks hooks;
+  fault::FaultInjector member_one(plan_a.value(), 1);
+  fault::FaultInjector member_two(plan_a.value(), 2);
+  fault::FaultInjector neighbour(plan_other.value(), 3);
+  member_one.arm(first, hooks);
+  member_two.arm(second, hooks);
+  neighbour.arm(third, hooks);
+
+  // Same group id, different members and seeds: one shared chain. A
+  // different group gets its own.
+  ASSERT_NE(first.channel.shared_burst, nullptr);
+  EXPECT_EQ(first.channel.shared_burst, second.channel.shared_burst);
+  EXPECT_NE(first.channel.shared_burst, third.channel.shared_burst);
+
+  // Reset drops the registry: the next arm builds a fresh chain.
+  fault::reset_uplink_bursts();
+  core::SessionOptions after;
+  fault::FaultInjector member_three(plan_a.value(), 4);
+  member_three.arm(after, hooks);
+  EXPECT_NE(after.channel.shared_burst, first.channel.shared_burst);
+  fault::reset_uplink_bursts();
+}
+
+TEST(FaultPlan, SharedBurstChainDropsAndCountsAcrossHolders) {
+  // Deterministic chain: enters the bad state on the first message and
+  // never leaves; everything in the bad state is lost.
+  net::SharedBurstState chain({1.0, 0.0, 0.0, 1.0}, 99);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(chain.drop_message());
+  EXPECT_EQ(chain.messages(), 10u);
+  EXPECT_EQ(chain.losses(), 10u);
+  EXPECT_TRUE(chain.in_burst());
+
+  // A chain that can never enter the bad state drops nothing.
+  net::SharedBurstState clean({0.0, 1.0, 0.0, 1.0}, 99);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(clean.drop_message());
+  EXPECT_EQ(clean.messages(), 10u);
+  EXPECT_EQ(clean.losses(), 0u);
+}
+
 // ---- Gilbert–Elliott burst loss ------------------------------------------
 
 TEST(BurstLoss, DropsInBurstsAndCountsThem) {

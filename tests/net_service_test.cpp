@@ -1,7 +1,8 @@
 // Attestation-service tests: loopback smoke, verdict + MAC bit-identity
 // against the in-process SwarmSchedule::kMultiplexed oracle, the
-// quarantine path for abrupt disconnects, the Prometheus endpoint, and
-// the poll(2) fallback.
+// quarantine path for abrupt disconnects, the Prometheus endpoint, the
+// poll(2) fallback, the OTA offer handshake (signed manifests offered
+// after passing sessions only), and graceful drain.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -16,13 +17,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "core/signed_attest.hpp"
 #include "core/swarm.hpp"
+#include "crypto/merkle.hpp"
 #include "net/attest_client.hpp"
 #include "net/attest_server.hpp"
 #include "net/provision.hpp"
 #include "net/tcp.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "update/manifest.hpp"
 
 using namespace sacha;
 
@@ -279,7 +283,7 @@ TEST(NetService, OperabilityEndpointsServeJson) {
 
   const std::string status = http_get(server.port(), "/statusz");
   EXPECT_NE(status.find("200 OK"), std::string::npos);
-  EXPECT_NE(status.find("\"wire_version\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"wire_version\":3"), std::string::npos);
   EXPECT_NE(status.find("\"completed\":2"), std::string::npos);
   EXPECT_NE(status.find("\"attested\":2"), std::string::npos);
   EXPECT_NE(status.find("\"slo\":{\"latency_objective_ms\":250"),
@@ -404,6 +408,208 @@ TEST(NetService, DroppedResponsesHitTheServerTimeout) {
 
   EXPECT_EQ(result.completed, 0u);
   EXPECT_EQ(stats.quarantined, 2u);
+}
+
+/// A staged signed OTA artifact: arbitrary manifest contents (the wire
+/// handshake only checks the signature chain), signed with the operator
+/// identity derived from `signer_seed`.
+Bytes staged_offer(std::uint64_t signer_seed) {
+  update::UpdateManifest manifest;
+  manifest.version = 3;
+  manifest.app = {"app-v2", 9};
+  crypto::HashSigner signer(signer_seed, /*height=*/3);
+  auto signed_manifest = update::sign_manifest(manifest, signer);
+  EXPECT_TRUE(signed_manifest.ok());
+  return signed_manifest.value().encode();
+}
+
+/// The device-side offer handler attest_load installs: decode, verify the
+/// signature against the trusted root, answer Staged/Idle. Fresh leaf
+/// policy per offer — each member is an independent device seeing the
+/// operator's leaf for the first time.
+std::function<net::UpdateStatusMsg(const net::UpdateOfferMsg&)>
+trusting_handler(std::uint64_t signer_seed) {
+  crypto::HashSigner trust(signer_seed, /*height=*/3);
+  const crypto::Sha256Digest root = trust.root();
+  return [root](const net::UpdateOfferMsg& offer) -> net::UpdateStatusMsg {
+    net::UpdateStatusMsg status;
+    status.version = offer.version;
+    auto signed_manifest = update::SignedManifest::decode(offer.manifest);
+    if (!signed_manifest.ok()) {
+      status.state = "Idle";
+      status.detail = "manifest decode failed";
+      return status;
+    }
+    core::LeafPolicy device_policy;
+    const update::ManifestCheck check = update::verify_manifest(
+        signed_manifest.value(), root, device_policy, /*device_type=*/"");
+    status.accepted = check.ok();
+    status.state = check.ok() ? "Staged" : "Idle";
+    status.detail = check.ok() ? "manifest verified" : check.detail;
+    return status;
+  };
+}
+
+TEST(NetService, UpdateOfferFollowsPassingSessionsOnly) {
+  net::AttestServerOptions options;
+  options.update_offer = staged_offer(/*signer_seed=*/31);
+  options.update_version = 3;
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 4);
+  load.tampered = {1};  // member 1 fails attestation: no offer for it
+  load.on_update_offer = trusting_handler(31);
+  const net::LoadResult result = net::run_load(load);
+
+  EXPECT_EQ(result.completed, 4u);
+  EXPECT_EQ(result.attested, 3u);
+  EXPECT_EQ(result.updates_offered, 3u);
+  EXPECT_EQ(result.updates_accepted, 3u);
+  for (const net::MemberOutcome& m : result.members) {
+    if (m.index == 1) {
+      EXPECT_FALSE(m.update_offered) << "offer after a FAILING session";
+      continue;
+    }
+    ASSERT_TRUE(m.update_offered);
+    EXPECT_TRUE(m.update_status.accepted);
+    EXPECT_EQ(m.update_status.state, "Staged");
+    EXPECT_EQ(m.update_status.version, 3u);
+  }
+
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0; spin < 100 && stats.updates_accepted < 3; ++spin) {
+    ::usleep(10000);
+    stats = server.stats();
+  }
+  EXPECT_EQ(stats.updates_offered, 3u);
+  EXPECT_EQ(stats.updates_accepted, 3u);
+  EXPECT_EQ(stats.updates_rejected, 0u);
+  server.stop();
+}
+
+TEST(NetService, TamperedOfferIsRefusedByTheFleet) {
+  net::AttestServerOptions options;
+  options.update_offer = staged_offer(/*signer_seed=*/31);
+  options.update_offer.back() ^= 0x01;  // corrupt the signature bytes
+  options.update_version = 3;
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 2);
+  load.on_update_offer = trusting_handler(31);
+  const net::LoadResult result = net::run_load(load);
+
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.updates_offered, 2u);
+  EXPECT_EQ(result.updates_accepted, 0u);
+  for (const net::MemberOutcome& m : result.members) {
+    ASSERT_TRUE(m.update_offered);
+    EXPECT_FALSE(m.update_status.accepted);
+    EXPECT_FALSE(m.update_status.detail.empty());
+  }
+
+  // A client with no handler refuses too (default-deny, never a hang).
+  net::LoadOptions bare = loopback_load(server, spec, 1);
+  const net::LoadResult bare_result = net::run_load(bare);
+  EXPECT_EQ(bare_result.completed, 1u);
+  ASSERT_EQ(bare_result.updates_offered, 1u);
+  EXPECT_EQ(bare_result.updates_accepted, 0u);
+  EXPECT_EQ(bare_result.members[0].update_status.detail, "no update handler");
+
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0; spin < 100 && stats.updates_rejected < 3; ++spin) {
+    ::usleep(10000);
+    stats = server.stats();
+  }
+  EXPECT_EQ(stats.updates_offered, 3u);
+  EXPECT_EQ(stats.updates_accepted, 0u);
+  EXPECT_EQ(stats.updates_rejected, 3u);
+  server.stop();
+}
+
+TEST(NetService, DrainFinishesInFlightAndRefusesNewHellos) {
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+
+  // Slow fleet: every response is held 100 ms client-side, so the sessions
+  // are still in flight when the drain begins.
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 2);
+  load.delay_us = 100000;
+  net::LoadResult result;
+  std::thread fleet([&] { result = net::run_load(load); });
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0; spin < 200 && stats.active_connections < 2; ++spin) {
+    ::usleep(5000);
+    stats = server.stats();
+  }
+  ASSERT_GE(stats.active_connections, 2u) << "fleet never connected";
+
+  server.begin_drain(/*drain_ms=*/30000);
+  EXPECT_TRUE(server.draining());
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"draining\""), std::string::npos)
+      << health;
+
+  // In-flight sessions run to completion...
+  fleet.join();
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.attested, 2u);
+
+  // ...new sessions are refused with a typed ERROR...
+  net::LoadOptions late = loopback_load(server, spec, 1);
+  const net::LoadResult late_result = net::run_load(late);
+  EXPECT_EQ(late_result.completed, 0u);
+  ASSERT_EQ(late_result.members.size(), 1u);
+  EXPECT_NE(late_result.members[0].error.find("draining"), std::string::npos)
+      << late_result.members[0].error;
+
+  // ...and once the stragglers are gone the server reports drained.
+  for (int spin = 0; spin < 200 && !server.drained(); ++spin) {
+    ::usleep(5000);
+  }
+  EXPECT_TRUE(server.drained());
+  stats = server.stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.drain_refusals, 1u);
+  EXPECT_EQ(stats.sessions_completed, 2u);
+  server.stop();
+}
+
+TEST(NetService, DrainDeadlineQuarantinesStragglers) {
+  net::AttestServerOptions options;
+  options.session_timeout_ms = 0;  // only the drain bound cuts them off
+  net::AttestServer server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  // A member that answers nothing: the session can never finish, so only
+  // the drain deadline reclaims it.
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 1);
+  load.drop_probability = 1.0;
+  load.timeout_ms = 20000;
+  net::LoadResult result;
+  std::thread fleet([&] { result = net::run_load(load); });
+  net::AttestServerStats stats = server.stats();
+  for (int spin = 0; spin < 200 && stats.active_connections < 1; ++spin) {
+    ::usleep(5000);
+    stats = server.stats();
+  }
+  ASSERT_GE(stats.active_connections, 1u);
+
+  server.begin_drain(/*drain_ms=*/200);
+  for (int spin = 0; spin < 400 && !server.drained(); ++spin) {
+    ::usleep(10000);
+  }
+  EXPECT_TRUE(server.drained());
+  stats = server.stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  fleet.join();
+  EXPECT_EQ(result.completed, 0u);
+  server.stop();
 }
 
 TEST(NetService, RejectsBadHello) {

@@ -1,0 +1,680 @@
+// Tests for the attestation-gated secure update pipeline: signed manifests,
+// the UpdateGate state machine, run_update against real verifier/prover
+// pairs under fault injection, probe sessions and their soundness limits,
+// and the EpochScheduler's probe→full escalation loop.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "attacks/env.hpp"
+#include "common/rng.hpp"
+#include "core/session.hpp"
+#include "fault/injector.hpp"
+#include "update/epoch.hpp"
+#include "update/gate.hpp"
+#include "update/manifest.hpp"
+#include "update/pipeline.hpp"
+
+namespace sacha::update {
+namespace {
+
+using core::FailureKind;
+
+// Builds a signed manifest for `new_app` targeting `env`'s device, with the
+// payload digest computed from a throwaway golden model of the new design
+// (exactly what an OTA stager does before shipping the artifact).
+UpdateManifest make_manifest(const attacks::AttackEnv& env,
+                             const bitstream::DesignSpec& new_app,
+                             std::uint64_t version) {
+  attacks::AttackEnv staged = env;
+  staged.app_spec = new_app;
+  const core::SachaVerifier v = staged.make_verifier();
+  UpdateManifest manifest;
+  manifest.version = version;
+  manifest.device_type = v.floorplan().device().name();
+  manifest.app = new_app;
+  manifest.payload = payload_digest(*v.golden_model());
+  manifest.payload_bytes = payload_frame_bytes(*v.golden_model());
+  return manifest;
+}
+
+SignedManifest must_sign(const UpdateManifest& manifest,
+                         crypto::HashSigner& signer) {
+  auto signed_manifest = sign_manifest(manifest, signer);
+  EXPECT_TRUE(signed_manifest.ok()) << signed_manifest.message();
+  return std::move(signed_manifest).take();
+}
+
+// ---- Manifests -----------------------------------------------------------
+
+TEST(Manifest, SignVerifyAndWireRoundTrip) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(900);
+  const UpdateManifest manifest =
+      make_manifest(env, {"intended-app-v2", 2}, 7);
+  crypto::HashSigner signer(42, 3);
+  const SignedManifest sm = must_sign(manifest, signer);
+
+  core::LeafPolicy policy;
+  const ManifestCheck check =
+      verify_manifest(sm, signer.root(), policy, manifest.device_type);
+  EXPECT_TRUE(check.ok()) << check.detail;
+
+  const auto decoded = SignedManifest::decode(sm.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.message();
+  EXPECT_EQ(decoded.value().manifest, manifest);
+  EXPECT_EQ(decoded.value().signature.leaf_index, sm.signature.leaf_index);
+}
+
+TEST(Manifest, DecodeRejectsTruncation) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(901);
+  crypto::HashSigner signer(43, 2);
+  const SignedManifest sm =
+      must_sign(make_manifest(env, {"intended-app-v2", 2}, 1), signer);
+  Bytes wire = sm.encode();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, wire.size() / 2,
+                          wire.size() - 1}) {
+    const auto decoded = SignedManifest::decode(
+        ByteSpan(wire.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Manifest, TamperedFieldBreaksSignatureWithoutBurningLeaf) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(902);
+  crypto::HashSigner signer(44, 2);
+  SignedManifest sm =
+      must_sign(make_manifest(env, {"intended-app-v2", 2}, 3), signer);
+  sm.manifest.version = 99;  // rollback/forward forgery
+
+  core::LeafPolicy policy;
+  const ManifestCheck bad =
+      verify_manifest(sm, signer.root(), policy, sm.manifest.device_type);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.signature_ok);
+  // The failed forgery must not consume the honest leaf.
+  EXPECT_EQ(policy.used(), 0u);
+  sm.manifest.version = 3;
+  EXPECT_TRUE(verify_manifest(sm, signer.root(), policy,
+                              sm.manifest.device_type)
+                  .ok());
+}
+
+TEST(Manifest, LeafReuseIsRejected) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(903);
+  crypto::HashSigner signer(45, 2);
+  const SignedManifest sm =
+      must_sign(make_manifest(env, {"intended-app-v2", 2}, 4), signer);
+  core::LeafPolicy policy;
+  EXPECT_TRUE(
+      verify_manifest(sm, signer.root(), policy, sm.manifest.device_type)
+          .ok());
+  const ManifestCheck replay =
+      verify_manifest(sm, signer.root(), policy, sm.manifest.device_type);
+  EXPECT_TRUE(replay.signature_ok);
+  EXPECT_FALSE(replay.leaf_fresh);
+  EXPECT_FALSE(replay.ok());
+}
+
+TEST(Manifest, WrongDeviceTypeRefused) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(904);
+  crypto::HashSigner signer(46, 2);
+  const SignedManifest sm =
+      must_sign(make_manifest(env, {"intended-app-v2", 2}, 5), signer);
+  core::LeafPolicy policy;
+  const ManifestCheck check =
+      verify_manifest(sm, signer.root(), policy, "xc7a100t");
+  EXPECT_TRUE(check.signature_ok);
+  EXPECT_FALSE(check.device_ok);
+  EXPECT_FALSE(check.ok());
+}
+
+TEST(Manifest, ParsesCliSpec) {
+  const auto parsed = UpdateManifest::parse("version=12;app=newdsp:9;device=t");
+  ASSERT_TRUE(parsed.ok()) << parsed.message();
+  EXPECT_EQ(parsed.value().version, 12u);
+  EXPECT_EQ(parsed.value().app.name, "newdsp");
+  EXPECT_EQ(parsed.value().app.seed, 9u);
+  EXPECT_EQ(parsed.value().device_type, "t");
+  EXPECT_FALSE(UpdateManifest::parse("app=x").ok());     // version required
+  EXPECT_FALSE(UpdateManifest::parse("version=1").ok()); // app required
+}
+
+// ---- UpdateGate ----------------------------------------------------------
+
+ManifestCheck ok_check() {
+  ManifestCheck check;
+  check.signature_ok = check.leaf_fresh = check.device_ok = check.version_ok =
+      true;
+  check.detail = "ok";
+  return check;
+}
+
+TEST(UpdateGate, HappyPathCommitsWithBothAttestations) {
+  UpdateGate gate;
+  ASSERT_TRUE(gate.stage(ok_check(), 2).ok());
+  ASSERT_TRUE(gate.begin_pre_attest().ok());
+  ASSERT_TRUE(gate.on_pre_attest(true, FailureKind::kNone).ok());
+  ASSERT_TRUE(gate.on_activation(true, FailureKind::kNone).ok());
+  ASSERT_TRUE(gate.on_post_attest(true, FailureKind::kNone).ok());
+  EXPECT_EQ(gate.state(), UpdateState::kCommitted);
+  EXPECT_TRUE(gate.pre_attested());
+  EXPECT_TRUE(gate.post_attested());
+  EXPECT_TRUE(gate.commit_invariant_ok());
+  EXPECT_EQ(gate.describe_trail(),
+            "Idle -> Staged -> PreAttest -> Activating -> PostAttest -> "
+            "Committed");
+}
+
+TEST(UpdateGate, RefusesUnverifiedManifest) {
+  UpdateGate gate;
+  ManifestCheck bad = ok_check();
+  bad.signature_ok = false;
+  EXPECT_FALSE(gate.stage(bad, 2).ok());
+  EXPECT_EQ(gate.state(), UpdateState::kIdle);
+}
+
+TEST(UpdateGate, FailuresRollBackAndKeepFirstCause) {
+  UpdateGate gate;
+  ASSERT_TRUE(gate.stage(ok_check(), 2).ok());
+  ASSERT_TRUE(gate.begin_pre_attest().ok());
+  ASSERT_TRUE(gate.on_pre_attest(true, FailureKind::kNone).ok());
+  ASSERT_TRUE(
+      gate.on_activation(false, FailureKind::kTimeoutExhausted).ok());
+  EXPECT_EQ(gate.state(), UpdateState::kRolledBack);
+  EXPECT_TRUE(gate.terminal());
+  EXPECT_EQ(gate.failure(), FailureKind::kTimeoutExhausted);
+  // Rollback recovery annotates but never resurrects the gate.
+  ASSERT_TRUE(gate.on_rollback_attest(true, FailureKind::kNone).ok());
+  EXPECT_TRUE(gate.old_image_attested());
+  EXPECT_EQ(gate.state(), UpdateState::kRolledBack);
+  EXPECT_FALSE(gate.on_post_attest(true, FailureKind::kNone).ok());
+}
+
+TEST(UpdateGate, OutOfOrderEventsRefused) {
+  UpdateGate gate;
+  EXPECT_FALSE(gate.begin_pre_attest().ok());
+  EXPECT_FALSE(gate.on_pre_attest(true, FailureKind::kNone).ok());
+  EXPECT_FALSE(gate.on_activation(true, FailureKind::kNone).ok());
+  EXPECT_FALSE(gate.on_post_attest(true, FailureKind::kNone).ok());
+  EXPECT_FALSE(gate.on_rollback_attest(true, FailureKind::kNone).ok());
+  EXPECT_EQ(gate.state(), UpdateState::kIdle);
+}
+
+// ---- run_update ----------------------------------------------------------
+
+struct UpdateRig {
+  explicit UpdateRig(std::uint64_t seed)
+      : env(attacks::AttackEnv::small(seed)),
+        verifier(env.make_verifier()),
+        prover(env.make_prover()),
+        signer(seed ^ 0x5157, 3),
+        manifest(must_sign(make_manifest(env, {"intended-app-v2", 2}, 2),
+                           signer)) {}
+
+  attacks::AttackEnv env;
+  core::SachaVerifier verifier;
+  core::SachaProver prover;
+  crypto::HashSigner signer;
+  SignedManifest manifest;
+  core::LeafPolicy policy;
+};
+
+// A committed update must leave a verifiable device behind: a fresh full
+// session against the new golden model passes.
+void verifier_holds_new_image(UpdateRig& rig) {
+  const auto after = core::run_attestation(rig.verifier, rig.prover);
+  EXPECT_TRUE(after.verdict.ok()) << after.verdict.detail;
+}
+
+TEST(RunUpdate, CommitsOnlyAfterBothAttestations) {
+  UpdateRig rig(910);
+  const UpdateReport report =
+      run_update(rig.verifier, rig.prover, rig.manifest, rig.signer.root(),
+                 rig.policy);
+  EXPECT_TRUE(report.committed()) << report.detail;
+  EXPECT_TRUE(report.manifest_ok);
+  EXPECT_TRUE(report.pre_attested);
+  EXPECT_TRUE(report.post_attested);
+  EXPECT_TRUE(report.invariant_ok);
+  ASSERT_EQ(report.phases.size(), 3u);
+  EXPECT_EQ(report.phases[0].phase, phases::kPre);
+  EXPECT_EQ(report.phases[1].phase, phases::kActivate);
+  EXPECT_EQ(report.phases[2].phase, phases::kPost);
+  // The device now runs (and the verifier attests) the new design.
+  EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v2");
+  verifier_holds_new_image(rig);
+}
+
+TEST(RunUpdate, PreAttestFailureAbortsBeforeTouchingDevice) {
+  UpdateRig rig(911);
+  // A cloned board that never enrolled: MAC mismatch on the pre-attest.
+  core::SachaProver clone = rig.env.make_prover(/*genuine_key=*/false);
+  const UpdateReport report = run_update(
+      rig.verifier, clone, rig.manifest, rig.signer.root(), rig.policy);
+  EXPECT_EQ(report.final_state, UpdateState::kRolledBack);
+  EXPECT_FALSE(report.pre_attested);
+  EXPECT_EQ(report.failure, FailureKind::kMacMismatch);
+  // Nothing was staged onto the device; the verifier still holds the old
+  // app and no rollback session ran.
+  EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v1");
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(report.phases[0].phase, phases::kPre);
+}
+
+TEST(RunUpdate, RejectedManifestNeverReachesTheDevice) {
+  UpdateRig rig(912);
+  SignedManifest forged = rig.manifest;
+  forged.manifest.version = 77;
+  const UpdateReport report = run_update(
+      rig.verifier, rig.prover, forged, rig.signer.root(), rig.policy);
+  EXPECT_EQ(report.final_state, UpdateState::kIdle);
+  EXPECT_FALSE(report.manifest_ok);
+  EXPECT_TRUE(report.phases.empty());
+}
+
+TEST(RunUpdate, CrashMidActivationRecoversOldImageAttested) {
+  UpdateRig rig(913);
+  std::deque<fault::FaultInjector> injectors;
+  UpdateRunOptions options;
+  options.attest_retry_budget = 0;  // one shot per phase: the crash lands
+  options.configure = [&](core::SessionOptions& session,
+                          core::SessionHooks& hooks, std::string_view phase,
+                          std::uint32_t) {
+    if (phase != phases::kActivate) return;
+    auto plan = fault::FaultPlan::parse("crash=5:3");
+    ASSERT_TRUE(plan.ok());
+    injectors.emplace_back(std::move(plan).take(), 913);
+    injectors.back().arm(session, hooks);
+  };
+  const UpdateReport report =
+      run_update(rig.verifier, rig.prover, rig.manifest, rig.signer.root(),
+                 rig.policy, options);
+  EXPECT_EQ(report.final_state, UpdateState::kRolledBack);
+  // Depending on when the reboot lands the session dies as a timeout or —
+  // when readback resumes against the BootMem-only image — as a masked
+  // compare mismatch. Either way the gate must have rolled back.
+  EXPECT_NE(report.failure, FailureKind::kNone);
+  // The crash-during-activation rule: the device rebooted from BootMem
+  // onto the old static image, and the rollback session reinstalled and
+  // re-attested the old application.
+  EXPECT_TRUE(report.old_image_attested);
+  EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v1");
+  EXPECT_EQ(report.phases.back().phase, phases::kRollback);
+  EXPECT_TRUE(report.phases.back().report.verdict.ok());
+  const auto after = core::run_attestation(rig.verifier, rig.prover);
+  EXPECT_TRUE(after.verdict.ok()) << after.verdict.detail;
+}
+
+TEST(RunUpdate, PostAttestTamperRollsBack) {
+  UpdateRig rig(914);
+  UpdateRunOptions options;
+  options.configure = [&](core::SessionOptions&, core::SessionHooks& hooks,
+                          std::string_view phase, std::uint32_t) {
+    if (phase != phases::kPost) return;
+    // Adversary strikes an application frame in the post-attest tamper
+    // window; the rollback reinstall heals it.
+    hooks.after_config = [](core::SachaProver& prover) {
+      bitstream::Frame f = prover.memory().config_frame(5);
+      f.flip_bit(9);
+      prover.memory().write_frame_preserving_registers(5, f);
+    };
+  };
+  const UpdateReport report =
+      run_update(rig.verifier, rig.prover, rig.manifest, rig.signer.root(),
+                 rig.policy, options);
+  EXPECT_EQ(report.final_state, UpdateState::kRolledBack);
+  EXPECT_EQ(report.failure, FailureKind::kMaskedCompareMismatch);
+  EXPECT_TRUE(report.pre_attested);
+  EXPECT_FALSE(report.post_attested);
+  EXPECT_TRUE(report.old_image_attested);
+  EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v1");
+}
+
+TEST(RunUpdate, StagedPayloadMismatchRefusedBeforeActivation) {
+  UpdateRig rig(915);
+  // Manifest signs a DIFFERENT artifact than what the stager would build
+  // for the named design (supply-chain swap): signature is honest, the
+  // staged golden payload is not what was signed.
+  UpdateManifest wrong = make_manifest(rig.env, {"intended-app-v2", 2}, 2);
+  wrong.payload[0] ^= 0xff;
+  crypto::HashSigner signer(1234, 2);
+  const SignedManifest sm = must_sign(wrong, signer);
+  core::LeafPolicy policy;
+  const UpdateReport report = run_update(rig.verifier, rig.prover, sm,
+                                         signer.root(), policy);
+  EXPECT_EQ(report.final_state, UpdateState::kRolledBack);
+  EXPECT_EQ(report.failure, FailureKind::kDecodeError);
+  EXPECT_TRUE(report.old_image_attested);
+  // Refused before any activation frame: pre-attest is the only session.
+  ASSERT_EQ(report.phases.size(), 1u);
+  EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v1");
+}
+
+TEST(RunUpdate, TransportLossRetriesWithFreshSessionsAndCommits) {
+  UpdateRig rig(916);
+  std::deque<fault::FaultInjector> injectors;
+  int armed = 0;
+  UpdateRunOptions options;
+  options.attest_retry_budget = 3;
+  // Reliable transport turns the stalled device into timeout exhaustion —
+  // a typed transport failure the phase is allowed to retry.
+  options.session.reliable = true;
+  options.session.max_retries = 2;
+  options.configure = [&](core::SessionOptions& session,
+                          core::SessionHooks& hooks, std::string_view phase,
+                          std::uint32_t attempt) {
+    // Stall the device only on the first activation attempt; the retry
+    // runs a complete fresh-nonce session on a clean transport.
+    if (phase != phases::kActivate || attempt != 0) return;
+    ++armed;
+    auto plan = fault::FaultPlan::parse("stall=4:6");
+    ASSERT_TRUE(plan.ok());
+    injectors.emplace_back(std::move(plan).take(), 916);
+    injectors.back().arm(session, hooks);
+  };
+  const UpdateReport report =
+      run_update(rig.verifier, rig.prover, rig.manifest, rig.signer.root(),
+                 rig.policy, options);
+  EXPECT_EQ(armed, 1);
+  EXPECT_TRUE(report.committed()) << report.detail;
+  ASSERT_EQ(report.phases.size(), 3u);
+  EXPECT_GE(report.phases[1].attempts, 2u);
+}
+
+// The bench fault matrix in miniature: random transport/device faults on
+// random phases must never produce a commit without both attestations, and
+// the device must end on exactly the image the final state claims.
+TEST(RunUpdate, CommitInvariantHoldsUnderRandomizedFaults) {
+  const char* kPlans[] = {"burst=0.3:0.3:1", "crash=3:4", "stall=2:8",
+                          "seu=2", "corrupt=0.3"};
+  const std::string_view kPhases[] = {phases::kPre, phases::kActivate,
+                                      phases::kPost};
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng(derive_seed(4242, "update.matrix", seed));
+    const char* plan_text = kPlans[rng.next_u64() % 5];
+    const std::string_view phase = kPhases[rng.next_u64() % 3];
+    UpdateRig rig(920 + seed);
+    std::deque<fault::FaultInjector> injectors;
+    UpdateRunOptions options;
+    options.attest_retry_budget = rng.next_u64() % 2;
+    options.configure = [&](core::SessionOptions& session,
+                            core::SessionHooks& hooks,
+                            std::string_view current, std::uint32_t) {
+      if (current != phase) return;
+      auto plan = fault::FaultPlan::parse(plan_text);
+      ASSERT_TRUE(plan.ok());
+      injectors.emplace_back(std::move(plan).take(), seed);
+      injectors.back().arm(session, hooks);
+    };
+    const UpdateReport report =
+        run_update(rig.verifier, rig.prover, rig.manifest, rig.signer.root(),
+                   rig.policy, options);
+    EXPECT_TRUE(report.invariant_ok) << "seed " << seed;
+    if (report.committed()) {
+      EXPECT_TRUE(report.pre_attested && report.post_attested)
+          << "seed " << seed;
+      EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v2");
+    } else {
+      EXPECT_NE(report.failure, FailureKind::kNone) << "seed " << seed;
+      EXPECT_EQ(rig.verifier.app_spec().name, "intended-app-v1")
+          << "seed " << seed << " state "
+          << to_string(report.final_state);
+    }
+  }
+}
+
+// ---- Probe sessions ------------------------------------------------------
+
+TEST(Probe, SamplesAFractionAndStillRollsTheNonce) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(930);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  ASSERT_TRUE(core::run_attestation(verifier, prover).verdict.ok());
+
+  verifier.set_refresh_only(true);
+  verifier.set_probe_coverage(0.25);
+  EXPECT_TRUE(verifier.probe_session());
+  const auto probe = core::run_attestation(verifier, prover);
+  EXPECT_TRUE(probe.verdict.ok()) << probe.verdict.detail;
+  // One nonce config, and a readback strictly smaller than the 16-frame
+  // full sweep.
+  EXPECT_EQ(probe.ledger.count(core::actions::kA1), 1u);
+  EXPECT_LT(probe.ledger.count(core::actions::kA3), 16u);
+  EXPECT_GE(probe.ledger.count(core::actions::kA3), 4u);
+}
+
+TEST(Probe, CoverageSetterIgnoredForFullSessions) {
+  attacks::AttackEnv env = attacks::AttackEnv::small(931);
+  auto verifier = env.make_verifier();
+  auto prover = env.make_prover();
+  verifier.set_probe_coverage(0.1);
+  EXPECT_FALSE(verifier.probe_session());  // full sessions never sample
+  const auto report = core::run_attestation(verifier, prover);
+  EXPECT_TRUE(report.verdict.ok());
+  EXPECT_EQ(report.ledger.count(core::actions::kA3), 16u);
+}
+
+// The satellite property: a probe can never CLEAR a member whose tamper
+// lies outside the probed sample. Either the probe itself fails, or a full
+// fresh-nonce refresh catches what the probe missed — for every seed, no
+// tampered device survives probe + full. (Seeds where the probe passes but
+// the full session rejects are the soundness gap that makes escalation,
+// not probe-clearance, mandatory.)
+TEST(Probe, CannotClearTamperOutsideTheSample) {
+  int probe_blind = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    attacks::AttackEnv env = attacks::AttackEnv::small(940 + seed);
+    auto verifier = env.make_verifier();
+    auto prover = env.make_prover();
+    ASSERT_TRUE(core::run_attestation(verifier, prover).verdict.ok());
+
+    // Adversary flips one bit in one app frame between sessions.
+    Rng rng(derive_seed(seed, "probe.tamper", 0));
+    const std::uint32_t frame = 4 + (rng.next_u64() % 8);
+    bitstream::Frame f = prover.memory().config_frame(frame);
+    f.flip_bit(static_cast<std::uint32_t>(rng.next_u64() % 64));
+    prover.memory().write_frame_preserving_registers(frame, f);
+
+    verifier.set_refresh_only(true);
+    verifier.set_probe_coverage(0.2);
+    const auto probe = core::run_attestation(verifier, prover);
+
+    verifier.set_probe_coverage(1.0);  // escalation: full refresh sweep
+    const auto full = core::run_attestation(verifier, prover);
+    EXPECT_FALSE(full.verdict.ok())
+        << "seed " << seed << ": full refresh missed the tamper";
+    if (probe.verdict.ok()) ++probe_blind;
+  }
+  // The gap is real: some probes sampled around the tamper and passed.
+  EXPECT_GT(probe_blind, 0);
+  EXPECT_LT(probe_blind, 32);
+}
+
+// ---- EpochScheduler ------------------------------------------------------
+
+struct EpochFleet {
+  explicit EpochFleet(std::size_t n, std::uint64_t base_seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      envs.push_back(attacks::AttackEnv::small(base_seed + i));
+      verifiers.push_back(envs.back().make_verifier());
+      provers.push_back(envs.back().make_prover());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // Members enter the scheduler provisioned: one full attestation.
+      EXPECT_TRUE(
+          core::run_attestation(verifiers[i], provers[i]).verdict.ok());
+      members.push_back(EpochMember{"node-" + std::to_string(i),
+                                    &verifiers[i], &provers[i], {}});
+    }
+  }
+  std::deque<attacks::AttackEnv> envs;
+  std::deque<core::SachaVerifier> verifiers;
+  std::deque<core::SachaProver> provers;
+  std::vector<EpochMember> members;
+};
+
+TEST(EpochScheduler, BudgetedFullsKeepTheFleetInsideTheWindow) {
+  EpochFleet fleet(8, 1000);
+  EpochOptions options;
+  options.schedule = core::SwarmSchedule::kSerial;
+  options.probe_coverage = 0.25;
+  options.freshness_window = 3;
+  options.full_budget_fraction = 0.5;
+  EpochScheduler scheduler(fleet.members, options);
+  for (int t = 0; t < 8; ++t) {
+    const EpochTickReport report = scheduler.tick();
+    EXPECT_EQ(report.quarantined, 0u);
+    EXPECT_LE(report.oldest_age_epochs, options.freshness_window);
+    EXPECT_TRUE(report.slo_met);
+    EXPECT_EQ(report.fresh, 8u);
+  }
+  // Probes carried the epochs between budgeted fulls.
+  std::uint64_t probes = 0, fulls = 0;
+  for (const EpochMemberState& m : scheduler.members()) {
+    probes += m.probes;
+    fulls += m.full_attests;
+    EXPECT_EQ(m.health, Freshness::kFresh);
+  }
+  EXPECT_GT(probes, 0u);
+  EXPECT_GT(fulls, 0u);
+}
+
+TEST(EpochScheduler, ProbeMismatchEscalatesToFullAndHeals) {
+  EpochFleet fleet(4, 1100);
+  // Tamper every app frame of member 2 so any probe sample hits it.
+  for (std::uint32_t frame = 4; frame < 12; ++frame) {
+    bitstream::Frame f = fleet.provers[2].memory().config_frame(frame);
+    f.flip_bit(17);
+    fleet.provers[2].memory().write_frame_preserving_registers(frame, f);
+  }
+  EpochOptions options;
+  options.schedule = core::SwarmSchedule::kSerial;
+  options.probe_coverage = 0.5;
+  options.freshness_window = 10;  // keep budgeted fulls out of the way
+  EpochScheduler scheduler(fleet.members, options);
+  const EpochTickReport report = scheduler.tick();
+  EXPECT_EQ(report.escalated, 1u);
+  EXPECT_EQ(report.healed, 1u);  // full session reinstalls the app
+  EXPECT_EQ(report.quarantined, 0u);
+  const EpochMemberState& m = scheduler.members()[2];
+  EXPECT_EQ(m.health, Freshness::kFresh);
+  EXPECT_EQ(m.probe_failures, 1u);
+  EXPECT_EQ(m.escalations, 1u);
+  EXPECT_EQ(m.last_full_epoch, 1u);
+  // The heal is real: the tampered frames were reconfigured.
+  const auto after =
+      core::run_attestation(fleet.verifiers[2], fleet.provers[2]);
+  EXPECT_TRUE(after.verdict.ok()) << after.verdict.detail;
+}
+
+TEST(EpochScheduler, ProbePassNeverRefreshesFullAttestationAge) {
+  EpochFleet fleet(2, 1200);
+  EpochOptions options;
+  options.schedule = core::SwarmSchedule::kSerial;
+  options.probe_coverage = 0.25;
+  options.freshness_window = 100;  // no budgeted fulls, probes only
+  EpochScheduler scheduler(fleet.members, options);
+  for (int t = 0; t < 5; ++t) scheduler.tick();
+  for (const EpochMemberState& m : scheduler.members()) {
+    EXPECT_GE(m.probes, 5u);
+    // Probe passes alone: the last full attestation is still the
+    // provisioning one.
+    EXPECT_EQ(m.last_full_epoch, 0u);
+    EXPECT_EQ(m.full_attests, 0u);
+  }
+}
+
+TEST(EpochScheduler, UnattestableMemberIsQuarantinedNotRetriedForever) {
+  EpochFleet fleet(3, 1300);
+  // Member 1 is a clone that never enrolled: every session MAC-fails.
+  fleet.provers.push_back(fleet.envs[1].make_prover(/*genuine_key=*/false));
+  fleet.members[1].prover = &fleet.provers.back();
+  EpochOptions options;
+  options.schedule = core::SwarmSchedule::kSerial;
+  options.probe_coverage = 0.5;
+  options.freshness_window = 10;
+  EpochScheduler scheduler(fleet.members, options);
+  const EpochTickReport first = scheduler.tick();
+  EXPECT_EQ(first.escalated, 1u);
+  EXPECT_EQ(first.newly_quarantined, 1u);
+  EXPECT_EQ(scheduler.members()[1].health, Freshness::kQuarantined);
+  EXPECT_EQ(scheduler.members()[1].last_failure, FailureKind::kMacMismatch);
+  const std::uint64_t probes_before = scheduler.members()[1].probes;
+  const EpochTickReport second = scheduler.tick();
+  EXPECT_EQ(scheduler.members()[1].probes, probes_before);
+  EXPECT_EQ(second.quarantined, 1u);
+  EXPECT_FALSE(second.slo_met);  // 1 of 3 permanently out of budget
+}
+
+TEST(EpochScheduler, RollingUpdateWaveCommitsWholeFleet) {
+  EpochFleet fleet(6, 1400);
+  EpochOptions options;
+  options.schedule = core::SwarmSchedule::kSerial;
+  options.update_wave = 2;
+  EpochScheduler scheduler(fleet.members, options);
+
+  crypto::HashSigner signer(77, 3);
+  const SignedManifest sm = must_sign(
+      make_manifest(fleet.envs[0], {"intended-app-v2", 2}, 2), signer);
+  ASSERT_TRUE(scheduler.stage_update(sm, signer.root()).ok());
+  EXPECT_FALSE(scheduler.update_complete());
+
+  int ticks = 0;
+  while (!scheduler.update_complete() && ticks < 10) {
+    const EpochTickReport report = scheduler.tick();
+    EXPECT_LE(report.updates_run, options.update_wave);
+    ++ticks;
+  }
+  EXPECT_TRUE(scheduler.update_complete());
+  EXPECT_EQ(ticks, 3);  // 6 members / wave of 2
+  for (const EpochMemberState& m : scheduler.members()) {
+    EXPECT_TRUE(m.update_committed) << m.id;
+    EXPECT_EQ(m.health, Freshness::kFresh);
+  }
+  for (const UpdateReport& report : scheduler.update_reports()) {
+    EXPECT_TRUE(report.committed());
+    EXPECT_TRUE(report.pre_attested && report.post_attested);
+    EXPECT_TRUE(report.invariant_ok);
+  }
+  for (std::size_t i = 0; i < fleet.verifiers.size(); ++i) {
+    EXPECT_EQ(fleet.verifiers[i].app_spec().name, "intended-app-v2");
+  }
+}
+
+TEST(EpochScheduler, StageRefusesBadRootAndLeafReuse) {
+  EpochFleet fleet(2, 1500);
+  EpochScheduler scheduler(fleet.members, EpochOptions{});
+  crypto::HashSigner signer(78, 2);
+  const SignedManifest sm = must_sign(
+      make_manifest(fleet.envs[0], {"intended-app-v2", 2}, 2), signer);
+  crypto::Sha256Digest wrong_root{};
+  EXPECT_FALSE(scheduler.stage_update(sm, wrong_root).ok());
+  ASSERT_TRUE(scheduler.stage_update(sm, signer.root()).ok());
+  // The coordinator's leaf policy refuses a re-staged (replayed) manifest.
+  EXPECT_FALSE(scheduler.stage_update(sm, signer.root()).ok());
+}
+
+// ---- Freshness SLO plumbing ---------------------------------------------
+
+TEST(SloTracker, PrefixSeparatesTrackers) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  obs::SloTracker::Options options;
+  options.metric_prefix = "sacha.test.updslo";
+  options.latency_objective_ns = 0;
+  obs::SloTracker tracker(options);
+  tracker.record(0, true);
+  tracker.record(0, false);
+  EXPECT_EQ(tracker.total(), 2u);
+  EXPECT_EQ(tracker.good(), 1u);
+  EXPECT_EQ(obs::MetricsRegistry::global()
+                .gauge("sacha.test.updslo.sessions_total")
+                .value(),
+            2);
+  obs::set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace sacha::update

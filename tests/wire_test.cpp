@@ -55,7 +55,7 @@ TEST(WireFraming, RoundTripsEveryKindUnderRandomSplits) {
     const std::size_t count = 1 + rng.below(8);
     for (std::size_t i = 0; i < count; ++i) {
       Frame frame;
-      frame.kind = static_cast<FrameKind>(1 + rng.below(6));
+      frame.kind = static_cast<FrameKind>(1 + rng.below(8));
       frame.payload = random_payload(rng, 300);
       append(stream, net::encode_frame(frame));
       sent.push_back(std::move(frame));
@@ -123,6 +123,7 @@ TEST(WireFraming, MalformedHeadersPoisonTheDecoder) {
   expect_poisons({0xde, 0xad});                          // bad magic
   expect_poisons({0x53, 0x41, 99, 1});                   // unknown version
   expect_poisons({0x53, 0x41, net::kWireVersion, 0});    // kind below range
+  expect_poisons({0x53, 0x41, net::kWireVersion, 9});    // first unassigned
   expect_poisons({0x53, 0x41, net::kWireVersion, 200});  // kind above range
   expect_poisons({0x53, 0x41, net::kWireVersion, 3,      // oversize length
                   0xff, 0xff, 0xff, 0xff});
@@ -319,6 +320,75 @@ TEST(WireMessages, ErrorRoundTripAndBoundsCheck) {
   Bytes bad = error.encode();
   bad[0] = 250;  // failure kind beyond the taxonomy
   EXPECT_FALSE(net::ErrorMsg::decode(bad).ok());
+}
+
+TEST(WireMessages, UpdateOfferRoundTripAndTruncation) {
+  net::UpdateOfferMsg offer;
+  offer.version = 42;
+  offer.manifest = {0x5a, 0x01, 0xfe, 0x00, 0x33};  // opaque at this layer
+  auto back = net::UpdateOfferMsg::decode(offer.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), offer);
+
+  Bytes wire = offer.encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(net::UpdateOfferMsg::decode(truncated).ok())
+        << "decoded a " << cut << "-byte prefix";
+  }
+  // Length field pointing past the payload must refuse, not over-read.
+  Bytes lying = wire;
+  lying[8] = 0xff;  // manifest length low byte
+  EXPECT_FALSE(net::UpdateOfferMsg::decode(lying).ok());
+}
+
+TEST(WireMessages, UpdateStatusRoundTripAndTruncation) {
+  net::UpdateStatusMsg status;
+  status.version = 42;
+  status.accepted = true;
+  status.state = "Committed";
+  status.detail = "post-attest passed";
+  auto back = net::UpdateStatusMsg::decode(status.encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), status);
+
+  net::UpdateStatusMsg refusal;
+  refusal.version = 42;
+  refusal.accepted = false;
+  refusal.state = "Idle";
+  refusal.detail = "manifest: bad signature";
+  auto back2 = net::UpdateStatusMsg::decode(refusal.encode());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(back2.value(), refusal);
+
+  Bytes wire = status.encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(net::UpdateStatusMsg::decode(truncated).ok())
+        << "decoded a " << cut << "-byte prefix";
+  }
+}
+
+TEST(WireFraming, UpdateFramesSurviveByteAtATimeFraming) {
+  net::UpdateOfferMsg offer;
+  offer.version = 7;
+  offer.manifest.assign(129, 0xab);
+  Frame frame{FrameKind::kUpdateOffer, offer.encode()};
+  const Bytes stream = net::encode_frame(frame);
+
+  net::FrameDecoder decoder;
+  std::optional<Frame> got;
+  for (std::uint8_t byte : stream) {
+    decoder.feed(Bytes{byte});
+    auto next = decoder.next();
+    ASSERT_TRUE(next.ok());
+    if (next.value().has_value()) got = *std::move(next).take();
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, FrameKind::kUpdateOffer);
+  auto back = net::UpdateOfferMsg::decode(got->payload);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), offer);
 }
 
 TEST(WireFraming, DecodeErrorsAndPoisonedConnsAreCounted) {
