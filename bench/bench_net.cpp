@@ -14,7 +14,7 @@
 //      throughput within 2% of the telemetry-off baseline (best of 3 each).
 //
 // The sweep opens {64, 256, 512} connections at once against one attestd
-// and records attestations/sec plus p50/p99 session latency into
+// and records attestations/sec plus p50/p99/p999 session latency into
 // BENCH_net.json (bench_util schema, diffable across PRs).
 #include <algorithm>
 #include <cstdio>
@@ -184,6 +184,7 @@ struct SweepPoint {
   double rate = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   std::size_t peak = 0;
 };
 
@@ -213,6 +214,7 @@ SweepPoint run_sweep_point(net::AttestServer& server, std::size_t conns,
       seconds > 0 ? static_cast<double>(result.completed) / seconds : 0;
   point.p50_ms = percentile(latencies_ms, 0.50);
   point.p99_ms = percentile(latencies_ms, 0.99);
+  point.p999_ms = percentile(latencies_ms, 0.999);
   point.peak = result.peak_concurrent;
   return point;
 }
@@ -245,13 +247,14 @@ int main() {
   std::vector<benchutil::BenchRecord> records;
   std::size_t peak_seen = 0;
   bool all_completed = true;
-  std::printf("\n%8s %12s %14s %12s %12s\n", "conns", "completed",
-              "attest/s", "p50 ms", "p99 ms");
+  std::printf("\n%8s %12s %14s %12s %12s %12s\n", "conns", "completed",
+              "attest/s", "p50 ms", "p99 ms", "p999 ms");
   const auto report_point = [&](const SweepPoint& point) {
     peak_seen = std::max(peak_seen, point.peak);
     all_completed = all_completed && point.all_completed;
-    std::printf("%8zu %12zu %14.1f %12.3f %12.3f\n", point.conns,
-                point.completed, point.rate, point.p50_ms, point.p99_ms);
+    std::printf("%8zu %12zu %14.1f %12.3f %12.3f %12.3f\n", point.conns,
+                point.completed, point.rate, point.p50_ms, point.p99_ms,
+                point.p999_ms);
     if (!point.all_completed) {
       std::fprintf(stderr, "scale gate: %zu/%zu completed at %zu conns\n",
                    point.completed, point.conns, point.conns);
@@ -261,6 +264,7 @@ int main() {
     records.push_back({tag, "attestations_per_s", point.rate, "1/s"});
     records.push_back({tag, "session_p50", point.p50_ms, "ms"});
     records.push_back({tag, "session_p99", point.p99_ms, "ms"});
+    records.push_back({tag, "session_p999", point.p999_ms, "ms"});
     records.push_back({tag, "peak_concurrent",
                        static_cast<double>(point.peak), "conns"});
   };

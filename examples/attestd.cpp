@@ -50,6 +50,11 @@ void print_help() {
       "  --window N         pipelined commands per session (default 32)\n"
       "  --timeout-ms N     idle session cut-off (default 30000, 0 = never)\n"
       "  --poll             force the poll(2) fallback instead of epoll\n"
+      "  --reuseport        bind with SO_REUSEPORT (several attestd\n"
+      "                     processes can accept on one port)\n"
+      "  --model-cache DIR  golden-model .sgm disk cache directory\n"
+      "  --model-map        mmap cached models (share page cache across\n"
+      "                     colocated shard processes)\n"
       "  --no-metrics       disable the HTTP endpoints\n"
       "  --trace-sample R   head-sampling rate 0..1 (default: keep the\n"
       "                     process rate from SACHA_OBS_SAMPLE)\n"
@@ -102,6 +107,12 @@ int main(int argc, char** argv) {
           std::strtoull(next("--timeout-ms"), nullptr, 10);
     } else if (arg == "--poll") {
       options.prefer_epoll = false;
+    } else if (arg == "--reuseport") {
+      options.reuseport = true;
+    } else if (arg == "--model-cache") {
+      options.model_cache_dir = next("--model-cache");
+    } else if (arg == "--model-map") {
+      options.model_map = true;
     } else if (arg == "--no-metrics") {
       options.metrics_endpoint = false;
     } else if (arg == "--trace-sample") {

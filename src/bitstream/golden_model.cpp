@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <mutex>
@@ -10,6 +11,14 @@
 #include <unordered_map>
 
 #include "crypto/sha256.hpp"
+
+#if defined(__linux__) && !defined(SACHA_PORTABLE)
+#define SACHA_GM_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace sacha::bitstream {
 
@@ -77,6 +86,14 @@ GoldenModel::GoldenModel(const fabric::Floorplan& plan, DesignSpec static_spec,
       golden_row[w] = golden.word(w) & mask_row[w];
     }
   }
+  mask_table_ = mask_words_.data();
+  golden_table_ = masked_golden_.data();
+}
+
+GoldenModel::~GoldenModel() {
+#if defined(SACHA_GM_MMAP)
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+#endif
 }
 
 const ConfigImage& GoldenModel::static_image() const {
@@ -176,17 +193,22 @@ namespace {
 
 // Versioned binary layout (host-endian; a local warm-start cache, not an
 // interchange format): magic, version, identity digest, geometry, specs,
-// region structure, region images, flat tables.
+// region structure, region images, flat tables. Format v2 64-byte-aligns
+// both flat-table payloads (zero pad after the length word) so load_mapped()
+// can hand the mapped bytes straight to the uint32 SIMD compare.
 constexpr char kMagic[8] = {'S', 'A', 'C', 'H', 'A', 'G', 'M', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
+constexpr std::size_t kTableAlign = 64;
 
 struct Writer {
   std::ofstream out;
   bool ok = true;
+  std::uint64_t written = 0;
 
   void raw(const void* data, std::size_t bytes) {
     if (ok) ok = !!out.write(static_cast<const char*>(data),
                              static_cast<std::streamsize>(bytes));
+    if (ok) written += bytes;
   }
   void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
   void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
@@ -209,18 +231,48 @@ struct Writer {
     u32(static_cast<std::uint32_t>(img.masks.size()));
     for (const FrameMask& m : img.masks) frame(m);
   }
+  void align() {
+    static constexpr char zeros[kTableAlign] = {};
+    const std::size_t pad =
+        (kTableAlign - static_cast<std::size_t>(written % kTableAlign)) %
+        kTableAlign;
+    raw(zeros, pad);
+  }
+  /// Flat-table payload: length word, pad to the next 64-byte file offset,
+  /// then the raw words (so a mapping of the file yields aligned lanes).
+  void table(const std::uint32_t* p, std::uint64_t n) {
+    u64(n);
+    align();
+    raw(p, static_cast<std::size_t>(n) * sizeof(std::uint32_t));
+  }
 };
 
-struct Reader {
-  std::ifstream in;
+}  // namespace
+
+/// Shared decoder for load() and load_mapped(): one bounds-checked pass over
+/// an in-memory buffer (whole-file read or mmap). Every read is validated
+/// against the remaining byte count, so a truncated file fails cleanly at
+/// whatever section the cut landed in, and a final exact-length check
+/// rejects garbage-tailed files — the corruption-matrix tests exercise both.
+struct ModelParser {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
   bool ok = true;
   /// Per-vector sanity cap: no table in a valid model exceeds this many
   /// words, so a corrupt length field fails fast instead of allocating.
   static constexpr std::uint64_t kMaxWords = 1u << 28;  // 1 GiB of words
 
-  void raw(void* data, std::size_t bytes) {
-    if (ok) ok = !!in.read(static_cast<char*>(data),
-                           static_cast<std::streamsize>(bytes));
+  bool need(std::size_t bytes) {
+    if (ok && size - pos >= bytes) return true;
+    ok = false;
+    return false;
+  }
+  void raw(void* out, std::size_t bytes) {
+    if (need(bytes)) {
+      std::memcpy(out, data + pos, bytes);
+      pos += bytes;
+    }
   }
   std::uint32_t u32() {
     std::uint32_t v = 0;
@@ -232,6 +284,23 @@ struct Reader {
     raw(&v, sizeof(v));
     return v;
   }
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > kMaxWords || !need(static_cast<std::size_t>(n))) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data + pos),
+                  static_cast<std::size_t>(n));
+    pos += static_cast<std::size_t>(n);
+    return s;
+  }
+  DesignSpec spec() {
+    DesignSpec s;
+    s.name = str();
+    s.seed = u64();
+    return s;
+  }
   std::vector<std::uint32_t> words() {
     const std::uint64_t n = u64();
     if (n > kMaxWords) {
@@ -241,22 +310,6 @@ struct Reader {
     std::vector<std::uint32_t> v(ok ? static_cast<std::size_t>(n) : 0);
     raw(v.data(), v.size() * sizeof(std::uint32_t));
     return v;
-  }
-  std::string str() {
-    const std::uint64_t n = u64();
-    if (n > kMaxWords) {
-      ok = false;
-      return {};
-    }
-    std::string s(ok ? static_cast<std::size_t>(n) : 0, '\0');
-    raw(s.data(), s.size());
-    return s;
-  }
-  DesignSpec spec() {
-    DesignSpec s;
-    s.name = str();
-    s.seed = u64();
-    return s;
   }
   Frame frame() { return Frame(words()); }
   ConfigImage image() {
@@ -279,9 +332,116 @@ struct Reader {
     }
     return img;
   }
-};
+  void align() {
+    const std::size_t target = (pos + (kTableAlign - 1)) & ~(kTableAlign - 1);
+    if (!ok || target > size) {
+      ok = false;
+      return;
+    }
+    pos = target;
+  }
+  /// Length-checked flat table; returns a borrowed pointer into the buffer.
+  const std::uint32_t* table(std::uint64_t expect_words) {
+    const std::uint64_t n = u64();
+    if (!ok || n != expect_words) {
+      ok = false;
+      return nullptr;
+    }
+    align();
+    const std::size_t bytes =
+        static_cast<std::size_t>(n) * sizeof(std::uint32_t);
+    if (!need(bytes)) return nullptr;
+    const auto* p = reinterpret_cast<const std::uint32_t*>(data + pos);
+    pos += bytes;
+    return p;
+  }
 
-}  // namespace
+  /// Full-file decode + validation. `borrow` keeps the flat tables as
+  /// pointers into `data` (the caller must keep the buffer alive — the mmap
+  /// path); otherwise they are copied onto the heap. Returns nullptr on any
+  /// truncation, trailing garbage, or identity/geometry mismatch.
+  static std::shared_ptr<GoldenModel> parse(
+      const std::uint8_t* data, std::size_t size, const fabric::Floorplan& plan,
+      const DesignSpec& static_spec, const DesignSpec& app_spec, bool borrow) {
+    ModelParser p{data, size};
+    char magic[sizeof(kMagic)] = {};
+    p.raw(magic, sizeof(magic));
+    if (!p.ok || !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+      return nullptr;
+    }
+    if (p.u32() != kFormatVersion) return nullptr;
+    // The identity digest seals device, partition layout and specs: a stale
+    // file for a different fleet configuration can never be mistaken for
+    // this one.
+    if (p.str() != GoldenModel::cache_digest(plan, static_spec, app_spec)) {
+      return nullptr;
+    }
+
+    std::shared_ptr<GoldenModel> model(new GoldenModel());
+    model->total_frames_ = p.u32();
+    model->words_per_frame_ = p.u32();
+    model->nonce_frame_ = p.u32();
+    model->app_frame_total_ = p.u32();
+    model->static_spec_ = p.spec();
+    model->app_spec_ = p.spec();
+    const std::uint32_t ranges = p.u32();
+    if (ranges > kMaxWords) p.ok = false;
+    for (std::uint32_t i = 0; p.ok && i < ranges; ++i) {
+      fabric::FrameRange range;
+      range.first = p.u32();
+      range.count = p.u32();
+      model->app_ranges_.push_back(range);
+    }
+    const std::uint32_t statics = p.u32();
+    if (statics > kMaxWords) p.ok = false;
+    for (std::uint32_t i = 0; p.ok && i < statics; ++i) {
+      fabric::FrameRange range;
+      range.first = p.u32();
+      range.count = p.u32();
+      model->static_images_.emplace_back(range, p.image());
+    }
+    const std::uint32_t apps = p.u32();
+    if (apps > kMaxWords) p.ok = false;
+    for (std::uint32_t i = 0; p.ok && i < apps; ++i) {
+      model->app_images_.push_back(p.image());
+    }
+    if (!p.ok) return nullptr;
+
+    // Geometry sanity against the live floorplan before trusting the table
+    // lengths (truncated or corrupted tables must not produce a
+    // quietly-wrong model).
+    const fabric::DeviceModel& device = plan.device();
+    if (model->total_frames_ != device.total_frames() ||
+        model->words_per_frame_ != device.geometry().words_per_frame()) {
+      return nullptr;
+    }
+    if (model->static_spec_ != static_spec || model->app_spec_ != app_spec) {
+      return nullptr;
+    }
+    const std::uint64_t table_words =
+        static_cast<std::uint64_t>(model->total_frames_) *
+        model->words_per_frame_;
+    const std::uint32_t* mask = p.table(table_words);
+    const std::uint32_t* golden = p.table(table_words);
+    if (!p.ok) return nullptr;
+    // A well-formed file ends exactly at the second table: trailing bytes
+    // mean the writer and this reader disagree about the format — reject
+    // rather than silently ignoring them.
+    if (p.pos != p.size) return nullptr;
+
+    if (borrow) {
+      model->mask_table_ = mask;
+      model->golden_table_ = golden;
+    } else {
+      model->mask_words_.assign(mask, mask + table_words);
+      model->masked_golden_.assign(golden, golden + table_words);
+      model->mask_table_ = model->mask_words_.data();
+      model->golden_table_ = model->masked_golden_.data();
+    }
+    model->zero_frame_ = Frame(model->words_per_frame_);
+    return model;
+  }
+};
 
 std::string GoldenModel::cache_digest(const fabric::Floorplan& plan,
                                       const DesignSpec& static_spec,
@@ -326,96 +486,96 @@ bool GoldenModel::save(const std::string& path,
   }
   w.u32(static_cast<std::uint32_t>(app_images_.size()));
   for (const ConfigImage& image : app_images_) w.image(image);
-  w.words(mask_words_);
-  w.words(masked_golden_);
+  const std::uint64_t table_words =
+      static_cast<std::uint64_t>(total_frames_) * words_per_frame_;
+  w.table(mask_table_, table_words);
+  w.table(golden_table_, table_words);
   return w.ok && !!w.out.flush();
 }
 
 std::shared_ptr<const GoldenModel> GoldenModel::load(
     const std::string& path, const fabric::Floorplan& plan,
     const DesignSpec& static_spec, const DesignSpec& app_spec) {
-  Reader r;
-  r.in.open(path, std::ios::binary);
-  if (!r.in.is_open()) return nullptr;
-  char magic[sizeof(kMagic)] = {};
-  r.raw(magic, sizeof(magic));
-  if (!r.ok || !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return nullptr;
+  in.seekg(0, std::ios::end);
+  const std::streamoff len = in.tellg();
+  if (len <= 0) return nullptr;
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+  if (!in.read(reinterpret_cast<char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size()))) {
     return nullptr;
   }
-  if (r.u32() != kFormatVersion) return nullptr;
-  // The identity digest seals device, partition layout and specs: a stale
-  // file for a different fleet configuration can never be mistaken for
-  // this one.
-  if (r.str() != cache_digest(plan, static_spec, app_spec)) return nullptr;
+  return ModelParser::parse(buf.data(), buf.size(), plan, static_spec,
+                            app_spec, /*borrow=*/false);
+}
 
-  std::shared_ptr<GoldenModel> model(new GoldenModel());
-  model->total_frames_ = r.u32();
-  model->words_per_frame_ = r.u32();
-  model->nonce_frame_ = r.u32();
-  model->app_frame_total_ = r.u32();
-  model->static_spec_ = r.spec();
-  model->app_spec_ = r.spec();
-  const std::uint32_t ranges = r.u32();
-  for (std::uint32_t i = 0; r.ok && i < ranges; ++i) {
-    fabric::FrameRange range;
-    range.first = r.u32();
-    range.count = r.u32();
-    model->app_ranges_.push_back(range);
-  }
-  const std::uint32_t statics = r.u32();
-  for (std::uint32_t i = 0; r.ok && i < statics; ++i) {
-    fabric::FrameRange range;
-    range.first = r.u32();
-    range.count = r.u32();
-    model->static_images_.emplace_back(range, r.image());
-  }
-  const std::uint32_t apps = r.u32();
-  for (std::uint32_t i = 0; r.ok && i < apps; ++i) {
-    model->app_images_.push_back(r.image());
-  }
-  model->mask_words_ = r.words();
-  model->masked_golden_ = r.words();
-  if (!r.ok) return nullptr;
+bool GoldenModel::mapping_supported() {
+#if defined(SACHA_GM_MMAP)
+  return true;
+#else
+  return false;
+#endif
+}
 
-  // Geometry sanity against the live floorplan and internal consistency
-  // (truncated or corrupted tables must not produce a quietly-wrong model).
-  const fabric::DeviceModel& device = plan.device();
-  if (model->total_frames_ != device.total_frames() ||
-      model->words_per_frame_ != device.geometry().words_per_frame()) {
+std::shared_ptr<const GoldenModel> GoldenModel::load_mapped(
+    const std::string& path, const fabric::Floorplan& plan,
+    const DesignSpec& static_spec, const DesignSpec& app_spec) {
+#if defined(SACHA_GM_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return nullptr;
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
     return nullptr;
   }
-  const std::size_t table_words =
-      static_cast<std::size_t>(model->total_frames_) *
-      model->words_per_frame_;
-  if (model->mask_words_.size() != table_words ||
-      model->masked_golden_.size() != table_words) {
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (base == MAP_FAILED) return nullptr;
+  // Fault the tables in ahead of the verify hot loop instead of paying
+  // one major fault per 4 KiB mid-session.
+  (void)::madvise(base, len, MADV_WILLNEED);
+  auto model = ModelParser::parse(static_cast<const std::uint8_t*>(base), len,
+                                  plan, static_spec, app_spec, /*borrow=*/true);
+  if (model == nullptr) {
+    ::munmap(base, len);
     return nullptr;
   }
-  if (model->static_spec_ != static_spec || model->app_spec_ != app_spec) {
-    return nullptr;
-  }
-  model->zero_frame_ = Frame(model->words_per_frame_);
+  model->map_base_ = base;
+  model->map_len_ = len;
   return model;
+#else
+  // No mmap on this build tier: degrade to the heap copy so callers never
+  // have to special-case portability.
+  return load(path, plan, static_spec, app_spec);
+#endif
 }
 
 bool GoldenModel::operator==(const GoldenModel& other) const {
-  return static_spec_ == other.static_spec_ &&
-         app_spec_ == other.app_spec_ &&
-         total_frames_ == other.total_frames_ &&
-         words_per_frame_ == other.words_per_frame_ &&
-         nonce_frame_ == other.nonce_frame_ &&
-         app_frame_total_ == other.app_frame_total_ &&
-         app_ranges_ == other.app_ranges_ &&
-         static_images_ == other.static_images_ &&
-         app_images_ == other.app_images_ &&
-         mask_words_ == other.mask_words_ &&
-         masked_golden_ == other.masked_golden_;
+  if (!(static_spec_ == other.static_spec_ && app_spec_ == other.app_spec_ &&
+        total_frames_ == other.total_frames_ &&
+        words_per_frame_ == other.words_per_frame_ &&
+        nonce_frame_ == other.nonce_frame_ &&
+        app_frame_total_ == other.app_frame_total_ &&
+        app_ranges_ == other.app_ranges_ &&
+        static_images_ == other.static_images_ &&
+        app_images_ == other.app_images_)) {
+    return false;
+  }
+  // Table contents, not storage: a mapped model compares equal to the heap
+  // model it was serialised from.
+  const std::size_t table_bytes = static_cast<std::size_t>(total_frames_) *
+                                  words_per_frame_ * sizeof(std::uint32_t);
+  return std::memcmp(mask_table_, other.mask_table_, table_bytes) == 0 &&
+         std::memcmp(golden_table_, other.golden_table_, table_bytes) == 0;
 }
 
 std::shared_ptr<const GoldenModel> GoldenModel::shared_cached(
     const fabric::Floorplan& plan, const DesignSpec& static_spec,
     const DesignSpec& app_spec, const std::string& cache_dir,
-    CacheSource* source) {
+    CacheSource* source, bool prefer_mapped) {
   ModelCache& cache = model_cache();
   const std::string key = cache_key(plan, static_spec, app_spec);
   std::lock_guard<std::mutex> lock(cache.mutex);
@@ -434,14 +594,29 @@ std::shared_ptr<const GoldenModel> GoldenModel::shared_cached(
       (std::filesystem::path(cache_dir) /
        (cache_digest(plan, static_spec, app_spec) + ".sgm"))
           .string();
-  if (auto model = load(path, plan, static_spec, app_spec)) {
+  if (auto model = prefer_mapped
+                       ? load_mapped(path, plan, static_spec, app_spec)
+                       : load(path, plan, static_spec, app_spec)) {
     cache.entries[key] = model;
-    if (source != nullptr) *source = CacheSource::kLoaded;
+    if (source != nullptr) {
+      *source = model->tables_mapped() ? CacheSource::kMapped
+                                       : CacheSource::kLoaded;
+    }
     return model;
   }
   auto model = std::make_shared<const GoldenModel>(plan, static_spec, app_spec);
+  const bool saved = model->save(path, plan);  // best-effort persist
+  if (saved && prefer_mapped) {
+    // Re-open our own freshly-written file mapped: the builder shard then
+    // shares the same page-cache copy as every later shard on the host.
+    if (auto mapped = load_mapped(path, plan, static_spec, app_spec);
+        mapped != nullptr && mapped->tables_mapped()) {
+      cache.entries[key] = mapped;
+      if (source != nullptr) *source = CacheSource::kBuilt;
+      return mapped;
+    }
+  }
   cache.entries[key] = model;
-  (void)model->save(path, plan);  // best-effort persist for the next start
   if (source != nullptr) *source = CacheSource::kBuilt;
   return model;
 }

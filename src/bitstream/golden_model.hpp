@@ -74,23 +74,48 @@ class GoldenModel {
   bool save(const std::string& path, const fabric::Floorplan& plan) const;
 
   /// Deserialises a model previously save()d for the same (device, plan,
-  /// specs). Validates magic, version, identity digest and geometry;
-  /// returns nullptr on any mismatch or I/O/corruption error.
+  /// specs). Validates magic, version, identity digest and geometry, and
+  /// rejects truncated or garbage-tailed files; returns nullptr on any
+  /// mismatch or I/O/corruption error.
   static std::shared_ptr<const GoldenModel> load(
       const std::string& path, const fabric::Floorplan& plan,
       const DesignSpec& static_spec, const DesignSpec& app_spec);
 
+  /// Like load(), but maps the file read-only (`MAP_SHARED`) and *borrows*
+  /// the flat streaming tables straight from the mapping instead of copying
+  /// them onto the heap. The format 64-byte-aligns both table payloads, so
+  /// the borrowed pointers are valid `uint32_t` lanes for the SIMD compare.
+  /// Every process on a host that maps the same `.sgm` shares one page-cache
+  /// copy of the ~9 MB tables — the point of the shard coordinator's
+  /// RSS-per-shard-flat property. Region images and specs are still copied
+  /// (they are small and needed mutable-adjacent). Falls back to the heap
+  /// `load()` path on non-Linux or `SACHA_PORTABLE` builds, and on any
+  /// mmap failure. Same validation and nullptr-on-corruption contract.
+  static std::shared_ptr<const GoldenModel> load_mapped(
+      const std::string& path, const fabric::Floorplan& plan,
+      const DesignSpec& static_spec, const DesignSpec& app_spec);
+
+  /// True when this build can actually mmap (Linux, not SACHA_PORTABLE);
+  /// false means load_mapped() degrades to the heap path.
+  static bool mapping_supported();
+
+  /// True iff this instance's flat tables live in a shared file mapping.
+  bool tables_mapped() const { return map_base_ != nullptr; }
+
   /// Where shared_cached() found the model (restart-cost accounting).
-  enum class CacheSource { kInterned, kLoaded, kBuilt };
+  enum class CacheSource { kInterned, kLoaded, kMapped, kBuilt };
 
   /// Three-tier interned construction: process intern cache, then
   /// `cache_dir/<digest>.sgm` on disk, then a fresh build (persisted to the
   /// cache dir best-effort). Thread-safe; `source` (optional) reports which
-  /// tier hit.
+  /// tier hit. With `prefer_mapped`, the disk tier uses load_mapped() (and
+  /// a fresh build re-opens its own just-saved file mapped), so concurrent
+  /// shard processes share one page-cache copy of the tables; the source
+  /// for a mapped disk hit is kMapped.
   static std::shared_ptr<const GoldenModel> shared_cached(
       const fabric::Floorplan& plan, const DesignSpec& static_spec,
       const DesignSpec& app_spec, const std::string& cache_dir,
-      CacheSource* source = nullptr);
+      CacheSource* source = nullptr, bool prefer_mapped = false);
 
   /// Bit-identity over everything serialised (specs, geometry, region
   /// images, flat tables) — what the round-trip test asserts.
@@ -129,8 +154,7 @@ class GoldenModel {
   /// Architectural register mask of `frame`, identical word-for-word to
   /// `architectural_mask(device, frame)`.
   std::span<const std::uint32_t> mask_words(std::uint32_t frame) const {
-    return {mask_words_.data() +
-                static_cast<std::size_t>(frame) * words_per_frame_,
+    return {mask_table_ + static_cast<std::size_t>(frame) * words_per_frame_,
             words_per_frame_};
   }
 
@@ -138,8 +162,7 @@ class GoldenModel {
   /// (`golden & mask`). The nonce frame's slot is all-zero; the verifier
   /// overlays the session nonce.
   std::span<const std::uint32_t> masked_golden_words(std::uint32_t frame) const {
-    return {masked_golden_.data() +
-                static_cast<std::size_t>(frame) * words_per_frame_,
+    return {golden_table_ + static_cast<std::size_t>(frame) * words_per_frame_,
             words_per_frame_};
   }
 
@@ -148,10 +171,10 @@ class GoldenModel {
   /// for the nonce frame — its golden content lives in the session.
   bool frame_matches(std::uint32_t frame,
                      std::span<const std::uint32_t> received) const {
-    const std::uint32_t* mask = mask_words_.data() +
-                                static_cast<std::size_t>(frame) * words_per_frame_;
+    const std::uint32_t* mask =
+        mask_table_ + static_cast<std::size_t>(frame) * words_per_frame_;
     const std::uint32_t* golden =
-        masked_golden_.data() + static_cast<std::size_t>(frame) * words_per_frame_;
+        golden_table_ + static_cast<std::size_t>(frame) * words_per_frame_;
     return masked_words_match(received.data(), mask, golden, words_per_frame_);
   }
 
@@ -162,8 +185,16 @@ class GoldenModel {
   const DesignSpec& static_spec() const { return static_spec_; }
   const DesignSpec& app_spec() const { return app_spec_; }
 
+  /// Tables in mapped instances are borrowed from the mapping, so the
+  /// table pointers cannot survive a copy.
+  GoldenModel(const GoldenModel&) = delete;
+  GoldenModel& operator=(const GoldenModel&) = delete;
+  ~GoldenModel();
+
  private:
-  GoldenModel() = default;  // load() fills the fields directly
+  GoldenModel() = default;  // load()/load_mapped() fill the fields directly
+
+  friend struct ModelParser;  // shared load/load_mapped decoder
 
   DesignSpec static_spec_;
   DesignSpec app_spec_;
@@ -177,8 +208,17 @@ class GoldenModel {
   std::vector<ConfigImage> app_images_;
   Frame zero_frame_;
 
-  std::vector<std::uint32_t> mask_words_;     // total_frames * words_per_frame
-  std::vector<std::uint32_t> masked_golden_;  // same shape, golden & mask
+  // Flat streaming tables, total_frames * words_per_frame words each. The
+  // accessors read through `mask_table_` / `golden_table_`: for built and
+  // heap-loaded models they point at the owning vectors below; for mapped
+  // models they point into `map_base_` and the vectors stay empty (which is
+  // also what keeps footprint_bytes() honest about heap cost).
+  std::vector<std::uint32_t> mask_words_;
+  std::vector<std::uint32_t> masked_golden_;  // golden & mask
+  const std::uint32_t* mask_table_ = nullptr;
+  const std::uint32_t* golden_table_ = nullptr;
+  void* map_base_ = nullptr;  // munmap'd by the dtor when non-null
+  std::size_t map_len_ = 0;
 };
 
 }  // namespace sacha::bitstream

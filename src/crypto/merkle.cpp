@@ -64,4 +64,19 @@ bool merkle_verify(const Sha256Digest& root, std::uint32_t tree_height,
   return node == root;
 }
 
+Sha256Digest merkle_root(std::span<const Sha256Digest> leaves) {
+  if (leaves.empty()) return Sha256Digest{};
+  std::vector<Sha256Digest> level(leaves.begin(), leaves.end());
+  while (level.size() > 1) {
+    std::vector<Sha256Digest> above;
+    above.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      above.push_back(hash_pair(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 != 0) above.push_back(level.back());
+    level = std::move(above);
+  }
+  return level.front();
+}
+
 }  // namespace sacha::crypto

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "crypto/lamport.hpp"
 
@@ -46,5 +47,13 @@ class HashSigner {
 /// Verifier side: checks the OTS and the path against the trusted root.
 bool merkle_verify(const Sha256Digest& root, std::uint32_t tree_height,
                    const Sha256Digest& digest, const MerkleSignature& sig);
+
+/// Plain Merkle root over an ordered list of digests, using the same
+/// domain-tagged node combiner as the signing tree. An odd node at any
+/// level is promoted unhashed (no duplication, so N leaves cost exactly
+/// N-1 combines). Empty input yields the all-zero digest. The shard
+/// coordinator folds per-shard audit-chain heads into one host-level root
+/// with this; any auditor holding the shard heads can recompute it.
+Sha256Digest merkle_root(std::span<const Sha256Digest> leaves);
 
 }  // namespace sacha::crypto

@@ -73,6 +73,7 @@ struct Member {
   HelloMsg hello;
   enum class State { kConnecting, kRunning } state = State::kConnecting;
   std::size_t responses_sent = 0;
+  bool redirected = false;  // one coordinator hop allowed per session
   Clock::time_point start = Clock::now();
   Clock::time_point last_activity = Clock::now();
   /// Delay-shim queue: responses held until their due time.
@@ -191,7 +192,7 @@ class LoadRunner {
     auto member = std::make_shared<Member>();
     member->index = index;
     member->outcome.index = index;
-    member->hello = member_hello(opts_.fleet, index);
+    member->hello = member_hello(opts_.fleet, opts_.member_offset + index);
     // Head-sampling decision, made once at the edge and propagated in the
     // HELLO so the server records the matching half of the timeline.
     member->hello.sampled = obs::should_trace(member->hello.trace);
@@ -292,11 +293,53 @@ class LoadRunner {
     update_interest(member);
   }
 
+  /// Follows a coordinator redirect: drops the coordinator connection and
+  /// dials the owning shard with the same HELLO. One hop only — a shard
+  /// redirecting again means the ring views disagree, which is an error.
+  /// Returns false always (the old fd is gone either way).
+  bool follow_redirect(const std::shared_ptr<Member>& member,
+                       const HelloAckMsg& ack) {
+    if (member->redirected) {
+      finish_member(member, "second redirect from " + ack.redirect_host);
+      return false;
+    }
+    member->redirected = true;
+    member->outcome.redirected = true;
+    ++result_.redirects;
+    loop_.remove(member->channel.fd());
+    active_.erase(member->channel.fd());
+    member->channel.close();
+    auto channel = TcpChannel::connect(ack.redirect_host, ack.redirect_port);
+    if (!channel.ok()) {
+      member->outcome.error = "redirect connect: " + channel.message();
+      member->outcome.latency_ns = ns_since(member->start);
+      result_.members[member->index] = member->outcome;
+      ++done_;
+      return false;
+    }
+    member->channel = std::move(channel).take();
+    member->state = Member::State::kConnecting;
+    member->last_activity = Clock::now();
+    active_.emplace(member->channel.fd(), member);
+    (void)loop_.add(member->channel.fd(), /*want_read=*/true,
+                    /*want_write=*/true);
+    return false;
+  }
+
   /// Returns false when the member was torn down.
   bool handle_frame(const std::shared_ptr<Member>& member, Frame frame) {
     switch (frame.kind) {
-      case FrameKind::kHelloAck:
-        return true;  // schedule length is informational
+      case FrameKind::kHelloAck: {
+        auto ack = HelloAckMsg::decode(frame.payload);
+        if (!ack.ok()) {
+          finish_member(member, "bad HELLO_ACK: " + ack.message());
+          return false;
+        }
+        if (ack.value().is_redirect()) {
+          return follow_redirect(member, ack.value());
+        }
+        return true;  // plain accept: schedule length is informational
+      }
       case FrameKind::kCommand:
         return handle_command(member, frame.payload);
       case FrameKind::kReport: {

@@ -64,6 +64,10 @@ struct LoadOptions {
   std::uint16_t port = 0;
   FleetSpec fleet{};
   std::size_t members = 16;
+  /// Fleet-registry offset: member i connects as registry slot
+  /// `member_offset + i`, so several client processes (or bench threads)
+  /// can split one fleet's device-id space without colliding.
+  std::size_t member_offset = 0;
   /// Connections in flight at once (0 = all members at once — the bench's
   /// concurrent-connection sweep).
   std::size_t concurrency = 0;
@@ -115,6 +119,9 @@ struct MemberOutcome {
   /// this is the UPDATE_STATUS this member answered with.
   bool update_offered = false;
   UpdateStatusMsg update_status{};
+  /// Shard routing (wire v4): the first endpoint answered with a redirect
+  /// HELLO_ACK and the session ran on the shard it named.
+  bool redirected = false;
 };
 
 struct LoadResult {
@@ -126,6 +133,8 @@ struct LoadResult {
   /// OTA offers received / accepted across the fleet.
   std::size_t updates_offered = 0;
   std::size_t updates_accepted = 0;
+  /// Members that followed a coordinator redirect to a shard (wire v4).
+  std::size_t redirects = 0;
   std::uint64_t wall_ns = 0;
 
   bool all_completed() const { return completed == members.size(); }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "core/audit.hpp"
 #include "core/fleet_engine.hpp"
 #include "core/session.hpp"
 #include "crypto/aes.hpp"
@@ -178,6 +179,17 @@ struct AttestServer::Impl {
   std::atomic<std::uint64_t> updates_accepted{0};
   std::atomic<std::uint64_t> updates_rejected{0};
   std::atomic<std::uint64_t> drain_refusals{0};
+  // Golden-model provisioning tier hits (model_cache_dir path; without a
+  // cache dir every provision counts as built).
+  std::atomic<std::uint64_t> models_interned{0};
+  std::atomic<std::uint64_t> models_loaded{0};
+  std::atomic<std::uint64_t> models_mapped{0};
+  std::atomic<std::uint64_t> models_built{0};
+
+  /// Hash-chained record of every finished session. finish_session runs on
+  /// verify workers, so appends and head reads take the mutex.
+  std::mutex audit_mu;
+  core::AuditLog audit;
 
   void wake() {
     const char byte = 1;
@@ -502,8 +514,23 @@ struct AttestServer::Impl {
         << ",\"failed\":" << failed.load(std::memory_order_relaxed)
         << ",\"quarantined\":" << quarantined.load(std::memory_order_relaxed)
         << ",\"http_requests\":"
-        << http_requests.load(std::memory_order_relaxed) << "}"
-        << ",\"slo\":{\"latency_objective_ms\":" << opts.slo_latency_ms
+        << http_requests.load(std::memory_order_relaxed) << "}";
+    // Golden-model provisioning tiers and the audit chain head — the shard
+    // coordinator scrapes both (cache efficacy per shard; Merkle leaf).
+    out << ",\"golden_models\":{\"interned\":"
+        << models_interned.load(std::memory_order_relaxed)
+        << ",\"loaded\":" << models_loaded.load(std::memory_order_relaxed)
+        << ",\"mapped\":" << models_mapped.load(std::memory_order_relaxed)
+        << ",\"built\":" << models_built.load(std::memory_order_relaxed)
+        << "}";
+    {
+      std::lock_guard<std::mutex> lock(audit_mu);
+      out << ",\"audit\":{\"entries\":" << audit.size() << ",\"head\":"
+          << json_str(to_hex(ByteSpan(audit.head().data(),
+                                      audit.head().size())))
+          << "}";
+    }
+    out << ",\"slo\":{\"latency_objective_ms\":" << opts.slo_latency_ms
         << ",\"target\":" << opts.slo_target << ",\"total\":" << slo.total()
         << ",\"good\":" << slo.good()
         << ",\"budget_remaining_ppm\":" << slo.budget_remaining_ppm()
@@ -655,7 +682,32 @@ struct AttestServer::Impl {
     conn->hello = std::move(hello).take();
     // Provision the member's verifier from the HELLO parameters alone —
     // the same construction the in-process oracle uses (provision.hpp).
-    conn->verifier.emplace(verifier_for(conn->hello));
+    // With a model cache dir the golden model comes from the shared tiers
+    // (intern -> .sgm disk cache, optionally mmap'd) instead of a rebuild.
+    if (!opts.model_cache_dir.empty()) {
+      bitstream::GoldenModel::CacheSource source =
+          bitstream::GoldenModel::CacheSource::kBuilt;
+      conn->verifier.emplace(verifier_for(
+          conn->hello,
+          ModelCacheConfig{opts.model_cache_dir, opts.model_map}, &source));
+      switch (source) {
+        case bitstream::GoldenModel::CacheSource::kInterned:
+          models_interned.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case bitstream::GoldenModel::CacheSource::kLoaded:
+          models_loaded.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case bitstream::GoldenModel::CacheSource::kMapped:
+          models_mapped.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case bitstream::GoldenModel::CacheSource::kBuilt:
+          models_built.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    } else {
+      conn->verifier.emplace(verifier_for(conn->hello));
+      models_built.fetch_add(1, std::memory_order_relaxed);
+    }
     conn->session.emplace(*conn->verifier);
     // The client's head-sampling decision arrived in the HELLO; honouring
     // it (rather than re-deciding) is what makes the two processes' span
@@ -1032,6 +1084,19 @@ struct AttestServer::Impl {
             "sacha.attestd.session_ns");
     session_hist.observe(msg.wall_ns);
     slo.record(msg.wall_ns, msg.attested());
+    // Audit-chain the verdict. The wire report carries no TimeLedger, so
+    // the entry records exactly what a remote auditor could check: the
+    // verdict, the wall clock, and the timeline key.
+    {
+      core::AttestationReport audit_report;
+      audit_report.verdict = report.verdict;
+      audit_report.failure = report.failure;
+      audit_report.total_time = msg.wall_ns;
+      audit_report.trace_id = conn->hello.trace;
+      std::lock_guard<std::mutex> lock(audit_mu);
+      audit.append(conn->hello.device_id, conn->verifier->nonce(),
+                   audit_report);
+    }
     // One structured line per finished session — the access log.
     (log_info() << "attestd session")
         .kv("conn", conn->id)
@@ -1068,8 +1133,9 @@ Status AttestServer::start() {
     obs::Sampler::global().set_rate(options_.trace_sample);
   }
   auto impl = std::make_unique<Impl>(options_);
-  auto listener = SocketListener::listen(options_.host, options_.port,
-                                         options_.listen_backlog);
+  auto listener =
+      SocketListener::listen(options_.host, options_.port,
+                             options_.listen_backlog, options_.reuseport);
   if (!listener.ok()) return Status::error(listener.message());
   impl->listener = std::move(listener).take();
   int pipe_fds[2];
@@ -1137,8 +1203,28 @@ AttestServerStats AttestServer::stats() const {
   out.updates_rejected =
       impl_->updates_rejected.load(std::memory_order_relaxed);
   out.drain_refusals = impl_->drain_refusals.load(std::memory_order_relaxed);
+  out.models_interned = impl_->models_interned.load(std::memory_order_relaxed);
+  out.models_loaded = impl_->models_loaded.load(std::memory_order_relaxed);
+  out.models_mapped = impl_->models_mapped.load(std::memory_order_relaxed);
+  out.models_built = impl_->models_built.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->audit_mu);
+    out.audit_entries = impl_->audit.size();
+  }
   out.draining = impl_->draining.load(std::memory_order_relaxed);
   return out;
+}
+
+crypto::Sha256Digest AttestServer::audit_head() const {
+  if (impl_ == nullptr) return crypto::Sha256Digest{};
+  std::lock_guard<std::mutex> lock(impl_->audit_mu);
+  return impl_->audit.head();
+}
+
+bool AttestServer::audit_verify() const {
+  if (impl_ == nullptr) return true;
+  std::lock_guard<std::mutex> lock(impl_->audit_mu);
+  return impl_->audit.verify_chain();
 }
 
 void AttestServer::begin_drain(std::uint64_t drain_ms) {

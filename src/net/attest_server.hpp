@@ -35,6 +35,7 @@
 #include <string>
 
 #include "common/result.hpp"
+#include "crypto/sha256.hpp"
 #include "net/provision.hpp"
 
 namespace sacha::net {
@@ -55,6 +56,18 @@ struct AttestServerOptions {
   /// long and the session is quarantined as kTimeoutExhausted (0 = never).
   std::uint64_t session_timeout_ms = 30000;
   int listen_backlog = 1024;
+  /// Bind with SO_REUSEPORT so several attestd processes can accept on one
+  /// port (kernel-level connection spreading; the shard layer's fallback
+  /// when no coordinator fronts the fleet). Hard error where unsupported.
+  bool reuseport = false;
+  /// Golden-model disk cache (`.sgm` files). Empty = every verifier builds
+  /// or interns its model in-process; set = provisioning goes through
+  /// GoldenModel::shared_cached (intern -> disk -> build+save).
+  std::string model_cache_dir;
+  /// With model_cache_dir: map cached models MAP_SHARED instead of heap-
+  /// loading them, so colocated shard processes share one page-cache copy
+  /// of the flat tables. No-op off Linux / under SACHA_PORTABLE.
+  bool model_map = false;
   /// Force the poll(2) fallback even where epoll exists (tested in ctest).
   bool prefer_epoll = true;
   /// Serve HTTP (GET/HEAD /metrics /healthz /statusz /tracez) on the same
@@ -103,6 +116,14 @@ struct AttestServerStats {
   std::uint64_t updates_rejected = 0;
   /// HELLOs refused because the server was draining.
   std::uint64_t drain_refusals = 0;
+  /// Golden-model provisioning by cache tier (ModelCacheConfig path):
+  /// process intern hit / disk load (heap) / disk load (mmap) / fresh build.
+  std::uint64_t models_interned = 0;
+  std::uint64_t models_loaded = 0;
+  std::uint64_t models_mapped = 0;
+  std::uint64_t models_built = 0;
+  /// Hash-chained audit entries recorded (== completed sessions).
+  std::uint64_t audit_entries = 0;
   bool draining = false;
 };
 
@@ -132,6 +153,13 @@ class AttestServer {
   std::uint16_t port() const { return port_; }
   bool using_epoll() const { return using_epoll_; }
   AttestServerStats stats() const;
+
+  /// Head digest of the server's hash-chained audit log (all-zero before
+  /// any session completed). The shard coordinator folds every shard's
+  /// head into the fleet Merkle root; exposed in /statusz as hex too.
+  crypto::Sha256Digest audit_head() const;
+  /// Recomputes the audit chain; false if history was tampered with.
+  bool audit_verify() const;
 
  private:
   struct Impl;

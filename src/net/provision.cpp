@@ -61,6 +61,26 @@ core::SachaVerifier verifier_for(const HelloMsg& hello) {
       .make_verifier();
 }
 
+core::SachaVerifier verifier_for(const HelloMsg& hello,
+                                 const ModelCacheConfig& cache,
+                                 bitstream::GoldenModel::CacheSource* source) {
+  const attacks::AttackEnv env =
+      member_env(hello.scale, hello.base_seed + hello.member_index);
+  if (cache.cache_dir.empty()) {
+    // No disk tier requested: the plain construction (which itself interns
+    // via GoldenModel::shared inside SachaVerifier's model path).
+    if (source != nullptr) {
+      *source = bitstream::GoldenModel::CacheSource::kBuilt;
+    }
+    return env.make_verifier();
+  }
+  auto model = bitstream::GoldenModel::shared_cached(
+      env.plan, env.static_spec, env.app_spec, cache.cache_dir, source,
+      cache.prefer_mapped);
+  return core::SachaVerifier(env.plan, std::move(model), env.key, env.seed,
+                             env.verifier_options);
+}
+
 core::SachaProver prover_for(const HelloMsg& hello) {
   return member_env(hello.scale, hello.base_seed + hello.member_index)
       .make_prover();

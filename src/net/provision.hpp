@@ -17,6 +17,7 @@
 #include <string>
 
 #include "attacks/env.hpp"
+#include "bitstream/golden_model.hpp"
 #include "net/wire.hpp"
 
 namespace sacha::net {
@@ -56,6 +57,25 @@ HelloMsg member_hello(const FleetSpec& spec, std::size_t index);
 /// Server side: the verifier a HELLO provisions. Identical to
 /// member_env(scale, base_seed + index).make_verifier().
 core::SachaVerifier verifier_for(const HelloMsg& hello);
+
+/// Golden-model cache policy for verifier provisioning.
+struct ModelCacheConfig {
+  /// Directory of the `.sgm` warm-start cache; empty disables the disk
+  /// tier (every model is interned or built in-process).
+  std::string cache_dir;
+  /// Use GoldenModel::load_mapped for the disk tier so colocated shard
+  /// processes share one page-cache copy of the flat tables.
+  bool prefer_mapped = false;
+};
+
+/// verifier_for with the golden model provisioned through
+/// GoldenModel::shared_cached (process intern -> disk cache -> build) —
+/// same construction, same bit-identical verdicts, but the ~MB flat
+/// tables come from the shared tiers instead of a per-verifier build.
+/// `source` (optional) reports which tier hit.
+core::SachaVerifier verifier_for(
+    const HelloMsg& hello, const ModelCacheConfig& cache,
+    bitstream::GoldenModel::CacheSource* source = nullptr);
 
 /// Client side: the booted prover for the same HELLO.
 core::SachaProver prover_for(const HelloMsg& hello);

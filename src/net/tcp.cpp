@@ -287,8 +287,8 @@ Result<Frame> TcpChannel::recv_frame_blocking(int timeout_ms) {
 // -- SocketListener ----------------------------------------------------------
 
 Result<SocketListener> SocketListener::listen(const std::string& host,
-                                              std::uint16_t port,
-                                              int backlog) {
+                                              std::uint16_t port, int backlog,
+                                              bool reuseport) {
   struct sockaddr_storage addr;
   socklen_t addr_len = 0;
   auto sock =
@@ -297,6 +297,20 @@ Result<SocketListener> SocketListener::listen(const std::string& host,
   Socket s = std::move(sock).take();
   const int one = 1;
   (void)::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+#ifdef SO_REUSEPORT
+  if (reuseport) {
+    if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+        0) {
+      return Result<SocketListener>::error(
+          errno_status("setsockopt(SO_REUSEPORT)").message());
+    }
+  }
+#else
+  if (reuseport) {
+    return Result<SocketListener>::error(
+        "SO_REUSEPORT not supported on this platform");
+  }
+#endif
   if (::bind(s.fd(), reinterpret_cast<struct sockaddr*>(&addr), addr_len) <
       0) {
     return Result<SocketListener>::error(errno_status("bind").message());

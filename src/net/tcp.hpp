@@ -129,9 +129,13 @@ class SocketListener {
   SocketListener() = default;
 
   /// Binds and listens. port 0 = kernel-assigned ephemeral port (read it
-  /// back via bound_port()).
+  /// back via bound_port()). With `reuseport`, SO_REUSEPORT is set before
+  /// the bind so several processes can accept on one port and the kernel
+  /// load-balances connections across them (shards sharing a front door);
+  /// every listener on the port must set it.
   static Result<SocketListener> listen(const std::string& host,
-                                       std::uint16_t port, int backlog = 1024);
+                                       std::uint16_t port, int backlog = 1024,
+                                       bool reuseport = false);
 
   int fd() const { return socket_.fd(); }
   std::uint16_t bound_port() const { return port_; }

@@ -189,16 +189,37 @@ Bytes HelloAckMsg::encode() const {
   Bytes out;
   put_u16be(out, proto);
   put_u32be(out, command_count);
+  // Shard redirect tail (v4): only on the wire when present, so a v1-v3
+  // peer that is never redirected sees the exact 6-byte ACK it always has.
+  if (is_redirect()) {
+    put_string(out, redirect_host);
+    put_u16be(out, redirect_port);
+  }
   return out;
 }
 
 Result<HelloAckMsg> HelloAckMsg::decode(ByteSpan payload) {
-  if (payload.size() != 6) {
+  if (payload.size() < 6) {
     return Result<HelloAckMsg>::error("bad HELLO_ACK size");
   }
   HelloAckMsg msg;
   msg.proto = get_u16be(payload, 0);
   msg.command_count = get_u32be(payload, 2);
+  // Presence of the redirect tail is keyed on the remaining byte count —
+  // 0 from a plain accept, a length-prefixed host + u16 port from a v4
+  // coordinator, anything else malformed.
+  if (payload.size() == 6) return msg;
+  std::size_t offset = 6;
+  auto host = get_string(payload, offset, 256, "redirect host");
+  if (!host.ok()) return Result<HelloAckMsg>::error(host.message());
+  msg.redirect_host = std::move(host).take();
+  if (msg.redirect_host.empty()) {
+    return Result<HelloAckMsg>::error("empty redirect host");
+  }
+  if (payload.size() - offset != 2) {
+    return Result<HelloAckMsg>::error("trailing bytes after HELLO_ACK");
+  }
+  msg.redirect_port = get_u16be(payload, offset);
   return msg;
 }
 

@@ -43,12 +43,16 @@ namespace sacha::net {
 inline constexpr std::uint16_t kWireMagic = 0x5341;  // "SA"
 /// Version 2 added the optional trace-context tail (TraceId + sampling
 /// flag) to HELLO and REPORT. Version 3 added the OTA frames
-/// (UPDATE_OFFER / UPDATE_STATUS). Decoders accept every version in
-/// [kWireVersionMin, kWireVersion]: a v1 peer simply runs without
-/// cross-process trace propagation, a v2 peer is never sent an update
-/// offer (attestd checks the HELLO's proto before offering) — the added
-/// fields/frames are side channels and never feed the MAC path.
-inline constexpr std::uint8_t kWireVersion = 3;
+/// (UPDATE_OFFER / UPDATE_STATUS). Version 4 added the optional shard
+/// redirect tail to HELLO_ACK (the coordinator answers a v4 HELLO with the
+/// owning shard's address instead of running the session itself). Decoders
+/// accept every version in [kWireVersionMin, kWireVersion]: a v1 peer
+/// simply runs without cross-process trace propagation, a v2 peer is never
+/// sent an update offer (attestd checks the HELLO's proto before
+/// offering), a v1-v3 peer is never redirected — the coordinator proxies
+/// its bytes to the owning shard instead — so the added fields/frames are
+/// side channels and never feed the MAC path.
+inline constexpr std::uint8_t kWireVersion = 4;
 inline constexpr std::uint8_t kWireVersionMin = 1;
 inline constexpr std::size_t kFrameHeaderBytes = 8;
 /// Upper bound on a frame payload. The largest legitimate frame is a
@@ -160,6 +164,15 @@ struct HelloMsg {
 struct HelloAckMsg {
   std::uint16_t proto = kWireVersion;
   std::uint32_t command_count = 0;  // schedule length, for client progress
+  /// Shard redirect tail (v4): non-empty `redirect_host` tells the client
+  /// this endpoint is a coordinator and its session is owned by the shard
+  /// at host:port — reconnect there and resend the HELLO. Absent on the
+  /// wire (and ignored by v1-v3 decoders, which are never sent it) when
+  /// the host is empty: the ACK then means "session accepted here".
+  std::string redirect_host;
+  std::uint16_t redirect_port = 0;
+
+  bool is_redirect() const { return !redirect_host.empty(); }
 
   Bytes encode() const;
   static Result<HelloAckMsg> decode(ByteSpan payload);

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 
@@ -136,6 +137,87 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
     out << name << "_count " << h.count << "\n";
   }
   return out.str();
+}
+
+MetricsSnapshot parse_prometheus_text(std::string_view text) {
+  MetricsSnapshot snap;
+  std::string cur_name;   // sanitized metric name from the last # TYPE line
+  std::string cur_type;   // counter | gauge | histogram
+  HistogramSample hist;   // in-flight histogram (cur_type == "histogram")
+  std::uint64_t cumulative = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      constexpr std::string_view kType = "# TYPE ";
+      if (line.substr(0, kType.size()) != kType) continue;
+      const std::string_view rest = line.substr(kType.size());
+      const std::size_t space = rest.find(' ');
+      if (space == std::string_view::npos) continue;
+      cur_name = std::string(rest.substr(0, space));
+      cur_type = std::string(rest.substr(space + 1));
+      if (cur_type == "histogram") {
+        hist = HistogramSample{};
+        hist.name = cur_name;
+        cumulative = 0;
+      }
+      continue;
+    }
+
+    // Sample line: <key>[{labels}] <value>. The value separator is the
+    // first space after the (optional) label block.
+    const std::size_t brace = line.find('{');
+    std::size_t sep;
+    if (brace != std::string_view::npos) {
+      const std::size_t close = line.find('}', brace);
+      if (close == std::string_view::npos) continue;
+      sep = line.find(' ', close);
+    } else {
+      sep = line.find(' ');
+    }
+    if (sep == std::string_view::npos) continue;
+    const std::string_view key = line.substr(0, sep);
+    const std::string value_str(line.substr(sep + 1));
+
+    if (cur_type == "counter" && key == cur_name) {
+      snap.counters.push_back(
+          {cur_name, std::strtoull(value_str.c_str(), nullptr, 10)});
+    } else if (cur_type == "gauge" && key == cur_name) {
+      snap.gauges.push_back(
+          {cur_name, std::strtoll(value_str.c_str(), nullptr, 10)});
+    } else if (cur_type == "histogram") {
+      const std::string bucket_prefix = cur_name + "_bucket{le=\"";
+      if (key.substr(0, bucket_prefix.size()) == bucket_prefix) {
+        const std::string_view le =
+            key.substr(bucket_prefix.size(),
+                       key.size() - bucket_prefix.size() - 2);  // strip "}
+        if (le == "+Inf") continue;  // recovered from _count below
+        const std::uint64_t cum =
+            std::strtoull(value_str.c_str(), nullptr, 10);
+        hist.upper_bounds.push_back(
+            std::strtoull(std::string(le).c_str(), nullptr, 10));
+        hist.bucket_counts.push_back(cum >= cumulative ? cum - cumulative : 0);
+        cumulative = cum;
+      } else if (key == cur_name + "_sum") {
+        hist.sum = std::strtoull(value_str.c_str(), nullptr, 10);
+      } else if (key == cur_name + "_count") {
+        hist.count = std::strtoull(value_str.c_str(), nullptr, 10);
+        // Overflow bucket: observations past the last bound.
+        hist.bucket_counts.push_back(
+            hist.count >= cumulative ? hist.count - cumulative : 0);
+        snap.histograms.push_back(hist);
+        hist = HistogramSample{};
+        cumulative = 0;
+      }
+    }
+  }
+  return snap;
 }
 
 std::string chrome_trace_json(const std::vector<SpanRecord>& records) {

@@ -24,6 +24,16 @@ std::string metrics_json(const MetricsSnapshot& snapshot);
 std::string prometheus_text(const MetricsSnapshot& snapshot);
 std::string chrome_trace_json(const std::vector<SpanRecord>& records);
 
+/// Inverse of prometheus_text for fleet aggregation: parses a scraped
+/// exposition body back into a MetricsSnapshot. Driven by the `# TYPE`
+/// headers this exporter always emits; histogram `le` buckets are
+/// un-cumulated back to per-bucket counts with the overflow bucket
+/// recovered from `_count`. Names come back in their sanitized
+/// (underscored) form — prometheus_name() is idempotent, so merging parsed
+/// snapshots and re-emitting them round-trips exactly. Unparseable lines
+/// are skipped, never fatal (a scrape is advisory input).
+MetricsSnapshot parse_prometheus_text(std::string_view text);
+
 /// Sanitizes a dotted metric name to the exposition-format charset
 /// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid chars map to '_', a leading digit
 /// gets a '_' prefix.

@@ -85,6 +85,19 @@ void Histogram::reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+bool Histogram::merge_sample(const HistogramSample& sample) {
+  if (sample.upper_bounds != bounds_ ||
+      sample.bucket_counts.size() != buckets_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(sample.bucket_counts[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(sample.count, std::memory_order_relaxed);
+  sum_.fetch_add(sample.sum, std::memory_order_relaxed);
+  return true;
+}
+
 namespace {
 
 /// Shared interpolation core: rank q*count located in the cumulative bucket
@@ -130,6 +143,51 @@ std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
     if (c.name == name) return c.value;
   }
   return 0;
+}
+
+void merge_into(MetricsSnapshot& dst, const MetricsSnapshot& src) {
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  for (const CounterSample& c : src.counters) {
+    auto it = std::find_if(dst.counters.begin(), dst.counters.end(),
+                           [&](const CounterSample& d) { return d.name == c.name; });
+    if (it == dst.counters.end()) {
+      dst.counters.push_back(c);
+    } else {
+      it->value += c.value;
+    }
+  }
+  for (const GaugeSample& g : src.gauges) {
+    auto it = std::find_if(dst.gauges.begin(), dst.gauges.end(),
+                           [&](const GaugeSample& d) { return d.name == g.name; });
+    if (it == dst.gauges.end()) {
+      dst.gauges.push_back(g);
+    } else {
+      it->value += g.value;
+    }
+  }
+  for (const HistogramSample& h : src.histograms) {
+    auto it = std::find_if(
+        dst.histograms.begin(), dst.histograms.end(),
+        [&](const HistogramSample& d) { return d.name == h.name; });
+    if (it == dst.histograms.end()) {
+      dst.histograms.push_back(h);
+      continue;
+    }
+    if (it->upper_bounds != h.upper_bounds ||
+        it->bucket_counts.size() != h.bucket_counts.size()) {
+      continue;  // different build config on that shard; don't corrupt
+    }
+    for (std::size_t i = 0; i < it->bucket_counts.size(); ++i) {
+      it->bucket_counts[i] += h.bucket_counts[i];
+    }
+    it->count += h.count;
+    it->sum += h.sum;
+  }
+  std::sort(dst.counters.begin(), dst.counters.end(), by_name);
+  std::sort(dst.gauges.begin(), dst.gauges.end(), by_name);
+  std::sort(dst.histograms.begin(), dst.histograms.end(), by_name);
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -71,6 +71,8 @@ std::span<const std::uint64_t> default_latency_buckets_ns();
 /// across the whole range without ballooning the bucket count.
 std::span<const std::uint64_t> log_latency_buckets_ns();
 
+struct HistogramSample;
+
 /// Fixed-bucket histogram with Prometheus `le` (cumulative-at-export,
 /// per-bucket stored) semantics: observation v lands in the first bucket
 /// whose upper bound satisfies v <= bound, or the overflow bucket.
@@ -91,6 +93,12 @@ class Histogram {
   /// Per-bucket (non-cumulative) counts; index bounds.size() is overflow.
   std::vector<std::uint64_t> bucket_counts() const;
   void reset();
+
+  /// Folds a scraped sample into this histogram: element-wise bucket add
+  /// plus count and sum, bypassing the enable gate (merging is an explicit
+  /// aggregation step, not hot-path instrumentation). False — and a no-op —
+  /// when the sample's bucket shape doesn't match this histogram's.
+  bool merge_sample(const HistogramSample& sample);
 
   std::size_t bucket_index(std::uint64_t v) const;
 
@@ -154,6 +162,17 @@ struct MetricsSnapshot {
 /// of QuantileHistogram::quantile() for exporters that only hold a
 /// MetricsSnapshot.
 double quantile_from_sample(const HistogramSample& sample, double q);
+
+/// Fleet rollup: folds `src` into `dst` by metric name — counters and
+/// gauges sum (a fleet gauge like active connections is the sum of the
+/// shards'), histogram buckets add element-wise together with count and
+/// sum, so quantiles extracted from the merged sample are the true fleet
+/// quantiles, not an average of per-shard ones. Metrics absent from `dst`
+/// are inserted; histograms whose bucket shapes disagree are skipped (a
+/// shape mismatch means different build configs — merging would corrupt
+/// both). Output stays sorted by name. The shard coordinator uses this
+/// over parse_prometheus_text() scrapes of its shards.
+void merge_into(MetricsSnapshot& dst, const MetricsSnapshot& src);
 
 // ---- Registry ------------------------------------------------------------
 

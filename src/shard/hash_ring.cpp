@@ -1,0 +1,76 @@
+#include "shard/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sacha::shard {
+
+namespace {
+
+std::uint64_t first8_be(const crypto::Sha256Digest& digest) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | digest[i];
+  }
+  return v;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes) : vnodes_(std::max<std::size_t>(vnodes, 1)) {}
+
+std::uint64_t HashRing::ring_point(std::string_view node, std::size_t vnode) {
+  std::string label = "sacha-shard-ring|";
+  label.append(node);
+  label.push_back('|');
+  label.append(std::to_string(vnode));
+  return first8_be(crypto::Sha256::compute(bytes_of(label)));
+}
+
+std::uint64_t HashRing::key_point(std::string_view key) {
+  std::string label = "sacha-shard-key|";
+  label.append(key);
+  return first8_be(crypto::Sha256::compute(bytes_of(label)));
+}
+
+void HashRing::add_node(const std::string& node) {
+  if (!nodes_.insert(node).second) return;
+  ring_.reserve(ring_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    ring_.emplace_back(ring_point(node, v), node);
+  }
+  // Sorting by (point, node) makes the rare point collision deterministic
+  // too: the lexicographically smaller label wins regardless of add order.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+void HashRing::remove_node(const std::string& node) {
+  if (nodes_.erase(node) == 0) return;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [&](const auto& p) { return p.second == node; }),
+              ring_.end());
+}
+
+bool HashRing::contains(const std::string& node) const {
+  return nodes_.count(node) != 0;
+}
+
+std::vector<std::string> HashRing::nodes() const {
+  return std::vector<std::string>(nodes_.begin(), nodes_.end());
+}
+
+const std::string& HashRing::owner(std::string_view key) const {
+  static const std::string kEmpty;
+  if (ring_.empty()) return kEmpty;
+  const std::uint64_t point = key_point(key);
+  // First vnode clockwise of the key's point, wrapping at the top.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, std::uint64_t p) { return entry.first < p; });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace sacha::shard

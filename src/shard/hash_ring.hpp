@@ -1,0 +1,63 @@
+// Consistent-hash ring for the shard coordinator.
+//
+// Devices are routed to verifier shards by hashing the device id onto a
+// ring of virtual nodes: each shard owns `vnodes` points placed by
+// SHA-256("sacha-shard-ring|<node>|<vnode>"), a key is owned by the first
+// point clockwise of SHA-256("sacha-shard-key|<key>"). Two properties the
+// coordinator leans on:
+//
+//  - Determinism: the placement depends only on the node labels and the
+//    vnode count, never on insertion order or process state, so every
+//    coordinator (and every test oracle) derives the identical routing
+//    table from the fleet spec alone.
+//  - Bounded movement: removing one of N shards moves only the keys that
+//    shard owned (~1/N of the space, spread over the survivors by the
+//    vnode scatter); everything else keeps its owner, which is what keeps
+//    a shard crash from stampeding the whole fleet onto cold verifiers.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sacha::shard {
+
+class HashRing {
+ public:
+  /// `vnodes` points per node; more vnodes = smoother ownership split at
+  /// the cost of a larger table (64 keeps the max/min owner imbalance of
+  /// an 8-shard ring under ~2x).
+  explicit HashRing(std::size_t vnodes = 64);
+
+  /// Adds a node (idempotent).
+  void add_node(const std::string& node);
+  /// Removes a node and its vnode points (idempotent). Keys it owned move
+  /// to their next-clockwise survivors; nothing else moves.
+  void remove_node(const std::string& node);
+  bool contains(const std::string& node) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t vnodes_per_node() const { return vnodes_; }
+  bool empty() const { return nodes_.empty(); }
+  /// Node labels in sorted order.
+  std::vector<std::string> nodes() const;
+
+  /// Owning node of `key` (empty string on an empty ring).
+  const std::string& owner(std::string_view key) const;
+
+  /// Ring position of a key (exposed for tests and movement accounting).
+  static std::uint64_t key_point(std::string_view key);
+
+ private:
+  static std::uint64_t ring_point(std::string_view node, std::size_t vnode);
+
+  std::size_t vnodes_;
+  /// Sorted (point, node) table; owner lookup is a binary search.
+  std::vector<std::pair<std::uint64_t, std::string>> ring_;
+  std::set<std::string> nodes_;
+};
+
+}  // namespace sacha::shard

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <deque>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "bitstream/golden_model.hpp"
 #include "core/signed_attest.hpp"
 #include "core/swarm.hpp"
 #include "crypto/merkle.hpp"
@@ -283,7 +285,7 @@ TEST(NetService, OperabilityEndpointsServeJson) {
 
   const std::string status = http_get(server.port(), "/statusz");
   EXPECT_NE(status.find("200 OK"), std::string::npos);
-  EXPECT_NE(status.find("\"wire_version\":3"), std::string::npos);
+  EXPECT_NE(status.find("\"wire_version\":4"), std::string::npos);
   EXPECT_NE(status.find("\"completed\":2"), std::string::npos);
   EXPECT_NE(status.find("\"attested\":2"), std::string::npos);
   EXPECT_NE(status.find("\"slo\":{\"latency_objective_ms\":250"),
@@ -629,6 +631,107 @@ TEST(NetService, RejectsBadHello) {
   auto error = net::ErrorMsg::decode(reply.value().payload);
   ASSERT_TRUE(error.ok());
   EXPECT_EQ(error.value().failure, core::FailureKind::kDecodeError);
+  server.stop();
+}
+
+TEST(NetService, ReuseportSplitsOneListeningPortAcrossProcessesWorthOfServers) {
+  // Two independent servers sharing one port via SO_REUSEPORT — the kernel
+  // balances incoming connections between them (the shard deployment's
+  // same-port scale-out). The second bind succeeds only with the flag on.
+  net::AttestServerOptions options;
+  options.reuseport = true;
+  net::AttestServer a(options);
+  ASSERT_TRUE(a.start().ok());
+  options.port = a.port();
+  net::AttestServer b(options);
+  ASSERT_TRUE(b.start().ok()) << "second SO_REUSEPORT bind must succeed";
+  ASSERT_EQ(b.port(), a.port());
+
+  // Without the flag, the same bind collides.
+  net::AttestServerOptions plain;
+  plain.port = a.port();
+  net::AttestServer c(plain);
+  EXPECT_FALSE(c.start().ok());
+
+  net::FleetSpec spec;
+  net::LoadOptions load;
+  load.host = "127.0.0.1";
+  load.port = a.port();
+  load.fleet = spec;
+  load.members = 32;
+  load.timeout_ms = 60000;
+  const net::LoadResult result = net::run_load(load);
+  EXPECT_TRUE(result.all_completed());
+  EXPECT_EQ(result.attested, 32u);
+  const std::uint64_t on_a = a.stats().sessions_completed;
+  const std::uint64_t on_b = b.stats().sessions_completed;
+  EXPECT_EQ(on_a + on_b, 32u)
+      << "every session must land on exactly one of the two listeners";
+  a.stop();
+  b.stop();
+}
+
+TEST(NetService, StatuszReportsGoldenModelCacheSources) {
+  const std::string dir = ::testing::TempDir() + "sacha_svc_model_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  net::AttestServerOptions options;
+  options.model_cache_dir = dir;
+  options.model_map = true;
+  {
+    net::AttestServer server(options);
+    ASSERT_TRUE(server.start().ok());
+    net::FleetSpec spec;  // one device type: one build, then intern hits
+    const net::LoadResult result =
+        net::run_load(loopback_load(server, spec, 4));
+    ASSERT_TRUE(result.all_completed());
+    const net::AttestServerStats stats = server.stats();
+    EXPECT_EQ(stats.models_built, 1u);
+    EXPECT_EQ(stats.models_interned, 3u);
+    EXPECT_EQ(stats.models_mapped + stats.models_loaded, 0u);
+    const std::string status = http_get(server.port(), "/statusz");
+    EXPECT_NE(status.find("\"golden_models\":{\"interned\":3"),
+              std::string::npos)
+        << status;
+    EXPECT_NE(status.find("\"audit\":{\"entries\":4"), std::string::npos);
+    server.stop();
+  }
+  // A restarted server warm-starts from the .sgm the first one persisted:
+  // the first HELLO maps (or heap-loads under SACHA_PORTABLE) from disk.
+  {
+    net::AttestServer server(options);
+    ASSERT_TRUE(server.start().ok());
+    net::FleetSpec spec;
+    const net::LoadResult result =
+        net::run_load(loopback_load(server, spec, 2));
+    ASSERT_TRUE(result.all_completed());
+    const net::AttestServerStats stats = server.stats();
+    EXPECT_EQ(stats.models_built, 0u);
+    if (bitstream::GoldenModel::mapping_supported()) {
+      EXPECT_EQ(stats.models_mapped, 1u);
+    } else {
+      EXPECT_EQ(stats.models_loaded, 1u);
+    }
+    EXPECT_EQ(stats.models_interned, 1u);
+    server.stop();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetService, AuditChainCoversSessionsAndVerifies) {
+  net::AttestServer server;
+  ASSERT_TRUE(server.start().ok());
+  net::FleetSpec spec;
+  net::LoadOptions load = loopback_load(server, spec, 6);
+  load.tampered = {2};
+  const net::LoadResult result = net::run_load(load);
+  ASSERT_TRUE(result.all_completed());
+  const net::AttestServerStats stats = server.stats();
+  EXPECT_EQ(stats.audit_entries, 6u);
+  EXPECT_TRUE(server.audit_verify())
+      << "hash chain must verify over passing and failing sessions alike";
+  EXPECT_NE(server.audit_head(), crypto::Sha256Digest{});
   server.stop();
 }
 

@@ -519,4 +519,90 @@ TEST_F(ObsTest, ExportersHandleEmptyState) {
   EXPECT_EQ(obs::chrome_trace_json({}), "{\"traceEvents\": [\n]}\n");
 }
 
+TEST_F(ObsTest, HistogramMergeSampleAddsBucketsAndRejectsShape) {
+  const std::uint64_t bounds[] = {10, 100, 1000};
+  obs::Histogram hist{std::span<const std::uint64_t>(bounds)};
+  hist.observe(5);
+  hist.observe(500);
+
+  obs::HistogramSample sample;
+  sample.upper_bounds = {10, 100, 1000};
+  sample.bucket_counts = {1, 2, 0, 3};  // + overflow
+  sample.count = 6;
+  sample.sum = 12345;
+  ASSERT_TRUE(hist.merge_sample(sample));
+  EXPECT_EQ(hist.count(), 8u);
+  const auto counts = hist.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);  // own 5 + sample's 1
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);  // own 500
+  EXPECT_EQ(counts[3], 3u);
+
+  // Mismatched shapes must refuse and leave the histogram untouched.
+  obs::HistogramSample wrong = sample;
+  wrong.upper_bounds = {10, 100};
+  wrong.bucket_counts = {1, 1, 1};
+  EXPECT_FALSE(hist.merge_sample(wrong));
+  EXPECT_EQ(hist.count(), 8u);
+}
+
+TEST_F(ObsTest, MergeIntoSumsByNameAcrossShards) {
+  obs::MetricsSnapshot fleet;
+  fleet.counters.push_back({"sacha_net_sessions_total", 10});
+  fleet.gauges.push_back({"sacha_net_active", 2});
+  fleet.histograms.push_back({"sacha_net_session_ns", {10, 100}, {1, 0, 1}, 2,
+                              150});
+
+  obs::MetricsSnapshot shard;
+  shard.counters.push_back({"sacha_net_sessions_total", 5});
+  shard.counters.push_back({"sacha_net_errors_total", 1});  // new to dst
+  shard.gauges.push_back({"sacha_net_active", 3});
+  shard.histograms.push_back({"sacha_net_session_ns", {10, 100}, {2, 1, 0}, 3,
+                              60});
+
+  obs::merge_into(fleet, shard);
+  EXPECT_EQ(fleet.counter_value("sacha_net_sessions_total"), 15u);
+  EXPECT_EQ(fleet.counter_value("sacha_net_errors_total"), 1u);
+  ASSERT_EQ(fleet.gauges.size(), 1u);
+  EXPECT_EQ(fleet.gauges[0].value, 5);
+  ASSERT_EQ(fleet.histograms.size(), 1u);
+  const obs::HistogramSample& merged = fleet.histograms[0];
+  EXPECT_EQ(merged.count, 5u);
+  EXPECT_EQ(merged.sum, 210u);
+  EXPECT_EQ(merged.bucket_counts, (std::vector<std::uint64_t>{3, 1, 1}));
+}
+
+TEST_F(ObsTest, PrometheusTextParsesBackAndRoundTrips) {
+  auto& registry = obs::MetricsRegistry::global();
+  registry.counter("sacha.net.sessions_total").add(7);
+  registry.gauge("sacha.net.active").set(3);
+  const std::uint64_t bounds[] = {10, 100};
+  auto& hist = registry.histogram("sacha.net.session_ns",
+                                  std::span<const std::uint64_t>(bounds));
+  hist.observe(5);
+  hist.observe(50);
+  hist.observe(5000);  // overflow bucket
+
+  const std::string text = obs::prometheus_text(registry.snapshot());
+  const obs::MetricsSnapshot parsed = obs::parse_prometheus_text(text);
+  EXPECT_EQ(parsed.counter_value("sacha_net_sessions_total"), 7u);
+  ASSERT_FALSE(parsed.histograms.empty());
+  const obs::HistogramSample* sample = nullptr;
+  for (const auto& h : parsed.histograms) {
+    if (h.name == "sacha_net_session_ns") sample = &h;
+  }
+  ASSERT_NE(sample, nullptr);
+  // `le` buckets un-cumulate back to per-bucket counts, overflow recovered
+  // from _count.
+  EXPECT_EQ(sample->upper_bounds, (std::vector<std::uint64_t>{10, 100}));
+  EXPECT_EQ(sample->bucket_counts, (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(sample->count, 3u);
+
+  // Sanitized names are stable: re-emitting the parsed snapshot is a
+  // fixed point.
+  const std::string again = obs::prometheus_text(parsed);
+  EXPECT_EQ(obs::prometheus_text(obs::parse_prometheus_text(again)), again);
+}
+
 }  // namespace

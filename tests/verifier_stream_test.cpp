@@ -5,6 +5,8 @@
 
 #include <deque>
 #include <filesystem>
+#include <fstream>
+#include <utility>
 
 #include "attacks/library.hpp"
 #include "bitstream/golden_model.hpp"
@@ -140,6 +142,170 @@ TEST(GoldenModelCache, LoadRejectsWrongIdentityAndCorruption) {
                                   env.app_spec),
             nullptr);
   std::filesystem::remove(path);
+}
+
+// ---- Corruption matrix: load() and load_mapped() share one decoder, so
+// both must reject every malformed shape identically. -----------------------
+
+using ModelLoader = std::shared_ptr<const bs::GoldenModel> (*)(
+    const std::string&, const fabric::Floorplan&, const bs::DesignSpec&,
+    const bs::DesignSpec&);
+
+class GoldenModelCorruption
+    : public ::testing::TestWithParam<std::pair<const char*, ModelLoader>> {};
+
+TEST_P(GoldenModelCorruption, TruncationAtEveryBoundaryFailsCleanly) {
+  const ModelLoader load = GetParam().second;
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"corruption-matrix", 11};
+  const bs::GoldenModel built(env.plan, env.static_spec, env.app_spec);
+  const std::string good = ::testing::TempDir() + "sacha_matrix_good.sgm";
+  ASSERT_TRUE(built.save(good, env.plan));
+  std::ifstream in(good, std::ios::binary);
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(bytes.empty());
+
+  // Cuts at every header field edge plus every 64-byte alignment boundary
+  // — the format pads both flat tables to 64-byte offsets, so this sweep
+  // lands on the exact start/end of every section.
+  std::vector<std::size_t> cuts = {0, 1, 7,  8,  11, 12, 19, 20,
+                                   83, 84, 88, 92, 96, 100};
+  for (std::size_t at = 64; at < bytes.size(); at += 64) cuts.push_back(at);
+  cuts.push_back(bytes.size() - 4);
+  cuts.push_back(bytes.size() - 1);
+
+  const std::string path = ::testing::TempDir() + "sacha_matrix_cut.sgm";
+  for (const std::size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_EQ(load(path, env.plan, env.static_spec, env.app_spec), nullptr)
+        << "truncated at byte " << cut << " of " << bytes.size();
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(good);
+}
+
+TEST_P(GoldenModelCorruption, FlippedDigestByteAndGarbageTailReject) {
+  const ModelLoader load = GetParam().second;
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"corruption-flip", 13};
+  const bs::GoldenModel built(env.plan, env.static_spec, env.app_spec);
+  const std::string good = ::testing::TempDir() + "sacha_flip_good.sgm";
+  ASSERT_TRUE(built.save(good, env.plan));
+  std::ifstream in(good, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  const std::string path = ::testing::TempDir() + "sacha_flip.sgm";
+  const auto write_variant = [&](const std::vector<char>& v) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(v.data(), static_cast<std::streamsize>(v.size()));
+  };
+
+  // The identity digest is the hex string right after magic+version+length:
+  // flipping any byte inside it must fail the identity check.
+  {
+    std::vector<char> flipped = bytes;
+    flipped[20] ^= 0x01;   // first digest hex char
+    flipped[83] ^= 0x01;   // last digest hex char
+    write_variant(flipped);
+    EXPECT_EQ(load(path, env.plan, env.static_spec, env.app_spec), nullptr);
+  }
+  // Garbage-tailed files must be rejected by the exact-length check even
+  // though every section parsed — a format disagreement, not extra slack.
+  {
+    std::vector<char> tailed = bytes;
+    tailed.push_back(0x00);
+    write_variant(tailed);
+    EXPECT_EQ(load(path, env.plan, env.static_spec, env.app_spec), nullptr);
+    tailed.insert(tailed.end(), 63, 0x5a);
+    write_variant(tailed);
+    EXPECT_EQ(load(path, env.plan, env.static_spec, env.app_spec), nullptr);
+  }
+  // The pristine bytes still load — the matrix is testing the corruption,
+  // not the harness.
+  write_variant(bytes);
+  const auto ok = load(path, env.plan, env.static_spec, env.app_spec);
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(*ok == built);
+  std::filesystem::remove(path);
+  std::filesystem::remove(good);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HeapAndMapped, GoldenModelCorruption,
+    ::testing::Values(
+        std::make_pair("load", &bs::GoldenModel::load),
+        std::make_pair("load_mapped", &bs::GoldenModel::load_mapped)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+// ---- mmap-shared models ---------------------------------------------------
+
+TEST(GoldenModelMapped, LoadMappedIsBitIdenticalAndBorrowsTables) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"mapped-probe", 17};
+  const bs::GoldenModel built(env.plan, env.static_spec, env.app_spec);
+  const std::string path = ::testing::TempDir() + "sacha_mapped.sgm";
+  ASSERT_TRUE(built.save(path, env.plan));
+  const auto mapped =
+      bs::GoldenModel::load_mapped(path, env.plan, env.static_spec,
+                                   env.app_spec);
+  ASSERT_NE(mapped, nullptr);
+  EXPECT_TRUE(*mapped == built);
+  EXPECT_EQ(mapped->tables_mapped(), bs::GoldenModel::mapping_supported())
+      << "tables must borrow from the mapping when the build can mmap";
+  if (mapped->tables_mapped()) {
+    // Borrowed lanes must still be 4-byte aligned for the SIMD compare.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(mapped->mask_words(0).data()) %
+                  alignof(std::uint32_t),
+              0u);
+    // The mapped footprint excludes the tables (they are page cache, not
+    // heap) — the RSS-flat property bench_shard measures.
+    EXPECT_LT(mapped->footprint_bytes(), built.footprint_bytes());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(GoldenModelMapped, SharedCachedPrefersMappingAndReportsKMapped) {
+  attacks::AttackEnv env = attacks::AttackEnv::small();
+  env.app_spec = bs::DesignSpec{"mapped-cache-probe", 19};
+  const std::string dir =
+      ::testing::TempDir() + "sacha_mapped_cache" + std::filesystem::path::preferred_separator;
+  std::filesystem::create_directories(dir);
+
+  bs::GoldenModel::CacheSource source;
+  // Cold: builds and persists; the intern entry dies with `first`.
+  {
+    auto first = bs::GoldenModel::shared_cached(
+        env.plan, env.static_spec, env.app_spec, dir, &source,
+        /*prefer_mapped=*/true);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(source, bs::GoldenModel::CacheSource::kBuilt);
+  }
+  // Warm restart: the disk tier maps the saved file.
+  auto remapped = bs::GoldenModel::shared_cached(
+      env.plan, env.static_spec, env.app_spec, dir, &source,
+      /*prefer_mapped=*/true);
+  ASSERT_NE(remapped, nullptr);
+  if (bs::GoldenModel::mapping_supported()) {
+    EXPECT_EQ(source, bs::GoldenModel::CacheSource::kMapped);
+    EXPECT_TRUE(remapped->tables_mapped());
+  } else {
+    EXPECT_EQ(source, bs::GoldenModel::CacheSource::kLoaded);
+    EXPECT_FALSE(remapped->tables_mapped());
+  }
+  // A mapped model drives a verifier exactly like a built one.
+  core::SachaVerifier verifier(env.plan, remapped, env.key, env.seed,
+                               env.verifier_options);
+  core::SachaProver prover = env.make_prover();
+  const auto report = core::run_attestation(verifier, prover);
+  EXPECT_TRUE(report.verdict.ok());
+  std::filesystem::remove_all(dir);
 }
 
 TEST(GoldenModelCache, SharedCachedHitsInternedThenDiskThenBuild) {

@@ -238,6 +238,50 @@ TEST(WireMessages, HelloAckRoundTrip) {
   EXPECT_EQ(back.value(), ack);
 }
 
+TEST(WireMessages, HelloAckRedirectTailRoundTrip) {
+  net::HelloAckMsg ack;
+  ack.command_count = 9;
+  ack.redirect_host = "10.1.2.3";
+  ack.redirect_port = 7461;
+  ASSERT_TRUE(ack.is_redirect());
+  const Bytes wire = ack.encode();
+  // The tail rides after the plain 6-byte ACK body.
+  EXPECT_GT(wire.size(), std::size_t{6});
+  auto back = net::HelloAckMsg::decode(wire);
+  ASSERT_TRUE(back.ok()) << back.message();
+  EXPECT_EQ(back.value(), ack);
+  EXPECT_TRUE(back.value().is_redirect());
+}
+
+TEST(WireMessages, HelloAckPlainSixByteBodyStillAccepts) {
+  // A v1-v3 server's ACK is exactly [proto u16][command_count u32]; the v4
+  // decoder must keep reading it as "session accepted here", no redirect.
+  net::HelloAckMsg plain;
+  plain.command_count = 42;
+  const Bytes wire = plain.encode();
+  ASSERT_EQ(wire.size(), std::size_t{6});
+  auto back = net::HelloAckMsg::decode(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back.value().is_redirect());
+  EXPECT_EQ(back.value().command_count, 42u);
+}
+
+TEST(WireMessages, HelloAckRejectsTruncatedOrTrailingRedirectTail) {
+  net::HelloAckMsg ack;
+  ack.redirect_host = "shard.example";
+  ack.redirect_port = 19;
+  const Bytes wire = ack.encode();
+  // Any cut inside the tail is malformed, not silently a plain ACK.
+  for (std::size_t cut = 7; cut < wire.size(); ++cut) {
+    Bytes truncated(wire.begin(), wire.begin() + cut);
+    EXPECT_FALSE(net::HelloAckMsg::decode(truncated).ok()) << cut;
+  }
+  // Garbage after a complete tail is rejected too.
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(net::HelloAckMsg::decode(trailing).ok());
+}
+
 TEST(WireMessages, ReportRoundTrip) {
   net::ReportMsg report;
   report.protocol_ok = true;
